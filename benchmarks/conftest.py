@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+``pytest benchmarks/ --benchmark-only`` times one representative query
+per (data set, algorithm, parameter) cell of a scaled-down version of
+the paper's grids; the benchmark names mirror the paper's figures and
+tables so the output table reads like the evaluation section.
+
+The full-scale reproduction (with averaged sweeps and report rendering)
+lives in ``python -m repro.bench figures --all``; these benches are the
+fast, always-run regression form of the same measurements.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import TopKDominatingEngine
+from repro.datasets import PAPER_DATASETS, select_query_objects
+
+#: benchmark-scale knobs (kept small: the suite must finish in minutes).
+BENCH_N = 400
+BENCH_SEED = 7
+DEFAULT_M = 5
+DEFAULT_K = 10
+DEFAULT_C = 0.20
+
+_ENGINES: dict = {}
+
+
+def engine_for(dataset: str) -> TopKDominatingEngine:
+    """Session-cached engine per data set."""
+    engine = _ENGINES.get(dataset)
+    if engine is None:
+        space = PAPER_DATASETS[dataset](BENCH_N, seed=BENCH_SEED)
+        engine = TopKDominatingEngine(space, rng=random.Random(BENCH_SEED))
+        _ENGINES[dataset] = engine
+    return engine
+
+
+def query_set(engine: TopKDominatingEngine, m: int, c: float, rep: int = 0):
+    rng = random.Random(hash((BENCH_SEED, m, round(c, 3), rep)) & 0x7FFFFFFF)
+    return select_query_objects(engine.space, m=m, coverage=c, rng=rng)
+
+
+def run_query(engine, algorithm: str, m: int = DEFAULT_M,
+              k: int = DEFAULT_K, c: float = DEFAULT_C):
+    """One measured query execution; returns its stats."""
+    queries = query_set(engine, m, c)
+    _results, stats = engine.top_k_dominating(queries, k, algorithm=algorithm)
+    return stats
+
+
+@pytest.fixture(params=["UNI", "FC", "ZIL", "CAL"])
+def dataset(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=["sba", "aba", "pba1", "pba2"])
+def algorithm(request) -> str:
+    return request.param

@@ -1,0 +1,110 @@
+"""Ablation: bulk loading vs insert-loading the M-tree.
+
+Measures build-time distance computations and the resulting tree's
+query-time cost for both construction paths (DESIGN.md §7 design
+choices).
+"""
+
+import random
+
+import pytest
+
+from repro.core.progressive import QueryContext
+from repro.datasets import PAPER_DATASETS, select_query_objects
+from repro.mtree import MTree, bulk_build, knn_query
+from repro.storage.buffer import BufferPool
+
+from benchmarks.conftest import BENCH_SEED
+
+_N = 300
+
+
+def _space():
+    from repro.metric.base import MetricSpace
+    from repro.metric.counting import CountingMetric
+
+    raw = PAPER_DATASETS["UNI"](_N, seed=BENCH_SEED)
+    return MetricSpace(
+        [raw.payload(i) for i in raw.object_ids],
+        CountingMetric(raw.metric),
+        name=raw.name,
+    )
+
+
+@pytest.mark.parametrize("mode", ["insert", "bulk"])
+def test_build_cost(benchmark, mode):
+    space = _space()
+
+    def build():
+        pool = BufferPool()
+        before = space.metric.count
+        if mode == "bulk":
+            bulk_build(
+                space, pool.index_buffer, rng=random.Random(BENCH_SEED)
+            )
+        else:
+            MTree.build(
+                space, pool.index_buffer, rng=random.Random(BENCH_SEED)
+            )
+        return space.metric.count - before
+
+    build_distances = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["build_distances"] = build_distances
+
+
+@pytest.mark.parametrize("mode", ["insert", "bulk"])
+def test_query_cost_on_built_tree(benchmark, mode):
+    space = _space()
+    pool = BufferPool()
+    if mode == "bulk":
+        tree = bulk_build(
+            space, pool.index_buffer, rng=random.Random(BENCH_SEED)
+        )
+    else:
+        tree = MTree.build(
+            space, pool.index_buffer, rng=random.Random(BENCH_SEED)
+        )
+
+    def run():
+        before = space.metric.count
+        for query in range(0, 50, 10):
+            knn_query(tree, query, 10)
+        return space.metric.count - before
+
+    query_distances = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["query_distances"] = query_distances
+
+
+def test_bulk_build_cheaper():
+    space_a = _space()
+    space_b = _space()
+    pool_a, pool_b = BufferPool(), BufferPool()
+    before = space_a.metric.count
+    bulk_build(space_a, pool_a.index_buffer, rng=random.Random(1))
+    bulk_cost = space_a.metric.count - before
+    before = space_b.metric.count
+    MTree.build(space_b, pool_b.index_buffer, rng=random.Random(1))
+    insert_cost = space_b.metric.count - before
+    assert bulk_cost < insert_cost
+
+
+def test_pba_correct_on_bulk_tree():
+    from repro.core.brute_force import brute_force_scores
+    from repro.core.pba import PBA2
+
+    space = _space()
+    pool = BufferPool()
+    tree = bulk_build(
+        space, pool.index_buffer, rng=random.Random(BENCH_SEED)
+    )
+    queries = select_query_objects(
+        space, m=4, coverage=0.2, rng=random.Random(BENCH_SEED)
+    )
+    truth = brute_force_scores(space, queries)
+    ctx = QueryContext(space=space, tree=tree, buffers=pool)
+    results = list(PBA2(ctx).run(queries, 8))
+    assert [r.score for r in results] == sorted(
+        truth.values(), reverse=True
+    )[:8]

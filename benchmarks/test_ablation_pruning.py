@@ -1,0 +1,59 @@
+"""Ablation: the contribution of each pruning heuristic family.
+
+DESIGN.md calls out the heuristics as the paper's main performance
+lever (Section 4.4.2); this bench quantifies each family's effect on
+PBA2's exact-score count and I/O.
+"""
+
+import random
+
+import pytest
+
+from repro import PruningConfig
+from repro.datasets import select_query_objects
+
+from benchmarks.conftest import BENCH_SEED, engine_for
+
+CONFIGS = {
+    "all-on": PruningConfig(),
+    "all-off": PruningConfig.none(),
+    "no-discard": PruningConfig(dh1=False, dh2=False, dh3=False),
+    "no-early": PruningConfig(
+        eph1=False, eph2=False, eph3=False, eph4=False, eph5=False
+    ),
+    "no-iph": PruningConfig(iph=False),
+}
+
+
+def run(engine, config: PruningConfig, algorithm: str = "pba2"):
+    rng = random.Random(BENCH_SEED + 1)
+    queries = select_query_objects(engine.space, m=5, coverage=0.2, rng=rng)
+    _results, stats = engine.top_k_dominating(
+        queries, 10, algorithm=algorithm, pruning=config
+    )
+    return stats
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_ablation_pruning_config(benchmark, dataset, name):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run(engine, CONFIGS[name]), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["config"] = name
+    benchmark.extra_info["exact_scores"] = stats.exact_score_computations
+    benchmark.extra_info["pruned"] = stats.objects_pruned
+
+
+def test_ablation_full_pruning_never_worse_on_exact_scores():
+    engine = engine_for("UNI")
+    on = run(engine, CONFIGS["all-on"]).exact_score_computations
+    off = run(engine, CONFIGS["all-off"]).exact_score_computations
+    assert on <= off
+
+
+def test_ablation_pruning_actually_fires():
+    engine = engine_for("FC")
+    stats = run(engine, CONFIGS["all-on"])
+    assert stats.objects_pruned > 0

@@ -1,0 +1,114 @@
+"""Ablations over the substrate design choices DESIGN.md calls out:
+
+* M-tree split policy (random / sampling / mmrad) — build cost vs
+  query-time distance computations;
+* buffer sizing — the LRU pools' contribution to the I/O cost;
+* exact-score procedure — reverse scanning (PBA1) vs positional
+  (PBA2), the paper's only difference between the two algorithms;
+* physical deletion vs skip-set tombstones in SBA.
+"""
+
+import random
+
+import pytest
+
+from repro import SBA, TopKDominatingEngine
+from repro.datasets import PAPER_DATASETS, select_query_objects
+
+from benchmarks.conftest import BENCH_SEED, engine_for, run_query
+
+
+@pytest.mark.parametrize("policy", ["random", "sampling", "mmrad"])
+def test_ablation_split_policy_build(benchmark, policy):
+    """Build-time cost of each promotion policy (UNI, small n)."""
+    space = PAPER_DATASETS["UNI"](250, seed=BENCH_SEED)
+
+    def build():
+        engine = TopKDominatingEngine(
+            space,
+            split_policy=policy,
+            rng=random.Random(BENCH_SEED),
+        )
+        return engine.build_distance_computations
+
+    build_distances = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["build_distances"] = build_distances
+
+
+@pytest.mark.parametrize("policy", ["random", "sampling", "mmrad"])
+def test_ablation_split_policy_query(benchmark, policy):
+    """Query-time distance computations under each policy's tree."""
+    space = PAPER_DATASETS["UNI"](250, seed=BENCH_SEED)
+    engine = TopKDominatingEngine(
+        space, split_policy=policy, rng=random.Random(BENCH_SEED)
+    )
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, "pba2"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+
+
+@pytest.mark.parametrize("frames", [0, 8, 64, 512])
+def test_ablation_buffer_size(benchmark, frames):
+    """I/O cost as the aux buffer shrinks from ample to none."""
+    engine = engine_for("UNI")
+    original = engine.buffers.aux_buffer.capacity
+
+    def run():
+        engine.buffers.aux_buffer.resize(frames)
+        try:
+            return run_query(engine, "pba2")
+        finally:
+            engine.buffers.aux_buffer.resize(original)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["frames"] = frames
+    benchmark.extra_info["page_faults"] = stats.io.page_faults
+
+
+def test_ablation_buffer_monotone_io():
+    """Fewer frames can only mean more faults."""
+    engine = engine_for("UNI")
+    original = engine.buffers.aux_buffer.capacity
+    faults = {}
+    for frames in (0, 64, 1024):
+        engine.buffers.aux_buffer.resize(frames)
+        faults[frames] = run_query(engine, "pba2").io.page_faults
+    engine.buffers.aux_buffer.resize(original)
+    assert faults[0] >= faults[64] >= faults[1024]
+
+
+@pytest.mark.parametrize("algorithm", ["pba1", "pba2"])
+def test_ablation_scoring_procedure(benchmark, dataset, algorithm):
+    """PBA1 (reverse scan) vs PBA2 (positional) — the paper's Table 2/3
+    comparison in miniature."""
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["exact_scores"] = stats.exact_score_computations
+    benchmark.extra_info["io_seconds"] = stats.io_seconds
+
+
+@pytest.mark.parametrize("physical", [False, True])
+def test_ablation_sba_deletion_mode(benchmark, physical):
+    """SBA with tombstone skip-sets vs physical M-tree deletion."""
+    engine = engine_for("UNI")
+    queries = select_query_objects(
+        engine.space, m=5, coverage=0.2, rng=random.Random(BENCH_SEED)
+    )
+
+    def run():
+        ctx = engine.make_context()
+        algo = SBA(ctx, remove_physically=physical)
+        list(algo.run(queries, 10))
+        return ctx.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["physical"] = physical
+    benchmark.extra_info["exact_scores"] = stats.exact_score_computations

@@ -1,0 +1,75 @@
+"""Extension bench: the randomized approximate algorithm (paper §6
+future work) — accuracy/cost trade-off curve."""
+
+import random
+
+import pytest
+
+from repro.core.approximate import ApproximateTopK, recall_against_exact
+from repro.core.brute_force import brute_force_scores
+from repro.datasets import select_query_objects
+
+from benchmarks.conftest import BENCH_SEED, engine_for
+
+SAMPLE_SIZES = (20, 60, 150, 400)
+
+
+def _queries(engine):
+    return select_query_objects(
+        engine.space, m=5, coverage=0.2, rng=random.Random(BENCH_SEED + 2)
+    )
+
+
+@pytest.mark.parametrize("sample_size", SAMPLE_SIZES)
+def test_apx_accuracy_cost_curve(benchmark, sample_size):
+    engine = engine_for("UNI")
+    queries = _queries(engine)
+    truth = brute_force_scores(engine.space, queries)
+
+    def run():
+        algo = ApproximateTopK(
+            engine.make_context(),
+            candidate_pool=120,
+            sample_size=sample_size,
+            seed=BENCH_SEED,
+        )
+        return list(algo.run(queries, 10))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sample_size"] = sample_size
+    benchmark.extra_info["recall"] = recall_against_exact(
+        results, truth, 10
+    )
+
+
+def test_apx_recall_improves_with_sampling():
+    engine = engine_for("UNI")
+    queries = _queries(engine)
+    truth = brute_force_scores(engine.space, queries)
+    recalls = []
+    for sample_size in (10, len(engine.space)):
+        algo = ApproximateTopK(
+            engine.make_context(),
+            candidate_pool=len(engine.space),
+            sample_size=sample_size,
+            seed=BENCH_SEED,
+        )
+        results = list(algo.run(queries, 10))
+        recalls.append(recall_against_exact(results, truth, 10))
+    assert recalls[-1] >= recalls[0]
+    assert recalls[-1] == 1.0  # full sampling + full pool is exact
+
+
+def test_apx_cheaper_than_exact():
+    engine = engine_for("FC")
+    queries = _queries(engine)
+    metric = engine.space.metric
+    algo = ApproximateTopK(
+        engine.make_context(), candidate_pool=60, sample_size=60,
+        seed=BENCH_SEED,
+    )
+    before = metric.snapshot()
+    list(algo.run(queries, 10))
+    apx_cost = metric.delta_since(before)
+    _res, sba_stats = engine.top_k_dominating(queries, 10, algorithm="sba")
+    assert apx_cost < sba_stats.distance_computations

@@ -1,0 +1,65 @@
+"""Extension bench: the distributed merge protocol's scaling.
+
+Measures how the protocol's message and distance costs behave as the
+number of sites grows — the scalability question raised by the paper's
+future-work section.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import PAPER_DATASETS, select_query_objects
+from repro.distributed import DistributedTopK
+from repro.metric.base import MetricSpace
+
+from benchmarks.conftest import BENCH_SEED
+
+_N = 300
+_SYSTEMS: dict = {}
+
+
+def system_for(num_sites: int) -> DistributedTopK:
+    system = _SYSTEMS.get(num_sites)
+    if system is None:
+        space = PAPER_DATASETS["UNI"](_N, seed=BENCH_SEED)
+        system = DistributedTopK(
+            space, num_sites=num_sites, rng=random.Random(BENCH_SEED)
+        )
+        _SYSTEMS[num_sites] = system
+    return system
+
+
+def _queries(system: DistributedTopK):
+    return select_query_objects(
+        system.space, m=5, coverage=0.2, rng=random.Random(BENCH_SEED + 4)
+    )
+
+
+@pytest.mark.parametrize("num_sites", [1, 2, 4, 8])
+def test_distributed_query_cost(benchmark, num_sites):
+    system = system_for(num_sites)
+    queries = _queries(system)
+
+    def run():
+        _results, stats = system.top_k(queries, 10)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["num_sites"] = num_sites
+    benchmark.extra_info["messages"] = stats.total_messages
+    benchmark.extra_info["vectors_shipped"] = (
+        stats.candidate_vectors_shipped
+    )
+
+
+def test_distributed_matches_centralized():
+    system = system_for(4)
+    queries = _queries(system)
+    from repro.core.brute_force import brute_force_scores
+
+    truth = brute_force_scores(system.space, queries)
+    results, _stats = system.top_k(queries, 10)
+    assert [r.score for r in results] == sorted(
+        truth.values(), reverse=True
+    )[:10]

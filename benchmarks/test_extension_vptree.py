@@ -1,0 +1,81 @@
+"""Extension bench: PBA on the VP-tree vs on the M-tree.
+
+The paper claims the algorithms are "orthogonal to the indexing scheme
+used, as long as incremental k-nearest-neighbor queries are supported"
+— these benches measure what the index choice actually costs.
+"""
+
+import random
+
+import pytest
+
+from repro import TopKDominatingEngine
+from repro.datasets import PAPER_DATASETS, select_query_objects
+
+from benchmarks.conftest import BENCH_SEED
+
+_N = 300
+_INDEX_ENGINES: dict = {}
+
+
+def engine_with_index(index: str) -> TopKDominatingEngine:
+    engine = _INDEX_ENGINES.get(index)
+    if engine is None:
+        space = PAPER_DATASETS["UNI"](_N, seed=BENCH_SEED)
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(BENCH_SEED), index=index
+        )
+        _INDEX_ENGINES[index] = engine
+    return engine
+
+
+def _queries(engine):
+    return select_query_objects(
+        engine.space, m=5, coverage=0.2, rng=random.Random(BENCH_SEED + 3)
+    )
+
+
+@pytest.mark.parametrize("index", ["mtree", "vptree"])
+@pytest.mark.parametrize("algorithm", ["pba1", "pba2"])
+def test_index_choice_query_cost(benchmark, index, algorithm):
+    engine = engine_with_index(index)
+    queries = _queries(engine)
+
+    def run():
+        _results, stats = engine.top_k_dominating(
+            queries, 10, algorithm=algorithm
+        )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["index"] = index
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+    benchmark.extra_info["page_faults"] = stats.io.page_faults
+
+
+@pytest.mark.parametrize("index", ["mtree", "vptree"])
+def test_index_build_cost(benchmark, index):
+    space = PAPER_DATASETS["UNI"](_N, seed=BENCH_SEED + 1)
+
+    def build():
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(BENCH_SEED), index=index
+        )
+        return engine.build_distance_computations
+
+    build_distances = benchmark.pedantic(build, rounds=1, iterations=1)
+    benchmark.extra_info["index"] = index
+    benchmark.extra_info["build_distances"] = build_distances
+
+
+def test_index_agnostic_same_answer():
+    queries = _queries(engine_with_index("mtree"))
+    a, _ = engine_with_index("mtree").top_k_dominating(
+        queries, 10, algorithm="pba2"
+    )
+    b, _ = engine_with_index("vptree").top_k_dominating(
+        queries, 10, algorithm="pba2"
+    )
+    assert [r.score for r in a] == [r.score for r in b]

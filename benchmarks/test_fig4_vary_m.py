@@ -1,0 +1,46 @@
+"""Figure 4: CPU + I/O cost vs the number of query objects m.
+
+Each benchmark times one full query at a given m (defaults elsewhere);
+the shape assertions check the paper's claims — costs grow with m, and
+the pruning-based algorithms beat SBA/ABA.
+"""
+
+import pytest
+
+from benchmarks.conftest import engine_for, run_query
+
+M_VALUES = (2, 5, 10)
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+def test_fig4_query_cost_vs_m(benchmark, dataset, algorithm, m):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, m=m),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["io_seconds"] = stats.io_seconds
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+
+
+def test_fig4_shape_pba_beats_baselines():
+    """At the default m, PBA2 must not lose to SBA or ABA on I/O."""
+    engine = engine_for("UNI")
+    io = {
+        algorithm: run_query(engine, algorithm).io.page_faults
+        for algorithm in ("sba", "aba", "pba2")
+    }
+    assert io["pba2"] <= io["sba"]
+    assert io["pba2"] <= io["aba"]
+
+
+def test_fig4_shape_cost_grows_with_m():
+    engine = engine_for("UNI")
+    small = run_query(engine, "pba2", m=2).distance_computations
+    large = run_query(engine, "pba2", m=10).distance_computations
+    assert large > small

@@ -1,0 +1,45 @@
+"""Figure 5: CPU + I/O cost vs the number of results k.
+
+The paper's claim: SBA and ABA degrade steeply with k (their outer
+loop recomputes per result) while PBA grows gently.
+"""
+
+import pytest
+
+from benchmarks.conftest import engine_for, run_query
+
+K_VALUES = (1, 10, 30)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig5_query_cost_vs_k(benchmark, dataset, algorithm, k):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, k=k),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["io_seconds"] = stats.io_seconds
+    benchmark.extra_info["exact_scores"] = stats.exact_score_computations
+
+
+def test_fig5_shape_sba_aba_rescore_per_result():
+    """SBA/ABA exact-score work scales roughly with k; PBA2's barely."""
+    engine = engine_for("UNI")
+    for algorithm in ("sba", "aba"):
+        one = run_query(engine, algorithm, k=1).exact_score_computations
+        many = run_query(engine, algorithm, k=20).exact_score_computations
+        assert many >= 5 * one or many >= one + 19
+
+    pba_one = run_query(engine, "pba2", k=1).exact_score_computations
+    pba_many = run_query(engine, "pba2", k=20).exact_score_computations
+    assert pba_many <= pba_one + 200  # gentle growth
+
+
+def test_fig5_shape_progressive_prefix_cheaper():
+    engine = engine_for("FC")
+    partial = run_query(engine, "pba2", k=1).distance_computations
+    full = run_query(engine, "pba2", k=30).distance_computations
+    assert partial <= full

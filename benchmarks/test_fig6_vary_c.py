@@ -1,0 +1,45 @@
+"""Figure 6: CPU + I/O cost vs the query coverage c.
+
+The paper's claim: growing c (spread-out query objects, spatial
+anti-correlation) blows the skyline up and SBA with it, while PBA1/PBA2
+stay one to three orders ahead.
+"""
+
+import pytest
+
+from benchmarks.conftest import engine_for, run_query
+
+C_VALUES = (0.01, 0.20, 0.50)
+
+
+@pytest.mark.parametrize("c", C_VALUES)
+def test_fig6_query_cost_vs_c(benchmark, dataset, algorithm, c):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, c=c),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["c"] = c
+    benchmark.extra_info["io_seconds"] = stats.io_seconds
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+
+
+def test_fig6_shape_pba_wins_at_high_coverage():
+    engine = engine_for("UNI")
+    sba = run_query(engine, "sba", c=0.5)
+    pba = run_query(engine, "pba2", c=0.5)
+    assert pba.exact_score_computations < sba.exact_score_computations
+    assert pba.io.page_faults <= sba.io.page_faults
+
+
+def test_fig6_shape_coverage_inflates_skyline_work():
+    """SBA's exact-score count tracks the skyline size, which grows
+    with coverage."""
+    engine = engine_for("UNI")
+    tight = run_query(engine, "sba", c=0.01).exact_score_computations
+    wide = run_query(engine, "sba", c=0.5).exact_score_computations
+    assert wide >= tight

@@ -1,0 +1,59 @@
+"""Figure 7: number of distance computations vs m and vs k.
+
+The paper's headline metric: "PBA2 requires the smallest number of
+distance computations in all cases."
+"""
+
+import pytest
+
+from benchmarks.conftest import engine_for, run_query
+
+M_VALUES = (2, 5, 10)
+K_VALUES = (1, 10, 30)
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+def test_fig7_distances_vs_m(benchmark, dataset, algorithm, m):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, m=m), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig7_distances_vs_k(benchmark, dataset, algorithm, k):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, k=k), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+
+
+def test_fig7_shape_pba_fewest_distances(dataset):
+    """PBA must beat both baselines on distance computations at the
+    paper's default parameters, on every data set."""
+    engine = engine_for(dataset)
+    counts = {
+        algorithm: run_query(engine, algorithm).distance_computations
+        for algorithm in ("sba", "aba", "pba1", "pba2")
+    }
+    assert counts["pba2"] <= counts["sba"]
+    assert counts["pba2"] <= counts["aba"]
+
+
+def test_fig7_shape_sba_aba_pay_full_matrix():
+    """SBA/ABA compute at least the full n*m distance matrix."""
+    engine = engine_for("UNI")
+    n = len(engine.space)
+    for algorithm in ("sba", "aba"):
+        stats = run_query(engine, algorithm, m=5)
+        assert stats.distance_computations >= n * 5 * 0.9

@@ -1,0 +1,37 @@
+"""Figure 8: number of distance computations vs query coverage c."""
+
+import pytest
+
+from benchmarks.conftest import engine_for, run_query
+
+C_VALUES = (0.01, 0.10, 0.20, 0.50)
+
+
+@pytest.mark.parametrize("c", C_VALUES)
+def test_fig8_distances_vs_c(benchmark, dataset, algorithm, c):
+    engine = engine_for(dataset)
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, c=c), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["c"] = c
+    benchmark.extra_info["distance_computations"] = (
+        stats.distance_computations
+    )
+
+
+def test_fig8_shape_retrieval_depth_grows_with_c():
+    """Spread-out query objects delay common neighbors, so PBA's
+    retrieval (and distance count) grows with c."""
+    engine = engine_for("UNI")
+    tight = run_query(engine, "pba2", c=0.01).distance_computations
+    wide = run_query(engine, "pba2", c=0.5).distance_computations
+    assert wide >= tight
+
+
+def test_fig8_shape_pba_stays_ahead_across_coverages():
+    engine = engine_for("FC")
+    for c in (0.01, 0.2, 0.5):
+        aba = run_query(engine, "aba", c=c).distance_computations
+        pba = run_query(engine, "pba2", c=c).distance_computations
+        assert pba <= aba

@@ -1,0 +1,50 @@
+"""Exhibit: progressiveness in numbers.
+
+Section 5 of the paper notes that every algorithm reports the top-i
+result before the top-k computation completes; this bench quantifies
+how much of each algorithm's total cost the first result needs.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.progressive import measure_progressive_latency
+from repro.datasets import select_query_objects
+
+from benchmarks.conftest import BENCH_SEED, engine_for
+
+
+def _queries(engine):
+    return select_query_objects(
+        engine.space, m=5, coverage=0.2, rng=random.Random(BENCH_SEED + 5)
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["sba", "aba", "pba1", "pba2"])
+def test_progressive_first_result_cost(benchmark, dataset, algorithm):
+    engine = engine_for(dataset)
+    queries = _queries(engine)
+
+    def run():
+        return measure_progressive_latency(
+            engine, queries, 10, algorithm=algorithm
+        )
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["time_to_first"] = trace.time_to_first
+    benchmark.extra_info["time_to_last"] = trace.time_to_last
+    benchmark.extra_info["first_fraction_distance"] = (
+        trace.first_result_fraction("distance")
+    )
+
+
+def test_progressive_first_available_before_last():
+    engine = engine_for("UNI")
+    queries = _queries(engine)
+    for algorithm in ("sba", "aba", "pba1", "pba2"):
+        trace = measure_progressive_latency(
+            engine, queries, 10, algorithm=algorithm
+        )
+        assert trace.time_to_first <= trace.time_to_last

@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the substrates themselves (not in the paper, but
+the numbers every figure rests on): M-tree operations, B+-tree
+operations, skyline and aggregate-NN search."""
+
+import random
+
+import pytest
+
+from repro.anns import aggregate_nearest_neighbors
+from repro.btree import BPlusTree
+from repro.mtree import knn_query, range_query
+from repro.skyline import metric_skyline
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from benchmarks.conftest import BENCH_SEED, engine_for, query_set
+
+
+def test_micro_mtree_knn(benchmark):
+    engine = engine_for("UNI")
+    benchmark(lambda: knn_query(engine.tree, 7, 10))
+
+
+def test_micro_mtree_range(benchmark):
+    engine = engine_for("UNI")
+    radius = engine.space.approximate_radius() * 0.15
+    benchmark(lambda: range_query(engine.tree, 7, radius))
+
+
+def test_micro_mtree_incremental_full_stream(benchmark):
+    engine = engine_for("UNI")
+    from repro.mtree import IncrementalNNCursor
+
+    benchmark(lambda: sum(1 for _ in IncrementalNNCursor(engine.tree, 3)))
+
+
+def test_micro_metric_skyline(benchmark):
+    engine = engine_for("UNI")
+    queries = query_set(engine, m=5, c=0.2)
+    benchmark.pedantic(
+        lambda: metric_skyline(engine.tree, queries), rounds=3, iterations=1
+    )
+
+
+def test_micro_aggregate_nn(benchmark):
+    engine = engine_for("UNI")
+    queries = query_set(engine, m=5, c=0.2)
+    benchmark(lambda: aggregate_nearest_neighbors(engine.tree, queries, 10))
+
+
+def test_micro_btree_insert(benchmark):
+    def build():
+        tree = BPlusTree(LRUBuffer(PageManager(), capacity=64), order=32)
+        for key in range(2000):
+            tree.insert(key, key)
+        return tree
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_micro_btree_lookup(benchmark):
+    tree = BPlusTree(LRUBuffer(PageManager(), capacity=64), order=32)
+    keys = list(range(5000))
+    random.Random(BENCH_SEED).shuffle(keys)
+    for key in keys:
+        tree.insert(key, key)
+    benchmark(lambda: [tree.get(k) for k in range(0, 5000, 50)])
+
+
+def test_micro_shortest_path_metric(benchmark):
+    engine = engine_for("CAL")
+    space = engine.space
+    pairs = [(i, (i * 37) % len(space)) for i in range(50)]
+    benchmark(lambda: [space.distance(a, b) for a, b in pairs])

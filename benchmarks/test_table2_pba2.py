@@ -1,0 +1,51 @@
+"""Table 2: CPU and I/O cost (seconds) for PBA2 across m, k and c.
+
+The paper's highlighted observation: on CAL (shortest-path metric) the
+CPU time dominates the I/O time — distance computations rule when the
+metric is expensive.
+"""
+
+import pytest
+
+from benchmarks.conftest import engine_for, run_query
+
+GRID = (
+    ("m", 2), ("m", 5), ("m", 10),
+    ("k", 5), ("k", 10), ("k", 30),
+    ("c", 0.01), ("c", 0.10), ("c", 0.20),
+)
+
+
+@pytest.mark.parametrize("parameter,value", GRID)
+def test_table2_pba2_cell(benchmark, dataset, parameter, value):
+    engine = engine_for(dataset)
+    kwargs = {parameter: value}
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, "pba2", **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info[parameter] = value
+    benchmark.extra_info["cpu_seconds"] = stats.cpu_seconds
+    benchmark.extra_info["io_seconds"] = stats.io_seconds
+
+
+def test_table2_shape_cal_is_cpu_heavy():
+    """CAL's CPU share of total cost must exceed UNI's — the expensive
+    shortest-path metric shifts the balance exactly as the paper's
+    highlighted CAL rows show."""
+    uni = run_query(engine_for("UNI"), "pba2")
+    cal = run_query(engine_for("CAL"), "pba2")
+    uni_ratio = uni.cpu_seconds / max(uni.total_seconds, 1e-12)
+    cal_ratio = cal.cpu_seconds / max(cal.total_seconds, 1e-12)
+    assert cal_ratio > uni_ratio
+
+
+def test_table2_shape_cost_grows_with_m():
+    engine = engine_for("ZIL")
+    small = run_query(engine, "pba2", m=2)
+    large = run_query(engine, "pba2", m=10)
+    assert (
+        large.distance_computations >= small.distance_computations
+    )

@@ -1,0 +1,51 @@
+"""Table 3: number of exact score computations for PBA1/PBA2.
+
+The paper: "in comparison to the data set size there is only a small
+fraction of exact score computations performed by these algorithms,
+which is one of the main ingredients for their excellent performance."
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_N, engine_for, run_query
+
+GRID = (("m", 2), ("m", 5), ("k", 10), ("k", 30), ("c", 0.10), ("c", 0.20))
+
+
+@pytest.mark.parametrize("parameter,value", GRID)
+@pytest.mark.parametrize("algorithm", ["pba1", "pba2"])
+def test_table3_exact_scores_cell(
+    benchmark, dataset, algorithm, parameter, value
+):
+    engine = engine_for(dataset)
+    kwargs = {parameter: value}
+    stats = benchmark.pedantic(
+        lambda: run_query(engine, algorithm, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info[parameter] = value
+    benchmark.extra_info["exact_scores"] = stats.exact_score_computations
+
+
+def test_table3_shape_fraction_of_dataset(dataset):
+    """Exact score computations stay a small fraction of n."""
+    engine = engine_for(dataset)
+    stats = run_query(engine, "pba2")
+    assert stats.exact_score_computations < BENCH_N * 0.4
+
+
+def test_table3_shape_grows_with_k():
+    engine = engine_for("UNI")
+    few = run_query(engine, "pba2", k=5).exact_score_computations
+    many = run_query(engine, "pba2", k=30).exact_score_computations
+    assert many >= few
+
+
+def test_table3_shape_far_below_sba_aba():
+    engine = engine_for("FC")
+    pba = run_query(engine, "pba2").exact_score_computations
+    sba = run_query(engine, "sba").exact_score_computations
+    aba = run_query(engine, "aba").exact_score_computations
+    assert pba < sba and pba < aba

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Protein-interaction scenario (the paper's introduction example).
+
+"Consider a graph that captures object interactions, e.g. a
+protein-protein interaction network ... the query points could be
+proteins or effector molecules ... A top-3 dominating query will
+return the 3 proteins which are more frequently better at interacting
+with the query points."  (Section 1.)
+
+We synthesise a scale-free-ish interaction network, use shortest-path
+distance as the (expensive!) interaction metric, pick two effector
+proteins as query objects and rank the proteome by domination score —
+no attribute vectors anywhere, just a metric.
+
+Run::
+
+    python examples/protein_network.py
+"""
+
+import random
+
+from repro import Graph, MetricSpace, ShortestPathMetric, TopKDominatingEngine
+
+
+def build_interaction_network(
+    num_proteins: int = 400, seed: int = 7
+) -> Graph:
+    """A preferential-attachment network with interaction strengths.
+
+    Edge weights are *dissimilarities*: strong interactions get small
+    weights, so shortest paths compose interaction chains.
+    """
+    rng = random.Random(seed)
+    graph = Graph(num_proteins)
+    for protein in range(1, num_proteins):
+        # preferential attachment: earlier (hub) proteins are more
+        # likely targets; each new protein gets 1-3 interactions.
+        for _ in range(rng.randint(1, 3)):
+            partner = rng.randrange(0, protein)
+            strength = rng.uniform(0.1, 1.0)  # interaction affinity
+            graph.add_edge(protein, partner, 1.0 / strength)
+    return graph
+
+
+def main() -> None:
+    graph = build_interaction_network()
+    print(
+        f"interaction network: {graph.num_nodes} proteins, "
+        f"{graph.num_edges} interactions, "
+        f"avg degree {graph.average_degree():.2f}"
+    )
+
+    # the metric space: payloads ARE the protein (node) ids.
+    metric = ShortestPathMetric(graph, cache_sources=64)
+    space = MetricSpace(
+        list(range(graph.num_nodes)), metric, name="PPI"
+    )
+    engine = TopKDominatingEngine(space, rng=random.Random(1))
+
+    # two effector molecules of interest.
+    effectors = [17, 231]
+    print(f"query effectors: {effectors}")
+
+    print("\ntop-3 proteins dominating the interaction landscape:")
+    results, stats = engine.top_k_dominating(effectors, k=3)
+    for rank, item in enumerate(results, start=1):
+        dists = [space.distance(item.object_id, q) for q in effectors]
+        print(
+            f"  #{rank}: protein {item.object_id:3d} "
+            f"(dominates {item.score} proteins; path distances "
+            f"{dists[0]:.2f} / {dists[1]:.2f})"
+        )
+
+    print(
+        f"\nexpensive-metric accounting: "
+        f"{stats.distance_computations} shortest-path evaluations, "
+        f"{metric.dijkstra_runs} full Dijkstra runs "
+        f"(source cache absorbed the rest)"
+    )
+    print(
+        "this is the regime where the paper's PBA algorithms matter: "
+        "SBA/ABA would evaluate the full n x m distance matrix."
+    )
+
+    # show the saving directly.
+    for algorithm in ("aba", "pba2"):
+        _res, st = engine.top_k_dominating(
+            effectors, k=3, algorithm=algorithm
+        )
+        print(
+            f"  {algorithm:5s}: {st.distance_computations:6d} distance "
+            f"computations, cpu {st.cpu_seconds * 1e3:7.1f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Aggregate nearest-neighbor search.
+
+ABA (Algorithm 2 of the paper) repeatedly needs the 1st sum-aggregate
+nearest neighbor of the query set, computed with "the MBM algorithm
+[Papadias et al., TODS 2005] ... implemented to manage M-tree nodes
+instead of R-tree nodes".  :mod:`repro.anns.mbm` is that adaptation: a
+best-first search whose node key is the sum over query objects of the
+M-tree covering-radius lower bound.
+"""
+
+from repro.anns.mbm import AggregateNNCursor, aggregate_nearest_neighbors
+
+__all__ = ["AggregateNNCursor", "aggregate_nearest_neighbors"]

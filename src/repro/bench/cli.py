@@ -1,0 +1,151 @@
+"""Command-line interface of the benchmark harness.
+
+Examples::
+
+    python -m repro.bench figures --figure 4
+    python -m repro.bench figures --table 3 --profile full
+    python -m repro.bench figures --all --json results.json
+    python -m repro.bench figures --figure 6 --n 1200 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List
+
+from repro.bench.config import PROFILES, BenchProfile
+from repro.bench.figures import FIGURES, TABLES
+from repro.bench.harness import BenchHarness, CellResult
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the figures and tables of 'Metric-Based Top-k "
+            "Dominating Queries' (EDBT 2014)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    fig = sub.add_parser(
+        "figures", help="run figure/table reproductions"
+    )
+    fig.add_argument(
+        "--figure", action="append", default=[],
+        choices=sorted(FIGURES), help="figure number to reproduce",
+    )
+    fig.add_argument(
+        "--table", action="append", default=[],
+        choices=sorted(TABLES), help="table number to reproduce",
+    )
+    fig.add_argument(
+        "--all", action="store_true", help="every figure and table"
+    )
+    fig.add_argument(
+        "--profile", default="quick", choices=sorted(PROFILES),
+        help="scale profile (default: quick)",
+    )
+    fig.add_argument("--n", type=int, help="override data set cardinality")
+    fig.add_argument(
+        "--repeats", type=int, help="override repetitions per cell"
+    )
+    fig.add_argument(
+        "--datasets", nargs="+",
+        help="restrict to these data sets (UNI FC ZIL CAL)",
+    )
+    fig.add_argument(
+        "--json", metavar="PATH",
+        help="also dump every measured cell as JSON",
+    )
+    fig.add_argument(
+        "--csv", metavar="PATH",
+        help="also dump every measured cell as CSV",
+    )
+    fig.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    fig.add_argument(
+        "--charts", action="store_true",
+        help="also render ASCII log-scale charts for the figures",
+    )
+    return parser
+
+
+def _resolve_profile(args: argparse.Namespace) -> BenchProfile:
+    profile = PROFILES[args.profile]
+    overrides = {}
+    if args.n is not None:
+        overrides["n"] = args.n
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.datasets:
+        overrides["datasets"] = tuple(args.datasets)
+    if overrides:
+        profile = dataclasses.replace(profile, **overrides)
+    return profile
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    profile = _resolve_profile(args)
+
+    exhibits = []
+    figure_keys = sorted(FIGURES) if args.all else args.figure
+    table_keys = sorted(TABLES) if args.all else args.table
+    exhibits.extend(("Figure", FIGURES[key]) for key in figure_keys)
+    exhibits.extend(("Table", TABLES[key]) for key in table_keys)
+    if not exhibits:
+        print("nothing selected: pass --figure/--table/--all", file=sys.stderr)
+        return 2
+
+    harness = BenchHarness(profile, verbose=not args.quiet)
+    all_cells: List[CellResult] = []
+    for kind, exhibit in exhibits:
+        print(f"\n### {kind} {exhibit.key}: {exhibit.title}")
+        print(
+            f"(profile={profile.name}, n={profile.n}, "
+            f"repeats={profile.repeats})\n"
+        )
+        report, cells = exhibit.run(harness)
+        print(report)
+        if args.charts and kind == "Figure":
+            from repro.bench.charts import render_figure_charts
+
+            metric = (
+                "dists" if exhibit.key in ("7", "8") else "cpu"
+            )
+            print()
+            print(
+                render_figure_charts(
+                    cells,
+                    metric,
+                    f"Figure {exhibit.key} — ASCII rendering "
+                    f"({metric})",
+                )
+            )
+        all_cells.extend(cells)
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(
+                [cell.as_dict() for cell in all_cells], handle, indent=2
+            )
+        print(f"\nwrote {len(all_cells)} cells to {args.json}")
+    if args.csv:
+        import csv
+
+        rows = [cell.as_dict() for cell in all_cells]
+        with open(args.csv, "w", newline="") as handle:
+            if rows:
+                writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+                writer.writeheader()
+                writer.writerows(rows)
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""EXPERIMENTS.md generator.
+
+Turns a harness JSON dump (``python -m repro.bench figures --all
+--json cells.json``) into the repository's experiment record: one
+section per paper exhibit with the measured series, the paper's
+qualitative finding, and the mechanical shape-check verdicts from
+:mod:`repro.bench.shapes`.
+
+Usage::
+
+    python -m repro.bench.experiments_md cells.json > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.bench.shapes import SHAPE_CHECKS, run_shape_checks
+
+Cell = Dict
+
+_PAPER_FINDINGS = {
+    "4": (
+        "Costs increase with m. SBA beats ABA on uniform data at small "
+        "coverage; ABA wins on real-life data and larger coverage; PBA2 "
+        "outperforms everything."
+    ),
+    "5": (
+        "SBA and ABA blow up with k because their outer loop re-scores "
+        "overlapping object sets every round; PBA2 grows gently and "
+        "stays far ahead."
+    ),
+    "6": (
+        "Growing coverage spreads the query objects (spatial "
+        "anti-correlation), inflating the metric skyline; SBA becomes "
+        "the worst algorithm while PBA1/PBA2 stay one to three orders "
+        "of magnitude ahead."
+    ),
+    "7": (
+        "PBA2 requires the smallest number of distance computations in "
+        "all cases, for every m and k."
+    ),
+    "8": (
+        "The distance-computation advantage of the pruning-based "
+        "algorithms persists across all coverages."
+    ),
+    "2": (
+        "For cheap metrics, I/O dominates PBA2's cost; for the "
+        "shortest-path metric (CAL) the CPU time dominates — reducing "
+        "distance computations is what matters."
+    ),
+    "3": (
+        "PBA1/PBA2 compute exact scores for only a small fraction of "
+        "the data set — the main ingredient of their performance."
+    ),
+}
+
+#: the paper's published numbers, for juxtaposition.  Figures 4-8 are
+#: log-scale plots (no numbers printed in the paper), so only the two
+#: tables have literal reference values.
+_PAPER_REFERENCE = {
+    "2": """\
+Paper Table 2 — CPU and I/O cost (seconds) for PBA2, n = 581k-2M, C++:
+
+|      |        | m=2    | m=5     | m=10     | m=15     | m=20     | k=5     | k=10    | k=20    | k=30    | c=1%   | c=10%   | c=20%   |
+|------|--------|--------|---------|----------|----------|----------|---------|---------|---------|---------|--------|---------|---------|
+| UNI  | CPU    | 0.18   | 11.60   | 52.52    | 94.96    | 125.01   | 11.12   | 11.61   | 13.84   | 15.32   | 0.44   | 3.25    | 11.61   |
+|      | I/O    | 6.77   | 32.22   | 44.84    | 50.34    | 48.50    | 32.97   | 32.22   | 35.21   | 35.97   | 5.93   | 18.92   | 32.22   |
+| FC   | CPU    | 0.24   | 2.83    | 12.54    | 30.58    | 47.34    | 2.65    | 2.82    | 3.32    | 3.62    | 0.21   | 0.43    | 2.83    |
+|      | I/O    | 11.62  | 26.43   | 37.54    | 46.74    | 49.63    | 26.09   | 26.43   | 28.07   | 28.43   | 5.24   | 9.76    | 26.43   |
+| ZIL  | CPU    | 0.05   | 7.54    | 16.94    | 17.99    | 49.64    | 5.50    | 7.54    | 9.41    | 11.34   | 0.03   | 0.46    | 7.54    |
+|      | I/O    | 5.71   | 36.89   | 41.83    | 38.03    | 115.85   | 36.87   | 36.89   | 36.91   | 32.25   | 2.01   | 11.33   | 36.89   |
+| CAL  | CPU    | 624.52 | 3637.64 | 14828.23 | 31810.36 | 42595.36 | 3627.67 | 3637.64 | 3669.07 | 3646.63 | 714.01 | 2111.09 | 3637.64 |
+|      | I/O    | 26.00  | 47.62   | 140.66   | 195.28   | 195.47   | 59.36   | 47.62   | 59.37   | 59.38   | 11.34  | 32.07   | 47.62   |
+
+The shape to match: CPU and I/O grow with m; nearly flat in k; grow
+with c; CAL's CPU dwarfs its I/O (expensive metric).""",
+    "3": """\
+Paper Table 3 — number of exact score computations (PBA1/PBA2):
+
+|     | m=2 | m=5 | m=10 | m=15 | m=20 | k=5 | k=10 | k=20 | k=30 | c=1% | c=10% | c=20% | c=50% |
+|-----|-----|-----|------|------|------|-----|------|------|------|------|-------|-------|-------|
+| UNI | 15  | 16  | 16   | 21   | 24   | 11  | 13   | 29   | 47   | 10   | 15    | 13    | 19    |
+| FC  | 14  | 15  | 16   | 16   | 16   | 7   | 14   | 29   | 39   | 12   | 12    | 14    | 20    |
+| ZIL | 16  | 115 | 148  | 182  | 50   | 80  | 115  | 164  | 201  | 12   | 21    | 115   | 41    |
+| CAL | 253 | 272 | 45   | 51   | 51   | 224 | 272  | 312  | 333  | 263  | 87    | 272   | 275   |
+
+The shape to match: tiny versus the data-set size (tens-hundreds out
+of 10^6); grows with k; higher for tie-heavy data (ZIL, CAL).""",
+}
+
+_EXHIBIT_METRICS = {
+    "4": ("cpu_seconds", "io_seconds"),
+    "5": ("cpu_seconds", "io_seconds"),
+    "6": ("cpu_seconds", "io_seconds"),
+    "7": ("distance_computations",),
+    "8": ("distance_computations",),
+    "2": ("cpu_seconds", "io_seconds"),
+    "3": ("exact_score_computations",),
+}
+
+_EXHIBIT_PARAMS = {
+    "4": ("m",),
+    "5": ("k",),
+    "6": ("c",),
+    "7": ("m", "k"),
+    "8": ("c",),
+    "2": ("m", "k", "c"),
+    "3": ("m", "k", "c"),
+}
+
+_EXHIBIT_ALGOS = {
+    "2": ("pba2",),
+    "3": ("pba1", "pba2"),
+}
+
+
+def _fmt(metric: str, value: float) -> str:
+    if metric.endswith("_seconds"):
+        return f"{value:.3f}"
+    return f"{value:.0f}"
+
+
+def _fmt_param(parameter: str, value: float) -> str:
+    if parameter == "c":
+        return f"{value * 100:g}%"
+    return f"{value:g}"
+
+
+def _series_tables(
+    cells: Sequence[Cell],
+    parameter: str,
+    metric: str,
+    algorithms: Sequence[str] | None,
+) -> List[str]:
+    lines: List[str] = []
+    by_dataset: Dict[str, List[Cell]] = defaultdict(list)
+    for cell in cells:
+        if cell["parameter"] != parameter:
+            continue
+        if algorithms and cell["algorithm"] not in algorithms:
+            continue
+        by_dataset[cell["dataset"]].append(cell)
+    for dataset in sorted(by_dataset):
+        rows = by_dataset[dataset]
+        values = sorted({cell["value"] for cell in rows})
+        algos = sorted({cell["algorithm"] for cell in rows})
+        header = (
+            f"| {dataset} / {metric} | "
+            + " | ".join(_fmt_param(parameter, v) for v in values)
+            + " |"
+        )
+        sep = "|" + "---|" * (len(values) + 1)
+        lines.append(header)
+        lines.append(sep)
+        for algo in algos:
+            row = [f"| {algo.upper()} "]
+            for value in values:
+                match = [
+                    cell
+                    for cell in rows
+                    if cell["algorithm"] == algo and cell["value"] == value
+                ]
+                row.append(
+                    "| " + (_fmt(metric, match[0][metric]) if match else "-")
+                    + " "
+                )
+            lines.append("".join(row) + "|")
+        lines.append("")
+    return lines
+
+
+def render_experiments_md(
+    cells: Sequence[Cell],
+    profile_note: str = "",
+) -> str:
+    """The full EXPERIMENTS.md document as a string."""
+    verdicts = run_shape_checks(cells)
+    out: List[str] = []
+    out.append("# EXPERIMENTS — paper vs. measured")
+    out.append("")
+    out.append(
+        "Reproduction record for *Metric-Based Top-k Dominating "
+        "Queries* (EDBT 2014), generated by "
+        "`python -m repro.bench.experiments_md` from a harness run."
+    )
+    if profile_note:
+        out.append("")
+        out.append(profile_note)
+    out.append("")
+    out.append(
+        "Absolute numbers are not comparable to the paper's (pure "
+        "Python vs C++ on a 2004 Pentium IV; cardinalities scaled "
+        "down — see DESIGN.md §4). What is checked — mechanically — is "
+        "the *shape*: orderings, growth trends and crossovers."
+    )
+    out.append("")
+    out.append("## Shape-check summary")
+    out.append("")
+    out.append("| check | paper reference | claim | verdict |")
+    out.append("|---|---|---|---|")
+    for check in SHAPE_CHECKS:
+        verdict = "PASS" if verdicts[check.key] else "FAIL"
+        out.append(
+            f"| `{check.key}` | {check.paper_ref} | {check.claim} "
+            f"| **{verdict}** |"
+        )
+    out.append("")
+
+    exhibits = [
+        ("Figure", key) for key in ("4", "5", "6", "7", "8")
+    ] + [("Table", key) for key in ("2", "3")]
+    for kind, key in exhibits:
+        out.append(f"## {kind} {key}")
+        out.append("")
+        out.append(f"**Paper finding.** {_PAPER_FINDINGS[key]}")
+        out.append("")
+        if key in _PAPER_REFERENCE:
+            out.append(_PAPER_REFERENCE[key])
+            out.append("")
+        out.append("**Measured.**")
+        out.append("")
+        algos = _EXHIBIT_ALGOS.get(key)
+        for parameter in _EXHIBIT_PARAMS[key]:
+            for metric in _EXHIBIT_METRICS[key]:
+                out.extend(
+                    _series_tables(cells, parameter, metric, algos)
+                )
+    return "\n".join(out)
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print(
+            "usage: python -m repro.bench.experiments_md CELLS.json "
+            "[profile note ...]",
+            file=sys.stderr,
+        )
+        return 2
+    with open(argv[0]) as handle:
+        cells = json.load(handle)
+    note = " ".join(argv[1:])
+    print(render_experiments_md(cells, profile_note=note))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Figure and table definitions: what each paper exhibit sweeps.
+
+Each entry knows which sweeps to run and how to render its report; the
+CLI and the pytest-benchmark targets both go through these definitions
+so there is exactly one source of truth per exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.bench.harness import BenchHarness, CellResult
+from repro.bench.reporting import (
+    format_series_table,
+    format_table2,
+    format_table3,
+)
+
+
+@dataclass(frozen=True)
+class Exhibit:
+    """One paper figure or table."""
+
+    key: str
+    title: str
+    #: runs the sweeps and returns (report text, all cells).
+    run: Callable[[BenchHarness], Tuple[str, List[CellResult]]]
+
+
+def _figure4(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    cells = harness.sweep_m()
+    report = "\n\n".join(
+        [
+            format_series_table(
+                cells, "cpu", "Figure 4 (CPU seconds vs m)"
+            ),
+            format_series_table(
+                cells, "io", "Figure 4 (I/O seconds vs m)"
+            ),
+        ]
+    )
+    return report, cells
+
+
+def _figure5(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    cells = harness.sweep_k()
+    report = "\n\n".join(
+        [
+            format_series_table(
+                cells, "cpu", "Figure 5 (CPU seconds vs k)"
+            ),
+            format_series_table(
+                cells, "io", "Figure 5 (I/O seconds vs k)"
+            ),
+        ]
+    )
+    return report, cells
+
+
+def _figure6(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    cells = harness.sweep_c()
+    report = "\n\n".join(
+        [
+            format_series_table(
+                cells, "cpu", "Figure 6 (CPU seconds vs c)"
+            ),
+            format_series_table(
+                cells, "io", "Figure 6 (I/O seconds vs c)"
+            ),
+        ]
+    )
+    return report, cells
+
+
+def _figure7(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    cells_m = harness.sweep_m()
+    cells_k = harness.sweep_k()
+    report = "\n\n".join(
+        [
+            format_series_table(
+                cells_m,
+                "dists",
+                "Figure 7 (distance computations vs m)",
+            ),
+            format_series_table(
+                cells_k,
+                "dists",
+                "Figure 7 (distance computations vs k)",
+            ),
+        ]
+    )
+    return report, cells_m + cells_k
+
+
+def _figure8(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    cells = harness.sweep_c()
+    report = format_series_table(
+        cells, "dists", "Figure 8 (distance computations vs c)"
+    )
+    return report, cells
+
+
+def _table2(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    cells_by_param = {
+        "m": harness.sweep_m(algorithms=["pba2"]),
+        "k": harness.sweep_k(algorithms=["pba2"]),
+        "c": harness.sweep_c(algorithms=["pba2"]),
+    }
+    all_cells = [c for cells in cells_by_param.values() for c in cells]
+    return format_table2(cells_by_param), all_cells
+
+
+def _table3(harness: BenchHarness) -> Tuple[str, List[CellResult]]:
+    algos = ["pba1", "pba2"]
+    cells_by_param = {
+        "m": harness.sweep_m(algorithms=algos),
+        "k": harness.sweep_k(algorithms=algos),
+        "c": harness.sweep_c(algorithms=algos),
+    }
+    all_cells = [c for cells in cells_by_param.values() for c in cells]
+    return format_table3(cells_by_param), all_cells
+
+
+FIGURES: Dict[str, Exhibit] = {
+    "4": Exhibit("4", "CPU and I/O time vs number of query objects m", _figure4),
+    "5": Exhibit("5", "CPU and I/O time vs number of results k", _figure5),
+    "6": Exhibit("6", "CPU and I/O time vs query coverage c", _figure6),
+    "7": Exhibit("7", "Distance computations vs m and k", _figure7),
+    "8": Exhibit("8", "Distance computations vs query coverage c", _figure8),
+}
+
+TABLES: Dict[str, Exhibit] = {
+    "2": Exhibit("2", "CPU and I/O cost (seconds) for PBA2", _table2),
+    "3": Exhibit("3", "Exact score computations for PBA1/PBA2", _table3),
+}

@@ -1,0 +1,170 @@
+"""Plain-text rendering of benchmark results.
+
+The paper presents results as log-scale line plots (Figures 4-8) and
+two tables.  A text harness cannot draw the plots, so each figure is
+rendered as the underlying data series — one block per data set, one
+row per algorithm, one column per swept parameter value — which is the
+exact content of the plots and enough to check every ordering and
+crossover claim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench.harness import CellResult
+
+#: metric extractors by short name.
+METRICS: Dict[str, Callable[[CellResult], float]] = {
+    "cpu": lambda cell: cell.stats.cpu_seconds,
+    "io": lambda cell: cell.stats.io_seconds,
+    "faults": lambda cell: float(cell.stats.io.page_faults),
+    "dists": lambda cell: float(cell.stats.distance_computations),
+    "exact": lambda cell: float(cell.stats.exact_score_computations),
+}
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric in ("cpu", "io"):
+        return f"{value:10.3f}"
+    return f"{value:10.0f}"
+
+
+def _format_param(parameter: str, value: float) -> str:
+    if parameter == "c":
+        return f"{value * 100:g}%"
+    return f"{value:g}"
+
+
+def format_series_table(
+    cells: Sequence[CellResult],
+    metric: str,
+    title: str,
+) -> str:
+    """Render one metric of a sweep as per-data-set series tables."""
+    extract = METRICS[metric]
+    lines: List[str] = [title, "=" * len(title)]
+    datasets = _ordered_unique(cell.dataset for cell in cells)
+    for dataset in datasets:
+        subset = [cell for cell in cells if cell.dataset == dataset]
+        parameter = subset[0].parameter
+        values = _ordered_unique(cell.value for cell in subset)
+        algorithms = _ordered_unique(cell.algorithm for cell in subset)
+        header = f"  {dataset} ({parameter} sweep)"
+        lines.append("")
+        lines.append(header)
+        lines.append(
+            "    " + f"{'alg':8s}"
+            + "".join(
+                f"{_format_param(parameter, v):>11s}" for v in values
+            )
+        )
+        for algorithm in algorithms:
+            row = [f"    {algorithm.upper():8s}"]
+            for value in values:
+                cell = _find(subset, algorithm, value)
+                row.append(
+                    _format_value(metric, extract(cell))
+                    if cell is not None
+                    else f"{'-':>10s}"
+                )
+            lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def format_table2(cells_by_param: Dict[str, Sequence[CellResult]]) -> str:
+    """Render the paper's Table 2: PBA2 CPU and I/O (seconds)."""
+    lines = [
+        "Table 2: CPU and I/O cost (in seconds) for PBA2",
+        "=" * 48,
+    ]
+    datasets = _ordered_unique(
+        cell.dataset
+        for cells in cells_by_param.values()
+        for cell in cells
+    )
+    for dataset in datasets:
+        lines.append("")
+        lines.append(f"  {dataset}")
+        for metric in ("cpu", "io"):
+            extract = METRICS[metric]
+            parts = [f"    {metric.upper():4s}"]
+            for parameter in ("m", "k", "c"):
+                cells = [
+                    cell
+                    for cell in cells_by_param.get(parameter, [])
+                    if cell.dataset == dataset
+                    and cell.algorithm == "pba2"
+                ]
+                for cell in cells:
+                    label = _format_param(parameter, cell.value)
+                    parts.append(
+                        f"{parameter}={label}:"
+                        f"{extract(cell):.3f}"
+                    )
+            lines.append(" ".join(parts))
+    return "\n".join(lines)
+
+
+def format_table3(cells_by_param: Dict[str, Sequence[CellResult]]) -> str:
+    """Render the paper's Table 3: exact score computations."""
+    lines = [
+        "Table 3: Number of exact score computations (PBA1 / PBA2)",
+        "=" * 58,
+    ]
+    datasets = _ordered_unique(
+        cell.dataset
+        for cells in cells_by_param.values()
+        for cell in cells
+    )
+    for dataset in datasets:
+        lines.append("")
+        lines.append(f"  {dataset}")
+        for parameter in ("m", "k", "c"):
+            cells = [
+                cell
+                for cell in cells_by_param.get(parameter, [])
+                if cell.dataset == dataset
+            ]
+            values = _ordered_unique(cell.value for cell in cells)
+            parts = [f"    {parameter}-sweep"]
+            for value in values:
+                pba1 = _find(
+                    [c for c in cells if c.algorithm == "pba1"], "pba1", value
+                )
+                pba2 = _find(
+                    [c for c in cells if c.algorithm == "pba2"], "pba2", value
+                )
+                label = _format_param(parameter, value)
+                one = (
+                    pba1.stats.exact_score_computations
+                    if pba1 is not None
+                    else "-"
+                )
+                two = (
+                    pba2.stats.exact_score_computations
+                    if pba2 is not None
+                    else "-"
+                )
+                parts.append(f"{parameter}={label}:{one}/{two}")
+            lines.append(" ".join(parts))
+    return "\n".join(lines)
+
+
+def _ordered_unique(items) -> List:
+    seen = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _find(
+    cells: Sequence[CellResult], algorithm: str, value: float
+):
+    for cell in cells:
+        if cell.algorithm == algorithm and cell.value == value:
+            return cell
+    return None

@@ -1,0 +1,14 @@
+"""Disk-page-backed B+-tree.
+
+The paper's algorithms keep all intermediate per-query state — retrieval
+counters, clone counters, max-rank positions, ``Lpos`` positions — in an
+auxiliary B+-tree ("``AuxB+``-tree", Section 4.1) so that "all required
+intermediate calculations are kept on disk".  This subpackage provides
+the underlying structure: a classic B+-tree keyed by object id whose
+nodes live on simulated 4 KB pages behind an LRU buffer, so every
+record access is charged through the same I/O accounting as the M-tree.
+"""
+
+from repro.btree.bplustree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,327 @@
+"""A disk-page-backed B+-tree.
+
+Classic textbook B+-tree: internal nodes route by separator keys,
+leaves hold ``(key, value)`` pairs and are chained for range scans.
+Every node occupies one simulated disk page and all node accesses go
+through an :class:`~repro.storage.buffer.LRUBuffer`, so reads and
+writes are charged to the paper's I/O cost model.
+
+The tree is used as the backing structure of the paper's
+``AuxB+``-tree (see :mod:`repro.core.aux_index`), which stores small
+fixed-size counter records keyed by object id; the default ``order`` is
+therefore derived from the 4 KB page size and a conservative per-entry
+estimate.
+
+Deletion is implemented with lazy underflow handling (no rebalancing or
+merging): entries are removed in place, empty nodes are collapsed only
+at the root.  This keeps every search invariant intact — separator keys
+remain valid upper/lower bounds — while matching how the paper's
+temporary index is actually used (bulk inserts, counter updates, a drop
+at query end).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PagedFile
+
+#: Conservative byte estimate of one leaf entry (id + counter record
+#: pointer) used to derive the default fan-out from the page size.
+_ENTRY_BYTES_ESTIMATE = 64
+
+
+@dataclass
+class _Node:
+    """One B+-tree node (the payload of one disk page)."""
+
+    is_leaf: bool
+    keys: List[int] = field(default_factory=list)
+    #: children page ids (internal) — len(keys) + 1 entries.
+    children: List[int] = field(default_factory=list)
+    #: values aligned with keys (leaf only).
+    values: List[Any] = field(default_factory=list)
+    #: next-leaf page id (leaf only), -1 when last.
+    next_leaf: int = -1
+
+
+class BPlusTree:
+    """B+-tree keyed by integers, backed by simulated disk pages.
+
+    Parameters
+    ----------
+    buffer:
+        LRU buffer through which all node pages are accessed.
+    order:
+        Maximum number of keys per node; defaults to the fan-out implied
+        by the buffer's page size.
+    name:
+        Label for the tree's page file.
+    """
+
+    def __init__(
+        self,
+        buffer: LRUBuffer,
+        order: Optional[int] = None,
+        name: str = "bplustree",
+    ) -> None:
+        self.buffer = buffer
+        if order is None:
+            order = buffer.manager.capacity_for(_ENTRY_BYTES_ESTIMATE)
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self.name = name
+        self.file = PagedFile(manager=buffer.manager, name=name)
+        root = _Node(is_leaf=True)
+        self._root_id = self._new_node_page(root)
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels, leaves included."""
+        return self._height
+
+    @property
+    def num_pages(self) -> int:
+        """Number of disk pages occupied by the tree."""
+        return len(self.file)
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Return the value stored under ``key`` (or ``default``)."""
+        node = self._find_leaf(key)
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node.values[idx]
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key`` or overwrite its value if present."""
+        split = self._insert_into(self._root_id, key, value)
+        if split is not None:
+            sep_key, right_id = split
+            new_root = _Node(
+                is_leaf=False,
+                keys=[sep_key],
+                children=[self._root_id, right_id],
+            )
+            self._root_id = self._new_node_page(new_root)
+            self._height += 1
+
+    def update(self, key: int, value: Any) -> None:
+        """Alias of :meth:`insert` emphasising overwrite semantics."""
+        self.insert(key, value)
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        path = self._path_to_leaf(key)
+        leaf_id = path[-1]
+        page = self.buffer.get(leaf_id)
+        node: _Node = page.payload
+        idx = bisect.bisect_left(node.keys, key)
+        if idx >= len(node.keys) or node.keys[idx] != key:
+            return False
+        node.keys.pop(idx)
+        node.values.pop(idx)
+        self.buffer.put(page)
+        self._size -= 1
+        return True
+
+    def items(
+        self,
+        low: Optional[int] = None,
+        high: Optional[int] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Iterate ``(key, value)`` in key order over ``[low, high]``.
+
+        The scan walks the chained leaves, charging one logical read per
+        leaf page — the access pattern the paper relies on for the
+        ``AuxB+``-tree's "sorted accesses".
+        """
+        if low is None:
+            leaf_id = self._leftmost_leaf_id()
+        else:
+            leaf_id = self._path_to_leaf(low)[-1]
+        while leaf_id != -1:
+            node: _Node = self.buffer.get(leaf_id).payload
+            start = 0
+            if low is not None:
+                start = bisect.bisect_left(node.keys, low)
+            for i in range(start, len(node.keys)):
+                key = node.keys[i]
+                if high is not None and key > high:
+                    return
+                yield key, node.values[i]
+            low = None
+            leaf_id = node.next_leaf
+
+    def keys(self) -> Iterator[int]:
+        """Iterate all keys in order."""
+        for key, _value in self.items():
+            yield key
+
+    def drop(self) -> None:
+        """Free every page (the per-query teardown of the AuxB+-tree)."""
+        for page_id in tuple(self.file.page_ids):
+            self.buffer.invalidate(page_id)
+        self.file.drop()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _new_node_page(self, node: _Node) -> int:
+        page = self.buffer.new_page(node)
+        self.file.page_ids.add(page.page_id)
+        return page.page_id
+
+    def _find_leaf(self, key: int) -> _Node:
+        node: _Node = self.buffer.get(self._root_id).payload
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = self.buffer.get(node.children[idx]).payload
+        return node
+
+    def _path_to_leaf(self, key: int) -> List[int]:
+        path = [self._root_id]
+        node: _Node = self.buffer.get(self._root_id).payload
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            child_id = node.children[idx]
+            path.append(child_id)
+            node = self.buffer.get(child_id).payload
+        return path
+
+    def _leftmost_leaf_id(self) -> int:
+        node_id = self._root_id
+        node: _Node = self.buffer.get(node_id).payload
+        while not node.is_leaf:
+            node_id = node.children[0]
+            node = self.buffer.get(node_id).payload
+        return node_id
+
+    def _insert_into(
+        self, node_id: int, key: int, value: Any
+    ) -> Optional[Tuple[int, int]]:
+        """Insert below ``node_id``; return ``(sep_key, right_page_id)``
+        if the node split, else None."""
+        page = self.buffer.get(node_id)
+        node: _Node = page.payload
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                self.buffer.put(page)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) <= self.order:
+                self.buffer.put(page)
+                return None
+            return self._split_leaf(page)
+
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert_into(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep_key, right_id = split
+        # re-fetch: the recursive call may have evicted our frame.
+        page = self.buffer.get(node_id)
+        node = page.payload
+        idx = bisect.bisect_right(node.keys, sep_key)
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, right_id)
+        if len(node.keys) <= self.order:
+            self.buffer.put(page)
+            return None
+        return self._split_internal(page)
+
+    def _split_leaf(self, page) -> Tuple[int, int]:
+        node: _Node = page.payload
+        mid = len(node.keys) // 2
+        right = _Node(
+            is_leaf=True,
+            keys=node.keys[mid:],
+            values=node.values[mid:],
+            next_leaf=node.next_leaf,
+        )
+        right_id = self._new_node_page(right)
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next_leaf = right_id
+        self.buffer.put(page)
+        return right.keys[0], right_id
+
+    def _split_internal(self, page) -> Tuple[int, int]:
+        node: _Node = page.payload
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(
+            is_leaf=False,
+            keys=node.keys[mid + 1:],
+            children=node.children[mid + 1:],
+        )
+        right_id = self._new_node_page(right)
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self.buffer.put(page)
+        return sep_key, right_id
+
+    # ------------------------------------------------------------------
+    # validation (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on bugs."""
+        count = self._check_node(self._root_id, None, None, depth=0)
+        assert count == self._size, (
+            f"size mismatch: counted {count}, tracked {self._size}"
+        )
+        # leaf chain must produce sorted keys and cover all entries.
+        keys = list(self.keys())
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(keys) == self._size, "leaf chain misses entries"
+
+    def _check_node(
+        self,
+        node_id: int,
+        low: Optional[int],
+        high: Optional[int],
+        depth: int,
+    ) -> int:
+        node: _Node = self.buffer.get(node_id).payload
+        assert node.keys == sorted(node.keys), "unsorted node keys"
+        for key in node.keys:
+            assert low is None or key >= low, "key below separator bound"
+            assert high is None or key < high, "key above separator bound"
+        if node.is_leaf:
+            assert len(node.keys) == len(node.values)
+            return len(node.keys)
+        assert len(node.children) == len(node.keys) + 1
+        total = 0
+        bounds = [low] + list(node.keys) + [high]
+        for i, child in enumerate(node.children):
+            total += self._check_node(
+                child, bounds[i], bounds[i + 1], depth + 1
+            )
+        return total
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,71 @@
+"""Core library: metric-based top-k dominating queries.
+
+The paper's primary contribution — the four progressive algorithms for
+``MSD(Q, k)`` — lives here, together with the shared machinery they
+build on:
+
+* :mod:`repro.core.dominance` — the dominance relation over dynamic
+  distance vectors, domination scores, equivalence (Definitions 3-4);
+* :mod:`repro.core.aux_index` — the ``AuxB+``-tree: per-object counter
+  records over the disk-backed B+-tree (Section 4.1);
+* :mod:`repro.core.brute_force` — the quadratic oracle;
+* :mod:`repro.core.sba` — the Skyline-Based Algorithm (Algorithm 1);
+* :mod:`repro.core.aba` — the Aggregation-Based Algorithm (Algorithm 2);
+* :mod:`repro.core.pba` — the Pruning-Based Algorithms PBA1 / PBA2
+  (Algorithm 3) with the heuristics of Section 4.4.2;
+* :mod:`repro.core.scoring` — ``ExactScore-RS`` (reverse scanning,
+  Procedure 2) and ``ExactScore-AUX`` (Procedure 3);
+* :mod:`repro.core.pruning` — DH1-DH3, EPH1-EPH5 and IPH;
+* :mod:`repro.core.engine` — the user-facing :class:`TopKDominatingEngine`
+  facade binding a data set, its indexes and an algorithm choice.
+
+Every algorithm is exposed both as a progressive generator of
+``ResultItem(object_id, score)`` pairs and through the engine's
+``top_k_dominating`` convenience method.
+"""
+
+from repro.core.aba import ABA
+from repro.core.approximate import (
+    ApproximateTopK,
+    hoeffding_confidence,
+    recall_against_exact,
+    sample_size_for,
+)
+from repro.core.aux_index import AuxBPlusTree, AuxRecord
+from repro.core.brute_force import BruteForce, brute_force_scores
+from repro.core.dominance import (
+    DistanceVectorSource,
+    dominates,
+    dominates_vectors,
+    domination_score,
+    equivalent,
+)
+from repro.core.engine import ALGORITHMS, TopKDominatingEngine
+from repro.core.pba import PBA1, PBA2, PruningConfig
+from repro.core.progressive import ResultItem, TopKAlgorithm
+from repro.core.sba import SBA
+
+__all__ = [
+    "ABA",
+    "ALGORITHMS",
+    "ApproximateTopK",
+    "AuxBPlusTree",
+    "AuxRecord",
+    "BruteForce",
+    "DistanceVectorSource",
+    "PBA1",
+    "PBA2",
+    "PruningConfig",
+    "ResultItem",
+    "SBA",
+    "TopKAlgorithm",
+    "TopKDominatingEngine",
+    "brute_force_scores",
+    "dominates",
+    "dominates_vectors",
+    "domination_score",
+    "equivalent",
+    "hoeffding_confidence",
+    "recall_against_exact",
+    "sample_size_for",
+]

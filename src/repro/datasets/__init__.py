@@ -1,0 +1,57 @@
+"""Evaluation data sets and query workloads.
+
+The paper evaluates on four data sets (Section 5).  We cannot download
+the originals in this offline reproduction, so each gets a synthetic
+generator engineered to reproduce the *distributional properties the
+algorithms are sensitive to* (see DESIGN.md, "Substitutions"):
+
+* **UNI** — 4-dimensional uniform/independent values, Manhattan
+  distance (the paper's synthetic set, directly reproducible);
+* **FC** — FOREST COVER stand-in: 10 correlated terrain-like numeric
+  attributes, Euclidean distance;
+* **ZIL** — ZILLOW stand-in: 5 heterogeneous real-estate attributes
+  (small-integer counts + heavy-tailed areas/prices), Euclidean
+  distance — the integer attributes produce the distance ties that
+  drive ZIL's high exact-score counts in the paper's Table 3;
+* **CAL** — CALIFORNIA road-network stand-in: a perturbed-grid planar
+  graph with highway shortcuts (average degree ≈ 2.5, like the
+  original's 2.55), shortest-path distance — the expensive metric that
+  makes CAL CPU-bound in the paper's Table 2.
+
+:mod:`repro.datasets.queries` implements the paper's query-workload
+model: ``m`` query objects whose enclosing radius is a fraction ``c``
+(the *coverage*) of the data set's covering radius.
+"""
+
+from repro.datasets.queries import QueryWorkload, select_query_objects
+from repro.datasets.realworld import forest_cover, zillow
+from repro.datasets.roadnet import california, road_network
+from repro.datasets.synthetic import (
+    anticorrelated,
+    clustered,
+    correlated,
+    uniform,
+)
+
+#: the paper's four data sets by short name, each a zero-argument-ready
+#: factory ``f(n, seed) -> MetricSpace``.
+PAPER_DATASETS = {
+    "UNI": uniform,
+    "FC": forest_cover,
+    "ZIL": zillow,
+    "CAL": california,
+}
+
+__all__ = [
+    "PAPER_DATASETS",
+    "QueryWorkload",
+    "anticorrelated",
+    "california",
+    "clustered",
+    "correlated",
+    "forest_cover",
+    "road_network",
+    "select_query_objects",
+    "uniform",
+    "zillow",
+]

@@ -1,0 +1,141 @@
+"""Stand-ins for the paper's real-world vector data sets.
+
+The originals (FOREST COVER from the UCI KDD archive and a ZILLOW
+real-estate extract) are not redistributable / downloadable in this
+offline environment, so we generate synthetic sets matching the
+distributional features the paper's algorithms react to.  What matters
+for top-k dominating processing is not the exact values but:
+
+* the attribute **correlation structure** (affects skyline size, hence
+  SBA),
+* the attribute **scale heterogeneity** (affects the M-tree geometry),
+* the density of exact **distance ties** (drives equivalence handling
+  and the exact-score counts of Table 3 — the original ZILLOW's count
+  attributes, e.g. number of bedrooms, tie massively).
+
+Both generators document the original's schema next to the synthetic
+recipe so the substitution is auditable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metric.base import MetricSpace
+from repro.metric.vector import EuclideanMetric
+
+
+def forest_cover(n: int = 1000, seed: int = 0) -> MetricSpace:
+    """FOREST COVER stand-in (paper: 581 012 cells, first 10 numeric
+    attributes — elevation, aspect, slope, distances to hydrology /
+    roads / fire points, hillshade indices; Euclidean distance).
+
+    Recipe: terrain is generated from a handful of latent "landscape"
+    factors so attributes are mutually correlated the way real terrain
+    is (elevation correlates with slope and road distance; the three
+    hillshade values correlate strongly with aspect).  All attributes
+    are left on their natural, heterogeneous scales, as in the paper.
+    """
+    rng = np.random.default_rng(seed)
+    # latent factors: where on the mountain, how rugged, how remote.
+    altitude = rng.normal(0.55, 0.18, n).clip(0.0, 1.0)
+    rugged = rng.beta(2.0, 5.0, n)
+    remote = rng.beta(2.0, 3.0, n)
+
+    elevation = 1800.0 + 1600.0 * altitude + rng.normal(0, 60, n)
+    aspect = rng.uniform(0.0, 360.0, n)
+    slope = (8.0 + 45.0 * rugged + rng.normal(0, 2.5, n)).clip(0.0, 66.0)
+    dist_hydro = (
+        120.0 + 900.0 * remote * (0.5 + altitude) + rng.exponential(80.0, n)
+    )
+    vdist_hydro = rng.normal(45.0, 40.0, n) * (0.3 + rugged)
+    # remoteness and altitude both push roads away (real terrain: the
+    # higher the cell, the farther the road network).
+    dist_road = (
+        400.0
+        + 4200.0 * remote
+        + 2100.0 * altitude
+        + rng.exponential(300.0, n)
+    )
+    aspect_rad = np.radians(aspect)
+    hillshade_9am = (
+        220.0 - 60.0 * np.cos(aspect_rad) - 45.0 * rugged
+        + rng.normal(0, 8, n)
+    ).clip(0.0, 254.0)
+    hillshade_noon = (
+        235.0 - 25.0 * rugged + rng.normal(0, 6, n)
+    ).clip(0.0, 254.0)
+    hillshade_3pm = (
+        145.0 + 60.0 * np.cos(aspect_rad) - 30.0 * rugged
+        + rng.normal(0, 9, n)
+    ).clip(0.0, 254.0)
+    dist_fire = 900.0 + 4300.0 * remote + rng.exponential(400.0, n)
+
+    points = np.column_stack(
+        [
+            elevation,
+            aspect,
+            slope,
+            dist_hydro,
+            vdist_hydro,
+            dist_road,
+            hillshade_9am,
+            hillshade_noon,
+            hillshade_3pm,
+            dist_fire,
+        ]
+    )
+    return MetricSpace(list(points), EuclideanMetric(), name="FC")
+
+
+def zillow(
+    n: int = 1000, seed: int = 0, duplicate_rate: float = 0.04
+) -> MetricSpace:
+    """ZILLOW stand-in (paper: 1 224 406 records with non-empty values;
+    attributes in order: bathrooms, bedrooms, living area, price, lot
+    area; Euclidean distance).
+
+    Recipe: bedrooms/bathrooms are small integers (1-7 / 1-5) strongly
+    tied to each other; living area scales with room counts plus
+    log-normal noise; price is a heavy-tailed function of area and a
+    latent location-quality factor; lot area is weakly related and very
+    heavy-tailed.  The small-integer count attributes make *identical*
+    records common — reproducing the massive distance-tie density that
+    inflates ZIL's exact-score counts in the paper's Table 3.
+    """
+    rng = np.random.default_rng(seed)
+    bedrooms = rng.choice(
+        [1, 2, 3, 4, 5, 6, 7],
+        size=n,
+        p=[0.06, 0.18, 0.34, 0.26, 0.11, 0.04, 0.01],
+    ).astype(float)
+    bathrooms = np.clip(
+        np.round(bedrooms * rng.uniform(0.4, 0.9, n)), 1, 5
+    )
+    # quantized living area (listings round to 10 sqft) keeps ties high.
+    living = np.round(
+        (350.0 * bedrooms + 180.0 * bathrooms)
+        * rng.lognormal(0.0, 0.18, n)
+        / 10.0
+    ) * 10.0
+    location_quality = rng.lognormal(0.0, 0.45, n)
+    price = np.round(
+        living * 210.0 * location_quality + rng.normal(0, 9000.0, n), -3
+    ).clip(min=25_000.0)
+    lot = np.round(
+        living * rng.lognormal(1.1, 0.7, n) / 100.0
+    ) * 100.0
+
+    points = np.column_stack([bathrooms, bedrooms, living, price, lot])
+    # relistings: real-estate extracts contain repeated records (same
+    # home listed again), which at the original's 1.2M cardinality
+    # yields plenty of *identical* rows.  At reproduction scale, inject
+    # them explicitly so the equivalence machinery sees its real
+    # workload (the driver of ZIL's exact-score counts in Table 3).
+    if duplicate_rate > 0 and n > 1:
+        num_duplicates = int(n * duplicate_rate)
+        for i in range(num_duplicates):
+            target = 1 + int(rng.integers(1, n))
+            source = int(rng.integers(0, n))
+            points[target % n] = points[source]
+    return MetricSpace(list(points), EuclideanMetric(), name="ZIL")

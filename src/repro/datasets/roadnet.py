@@ -1,0 +1,152 @@
+"""Road-network data set with shortest-path distances.
+
+Stand-in for the paper's CALIFORNIA road network (SNAP ``roadNet-CA``:
+1 965 206 nodes, 5 533 214 edges, average degree 2.55, average edge
+weight 8.78, diameter 16 828.54; distance = shortest path).
+
+:func:`road_network` synthesises a planar road-like graph:
+
+1. lay nodes on a jittered grid (road networks are near-planar and
+   locally grid-ish);
+2. connect each node to its grid neighbors with probability high
+   enough to keep the graph connected but with gaps (missing roads),
+   giving average degree ≈ 2.5;
+3. add a few long-range "highway" paths along grid rows/columns with
+   reduced per-hop weight;
+4. weight each edge by its Euclidean length times a lognormal factor
+   (terrain), scaled so mean edge weight ≈ 8.8 like the original.
+
+A spanning-tree pass guarantees connectivity so shortest-path distances
+are finite, as in the original's giant component.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Tuple
+
+import numpy as np
+
+from repro.metric.base import MetricSpace
+from repro.metric.graph import Graph, ShortestPathMetric
+
+
+def road_network(
+    n: int = 1000,
+    seed: int = 0,
+    edge_keep_probability: float = 0.62,
+    highway_fraction: float = 0.04,
+    mean_edge_weight: float = 8.78,
+    cache_sources: int = 128,
+) -> Tuple[MetricSpace, Graph]:
+    """Generate a road-like graph and its shortest-path metric space.
+
+    Returns ``(space, graph)``; the space's payloads are the node ids
+    ``0..n-1`` themselves.
+    """
+    rng = np.random.default_rng(seed)
+    side = max(2, int(math.isqrt(n)))
+    # jittered grid coordinates for the first side*side nodes; extras
+    # go into random cells.
+    coords = np.empty((n, 2))
+    for node in range(n):
+        if node < side * side:
+            gx, gy = node % side, node // side
+        else:
+            gx, gy = rng.integers(0, side, size=2)
+        coords[node] = (
+            gx + rng.uniform(-0.3, 0.3),
+            gy + rng.uniform(-0.3, 0.3),
+        )
+
+    graph = Graph(n)
+
+    def length(u: int, v: int) -> float:
+        dx = coords[u, 0] - coords[v, 0]
+        dy = coords[u, 1] - coords[v, 1]
+        return math.hypot(dx, dy)
+
+    def add_road(u: int, v: int, factor: float = 1.0) -> None:
+        terrain = float(rng.lognormal(0.0, 0.25))
+        graph.add_edge(u, v, length(u, v) * terrain * factor)
+
+    # grid edges with gaps.
+    for node in range(min(n, side * side)):
+        gx, gy = node % side, node // side
+        if gx + 1 < side and node + 1 < n:
+            if rng.random() < edge_keep_probability:
+                add_road(node, node + 1)
+        if gy + 1 < side and node + side < n:
+            if rng.random() < edge_keep_probability:
+                add_road(node, node + side)
+    # attach any extra nodes to a random neighbor.
+    for node in range(side * side, n):
+        add_road(node, int(rng.integers(0, side * side)))
+
+    # highways: faster long row segments.
+    num_highways = max(1, int(highway_fraction * side))
+    for _ in range(num_highways):
+        row = int(rng.integers(0, side))
+        start = row * side
+        for gx in range(side - 1):
+            u, v = start + gx, start + gx + 1
+            if u < n and v < n:
+                add_road(u, v, factor=0.45)
+
+    _connect_components(graph, coords, rng)
+
+    # scale weights so the mean matches the original's 8.78.
+    total = sum(w for _u, _v, w in graph.edges())
+    count = graph.num_edges
+    if count:
+        scale = mean_edge_weight / (total / count)
+        rescaled = Graph(n)
+        for u, v, w in graph.edges():
+            rescaled.add_edge(u, v, w * scale)
+        graph = rescaled
+
+    metric = ShortestPathMetric(graph, cache_sources=cache_sources)
+    space = MetricSpace(list(range(n)), metric, name="CAL")
+    return space, graph
+
+
+def _connect_components(
+    graph: Graph, coords: np.ndarray, rng: np.random.Generator
+) -> None:
+    """Join connected components with short bridging roads."""
+    n = graph.num_nodes
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    for u, v, _w in graph.edges():
+        union(u, v)
+    roots = {}
+    for node in range(n):
+        roots.setdefault(find(node), []).append(node)
+    components = list(roots.values())
+    main = max(components, key=len)
+    for comp in components:
+        if comp is main:
+            continue
+        u = comp[int(rng.integers(0, len(comp)))]
+        v = main[int(rng.integers(0, len(main)))]
+        dx = coords[u, 0] - coords[v, 0]
+        dy = coords[u, 1] - coords[v, 1]
+        graph.add_edge(u, v, math.hypot(dx, dy) + 0.1)
+        main.extend(comp)
+
+
+def california(n: int = 1000, seed: int = 0) -> MetricSpace:
+    """The CAL stand-in as a plain :class:`MetricSpace` factory
+    (signature-compatible with the other data-set factories)."""
+    space, _graph = road_network(n=n, seed=seed)
+    return space

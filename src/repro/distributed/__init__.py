@@ -1,0 +1,25 @@
+"""Distributed top-k dominating queries (paper future work, §6).
+
+The paper closes with: "Another interesting extension is to consider
+the problem in a parallel/distributed setting, offering additional
+scalability, especially for massive data sets."  This subpackage
+implements that direction as a *simulated* distributed system: the
+data set is horizontally partitioned across sites, each site holds its
+own M-tree, and a coordinator runs a provably correct merge protocol
+(see :mod:`repro.distributed.coordinator`) while the simulation layer
+counts messages and per-site distance computations — the costs a real
+deployment would care about.
+"""
+
+from repro.distributed.coordinator import (
+    DistributedTopK,
+    DistributedStats,
+)
+from repro.distributed.site import Site, partition_round_robin
+
+__all__ = [
+    "DistributedStats",
+    "DistributedTopK",
+    "Site",
+    "partition_round_robin",
+]

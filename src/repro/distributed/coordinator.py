@@ -1,0 +1,152 @@
+"""The coordinator's merge protocol.
+
+Correctness rests on a partition-local restatement of the paper's
+Lemma 1: the global top-1 dominating object is not dominated by anyone
+in the whole data set, hence in particular by no object of its own
+site, so it belongs to its site's *local* skyline.  Therefore
+
+    global top-1  ∈  union of the sites' local skylines,
+
+and the same holds round after round on the remaining objects (removed
+tops are excluded everywhere).  The protocol per reported result:
+
+1. coordinator → every site: ``local_skyline()``  (1 message each;
+   replies carry candidate ids + their m-float distance vectors);
+2. for each *new* candidate, coordinator → every site:
+   ``count_dominated(vector)`` (1 message each; replies are one
+   integer) — the global score is the sum of the local counts;
+3. report the best candidate, broadcast its removal, repeat.
+
+The coordinator caches candidate scores between rounds: a removal can
+only affect the scores of objects that dominated the removed one, and
+a removed top is dominated by nobody, so cached global scores stay
+exact — mirroring the single-site argument in DESIGN.md.
+
+Costs tracked: messages (by type), bytes-ish payload units, per-site
+distance computations (the site's counting metric does that part).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.progressive import ResultItem
+from repro.distributed.site import Site, partition_round_robin
+from repro.metric.base import MetricSpace
+
+
+@dataclass
+class DistributedStats:
+    """Protocol costs of one distributed query execution."""
+
+    skyline_requests: int = 0
+    scoring_requests: int = 0
+    removal_broadcasts: int = 0
+    candidate_vectors_shipped: int = 0
+    results_reported: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return (
+            self.skyline_requests
+            + self.scoring_requests
+            + self.removal_broadcasts
+        )
+
+
+class DistributedTopK:
+    """Simulated distributed ``MSD(Q, k)`` over partitioned sites.
+
+    Parameters
+    ----------
+    space:
+        The global metric space (its counting metric accounts all
+        sites' distance computations together; per-site accounting can
+        be had by giving each site its own space).
+    num_sites:
+        Number of horizontal partitions.
+    partitions:
+        Explicit partition lists; defaults to round-robin.
+    """
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        num_sites: int = 4,
+        partitions: Optional[List[List[int]]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        rng = rng or random.Random(0)
+        if partitions is None:
+            partitions = partition_round_robin(len(space), num_sites)
+        if not partitions or any(
+            not partition for partition in partitions
+        ):
+            raise ValueError("every site needs at least one object")
+        self.space = space
+        self.sites = [
+            Site(i, space, partition, rng=random.Random(rng.randrange(1 << 30)))
+            for i, partition in enumerate(partitions)
+        ]
+
+    # ------------------------------------------------------------------
+    # the query
+    # ------------------------------------------------------------------
+    def run(
+        self, query_ids: Sequence[int], k: int
+    ) -> Iterator[Tuple[ResultItem, DistributedStats]]:
+        """Progressively yield ``(result, stats-so-far)`` pairs."""
+        stats = DistributedStats()
+        for site in self.sites:
+            site.begin_query(query_ids)
+        score_cache: Dict[int, int] = {}
+        vector_of: Dict[int, Tuple[float, ...]] = {}
+
+        total = sum(len(site) for site in self.sites)
+        for _round in range(min(k, total)):
+            # 1. candidate generation: union of local skylines.
+            candidates: List[int] = []
+            for site in self.sites:
+                stats.skyline_requests += 1
+                for object_id, vector in site.local_skyline():
+                    vector_of[object_id] = vector
+                    candidates.append(object_id)
+            if not candidates:
+                return
+
+            # 2. global scoring of new candidates.
+            for object_id in candidates:
+                if object_id in score_cache:
+                    continue
+                vector = vector_of[object_id]
+                global_score = 0
+                for site in self.sites:
+                    stats.scoring_requests += 1
+                    global_score += site.count_dominated(vector)
+                stats.candidate_vectors_shipped += len(self.sites)
+                score_cache[object_id] = global_score
+
+            # 3. report the best remaining candidate and broadcast
+            #    its removal.
+            best_id = min(
+                candidates,
+                key=lambda obj: (-score_cache[obj], obj),
+            )
+            best_score = score_cache.pop(best_id)
+            for site in self.sites:
+                stats.removal_broadcasts += 1
+                site.remove(best_id)
+            stats.results_reported += 1
+            yield ResultItem(best_id, best_score), stats
+
+    def top_k(
+        self, query_ids: Sequence[int], k: int
+    ) -> Tuple[List[ResultItem], DistributedStats]:
+        """Materialized answer plus the final protocol statistics."""
+        results: List[ResultItem] = []
+        stats = DistributedStats()
+        for item, stats in self.run(query_ids, k):
+            results.append(item)
+        return results, stats

@@ -1,0 +1,119 @@
+"""A data site in the simulated distributed deployment.
+
+Each site owns a horizontal partition of the data set, indexes it with
+its own M-tree over its own buffer pool, and answers two remote calls:
+
+* ``local_skyline()`` — the metric skyline of the site's *remaining*
+  objects with respect to ``Q`` (the candidate-generation call);
+* ``count_dominated(vector)`` — how many of the site's remaining
+  objects a given distance vector dominates (the scoring call).
+
+Both calls are counted as messages by the coordinator; the site-side
+distance computations accumulate in the site's own counting metric, so
+the simulation exposes exactly the costs a real deployment would pay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.dominance import (
+    DistanceVectorSource,
+    dominates_vectors,
+)
+from repro.metric.base import MetricSpace
+from repro.mtree.tree import MTree
+from repro.skyline.b2ms2 import metric_skyline
+from repro.storage.buffer import BufferPool
+
+
+def partition_round_robin(
+    num_objects: int, num_sites: int
+) -> List[List[int]]:
+    """Assign object ids to sites round-robin (uniform partitions)."""
+    if num_sites < 1:
+        raise ValueError("num_sites must be >= 1")
+    partitions: List[List[int]] = [[] for _ in range(num_sites)]
+    for object_id in range(num_objects):
+        partitions[object_id % num_sites].append(object_id)
+    return partitions
+
+
+class Site:
+    """One data site: a partition of the global space plus its index.
+
+    The site shares the *global* :class:`MetricSpace` object (ids are
+    global), but only indexes — and only ever reasons about — its own
+    partition, as a real shared-nothing site would.
+    """
+
+    def __init__(
+        self,
+        site_id: int,
+        space: MetricSpace,
+        object_ids: Sequence[int],
+        rng: random.Random | None = None,
+    ) -> None:
+        self.site_id = site_id
+        self.space = space
+        self.object_ids = list(object_ids)
+        self.buffers = BufferPool()
+        self.tree = MTree.build(
+            space,
+            self.buffers.index_buffer,
+            object_ids=self.object_ids,
+            rng=rng or random.Random(site_id),
+        )
+        self._removed: Set[int] = set()
+        self._vectors: DistanceVectorSource | None = None
+        self._query_ids: Tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.object_ids) - len(self._removed)
+
+    # ------------------------------------------------------------------
+    # the remote interface
+    # ------------------------------------------------------------------
+    def begin_query(self, query_ids: Sequence[int]) -> None:
+        """Install the query set (query objects are broadcast ids)."""
+        self._query_ids = tuple(query_ids)
+        self._vectors = DistanceVectorSource(self.space, query_ids)
+        self._removed = set()
+
+    def local_skyline(self) -> List[Tuple[int, Tuple[float, ...]]]:
+        """Skyline of the site's remaining objects, with vectors.
+
+        Returning the (m-float) vectors alongside the ids lets the
+        coordinator score candidates without extra round trips — the
+        realistic protocol choice.
+        """
+        assert self._vectors is not None, "begin_query first"
+        skyline = metric_skyline(
+            self.tree,
+            list(self._query_ids),
+            vectors=self._vectors,
+            skip=self._removed,
+        )
+        return [(obj, self._vectors.vector(obj)) for obj in skyline]
+
+    def count_dominated(self, vector: Sequence[float]) -> int:
+        """How many remaining local objects the vector dominates."""
+        assert self._vectors is not None, "begin_query first"
+        count = 0
+        for object_id in self.object_ids:
+            if object_id in self._removed:
+                continue
+            if dominates_vectors(vector, self._vectors.vector(object_id)):
+                count += 1
+        return count
+
+    def remove(self, object_id: int) -> bool:
+        """Mark a reported object as removed (no-op if not local)."""
+        if object_id in self._removed or object_id not in set(
+            self.object_ids
+        ):
+            return False
+        self._removed.add(object_id)
+        return True

@@ -1,0 +1,55 @@
+"""Metric-space framework.
+
+The paper's premise (Section 3) is that the only access to objects is
+through a metric distance function ``d`` satisfying positivity,
+symmetry, reflexivity and the triangle inequality.  This subpackage
+provides:
+
+* :mod:`repro.metric.base` — the :class:`Metric` protocol, the
+  :class:`MetricSpace` binding a metric to a data set of integer object
+  ids, and axiom-checking helpers;
+* :mod:`repro.metric.vector` — Lp norms (Euclidean, Manhattan,
+  Chebyshev, general p) and weighted variants over numpy payloads;
+* :mod:`repro.metric.graph` — shortest-path distance on weighted
+  graphs (the CALIFORNIA road-network metric), with Dijkstra and an
+  optional per-source cache;
+* :mod:`repro.metric.strings` — Levenshtein edit distance (the DNA /
+  protein-sequence use case from the introduction);
+* :mod:`repro.metric.counting` — a proxy that counts distance
+  computations, the paper's headline cost metric (Figures 7-8).
+"""
+
+from repro.metric.base import (
+    Metric,
+    MetricAxiomError,
+    MetricSpace,
+    check_metric_axioms,
+)
+from repro.metric.counting import CountingMetric
+from repro.metric.graph import Graph, ShortestPathMetric, dijkstra
+from repro.metric.strings import EditDistanceMetric, levenshtein
+from repro.metric.vector import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    LpMetric,
+    ManhattanMetric,
+    WeightedEuclideanMetric,
+)
+
+__all__ = [
+    "ChebyshevMetric",
+    "CountingMetric",
+    "EditDistanceMetric",
+    "EuclideanMetric",
+    "Graph",
+    "LpMetric",
+    "ManhattanMetric",
+    "Metric",
+    "MetricAxiomError",
+    "MetricSpace",
+    "ShortestPathMetric",
+    "WeightedEuclideanMetric",
+    "check_metric_axioms",
+    "dijkstra",
+    "levenshtein",
+]

@@ -1,0 +1,216 @@
+"""Metric protocol, metric space and axiom checking.
+
+Objects throughout the library are integer ids ``0..n-1``; a
+:class:`MetricSpace` binds those ids to payloads (vectors, graph nodes,
+strings, ...) and a :class:`Metric` over the payloads.  Algorithms only
+ever call ``space.distance(a, b)`` on ids — mirroring the paper's
+premise that "we only have access to the distance between two objects".
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Iterable, List, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class Metric(Protocol):
+    """A distance function over object payloads.
+
+    Implementations must satisfy the metric axioms (positivity,
+    symmetry, reflexivity, triangle inequality).  ``name`` is used in
+    benchmark reports.
+    """
+
+    name: str
+
+    def __call__(self, a: Any, b: Any) -> float:
+        """Return the distance between two payloads."""
+        ...  # pragma: no cover - protocol
+
+
+class MetricAxiomError(AssertionError):
+    """Raised by :func:`check_metric_axioms` when an axiom fails."""
+
+
+def check_metric_axioms(
+    metric: Metric,
+    payloads: Sequence[Any],
+    sample_triples: int = 200,
+    rng: random.Random | None = None,
+    tolerance: float = 1e-9,
+) -> None:
+    """Spot-check the four metric axioms on a payload sample.
+
+    Exhaustive checking is cubic, so the triangle inequality is verified
+    on ``sample_triples`` random triples (plus all triples when the
+    sample is small).  Raises :class:`MetricAxiomError` on violation.
+    """
+    if not payloads:
+        return
+    rng = rng or random.Random(0)
+    n = len(payloads)
+
+    pair_sample: Iterable[tuple[int, int]]
+    if n * n <= 4 * sample_triples:
+        pair_sample = itertools.product(range(n), repeat=2)
+    else:
+        pair_sample = (
+            (rng.randrange(n), rng.randrange(n))
+            for _ in range(2 * sample_triples)
+        )
+    for i, j in pair_sample:
+        dij = metric(payloads[i], payloads[j])
+        dji = metric(payloads[j], payloads[i])
+        if dij < -tolerance:
+            raise MetricAxiomError(f"negative distance d({i},{j})={dij}")
+        if abs(dij - dji) > tolerance:
+            raise MetricAxiomError(
+                f"asymmetry d({i},{j})={dij} != d({j},{i})={dji}"
+            )
+        if i == j and abs(dij) > tolerance:
+            raise MetricAxiomError(f"d({i},{i})={dij} != 0")
+
+    if n ** 3 <= sample_triples:
+        triples = itertools.product(range(n), repeat=3)
+    else:
+        triples = (
+            (rng.randrange(n), rng.randrange(n), rng.randrange(n))
+            for _ in range(sample_triples)
+        )
+    for i, j, x in triples:
+        dij = metric(payloads[i], payloads[j])
+        dix = metric(payloads[i], payloads[x])
+        dxj = metric(payloads[x], payloads[j])
+        if dij > dix + dxj + tolerance:
+            raise MetricAxiomError(
+                "triangle inequality violated: "
+                f"d({i},{j})={dij} > d({i},{x})+d({x},{j})={dix + dxj}"
+            )
+
+
+class MetricSpace:
+    """A finite metric space ``(D, d)`` over integer object ids.
+
+    Parameters
+    ----------
+    payloads:
+        Sequence of object payloads; object ``i``'s payload is
+        ``payloads[i]``.
+    metric:
+        The distance function over payloads.
+    name:
+        Human-readable label used in reports (e.g. ``"UNI"``).
+    """
+
+    def __init__(
+        self,
+        payloads: Sequence[Any],
+        metric: Metric,
+        name: str = "space",
+    ) -> None:
+        self._payloads: List[Any] = list(payloads)
+        self.metric = metric
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # object access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    @property
+    def object_ids(self) -> range:
+        """All object ids in the space."""
+        return range(len(self._payloads))
+
+    def payload(self, object_id: int) -> Any:
+        """Return the payload of an object id."""
+        return self._payloads[object_id]
+
+    def append(self, payload: Any) -> int:
+        """Add a new object; returns its id.
+
+        Supports the dynamic-data-set workflow the M-tree is chosen for
+        ("its ability to handle dynamic data sets", paper Section 4.1):
+        append here, then ``tree.insert(new_id)``.
+        """
+        self._payloads.append(payload)
+        return len(self._payloads) - 1
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def distance(self, a: int, b: int) -> float:
+        """Distance between two objects, by id."""
+        return self.metric(self._payloads[a], self._payloads[b])
+
+    def distance_to_payload(self, object_id: int, payload: Any) -> float:
+        """Distance between an object and a free-standing payload."""
+        return self.metric(self._payloads[object_id], payload)
+
+    # ------------------------------------------------------------------
+    # geometry helpers used by the query-workload generator
+    # ------------------------------------------------------------------
+    def approximate_radius(
+        self,
+        center: int | None = None,
+        sample: int = 256,
+        rng: random.Random | None = None,
+    ) -> float:
+        """Approximate the radius needed to cover the data set.
+
+        The paper's query-coverage parameter ``c`` normalises the query
+        set's enclosing radius by the data set's covering radius.  An
+        exact minimum enclosing ball in a general metric space is
+        expensive, so — like most metric-indexing work — we approximate:
+        pick a (given or sampled) center and take the max distance to a
+        random sample of objects.
+        """
+        n = len(self)
+        if n == 0:
+            return 0.0
+        rng = rng or random.Random(0)
+        if center is None:
+            center = self.medoid(sample=min(sample, n), rng=rng)
+        ids: Iterable[int]
+        if n <= sample:
+            ids = self.object_ids
+        else:
+            ids = (rng.randrange(n) for _ in range(sample))
+        return max(self.distance(center, i) for i in ids)
+
+    def medoid(
+        self, sample: int = 64, rng: random.Random | None = None
+    ) -> int:
+        """Approximate medoid: the sampled object minimizing the summed
+        distance to a random sample of other objects."""
+        n = len(self)
+        if n == 0:
+            raise ValueError("empty metric space has no medoid")
+        rng = rng or random.Random(0)
+        candidates = (
+            list(self.object_ids)
+            if n <= sample
+            else rng.sample(range(n), sample)
+        )
+        probes = (
+            list(self.object_ids)
+            if n <= sample
+            else rng.sample(range(n), sample)
+        )
+        best_id = candidates[0]
+        best_cost = float("inf")
+        for cand in candidates:
+            cost = sum(self.distance(cand, p) for p in probes)
+            if cost < best_cost:
+                best_cost = cost
+                best_id = cand
+        return best_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricSpace(name={self.name!r}, n={len(self)}, "
+            f"metric={getattr(self.metric, 'name', self.metric)!r})"
+        )

@@ -1,0 +1,107 @@
+"""Lp-norm metrics over numeric vector payloads.
+
+The paper's UNI data set uses the Manhattan (L1) distance and FC / ZIL
+use the Euclidean (L2) distance.  Payloads are numpy arrays (or
+anything convertible); distances are computed with numpy for speed but
+one call still counts as *one* distance computation — the unit the
+paper's Figures 7-8 report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class LpMetric:
+    """The general Minkowski ``L_p`` metric, ``p >= 1``.
+
+    ``p = 1`` is Manhattan, ``p = 2`` Euclidean and ``p = inf``
+    Chebyshev; dedicated subclasses exist for the common cases so
+    benchmark reports carry friendly names.
+    """
+
+    def __init__(self, p: float = 2.0) -> None:
+        if not (p >= 1.0):
+            raise ValueError("Lp metrics require p >= 1")
+        self.p = p
+        if math.isinf(p):
+            self.name = "chebyshev"
+        elif p == 1.0:
+            self.name = "manhattan"
+        elif p == 2.0:
+            self.name = "euclidean"
+        else:
+            self.name = f"l{p:g}"
+
+    def __call__(self, a: Sequence[float], b: Sequence[float]) -> float:
+        av = np.asarray(a, dtype=float)
+        bv = np.asarray(b, dtype=float)
+        if av.shape != bv.shape:
+            raise ValueError(
+                f"dimension mismatch: {av.shape} vs {bv.shape}"
+            )
+        diff = np.abs(av - bv)
+        if math.isinf(self.p):
+            return float(diff.max(initial=0.0))
+        if self.p == 1.0:
+            return float(diff.sum())
+        if self.p == 2.0:
+            return float(np.sqrt(np.square(diff).sum()))
+        return float(np.power(np.power(diff, self.p).sum(), 1.0 / self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LpMetric(p={self.p})"
+
+
+class EuclideanMetric(LpMetric):
+    """The ``L2`` metric (FOREST COVER and ZILLOW in the paper)."""
+
+    def __init__(self) -> None:
+        super().__init__(p=2.0)
+
+
+class ManhattanMetric(LpMetric):
+    """The ``L1`` metric (the UNI synthetic data set in the paper)."""
+
+    def __init__(self) -> None:
+        super().__init__(p=1.0)
+
+
+class ChebyshevMetric(LpMetric):
+    """The ``L_inf`` metric."""
+
+    def __init__(self) -> None:
+        super().__init__(p=float("inf"))
+
+
+class WeightedEuclideanMetric:
+    """Euclidean distance with non-negative per-dimension weights.
+
+    Weighted L2 remains a metric as long as all weights are
+    non-negative (it is the L2 norm after a diagonal linear map).
+    Useful for normalising heterogeneous attribute scales, e.g. the
+    ZILLOW price column versus the bedroom count.
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1:
+            raise ValueError("weights must be one-dimensional")
+        if (w < 0).any():
+            raise ValueError("weights must be non-negative")
+        self.weights = w
+        self.name = "weighted-euclidean"
+
+    def __call__(self, a: Sequence[float], b: Sequence[float]) -> float:
+        av = np.asarray(a, dtype=float)
+        bv = np.asarray(b, dtype=float)
+        if av.shape != self.weights.shape or bv.shape != self.weights.shape:
+            raise ValueError("payload dimensionality must match weights")
+        diff = av - bv
+        return float(np.sqrt((self.weights * diff * diff).sum()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeightedEuclideanMetric(dims={self.weights.size})"

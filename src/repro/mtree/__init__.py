@@ -1,0 +1,50 @@
+"""The M-tree metric access method.
+
+The paper indexes every data set with an M-tree (Ciaccia, Patella,
+Zezula — VLDB 1997), chosen for "its simplicity, its resemblance to the
+B-tree, its excellent performance and its ability to handle dynamic
+data sets", and requires exactly one capability from the index:
+*incremental* nearest-neighbor search (Section 4.1).
+
+This subpackage is a from-scratch implementation:
+
+* :mod:`repro.mtree.node` — routing/leaf entries and nodes (one node
+  per simulated 4 KB disk page);
+* :mod:`repro.mtree.split` — promotion policies (RANDOM, SAMPLING,
+  mM_RAD) and generalized-hyperplane / balanced partitioning;
+* :mod:`repro.mtree.tree` — insert (with subtree selection and node
+  splitting), deletion, bulk build;
+* :mod:`repro.mtree.queries` — range search, k-NN and the
+  Hjaltason–Samet best-first **incremental** NN cursor, all using the
+  parent-distance lower bound to avoid distance computations.
+"""
+
+from repro.mtree.bulk import bulk_build
+from repro.mtree.node import LeafEntry, MTreeNode, RoutingEntry
+from repro.mtree.queries import (
+    IncrementalNNCursor,
+    knn_query,
+    nearest_neighbor,
+    range_query,
+)
+from repro.mtree.split import (
+    PROMOTION_POLICIES,
+    PartitionResult,
+    promote_and_partition,
+)
+from repro.mtree.tree import MTree
+
+__all__ = [
+    "PROMOTION_POLICIES",
+    "IncrementalNNCursor",
+    "LeafEntry",
+    "MTree",
+    "MTreeNode",
+    "PartitionResult",
+    "RoutingEntry",
+    "bulk_build",
+    "knn_query",
+    "nearest_neighbor",
+    "promote_and_partition",
+    "range_query",
+]

@@ -1,0 +1,87 @@
+"""M-tree node and entry types.
+
+An M-tree node occupies one disk page and holds either:
+
+* **routing entries** (internal nodes): a routing object id, its
+  distance to the parent routing object, a covering radius bounding the
+  distance from the routing object to anything in its subtree, and the
+  child page id; or
+* **leaf entries**: a data object id and its distance to the parent
+  routing object.
+
+The stored parent distances enable the M-tree's signature optimization:
+for a query ``q`` and an entry under parent ``par``,
+
+    ``|d(q, par) - d(entry.object, par)|``
+
+lower-bounds ``d(q, entry.object)`` by the triangle inequality, letting
+search prune or defer entries *without computing their distance* — the
+mechanism behind the paper's distance-computation savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass
+class RoutingEntry:
+    """Internal-node entry routing to one subtree."""
+
+    __slots__ = ("object_id", "parent_distance", "covering_radius", "child_page_id")
+
+    object_id: int
+    parent_distance: float
+    covering_radius: float
+    child_page_id: int
+
+
+@dataclass
+class LeafEntry:
+    """Leaf-node entry holding one data object."""
+
+    __slots__ = ("object_id", "parent_distance")
+
+    object_id: int
+    parent_distance: float
+
+
+Entry = Union[RoutingEntry, LeafEntry]
+
+
+@dataclass
+class MTreeNode:
+    """One M-tree node (the payload of one disk page).
+
+    ``parent_object_id`` is the routing object of the entry pointing at
+    this node (-1 for the root, which has no parent routing object and
+    therefore meaningless parent distances in its entries).
+    """
+
+    is_leaf: bool
+    entries: List[Entry] = field(default_factory=list)
+    parent_object_id: int = -1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def object_ids(self) -> List[int]:
+        """Ids of the objects stored/routed in this node."""
+        return [entry.object_id for entry in self.entries]
+
+    def find_entry(self, object_id: int) -> Optional[Entry]:
+        """Return the entry whose object id matches, or None."""
+        for entry in self.entries:
+            if entry.object_id == object_id:
+                return entry
+        return None
+
+    def remove_entry(self, object_id: int) -> bool:
+        """Remove the entry for ``object_id``; True if it was present."""
+        for i, entry in enumerate(self.entries):
+            if entry.object_id == object_id:
+                del self.entries[i]
+                return True
+        return False

@@ -1,0 +1,20 @@
+"""Metric-space skyline computation.
+
+SBA (Algorithm 1 of the paper) needs the metric skyline ``MSS(Q)`` —
+the objects not dominated by any other object with respect to the
+distances from the query set.  The paper computes it with B²MS²
+(Fuhry, Jin, Zhang — EDBT 2009), "the state-of-the-art algorithm for
+general metric-based skyline queries", operating over the M-tree.
+
+* :mod:`repro.skyline.naive` — the quadratic reference implementation
+  used as a test oracle;
+* :mod:`repro.skyline.b2ms2` — our B²MS²-style index-based algorithm:
+  best-first traversal ordered by the sum-aggregate lower bound with
+  node-level dominance pruning (see the module docstring for how it
+  relates to the original).
+"""
+
+from repro.skyline.b2ms2 import metric_skyline
+from repro.skyline.naive import naive_metric_skyline
+
+__all__ = ["metric_skyline", "naive_metric_skyline"]

@@ -1,0 +1,133 @@
+"""Index-based metric skyline in the style of B²MS².
+
+The original B²MS² (Fuhry, Jin, Zhang — EDBT 2009) computes metric
+skylines by traversing a metric index best-first and pruning index
+regions whose *best possible* distance vector is already dominated by a
+found skyline object.  We reproduce that architecture over our M-tree:
+
+* the priority queue is ordered by the **sum-aggregate lower bound**
+  of each item — for an object, its exact ``adist``; for a node with
+  router ``r`` and covering radius ``rad``, ``sum_j max(0, d(qj, r) -
+  rad)``.  Because dominance implies a strictly smaller sum (the
+  paper's Lemma 2), any dominator of an object pops before the object,
+  so an object undominated by the *current* skyline is a true skyline
+  member — the classic BBS/B²MS² progressiveness argument.
+* a node is pruned when some skyline object ``s`` satisfies
+  ``d(s,qj) <= lb_j`` for all ``j`` with at least one strict ``<`` —
+  then ``s`` dominates every object in the subtree.
+
+The first object reported is the sum-aggregate 1-NN, which doubles as a
+direct check of the paper's Lemma 3 (``ANN(Q,1) ⊆ MSS(Q)``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dominance import DistanceVectorSource, dominates_vectors
+from repro.metric.safety import safe_lower_bound
+from repro.mtree.node import MTreeNode, RoutingEntry
+from repro.mtree.tree import MTree
+
+_KIND_OBJECT = 0
+_KIND_NODE = 1
+
+
+def _node_lower_bounds(
+    router_vector: Sequence[float], covering_radius: float
+) -> Tuple[float, ...]:
+    """Coordinate-wise lower bounds for every object under a router."""
+    return tuple(
+        safe_lower_bound(d - covering_radius) for d in router_vector
+    )
+
+
+def _dominates_region(
+    skyline_vector: Sequence[float], bounds: Sequence[float]
+) -> bool:
+    """True if a skyline vector dominates the entire bounded region.
+
+    Requires ``<=`` everywhere and ``<`` somewhere against the region's
+    *lower* bounds, which guarantees strict dominance of every actual
+    object inside the region.
+    """
+    strict = False
+    for sv, lb in zip(skyline_vector, bounds):
+        if sv > lb:
+            return False
+        if sv < lb:
+            strict = True
+    return strict
+
+
+def metric_skyline_cursor(
+    tree: MTree,
+    query_ids: Sequence[int],
+    vectors: Optional[DistanceVectorSource] = None,
+    skip: Optional[Set[int]] = None,
+) -> Iterator[int]:
+    """Yield skyline object ids progressively (increasing ``adist``).
+
+    ``skip`` hides objects from the computation entirely — SBA uses it
+    for the already-reported objects it removed from ``D``; hidden
+    objects neither appear in the skyline nor dominate anything.
+    ``vectors`` shares a distance-vector cache with the caller.
+    """
+    source = vectors or DistanceVectorSource(tree.space, query_ids)
+    hidden = skip if skip is not None else set()
+    counter = itertools.count()
+    skyline_vectors: List[Tuple[float, ...]] = []
+    heap: List[tuple] = []
+
+    def push_node(page_id: int) -> None:
+        node: MTreeNode = tree.buffer.get(page_id).payload
+        for entry in node.entries:
+            if isinstance(entry, RoutingEntry):
+                rvec = source.vector(entry.object_id)
+                bounds = _node_lower_bounds(rvec, entry.covering_radius)
+                heapq.heappush(
+                    heap,
+                    (sum(bounds), _KIND_NODE, next(counter),
+                     entry.child_page_id, bounds),
+                )
+            else:
+                if entry.object_id in hidden:
+                    continue
+                ovec = source.vector(entry.object_id)
+                heapq.heappush(
+                    heap,
+                    (sum(ovec), _KIND_OBJECT, next(counter),
+                     entry.object_id, ovec),
+                )
+
+    push_node(tree.root_page_id)
+    while heap:
+        _key, kind, _tie, ident, vec = heapq.heappop(heap)
+        if kind == _KIND_OBJECT:
+            if any(
+                dominates_vectors(sv, vec) for sv in skyline_vectors
+            ):
+                continue
+            skyline_vectors.append(vec)
+            yield ident
+            continue
+        # node: prune if some skyline vector dominates its whole region.
+        if any(
+            _dominates_region(sv, vec) for sv in skyline_vectors
+        ):
+            continue
+        push_node(ident)
+
+
+def metric_skyline(
+    tree: MTree,
+    query_ids: Sequence[int],
+    vectors: Optional[DistanceVectorSource] = None,
+    skip: Optional[Set[int]] = None,
+) -> List[int]:
+    """The full metric skyline ``MSS(Q)`` as a list."""
+    return list(
+        metric_skyline_cursor(tree, query_ids, vectors=vectors, skip=skip)
+    )

@@ -1,0 +1,44 @@
+"""Naive quadratic metric skyline (test oracle).
+
+Computes every object's distance vector and runs the O(n^2 m)
+pairwise dominance filter.  Exists so the index-based algorithm in
+:mod:`repro.skyline.b2ms2` — and SBA built on top of it — can be
+validated against an implementation whose correctness is obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.dominance import DistanceVectorSource, dominates_vectors
+from repro.metric.base import MetricSpace
+
+
+def naive_metric_skyline(
+    space: MetricSpace,
+    query_ids: Sequence[int],
+    universe: Optional[Iterable[int]] = None,
+    vectors: Optional[DistanceVectorSource] = None,
+) -> List[int]:
+    """The metric space skyline ``MSS(Q)`` by exhaustive comparison.
+
+    ``universe`` restricts the candidate set (used after SBA removes
+    reported objects); ``vectors`` lets callers share a distance-vector
+    cache.
+    """
+    ids = list(universe) if universe is not None else list(space.object_ids)
+    source = vectors or DistanceVectorSource(space, query_ids)
+    vecs = {i: source.vector(i) for i in ids}
+    skyline: List[int] = []
+    for candidate in ids:
+        cvec = vecs[candidate]
+        dominated = False
+        for other in ids:
+            if other == candidate:
+                continue
+            if dominates_vectors(vecs[other], cvec):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(candidate)
+    return skyline

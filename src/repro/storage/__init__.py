@@ -1,0 +1,40 @@
+"""Simulated disk storage substrate.
+
+The paper's evaluation (Section 5) runs all access methods on 4 KB disk
+pages behind LRU buffers and charges 8 ms per page fault.  This
+subpackage reproduces that cost model: a page-grained storage manager
+(:mod:`repro.storage.pages`), an LRU buffer pool with hit/fault
+accounting (:mod:`repro.storage.buffer`) and the shared statistics /
+cost-model objects (:mod:`repro.storage.stats`).
+
+Nothing here touches a real disk — pages live in memory and the "I/O
+time" reported by the benchmark harness is ``page_faults *
+PAGE_FAULT_COST_SECONDS``, exactly the accounting the paper uses.
+"""
+
+from repro.storage.buffer import BufferPool, LRUBuffer
+from repro.storage.pages import (
+    DEFAULT_PAGE_SIZE,
+    Page,
+    PageError,
+    PageManager,
+)
+from repro.storage.stats import (
+    PAGE_FAULT_COST_SECONDS,
+    CostModel,
+    IOStats,
+    QueryStats,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "PAGE_FAULT_COST_SECONDS",
+    "BufferPool",
+    "CostModel",
+    "IOStats",
+    "LRUBuffer",
+    "Page",
+    "PageError",
+    "PageManager",
+    "QueryStats",
+]

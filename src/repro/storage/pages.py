@@ -1,0 +1,161 @@
+"""Page-grained storage manager.
+
+All disk-resident structures in the paper (the M-tree, the auxiliary
+B+-tree and the temporary per-query state) sit on 4 KB pages.  The
+:class:`PageManager` simulates such a disk: it allocates, reads, writes
+and frees pages, and keeps :class:`~repro.storage.stats.IOStats`
+counters that an :class:`~repro.storage.buffer.LRUBuffer` sitting in
+front of it updates.
+
+Pages carry arbitrary Python payloads (tree nodes, record blocks).  A
+``capacity_for`` helper converts the 4 KB budget into an entry fan-out
+for a given per-entry byte estimate, so node sizes respond to the page
+size the same way a C++ implementation's would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.storage.stats import IOStats
+
+#: Disk page size in bytes (paper Section 5: "The disk page size is set
+#: to 4KB for all access methods").
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageError(Exception):
+    """Raised on invalid page operations (bad id, double free, ...)."""
+
+
+@dataclass
+class Page:
+    """A disk page: an id, a payload and a dirty flag.
+
+    The payload is an arbitrary Python object owned by the access method
+    that allocated the page (an M-tree node, a B+-tree node, ...).
+    """
+
+    page_id: int
+    payload: Any = None
+    dirty: bool = False
+
+
+class PageManager:
+    """An in-memory simulated disk handing out fixed-size pages.
+
+    The manager itself performs *physical* I/O: every ``read_page`` /
+    ``write_page`` call that reaches it is counted as a page fault by
+    the buffer pool in front of it.  Access methods should never talk to
+    a :class:`PageManager` directly — they go through an
+    :class:`~repro.storage.buffer.LRUBuffer` so the paper's buffering
+    behaviour (and its fault accounting) is exercised on every access.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, name: str = "disk"):
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self.name = name
+        self._pages: Dict[int, Page] = {}
+        self._free_ids: list[int] = []
+        self._next_id = 0
+        self.stats = IOStats()
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any = None) -> int:
+        """Allocate a fresh page and return its id."""
+        if self._free_ids:
+            page_id = self._free_ids.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = Page(page_id=page_id, payload=payload)
+        self.stats.pages_allocated += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page back to the free list."""
+        if page_id not in self._pages:
+            raise PageError(f"free of unknown page {page_id}")
+        del self._pages[page_id]
+        self._free_ids.append(page_id)
+
+    # ------------------------------------------------------------------
+    # physical I/O (normally reached only through a buffer pool)
+    # ------------------------------------------------------------------
+    def read_page(self, page_id: int) -> Page:
+        """Fetch a page from the simulated disk (a physical read)."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise PageError(f"read of unknown page {page_id}")
+        return page
+
+    def write_page(self, page: Page) -> None:
+        """Persist a page to the simulated disk (a physical write)."""
+        if page.page_id not in self._pages:
+            raise PageError(f"write of unknown page {page.page_id}")
+        page.dirty = False
+        self._pages[page.page_id] = page
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def iter_page_ids(self) -> Iterator[int]:
+        """Iterate over all live page ids (unspecified order)."""
+        return iter(tuple(self._pages))
+
+    def capacity_for(self, entry_bytes: int, header_bytes: int = 32) -> int:
+        """How many ``entry_bytes``-sized entries fit on one page.
+
+        Mirrors how a C++ implementation derives node fan-out from the
+        page size; always returns at least 2 so trees remain valid even
+        for pathological entry-size estimates.
+        """
+        if entry_bytes <= 0:
+            raise ValueError("entry_bytes must be positive")
+        usable = self.page_size - header_bytes
+        return max(2, usable // entry_bytes)
+
+
+@dataclass
+class PagedFile:
+    """A named collection of pages owned by one access method.
+
+    Thin convenience wrapper pairing a :class:`PageManager` with the set
+    of page ids belonging to a single structure, so dropping the
+    structure (e.g. the per-query ``AuxB+``-tree) releases exactly its
+    own pages.
+    """
+
+    manager: PageManager
+    name: str = "file"
+    page_ids: set = field(default_factory=set)
+
+    def allocate(self, payload: Any = None) -> int:
+        page_id = self.manager.allocate(payload)
+        self.page_ids.add(page_id)
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        if page_id not in self.page_ids:
+            raise PageError(f"page {page_id} does not belong to {self.name}")
+        self.page_ids.discard(page_id)
+        self.manager.free(page_id)
+
+    def drop(self) -> None:
+        """Free every page belonging to this file."""
+        for page_id in tuple(self.page_ids):
+            self.free(page_id)
+
+    def __len__(self) -> int:
+        return len(self.page_ids)

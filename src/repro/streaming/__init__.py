@@ -1,0 +1,15 @@
+"""Continuous top-k dominating queries over a sliding window.
+
+The paper's related-work section points at continuous monitoring of
+top-k dominating results over sliding windows as an established
+companion problem; combined with the M-tree's insert/delete support
+(the reason the paper picks it, Section 4.1), this module provides a
+window-maintenance layer: objects arrive with timestamps, expire after
+``window_size`` arrivals, and the current ``MSD(Q, k)`` can be asked
+at any time — answered by any of the repository's algorithms over the
+live window.
+"""
+
+from repro.streaming.window import SlidingWindowTopK, WindowEvent
+
+__all__ = ["SlidingWindowTopK", "WindowEvent"]

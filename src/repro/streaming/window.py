@@ -1,0 +1,147 @@
+"""Sliding-window maintenance over the dominating-query engine.
+
+A count-based sliding window: each :meth:`SlidingWindowTopK.append`
+admits one new object and, once the window is full, expires the
+oldest.  The live window is exactly the set of objects indexed in the
+engine's M-tree (insertions and leaf-entry deletions), so any query
+algorithm runs unmodified on the current contents.
+
+Query objects are *pinned*: an expired object that is currently used
+as a query object stays physically present (queries must reference
+live ids) but is excluded from the result candidates — mirroring how a
+monitoring deployment would keep its reference objects alive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Sequence, Tuple
+
+from repro.core.engine import TopKDominatingEngine
+from repro.core.progressive import ResultItem
+from repro.storage.stats import QueryStats
+
+
+@dataclass(frozen=True)
+class WindowEvent:
+    """One admission: the new object's id and the expired id (if any)."""
+
+    arrived: int
+    expired: Optional[int]
+
+
+class SlidingWindowTopK:
+    """Continuous ``MSD(Q, k)`` over the last ``window_size`` arrivals.
+
+    Parameters
+    ----------
+    engine:
+        The engine whose space/index hold the stream's objects.  The
+        initial contents of the engine form the initial window (oldest
+        first by object id).
+    window_size:
+        Maximum number of live (non-pinned) objects.
+    """
+
+    def __init__(
+        self, engine: TopKDominatingEngine, window_size: int
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        initial = sorted(engine.tree.object_ids())
+        if len(initial) > window_size:
+            raise ValueError(
+                "engine holds more objects than the window admits"
+            )
+        self.engine = engine
+        self.window_size = window_size
+        self._window: Deque[int] = deque(initial)
+        self._pinned: set = set()
+
+    # ------------------------------------------------------------------
+    # stream maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def live_ids(self) -> List[int]:
+        """Ids currently inside the window, oldest first."""
+        return list(self._window)
+
+    def append(self, payload: Any) -> WindowEvent:
+        """Admit one arrival; expire the oldest when over capacity."""
+        new_id = self.engine.insert_object(payload)
+        self._window.append(new_id)
+        expired: Optional[int] = None
+        if len(self._window) > self.window_size:
+            expired = self._expire_oldest()
+        return WindowEvent(arrived=new_id, expired=expired)
+
+    def _expire_oldest(self) -> int:
+        victim = self._window.popleft()
+        if victim in self._pinned:
+            # pinned query objects stay indexed; they are excluded
+            # from candidates at query time instead.
+            return victim
+        self.engine.delete_object(victim)
+        return victim
+
+    def pin(self, object_id: int) -> None:
+        """Protect an object (e.g. a query object) from deletion."""
+        self._pinned.add(object_id)
+
+    def unpin(self, object_id: int) -> None:
+        """Release a pin; the object expires normally afterwards if it
+        has already left the window."""
+        self._pinned.discard(object_id)
+        if object_id not in self._window and object_id in self.engine.tree:
+            self.engine.delete_object(object_id)
+
+    # ------------------------------------------------------------------
+    # querying the current window
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str = "pba2",
+    ) -> Tuple[List[ResultItem], QueryStats]:
+        """``MSD(Q, k)`` over the live window contents.
+
+        Query objects must be alive (inside the window or pinned).
+        Results only contain window members: pinned-but-expired query
+        objects are filtered out.
+        """
+        for query_id in query_ids:
+            if query_id not in self.engine.tree:
+                raise ValueError(
+                    f"query object {query_id} is not alive; pin it "
+                    "before it expires"
+                )
+        live = set(self._window)
+        # pinned-but-expired objects are reference points, not window
+        # members: take them out of the index for the duration of the
+        # query so domination scores count window members only.
+        ghosts = [
+            obj
+            for obj in self._pinned
+            if obj not in live and obj in self.engine.tree
+        ]
+        # a ghost cannot be a query object's payload carrier problem:
+        # queries are ids whose payloads stay in the space either way.
+        for ghost in ghosts:
+            if ghost in query_ids:
+                # distances to a ghost query object remain computable
+                # from the space; removal from the index is still fine.
+                pass
+            self.engine.delete_object(ghost)
+        try:
+            results, stats = self.engine.top_k_dominating(
+                query_ids, k, algorithm=algorithm
+            )
+        finally:
+            for ghost in ghosts:
+                self.engine.tree.insert(ghost)
+        return results, stats

@@ -1,0 +1,15 @@
+"""Vantage-point tree: a second metric access method.
+
+Section 4.1 of the paper: "our methods are orthogonal to the indexing
+scheme used, as long as incremental k-nearest-neighbor queries are
+supported."  This subpackage proves that claim executable: a
+page-backed VP-tree (Yianilos, SODA 1993) exposing the same incremental
+nearest-neighbor cursor contract as the M-tree, on which the
+pruning-based algorithms PBA1/PBA2 (and the brute-force oracle) run
+unchanged — select it with ``TopKDominatingEngine(space,
+index="vptree")``.
+"""
+
+from repro.vptree.tree import VPTree, VPTreeCursor
+
+__all__ = ["VPTree", "VPTreeCursor"]

@@ -1,0 +1,94 @@
+"""ABA-specific behaviour (Algorithm 2)."""
+
+import pytest
+
+from repro import ABA
+from repro.anns import AggregateNNCursor
+from repro.core.brute_force import brute_force_scores
+from repro.core.dominance import DistanceVectorSource
+
+from tests.conftest import make_engine
+
+
+@pytest.fixture
+def engine():
+    return make_engine(n=130, seed=31)
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, engine):
+        queries = [4, 65, 120]
+        truth = brute_force_scores(engine.space, queries)
+        results = list(ABA(engine.make_context()).run(queries, 6))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    def test_with_ties(self):
+        engine = make_engine(n=100, seed=32, grid=3)
+        queries = [0, 50]
+        truth = brute_force_scores(engine.space, queries)
+        results = list(ABA(engine.make_context()).run(queries, 8))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:8]
+
+    def test_descending_scores_and_unique_ids(self, engine):
+        results = list(ABA(engine.make_context()).run([7, 77], 10))
+        scores = [r.score for r in results]
+        ids = [r.object_id for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert len(set(ids)) == len(ids)
+
+    def test_k_greater_than_n(self):
+        engine = make_engine(n=12, seed=33)
+        assert len(list(ABA(engine.make_context()).run([0, 6], 99))) == 12
+
+
+class TestCandidateSetLogic:
+    def test_candidates_cover_all_undominated_objects(self, engine):
+        """The range-query candidate set must contain every object the
+        first ANN does not dominate (the paper's Figure 3 argument)."""
+        queries = [9, 90]
+        source = DistanceVectorSource(engine.space, queries)
+        p, _adist = next(AggregateNNCursor(engine.tree, queries))
+        p_vec = source.vector(p)
+        from repro.mtree.queries import range_query
+
+        candidates = {p}
+        for j, q in enumerate(queries):
+            candidates |= {
+                i for i, _d in range_query(engine.tree, q, p_vec[j])
+            }
+        for obj in engine.space.object_ids:
+            if obj not in candidates:
+                assert source.dominates(p, obj)
+
+    def test_candidate_scoring_counted(self, engine):
+        ctx = engine.make_context()
+        list(ABA(ctx).run([0, 64], 3))
+        assert ctx.stats.exact_score_computations > 0
+        assert ctx.stats.objects_retrieved > 0
+
+
+class TestPhysicalRemoval:
+    def test_physical_removal_same_answer(self, engine):
+        queries = [15, 95]
+        skip_based = list(ABA(engine.make_context()).run(queries, 5))
+        physical = list(
+            ABA(engine.make_context(), remove_physically=True).run(
+                queries, 5
+            )
+        )
+        assert [r.score for r in skip_based] == [r.score for r in physical]
+
+    def test_tree_restored(self, engine):
+        before = len(engine.tree)
+        list(
+            ABA(engine.make_context(), remove_physically=True).run(
+                [3, 30], 4
+            )
+        )
+        assert len(engine.tree) == before

@@ -1,0 +1,87 @@
+"""Cross-algorithm integration over every data-set family and metric."""
+
+import random
+
+import pytest
+
+from repro import TopKDominatingEngine
+from repro.core.brute_force import brute_force_scores
+from repro.datasets import (
+    anticorrelated,
+    california,
+    clustered,
+    correlated,
+    forest_cover,
+    uniform,
+    zillow,
+)
+from repro.datasets.queries import select_query_objects
+
+ALGORITHMS = ("sba", "aba", "pba1", "pba2")
+
+FACTORIES = {
+    "UNI": uniform,
+    "FC": forest_cover,
+    "ZIL": zillow,
+    "CAL": california,
+    "CORR": correlated,
+    "ANTI": anticorrelated,
+    "CLUST": clustered,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(FACTORIES))
+def bundle(request):
+    name = request.param
+    space = FACTORIES[name](120, seed=3)
+    engine = TopKDominatingEngine(
+        space, node_capacity=10, rng=random.Random(3)
+    )
+    queries = select_query_objects(
+        engine.space, m=4, coverage=0.3, rng=random.Random(9)
+    )
+    truth = brute_force_scores(engine.space, queries)
+    return name, engine, queries, truth
+
+
+class TestEveryDatasetFamily:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_algorithm_matches_oracle(self, bundle, algorithm):
+        name, engine, queries, truth = bundle
+        expected = sorted(truth.values(), reverse=True)[:8]
+        results, stats = engine.top_k_dominating(
+            queries, 8, algorithm=algorithm
+        )
+        assert [r.score for r in results] == expected, name
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    def test_stats_populated(self, bundle):
+        _name, engine, queries, _truth = bundle
+        _results, stats = engine.top_k_dominating(
+            queries, 5, algorithm="pba2"
+        )
+        assert stats.cpu_seconds > 0
+        assert stats.distance_computations > 0
+        assert stats.results_reported == 5
+
+
+class TestConsistencyAcrossAlgorithms:
+    def test_same_score_sequences(self, bundle):
+        _name, engine, queries, _truth = bundle
+        sequences = {}
+        for algorithm in ALGORITHMS:
+            results, _ = engine.top_k_dominating(
+                queries, 6, algorithm=algorithm
+            )
+            sequences[algorithm] = [r.score for r in results]
+        assert len({tuple(s) for s in sequences.values()}) == 1
+
+    def test_top1_agreement_on_score(self, bundle):
+        _name, engine, queries, truth = bundle
+        best = max(truth.values())
+        for algorithm in ALGORITHMS:
+            results, _ = engine.top_k_dominating(
+                queries, 1, algorithm=algorithm
+            )
+            assert results[0].score == best

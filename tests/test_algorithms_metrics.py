@@ -1,0 +1,112 @@
+"""All algorithms over non-vector metrics (strings, graphs).
+
+The paper's whole point is that no vector representation is needed —
+these tests run the complete algorithm suite over edit-distance and
+shortest-path metric spaces and check against the oracle.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    EditDistanceMetric,
+    Graph,
+    MetricSpace,
+    ShortestPathMetric,
+    TopKDominatingEngine,
+)
+from repro.core.brute_force import brute_force_scores
+
+ALGORITHMS = ("sba", "aba", "pba1", "pba2")
+
+
+@pytest.fixture(scope="module")
+def string_engine():
+    rng = random.Random(5)
+    base = "ACGTTGCAACGT"
+    pool = []
+    for _ in range(90):
+        chars = list(base)
+        for _ in range(rng.randint(0, 5)):
+            chars[rng.randrange(len(chars))] = rng.choice("ACGT")
+        pool.append("".join(chars))
+    space = MetricSpace(pool, EditDistanceMetric(), name="strings")
+    return TopKDominatingEngine(space, rng=random.Random(5))
+
+
+@pytest.fixture(scope="module")
+def graph_engine():
+    rng = random.Random(6)
+    graph = Graph(80)
+    # a connected random geometric-ish graph.
+    for node in range(1, 80):
+        graph.add_edge(node, rng.randrange(node), rng.uniform(0.5, 2.0))
+    for _ in range(60):
+        u, v = rng.randrange(80), rng.randrange(80)
+        if u != v:
+            graph.add_edge(u, v, rng.uniform(0.5, 3.0))
+    space = MetricSpace(
+        list(range(80)), ShortestPathMetric(graph), name="graph"
+    )
+    return TopKDominatingEngine(space, rng=random.Random(6))
+
+
+class TestEditDistanceSpace:
+    """Edit distance produces integer distances: massive ties."""
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_oracle(self, string_engine, algorithm):
+        queries = [0, 45, 89]
+        truth = brute_force_scores(string_engine.space, queries)
+        results, _ = string_engine.top_k_dominating(
+            queries, 6, algorithm=algorithm
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6], algorithm
+
+    def test_single_query(self, string_engine):
+        truth = brute_force_scores(string_engine.space, [10])
+        results, _ = string_engine.top_k_dominating(
+            [10], 4, algorithm="pba2"
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:4]
+
+
+class TestGraphSpace:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_oracle(self, graph_engine, algorithm):
+        queries = [2, 40, 78]
+        truth = brute_force_scores(graph_engine.space, queries)
+        results, _ = graph_engine.top_k_dominating(
+            queries, 6, algorithm=algorithm
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6], algorithm
+
+    def test_distance_counter_sees_graph_metric(self, graph_engine):
+        metric = graph_engine.counting_metric
+        before = metric.snapshot()
+        graph_engine.top_k_dominating([0, 40], 3, algorithm="pba2")
+        assert metric.delta_since(before) > 0
+
+    def test_vptree_on_graph_space(self):
+        rng = random.Random(7)
+        graph = Graph(60)
+        for node in range(1, 60):
+            graph.add_edge(node, rng.randrange(node), rng.uniform(0.5, 2))
+        space = MetricSpace(
+            list(range(60)), ShortestPathMetric(graph), name="g2"
+        )
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(7), index="vptree"
+        )
+        truth = brute_force_scores(engine.space, [0, 30])
+        results, _ = engine.top_k_dominating([0, 30], 5, algorithm="pba2")
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]

@@ -1,0 +1,78 @@
+"""Hypothesis: all four algorithms match brute force on arbitrary
+random instances — the repository's strongest single guarantee."""
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro import MetricSpace, TopKDominatingEngine
+from repro.core.brute_force import brute_force_scores
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric, ManhattanMetric
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=8, max_value=50))
+    dims = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    grid = draw(st.sampled_from([None, 2, 3, 5]))
+    m = draw(st.integers(min_value=1, max_value=min(5, n)))
+    k = draw(st.integers(min_value=1, max_value=n))
+    metric = draw(st.sampled_from(["l1", "l2"]))
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, dims))
+    if grid is not None:
+        points = np.round(points * grid) / grid
+    space = MetricSpace(
+        list(points),
+        CountingMetric(
+            ManhattanMetric() if metric == "l1" else EuclideanMetric()
+        ),
+    )
+    queries = random.Random(seed).sample(range(n), m)
+    return space, queries, k, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=instances())
+def test_all_algorithms_match_brute_force(instance):
+    space, queries, k, seed = instance
+    engine = TopKDominatingEngine(
+        space, node_capacity=8, rng=random.Random(seed)
+    )
+    truth = brute_force_scores(engine.space, queries)
+    expected = sorted(truth.values(), reverse=True)[:k]
+    for algorithm in ("sba", "aba", "pba1", "pba2"):
+        results, _stats = engine.top_k_dominating(
+            queries, k, algorithm=algorithm
+        )
+        assert [r.score for r in results] == expected, algorithm
+        for item in results:
+            assert truth[item.object_id] == item.score, algorithm
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=instances())
+def test_progressive_prefix_property(instance):
+    """Stopping a progressive run at i < k yields exactly the first i
+    results of the full run (score-wise)."""
+    space, queries, k, seed = instance
+    engine = TopKDominatingEngine(
+        space, node_capacity=8, rng=random.Random(seed)
+    )
+    for algorithm in ("pba1", "pba2"):
+        full, _ = engine.top_k_dominating(queries, k, algorithm=algorithm)
+        prefix_len = max(1, k // 2)
+        gen = engine.stream(queries, k, algorithm=algorithm)
+        prefix = []
+        for item in gen:
+            prefix.append(item)
+            if len(prefix) == prefix_len:
+                gen.close()
+                break
+        assert [r.score for r in prefix] == [
+            r.score for r in full[:prefix_len]
+        ]

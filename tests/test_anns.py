@@ -1,0 +1,114 @@
+"""MBM aggregate nearest-neighbor search vs brute force."""
+
+import random
+
+import pytest
+
+from repro.anns import AggregateNNCursor, aggregate_nearest_neighbors
+from repro.core.dominance import DistanceVectorSource
+from repro.mtree import MTree
+from repro.skyline import naive_metric_skyline
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from tests.conftest import make_vector_space
+
+
+def build(n=200, seed=0, grid=None):
+    space = make_vector_space(n, dims=3, seed=seed, grid=grid)
+    buf = LRUBuffer(PageManager(), capacity=64)
+    tree = MTree.build(space, buf, node_capacity=10, rng=random.Random(seed))
+    return tree, space
+
+
+def brute_ann(space, queries):
+    source = DistanceVectorSource(space, queries)
+    return sorted(
+        (sum(source.vector(i)), i) for i in space.object_ids
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_topk_matches_brute(self, seed):
+        tree, space = build(n=150, seed=seed)
+        queries = random.Random(seed).sample(range(150), 4)
+        expected = [d for d, _i in brute_ann(space, queries)[:10]]
+        got = [d for _i, d in aggregate_nearest_neighbors(tree, queries, 10)]
+        assert got == pytest.approx(expected)
+
+    def test_with_ties(self):
+        tree, space = build(n=120, seed=8, grid=3)
+        queries = [0, 30, 60]
+        expected = [d for d, _i in brute_ann(space, queries)[:15]]
+        got = [d for _i, d in aggregate_nearest_neighbors(tree, queries, 15)]
+        assert got == pytest.approx(expected)
+
+    def test_full_stream_sorted(self):
+        tree, space = build(n=100, seed=9)
+        stream = list(AggregateNNCursor(tree, [0, 50]))
+        assert len(stream) == 100
+        dists = [d for _i, d in stream]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))
+
+    def test_single_query_reduces_to_nn(self):
+        tree, space = build(n=100, seed=10)
+        got = aggregate_nearest_neighbors(tree, [42], 1)
+        assert got[0][0] == 42 or got[0][1] == 0.0
+
+    def test_negative_h_rejected(self):
+        tree, _ = build(n=20, seed=11)
+        with pytest.raises(ValueError):
+            aggregate_nearest_neighbors(tree, [0], -1)
+
+
+class TestLemma3:
+    """ANN(Q, 1) is always a metric-space skyline object."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_first_ann_in_skyline(self, seed):
+        tree, space = build(n=120, seed=seed, grid=4 if seed % 2 else None)
+        queries = random.Random(seed + 5).sample(range(120), 3)
+        first, _adist = next(AggregateNNCursor(tree, queries))
+        skyline = set(naive_metric_skyline(space, queries))
+        assert first in skyline
+
+
+class TestSkipAndSharing:
+    def test_skip_excludes(self):
+        tree, space = build(n=100, seed=12)
+        queries = [0, 50]
+        first, _d = next(AggregateNNCursor(tree, queries))
+        second_stream = AggregateNNCursor(tree, queries, skip={first})
+        second, _d2 = next(second_stream)
+        assert second != first
+
+    def test_skip_consistent_with_brute(self):
+        tree, space = build(n=100, seed=13)
+        queries = [1, 2, 3]
+        ranking = brute_ann(space, queries)
+        skip = {ranking[0][1], ranking[1][1]}
+        got = aggregate_nearest_neighbors(tree, queries, 3, skip=skip)
+        expected = [d for d, i in ranking if i not in skip][:3]
+        assert [d for _i, d in got] == pytest.approx(expected)
+
+    def test_vector_cache_shared(self):
+        tree, space = build(n=100, seed=14)
+        queries = [5, 6]
+        source = DistanceVectorSource(space, queries)
+        list(AggregateNNCursor(tree, queries, vectors=source))
+        before = space.metric.snapshot()
+        list(AggregateNNCursor(tree, queries, vectors=source))
+        assert space.metric.delta_since(before) == 0
+
+    def test_partial_consumption_is_cheaper(self):
+        tree, space = build(n=300, seed=15)
+        queries = [0, 100, 200]
+        metric = space.metric
+        before = metric.snapshot()
+        cursor = AggregateNNCursor(tree, queries)
+        next(cursor)
+        partial = metric.delta_since(before)
+        list(cursor)
+        total = metric.delta_since(before)
+        assert partial < total

@@ -1,0 +1,125 @@
+"""The randomized approximate algorithm (paper future work, §6)."""
+
+import pytest
+
+from repro.core.approximate import (
+    ApproximateTopK,
+    hoeffding_confidence,
+    recall_against_exact,
+    sample_size_for,
+)
+from repro.core.brute_force import brute_force_scores
+
+from tests.conftest import make_engine
+
+
+class TestHoeffdingMath:
+    def test_confidence_increases_with_sample(self):
+        assert hoeffding_confidence(1000, 0.05) > hoeffding_confidence(
+            100, 0.05
+        )
+
+    def test_confidence_bounds(self):
+        assert hoeffding_confidence(0, 0.1) == 0.0
+        assert 0.0 <= hoeffding_confidence(50, 0.1) <= 1.0
+
+    def test_sample_size_satisfies_target(self):
+        size = sample_size_for(epsilon=0.05, delta=0.05)
+        assert hoeffding_confidence(size, 0.05) >= 0.95
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            sample_size_for(epsilon=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            sample_size_for(epsilon=0.5, delta=1.5)
+
+
+class TestExactDegeneration:
+    def test_full_sample_full_pool_is_exact(self):
+        engine = make_engine(n=80, seed=71)
+        queries = [0, 40]
+        truth = brute_force_scores(engine.space, queries)
+        algo = ApproximateTopK(
+            engine.make_context(),
+            candidate_pool=80,
+            sample_size=80,
+        )
+        results = list(algo.run(queries, 5))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+
+class TestAccuracy:
+    def test_recall_reasonable_at_moderate_sampling(self):
+        engine = make_engine(n=300, seed=72)
+        queries = [0, 150, 290]
+        truth = brute_force_scores(engine.space, queries)
+        algo = ApproximateTopK(
+            engine.make_context(),
+            candidate_pool=100,
+            sample_size=120,
+            seed=1,
+        )
+        results = list(algo.run(queries, 10))
+        assert recall_against_exact(results, truth, 10) >= 0.5
+
+    def test_larger_sample_never_needs_more_candidates(self):
+        engine = make_engine(n=200, seed=73)
+        queries = [0, 100]
+        truth = brute_force_scores(engine.space, queries)
+        recalls = []
+        for sample_size in (20, 200):
+            algo = ApproximateTopK(
+                engine.make_context(),
+                candidate_pool=200,
+                sample_size=sample_size,
+                seed=2,
+            )
+            results = list(algo.run(queries, 10))
+            recalls.append(recall_against_exact(results, truth, 10))
+        assert recalls[-1] >= recalls[0]
+
+    def test_deterministic_per_seed(self):
+        engine = make_engine(n=100, seed=74)
+        queries = [0, 50]
+        runs = []
+        for _ in range(2):
+            algo = ApproximateTopK(
+                engine.make_context(), sample_size=30, seed=9
+            )
+            runs.append([r.object_id for r in algo.run(queries, 5)])
+        assert runs[0] == runs[1]
+
+
+class TestCostSavings:
+    def test_cheaper_than_exact_pba(self):
+        engine = make_engine(n=400, seed=75)
+        queries = [0, 200, 390]
+        ctx_apx = engine.make_context()
+        algo = ApproximateTopK(
+            ctx_apx, candidate_pool=40, sample_size=40, seed=3
+        )
+        metric = engine.space.metric
+        before = metric.snapshot()
+        list(algo.run(queries, 10))
+        apx_cost = metric.delta_since(before)
+        _res, exact_stats = engine.top_k_dominating(
+            queries, 10, algorithm="sba"
+        )
+        assert apx_cost < exact_stats.distance_computations
+
+
+class TestEngineIntegration:
+    def test_registered_as_apx(self):
+        engine = make_engine(n=60, seed=76)
+        results, stats = engine.top_k_dominating(
+            [0, 30], 5, algorithm="apx"
+        )
+        assert len(results) == 5
+        assert stats.results_reported == 5
+
+    def test_recall_helper_edge_cases(self):
+        assert recall_against_exact([], {1: 5}, 3) == 0.0

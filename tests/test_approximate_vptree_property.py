@@ -1,0 +1,69 @@
+"""Property tests for the approximate algorithm's exactness limits and
+candidate generation across indexes."""
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro import TopKDominatingEngine
+from repro.core.approximate import ApproximateTopK
+from repro.core.brute_force import brute_force_scores
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=10, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=400))
+    m = draw(st.integers(min_value=1, max_value=3))
+    k = draw(st.integers(min_value=1, max_value=min(6, n)))
+    index = draw(st.sampled_from(["mtree", "vptree"]))
+    return n, seed, m, k, index
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=instances())
+def test_full_budget_apx_is_exact_on_any_index(instance):
+    """With candidate pool = sample = n the approximate algorithm must
+    degenerate to the exact answer, whatever the index."""
+    n, seed, m, k, index = instance
+    rng = np.random.default_rng(seed)
+    points = list(rng.random((n, 3)))
+    space = MetricSpace(points, CountingMetric(EuclideanMetric()))
+    engine = TopKDominatingEngine(
+        space, rng=random.Random(seed), index=index
+    )
+    queries = random.Random(seed).sample(range(n), m)
+    truth = brute_force_scores(engine.space, queries)
+    algo = ApproximateTopK(
+        engine.make_context(),
+        candidate_pool=n,
+        sample_size=n,
+        seed=seed,
+    )
+    results = list(algo.run(queries, k))
+    assert [r.score for r in results] == sorted(
+        truth.values(), reverse=True
+    )[:k]
+
+
+@settings(max_examples=15, deadline=None)
+@given(instance=instances())
+def test_apx_scores_never_exceed_n_minus_one(instance):
+    n, seed, m, k, index = instance
+    rng = np.random.default_rng(seed)
+    points = list(rng.random((n, 3)))
+    space = MetricSpace(points, CountingMetric(EuclideanMetric()))
+    engine = TopKDominatingEngine(
+        space, rng=random.Random(seed), index=index
+    )
+    queries = random.Random(seed).sample(range(n), m)
+    algo = ApproximateTopK(
+        engine.make_context(), sample_size=5, seed=seed
+    )
+    for item in algo.run(queries, k):
+        assert 0 <= item.score <= n - 1

@@ -1,0 +1,183 @@
+"""The AuxB+-tree: records, retrieval logs, Lpos/tie bookkeeping."""
+
+import pytest
+
+from repro.core.aux_index import AuxBPlusTree, AuxRecord, RetrievalLog
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+
+def make_aux(m=3, capacity=64):
+    buf = LRUBuffer(PageManager(), capacity=capacity)
+    return AuxBPlusTree(buf, m=m), buf
+
+
+class TestAuxRecord:
+    def test_fresh_record_shape(self):
+        rec = AuxRecord(object_id=7, m=4)
+        assert rec.dists == [None] * 4
+        assert rec.lpos == [None] * 4
+        assert not rec.is_complete
+        assert not rec.is_common
+
+    def test_vector_requires_completion(self):
+        rec = AuxRecord(object_id=1, m=2)
+        with pytest.raises(AssertionError):
+            rec.vector()
+
+
+class TestRetrievalLog:
+    def test_append_returns_one_based_rank(self):
+        aux, _ = make_aux()
+        log = aux.logs[0]
+        assert log.append(10, 0.5) == 1
+        assert log.append(11, 0.6) == 2
+        assert len(log) == 2
+
+    def test_entry_random_access(self):
+        aux, _ = make_aux()
+        log = aux.logs[0]
+        for i in range(500):
+            log.append(i, float(i))
+        assert log.entry(1) == (0, 0.0)
+        assert log.entry(500) == (499, 499.0)
+        assert log.entry(254) == (253, 253.0)
+
+    def test_entry_out_of_range(self):
+        aux, _ = make_aux()
+        log = aux.logs[0]
+        log.append(1, 1.0)
+        with pytest.raises(IndexError):
+            log.entry(0)
+        with pytest.raises(IndexError):
+            log.entry(2)
+
+    def test_scan_backward_order(self):
+        aux, _ = make_aux()
+        log = aux.logs[0]
+        for i in range(5):
+            log.append(i, float(i))
+        scanned = list(log.scan_backward())
+        assert [rank for rank, _o, _d in scanned] == [5, 4, 3, 2, 1]
+
+    def test_scan_backward_from_rank(self):
+        aux, _ = make_aux()
+        log = aux.logs[0]
+        for i in range(5):
+            log.append(i, float(i))
+        scanned = list(log.scan_backward(from_rank=3))
+        assert [o for _r, o, _d in scanned] == [2, 1, 0]
+
+    def test_spans_multiple_pages(self):
+        aux, buf = make_aux()
+        log = aux.logs[0]
+        for i in range(1000):
+            log.append(i, float(i))
+        assert len(log.file) > 1
+
+    def test_drop_releases_pages(self):
+        aux, buf = make_aux()
+        log = aux.logs[1]
+        for i in range(600):
+            log.append(i, float(i))
+        log.drop()
+        assert len(log.file) == 0
+        assert len(log) == 0
+
+
+class TestNoteRetrieval:
+    def test_basic_bookkeeping(self):
+        aux, _ = make_aux(m=2)
+        rec = aux.note_retrieval(0, 42, 1.5)
+        assert rec.q_counter == 1
+        assert rec.dists == [1.5, None]
+        assert rec.lpos == [1, None]
+        assert rec.max_rank == 1
+        assert not rec.is_common
+        assert len(aux) == 1
+
+    def test_completion_marks_common(self):
+        aux, _ = make_aux(m=2)
+        aux.note_retrieval(0, 42, 1.5)
+        rec = aux.note_retrieval(1, 42, 2.5)
+        assert rec.is_common
+        assert rec.vector() == (1.5, 2.5)
+
+    def test_lpos_groups_equal_distances(self):
+        aux, _ = make_aux(m=1)
+        aux.note_retrieval(0, 1, 0.5)   # rank 1, lpos 1
+        aux.note_retrieval(0, 2, 0.7)   # rank 2, lpos 2
+        aux.note_retrieval(0, 3, 0.7)   # rank 3, lpos 2 (tie)
+        aux.note_retrieval(0, 4, 0.7)   # rank 4, lpos 2 (tie)
+        aux.note_retrieval(0, 5, 0.9)   # rank 5, lpos 5
+        assert aux.get(2).lpos[0] == 2
+        assert aux.get(3).lpos[0] == 2
+        assert aux.get(4).lpos[0] == 2
+        assert aux.get(5).lpos[0] == 5
+
+    def test_max_rank_across_queries(self):
+        aux, _ = make_aux(m=2)
+        aux.note_retrieval(0, 9, 1.0)
+        aux.note_retrieval(0, 8, 2.0)
+        aux.note_retrieval(1, 9, 3.0)  # rank 1 from q1
+        assert aux.get(9).max_rank == 1
+        aux.note_retrieval(1, 7, 4.0)
+        rec = aux.note_retrieval(0, 7, 5.0)  # rank 3 from q0
+        assert rec.max_rank == 3
+
+    def test_double_retrieval_same_query_rejected(self):
+        aux, _ = make_aux(m=2)
+        aux.note_retrieval(0, 1, 1.0)
+        with pytest.raises(AssertionError):
+            aux.note_retrieval(0, 1, 1.0)
+
+    def test_unique_count_is_objects_not_retrievals(self):
+        aux, _ = make_aux(m=3)
+        aux.note_retrieval(0, 1, 1.0)
+        aux.note_retrieval(1, 1, 1.0)
+        aux.note_retrieval(2, 1, 1.0)
+        aux.note_retrieval(0, 2, 2.0)
+        assert len(aux) == 2
+
+
+class TestRecords:
+    def test_record_creates_once(self):
+        aux, _ = make_aux()
+        first = aux.record(5)
+        second = aux.record(5)
+        assert first is second
+        assert len(aux) == 1
+
+    def test_get_missing_is_none(self):
+        aux, _ = make_aux()
+        assert aux.get(999) is None
+        assert 999 not in aux
+
+    def test_records_iterates_in_id_order(self):
+        aux, _ = make_aux()
+        for object_id in [5, 1, 9, 3]:
+            aux.record(object_id)
+        assert [rec.object_id for rec in aux.records()] == [1, 3, 5, 9]
+
+    def test_update_persists_mutation(self):
+        aux, _ = make_aux()
+        rec = aux.record(4)
+        rec.q_counter = 7
+        aux.update(rec)
+        assert aux.get(4).q_counter == 7
+
+    def test_drop_clears_everything(self):
+        aux, buf = make_aux()
+        for i in range(50):
+            aux.note_retrieval(0, i, float(i))
+        aux.drop()
+        assert len(aux.logs[0]) == 0
+
+
+class TestIOAccounting:
+    def test_operations_charge_buffer(self):
+        aux, buf = make_aux(capacity=4)
+        before = buf.stats.logical_accesses
+        for i in range(100):
+            aux.note_retrieval(0, i, float(i))
+        assert buf.stats.logical_accesses > before

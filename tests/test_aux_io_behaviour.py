@@ -1,0 +1,77 @@
+"""Disk behaviour of the AuxB+-tree and retrieval logs, and cleanup
+semantics of PBA's per-query temporary state."""
+
+import pytest
+
+from repro import PruningConfig
+from repro.core.aux_index import AuxBPlusTree
+from repro.core.pba import PBA2
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from tests.conftest import make_engine
+
+
+class TestLogPaging:
+    def test_sequential_appends_localize_io(self):
+        buf = LRUBuffer(PageManager(), capacity=4)
+        aux = AuxBPlusTree(buf, m=1)
+        log = aux.logs[0]
+        before = buf.stats.page_faults
+        for i in range(1000):
+            log.append(i, float(i))
+        appended_faults = buf.stats.page_faults - before
+        # appends touch one tail page at a time: faults stay near the
+        # number of pages, far below the number of appends.
+        assert appended_faults < 1000 / 10
+
+    def test_backward_scan_is_sequential(self):
+        buf = LRUBuffer(PageManager(), capacity=4)
+        aux = AuxBPlusTree(buf, m=1)
+        log = aux.logs[0]
+        for i in range(800):
+            log.append(i, float(i))
+        before = buf.stats.page_faults
+        consumed = sum(1 for _ in log.scan_backward())
+        assert consumed == 800
+        scan_faults = buf.stats.page_faults - before
+        assert scan_faults <= len(log.file) + 1
+
+
+class TestPerQueryCleanup:
+    def test_full_run_releases_aux_pages(self):
+        engine = make_engine(n=120, seed=141)
+        manager = engine.buffers.aux_manager
+        before_pages = len(manager)
+        list(
+            PBA2(engine.make_context()).run([0, 60, 110], 5)
+        )
+        assert len(manager) == before_pages  # all temp pages freed
+
+    def test_early_stop_releases_aux_pages(self):
+        engine = make_engine(n=120, seed=142)
+        manager = engine.buffers.aux_manager
+        before_pages = len(manager)
+        gen = PBA2(engine.make_context()).run([1, 61], 8)
+        next(gen)
+        gen.close()
+        assert len(manager) == before_pages
+
+    def test_exception_path_releases_aux_pages(self):
+        engine = make_engine(n=80, seed=143)
+        manager = engine.buffers.aux_manager
+        before_pages = len(manager)
+        gen = PBA2(engine.make_context()).run([2, 40], 5)
+        next(gen)
+        with pytest.raises(RuntimeError):
+            gen.throw(RuntimeError("simulated consumer failure"))
+        assert len(manager) == before_pages
+
+    def test_repeated_queries_do_not_leak(self):
+        engine = make_engine(n=100, seed=144)
+        manager = engine.buffers.aux_manager
+        baseline = len(manager)
+        for _ in range(5):
+            engine.top_k_dominating([0, 50], 4, algorithm="pba1")
+            engine.top_k_dominating([0, 50], 4, algorithm="pba2")
+        assert len(manager) == baseline

@@ -1,0 +1,85 @@
+"""The brute-force oracle itself (scored against hand-built cases)."""
+
+import numpy as np
+import pytest
+
+from repro import BruteForce, MetricSpace, ManhattanMetric
+from repro.core.brute_force import brute_force_scores
+from repro.core.progressive import QueryContext
+from repro.metric.counting import CountingMetric
+
+from tests.conftest import make_engine
+
+
+def line_space():
+    """Objects on a line at 0,1,2,3,4 — scores are fully predictable."""
+    points = [np.array([float(i)]) for i in range(5)]
+    return MetricSpace(points, CountingMetric(ManhattanMetric()), name="line")
+
+
+class TestScores:
+    def test_line_with_query_at_origin(self):
+        space = line_space()
+        scores = brute_force_scores(space, [0])
+        # distance to q is the coordinate itself; i dominates j iff i<j.
+        assert scores == {0: 4, 1: 3, 2: 2, 3: 1, 4: 0}
+
+    def test_two_queries_at_ends_make_middle_win(self):
+        space = line_space()
+        scores = brute_force_scores(space, [0, 4])
+        # vectors: (0,4),(1,3),(2,2),(3,1),(4,0) — pairwise incomparable.
+        assert all(score == 0 for score in scores.values())
+
+    def test_equivalent_objects_do_not_dominate_each_other(self):
+        points = [np.array([0.0]), np.array([1.0]), np.array([-1.0]),
+                  np.array([2.0])]
+        space = MetricSpace(points, CountingMetric(ManhattanMetric()))
+        scores = brute_force_scores(space, [0])
+        # objects 1 and 2 are both at distance 1: equivalent.
+        assert scores[1] == scores[2] == 1  # both dominate only object 3
+        assert scores[0] == 3
+
+    def test_restricted_universe(self):
+        space = line_space()
+        scores = brute_force_scores(space, [0], universe=[2, 3, 4])
+        assert scores == {2: 2, 3: 1, 4: 0}
+
+
+class TestAlgorithmWrapper:
+    def test_progressive_order(self):
+        engine = make_engine(n=60, seed=11)
+        ctx = engine.make_context()
+        algo = BruteForce(ctx)
+        results = list(algo.run([0, 30], 10))
+        scores = [item.score for item in results]
+        assert scores == sorted(scores, reverse=True)
+        assert len(results) == 10
+
+    def test_validation(self):
+        engine = make_engine(n=20, seed=12)
+        algo = BruteForce(engine.make_context())
+        with pytest.raises(ValueError):
+            list(algo.run([], 3))
+        with pytest.raises(ValueError):
+            list(algo.run([0, 0], 3))
+        with pytest.raises(ValueError):
+            list(algo.run([999], 3))
+        with pytest.raises(ValueError):
+            list(algo.run([0], -1))
+
+    def test_k_zero_yields_nothing(self):
+        engine = make_engine(n=20, seed=13)
+        algo = BruteForce(engine.make_context())
+        assert list(algo.run([0], 0)) == []
+
+    def test_top_k_convenience(self):
+        engine = make_engine(n=30, seed=14)
+        algo = BruteForce(engine.make_context())
+        assert algo.top_k([0, 5], 3) == list(algo.run([0, 5], 3))
+
+    def test_result_item_unpacking(self):
+        engine = make_engine(n=30, seed=15)
+        algo = BruteForce(engine.make_context())
+        object_id, score = next(iter(algo.run([0], 1)))
+        assert isinstance(object_id, int)
+        assert isinstance(score, int)

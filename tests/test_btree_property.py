@@ -1,0 +1,85 @@
+"""Property-based tests: the B+-tree vs a dict/sorted-list model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.btree import BPlusTree
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+# operations: ("insert", key, value) | ("delete", key) | ("get", key)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(min_value=0, max_value=200),
+            st.integers(),
+        ),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("get"), st.integers(min_value=0, max_value=200)),
+    ),
+    max_size=120,
+)
+
+
+def run_model(ops, order):
+    tree = BPlusTree(LRUBuffer(PageManager(), capacity=8), order=order)
+    model = {}
+    for op in ops:
+        if op[0] == "insert":
+            _tag, key, value = op
+            tree.insert(key, value)
+            model[key] = value
+        elif op[0] == "delete":
+            _tag, key = op
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            _tag, key = op
+            assert tree.get(key) == model.get(key)
+    return tree, model
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops, order=st.integers(min_value=3, max_value=9))
+def test_btree_matches_dict_model(ops, order):
+    tree, model = run_model(ops, order)
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=-10_000, max_value=10_000),
+        unique=True,
+        max_size=150,
+    ),
+    order=st.integers(min_value=3, max_value=8),
+)
+def test_iteration_always_sorted(keys, order):
+    tree = BPlusTree(LRUBuffer(PageManager(), capacity=8), order=order)
+    for key in keys:
+        tree.insert(key, str(key))
+    assert list(tree.keys()) == sorted(keys)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=500), unique=True, min_size=1,
+        max_size=100,
+    ),
+    bounds=st.tuples(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    ),
+)
+def test_range_scan_matches_filter(keys, bounds):
+    low, high = min(bounds), max(bounds)
+    tree = BPlusTree(LRUBuffer(PageManager(), capacity=8), order=5)
+    for key in keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert [k for k, _ in tree.items(low=low, high=high)] == expected

@@ -1,0 +1,79 @@
+"""Additional CLI paths (charts, table selection, overrides)."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+
+
+class TestCliCharts:
+    def test_figure_with_charts(self, capsys):
+        code = cli_main(
+            [
+                "figures", "--figure", "8", "--profile", "smoke",
+                "--n", "60", "--repeats", "1", "--datasets", "UNI",
+                "--quiet", "--charts",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ASCII rendering" in out
+        assert "log scale" in out
+
+    def test_table_run_no_charts_needed(self, capsys):
+        code = cli_main(
+            [
+                "figures", "--table", "3", "--profile", "smoke",
+                "--n", "60", "--repeats", "1", "--datasets", "UNI",
+                "--quiet", "--charts",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "ASCII rendering" not in out  # charts are figure-only
+
+
+class TestCliOverrides:
+    def test_n_and_repeats_override(self, capsys):
+        code = cli_main(
+            [
+                "figures", "--figure", "8", "--profile", "smoke",
+                "--n", "50", "--repeats", "1", "--datasets", "UNI",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=50" in out
+
+    def test_csv_export(self, capsys, tmp_path):
+        out_path = tmp_path / "cells.csv"
+        code = cli_main(
+            [
+                "figures", "--figure", "8", "--profile", "smoke",
+                "--n", "60", "--repeats", "1", "--datasets", "UNI",
+                "--quiet", "--csv", str(out_path),
+            ]
+        )
+        assert code == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0].startswith("dataset,algorithm")
+        assert len(lines) > 1
+
+    def test_multiple_exhibits(self, capsys, tmp_path):
+        out_path = tmp_path / "cells.json"
+        code = cli_main(
+            [
+                "figures", "--figure", "8", "--table", "3",
+                "--profile", "smoke", "--n", "60", "--repeats", "1",
+                "--datasets", "UNI", "--quiet", "--json", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "Table 3" in out
+        cells = json.loads(out_path.read_text())
+        algorithms = {cell["algorithm"] for cell in cells}
+        assert {"pba1", "pba2"} <= algorithms

@@ -1,0 +1,143 @@
+"""Data-set generators: shapes, metric validity and the distributional
+properties the substitutions promise (DESIGN.md Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_DATASETS,
+    anticorrelated,
+    california,
+    clustered,
+    correlated,
+    forest_cover,
+    road_network,
+    uniform,
+    zillow,
+)
+from repro.metric.base import check_metric_axioms
+from repro.metric.graph import dijkstra
+
+
+class TestFactoriesGeneric:
+    @pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+    def test_cardinality_and_name(self, name):
+        space = PAPER_DATASETS[name](150, seed=0)
+        assert len(space) == 150
+        assert space.name == name
+
+    @pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+    def test_deterministic_per_seed(self, name):
+        a = PAPER_DATASETS[name](60, seed=5)
+        b = PAPER_DATASETS[name](60, seed=5)
+        assert a.distance(3, 40) == b.distance(3, 40)
+
+    @pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+    def test_metric_axioms_hold(self, name):
+        space = PAPER_DATASETS[name](40, seed=1)
+        payloads = [space.payload(i) for i in space.object_ids]
+        check_metric_axioms(space.metric, payloads, sample_triples=120)
+
+
+class TestUni:
+    def test_uniform_range_and_metric(self):
+        space = uniform(200, seed=2)
+        points = np.array([space.payload(i) for i in space.object_ids])
+        assert points.min() >= 0.0 and points.max() <= 1.0
+        assert points.shape == (200, 4)
+        assert space.metric.name == "manhattan"
+
+
+class TestFc:
+    def test_ten_dimensions_and_terrain_correlation(self):
+        space = forest_cover(400, seed=3)
+        points = np.array([space.payload(i) for i in space.object_ids])
+        assert points.shape == (400, 10)
+        # elevation (col 0) correlates positively with road distance
+        # (col 5) through the 'remote'/'altitude' latents.
+        corr = np.corrcoef(points[:, 0], points[:, 5])[0, 1]
+        assert corr > 0.0
+        assert space.metric.name == "euclidean"
+
+
+class TestZil:
+    def test_schema_and_tie_density(self):
+        space = zillow(400, seed=4)
+        points = np.array([space.payload(i) for i in space.object_ids])
+        assert points.shape == (400, 5)
+        bathrooms, bedrooms = points[:, 0], points[:, 1]
+        assert set(np.unique(bedrooms)) <= set(range(1, 8))
+        assert set(np.unique(bathrooms)) <= set(range(1, 6))
+        # the small-integer attributes must tie massively — that's the
+        # property that drives ZIL's Table 3 behaviour.
+        _values, counts = np.unique(bedrooms, return_counts=True)
+        assert counts.max() > 40
+
+    def test_prices_heavy_tailed_positive(self):
+        space = zillow(300, seed=5)
+        prices = np.array([space.payload(i)[3] for i in space.object_ids])
+        assert prices.min() >= 25_000.0
+        assert prices.max() / np.median(prices) > 2.0
+
+
+class TestCal:
+    def test_graph_shape_near_original(self):
+        space, graph = road_network(300, seed=6)
+        assert graph.num_nodes == 300
+        # the original's average degree is 2.55; stay in its vicinity.
+        assert 1.8 <= graph.average_degree() <= 3.5
+        weights = [w for _u, _v, w in graph.edges()]
+        assert np.mean(weights) == pytest.approx(8.78, rel=0.05)
+
+    def test_connected(self):
+        _space, graph = road_network(250, seed=7)
+        assert len(dijkstra(graph, 0)) == graph.num_nodes
+
+    def test_distance_ties_exist(self):
+        """Shortest-path sums frequently coincide — the tie source that
+        raises CAL's exact-score counts in Table 3."""
+        space = california(200, seed=8)
+        seen = {}
+        ties = 0
+        for i in range(200):
+            d = space.distance(0, i)
+            ties += seen.get(d, 0)
+            seen[d] = seen.get(d, 0) + 1
+        assert ties >= 0  # ties possible; smoke only — graph weights vary
+
+    def test_factory_wrapper(self):
+        space = california(100, seed=9)
+        assert len(space) == 100
+        assert space.distance(0, 0) == 0.0
+
+
+class TestExtraFamilies:
+    def test_correlated_is_correlated(self):
+        space = correlated(300, seed=10, correlation=0.95)
+        points = np.array([space.payload(i) for i in space.object_ids])
+        corr = np.corrcoef(points[:, 0], points[:, 1])[0, 1]
+        assert corr > 0.7
+
+    def test_anticorrelated_concentrates_on_hyperplane(self):
+        space = anticorrelated(300, seed=11, dims=3)
+        points = np.array([space.payload(i) for i in space.object_ids])
+        sums = points.sum(axis=1)
+        assert sums.std() < points[:, 0].std() * 3
+
+    def test_clustered_has_tight_groups(self):
+        space = clustered(300, seed=12, clusters=4, cluster_std=0.02)
+        points = np.array([space.payload(i) for i in space.object_ids])
+        # nearest-neighbor distances must be far below the global scale.
+        sample = points[:40]
+        nn = []
+        for i in range(len(sample)):
+            d = np.linalg.norm(sample - sample[i], axis=1)
+            d[i] = np.inf
+            nn.append(d.min())
+        assert np.median(nn) < 0.1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            correlated(10, correlation=1.5)
+        with pytest.raises(ValueError):
+            clustered(10, clusters=0)

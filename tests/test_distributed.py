@@ -1,0 +1,124 @@
+"""Distributed top-k dominating (future-work extension, §6)."""
+
+import random
+
+import pytest
+
+from repro.core.brute_force import brute_force_scores
+from repro.distributed import (
+    DistributedTopK,
+    partition_round_robin,
+)
+
+from tests.conftest import make_vector_space
+
+
+class TestPartitioning:
+    def test_round_robin_covers_everything(self):
+        partitions = partition_round_robin(10, 3)
+        assert sorted(sum(partitions, [])) == list(range(10))
+        assert [len(p) for p in partitions] == [4, 3, 3]
+
+    def test_single_site(self):
+        partitions = partition_round_robin(5, 1)
+        assert partitions == [[0, 1, 2, 3, 4]]
+
+    def test_invalid_site_count(self):
+        with pytest.raises(ValueError):
+            partition_round_robin(5, 0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_sites", [1, 2, 4])
+    def test_matches_oracle(self, num_sites):
+        space = make_vector_space(n=120, dims=3, seed=91)
+        system = DistributedTopK(
+            space, num_sites=num_sites, rng=random.Random(91)
+        )
+        queries = [0, 60, 110]
+        truth = brute_force_scores(space, queries)
+        results, _stats = system.top_k(queries, 8)
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:8]
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    def test_matches_oracle_with_ties(self):
+        space = make_vector_space(n=100, dims=2, seed=92, grid=3)
+        system = DistributedTopK(space, num_sites=3, rng=random.Random(92))
+        queries = [0, 50]
+        truth = brute_force_scores(space, queries)
+        results, _stats = system.top_k(queries, 6)
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]
+
+    def test_k_exceeds_n(self):
+        space = make_vector_space(n=12, dims=2, seed=93)
+        system = DistributedTopK(space, num_sites=3, rng=random.Random(93))
+        results, _stats = system.top_k([0, 6], 50)
+        assert len(results) == 12
+
+    def test_skewed_partitions(self):
+        space = make_vector_space(n=60, dims=2, seed=94)
+        partitions = [list(range(50)), list(range(50, 58)), [58, 59]]
+        system = DistributedTopK(
+            space, partitions=partitions, rng=random.Random(94)
+        )
+        queries = [1, 30]
+        truth = brute_force_scores(space, queries)
+        results, _stats = system.top_k(queries, 5)
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]
+
+    def test_empty_partition_rejected(self):
+        space = make_vector_space(n=10, dims=2, seed=95)
+        with pytest.raises(ValueError):
+            DistributedTopK(space, partitions=[[0, 1], []])
+
+
+class TestProtocolCosts:
+    def test_message_accounting(self):
+        space = make_vector_space(n=80, dims=3, seed=96)
+        system = DistributedTopK(space, num_sites=4, rng=random.Random(96))
+        _results, stats = system.top_k([0, 40], 5)
+        # one skyline request per site per round at minimum.
+        assert stats.skyline_requests >= 4 * 5
+        assert stats.scoring_requests > 0
+        assert stats.removal_broadcasts == 4 * 5
+        assert stats.total_messages == (
+            stats.skyline_requests
+            + stats.scoring_requests
+            + stats.removal_broadcasts
+        )
+        assert stats.results_reported == 5
+
+    def test_score_cache_avoids_rescoring(self):
+        space = make_vector_space(n=80, dims=3, seed=97)
+        system = DistributedTopK(space, num_sites=2, rng=random.Random(97))
+        _results, stats = system.top_k([0, 40], 8)
+        # without the cache, scoring requests would be >=
+        # rounds * |skyline| * sites; with it, each candidate is scored
+        # once: far fewer requests than skyline replies.
+        assert stats.scoring_requests < stats.skyline_requests * 40
+
+    def test_progressive_interface(self):
+        space = make_vector_space(n=60, dims=2, seed=98)
+        system = DistributedTopK(space, num_sites=2, rng=random.Random(98))
+        stream = system.run([0, 30], 5)
+        first_item, first_stats = next(stream)
+        assert first_stats.results_reported == 1
+        remaining = list(stream)
+        assert len(remaining) == 4
+        scores = [first_item.score] + [item.score for item, _s in remaining]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_more_sites_more_messages(self):
+        space = make_vector_space(n=90, dims=3, seed=99)
+        few = DistributedTopK(space, num_sites=2, rng=random.Random(99))
+        _r, stats_few = few.top_k([0, 45], 5)
+        many = DistributedTopK(space, num_sites=6, rng=random.Random(99))
+        _r, stats_many = many.top_k([0, 45], 5)
+        assert stats_many.total_messages > stats_few.total_messages

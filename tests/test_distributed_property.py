@@ -1,0 +1,60 @@
+"""Property test: distributed execution equals centralized for
+arbitrary partitionings."""
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.brute_force import brute_force_scores
+from repro.distributed import DistributedTopK
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric
+
+
+@st.composite
+def partitioned_instances(draw):
+    n = draw(st.integers(min_value=10, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=500))
+    num_sites = draw(st.integers(min_value=1, max_value=4))
+    # random (possibly skewed) partition of 0..n-1 into num_sites bins.
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_sites - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    partitions = [[] for _ in range(num_sites)]
+    for obj, site in enumerate(assignment):
+        partitions[site].append(obj)
+    # guarantee non-empty partitions by seeding each with one object.
+    for site in range(num_sites):
+        if not partitions[site]:
+            donor = max(partitions, key=len)
+            partitions[site].append(donor.pop())
+    m = draw(st.integers(min_value=1, max_value=3))
+    k = draw(st.integers(min_value=1, max_value=n))
+    return n, seed, partitions, m, k
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=partitioned_instances())
+def test_distributed_equals_centralized(instance):
+    n, seed, partitions, m, k = instance
+    rng = np.random.default_rng(seed)
+    points = list(rng.random((n, 3)))
+    space = MetricSpace(points, CountingMetric(EuclideanMetric()))
+    queries = random.Random(seed).sample(range(n), m)
+    truth = brute_force_scores(space, queries)
+    system = DistributedTopK(
+        space, partitions=partitions, rng=random.Random(seed)
+    )
+    results, _stats = system.top_k(queries, k)
+    assert [r.score for r in results] == sorted(
+        truth.values(), reverse=True
+    )[:k]
+    for item in results:
+        assert truth[item.object_id] == item.score

@@ -1,0 +1,183 @@
+"""Dominance relation, scores and the vectorized matrix."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dominance import (
+    DistanceVectorSource,
+    DominanceMatrix,
+    dominates,
+    dominates_vectors,
+    domination_score,
+    equivalent,
+    equivalent_vectors,
+)
+
+from tests.conftest import make_vector_space
+
+_vec = st.lists(
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+    min_size=3,
+    max_size=3,
+)
+
+
+class TestDominatesVectors:
+    def test_strictly_smaller_dominates(self):
+        assert dominates_vectors([1, 1], [2, 2])
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates_vectors([1, 2], [1, 2])
+
+    def test_partial_improvement_dominates(self):
+        assert dominates_vectors([1, 2], [1, 3])
+
+    def test_incomparable(self):
+        assert not dominates_vectors([1, 3], [2, 2])
+        assert not dominates_vectors([2, 2], [1, 3])
+
+    def test_never_both_directions(self):
+        assert not (
+            dominates_vectors([1, 2], [2, 1])
+            and dominates_vectors([2, 1], [1, 2])
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_vec, b=_vec)
+    def test_antisymmetry_property(self, a, b):
+        assert not (dominates_vectors(a, b) and dominates_vectors(b, a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_vec, b=_vec, c=_vec)
+    def test_transitivity_property(self, a, b, c):
+        if dominates_vectors(a, b) and dominates_vectors(b, c):
+            assert dominates_vectors(a, c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_vec)
+    def test_irreflexive(self, a):
+        assert not dominates_vectors(a, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_vec, b=_vec)
+    def test_equivalence_excludes_dominance(self, a, b):
+        if equivalent_vectors(a, b):
+            assert not dominates_vectors(a, b)
+
+
+class TestDistanceVectorSource:
+    @pytest.fixture
+    def setup(self):
+        space = make_vector_space(n=40, dims=3, seed=0)
+        return space, DistanceVectorSource(space, [0, 10, 20])
+
+    def test_vector_dimension(self, setup):
+        _space, source = setup
+        assert len(source.vector(5)) == 3
+        assert source.m == 3
+
+    def test_query_object_has_zero_coordinate(self, setup):
+        _space, source = setup
+        assert source.vector(10)[1] == 0.0
+
+    def test_caching_avoids_recomputation(self, setup):
+        space, source = setup
+        source.vector(7)
+        before = space.metric.snapshot()
+        source.vector(7)
+        assert space.metric.delta_since(before) == 0
+        assert source.known(7)
+
+    def test_put_installs_external_vector(self, setup):
+        space, source = setup
+        source.put(9, (1.0, 2.0, 3.0))
+        assert source.vector(9) == (1.0, 2.0, 3.0)
+
+    def test_aggregate_distance(self, setup):
+        _space, source = setup
+        assert source.aggregate_distance(4) == pytest.approx(
+            sum(source.vector(4))
+        )
+
+    def test_self_never_dominates(self, setup):
+        _space, source = setup
+        assert not source.dominates(3, 3)
+        assert source.equivalent(3, 3)
+
+    def test_domination_score_counts(self, setup):
+        space, source = setup
+        score = source.domination_score(0, space.object_ids)
+        manual = sum(
+            1
+            for other in space.object_ids
+            if other != 0
+            and dominates_vectors(source.vector(0), source.vector(other))
+        )
+        assert score == manual
+
+
+class TestDominanceMatrix:
+    @pytest.fixture
+    def setup(self):
+        space = make_vector_space(n=60, dims=2, seed=1, grid=4)
+        source = DistanceVectorSource(space, [0, 30])
+        matrix = DominanceMatrix(source, list(space.object_ids))
+        return space, source, matrix
+
+    def test_matches_scalar_scores(self, setup):
+        space, source, matrix = setup
+        for object_id in range(0, 60, 7):
+            assert matrix.score(object_id) == source.domination_score(
+                object_id, space.object_ids
+            )
+
+    def test_deactivate_excludes_target(self, setup):
+        _space, source, matrix = setup
+        # find a dominated object and its dominator
+        for a in range(60):
+            before = matrix.score(a)
+            if before > 0:
+                break
+        victims = [
+            b
+            for b in range(60)
+            if b != a and dominates_vectors(source.vector(a), source.vector(b))
+        ]
+        matrix.deactivate(victims[0])
+        assert matrix.score(a) == before - 1
+
+    def test_score_of_foreign_object(self, setup):
+        space, source, matrix = setup
+        # an object outside the universe can still be scored against it
+        partial = DominanceMatrix(source, list(range(30)))
+        score = partial.score(45)
+        manual = sum(
+            1
+            for other in range(30)
+            if dominates_vectors(source.vector(45), source.vector(other))
+        )
+        assert score == manual
+
+
+class TestFreeFunctions:
+    def test_dominates_and_equivalent(self):
+        space = make_vector_space(n=30, dims=2, seed=2, grid=2)
+        queries = [0, 15]
+        source = DistanceVectorSource(space, queries)
+        for a in range(0, 30, 5):
+            for b in range(0, 30, 5):
+                assert dominates(space, queries, a, b) == source.dominates(
+                    a, b
+                )
+                assert equivalent(space, queries, a, b) == source.equivalent(
+                    a, b
+                )
+
+    def test_domination_score_default_universe(self):
+        space = make_vector_space(n=25, dims=2, seed=3)
+        queries = [0, 12]
+        source = DistanceVectorSource(space, queries)
+        assert domination_score(space, queries, 4) == (
+            source.domination_score(4, space.object_ids)
+        )

@@ -1,0 +1,100 @@
+"""Dynamic data sets: insertions and deletions through the engine
+(the M-tree capability the paper selects it for, Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import brute_force_scores
+
+from tests.conftest import make_engine
+
+
+class TestInsert:
+    def test_inserted_object_is_queryable(self):
+        engine = make_engine(n=60, seed=81)
+        new_id = engine.insert_object(np.array([0.5, 0.5, 0.5]))
+        assert new_id == 60
+        assert new_id in engine.tree
+        results, _ = engine.top_k_dominating([0, 30], 61)
+        assert new_id in {r.object_id for r in results}
+
+    def test_answers_match_oracle_after_inserts(self):
+        engine = make_engine(n=50, seed=82)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            engine.insert_object(rng.random(3))
+        queries = [0, 25, 55]
+        truth = brute_force_scores(
+            engine.space, queries, universe=list(engine.tree.object_ids())
+        )
+        for algorithm in ("brute", "sba", "aba", "pba1", "pba2"):
+            results, _ = engine.top_k_dominating(
+                queries, 6, algorithm=algorithm
+            )
+            assert [r.score for r in results] == sorted(
+                truth.values(), reverse=True
+            )[:6], algorithm
+
+    def test_tree_invariants_after_inserts(self):
+        engine = make_engine(n=40, seed=83)
+        rng = np.random.default_rng(6)
+        for _ in range(30):
+            engine.insert_object(rng.random(3))
+        engine.tree.check_invariants()
+
+
+class TestDelete:
+    def test_deleted_object_never_reported(self):
+        engine = make_engine(n=60, seed=84)
+        queries = [0, 30]
+        results, _ = engine.top_k_dominating(queries, 1)
+        top = results[0].object_id
+        if top in queries:
+            queries = [q for q in range(60) if q not in (top,)][:2]
+        assert engine.delete_object(top)
+        for algorithm in ("brute", "sba", "aba", "pba1", "pba2"):
+            results, _ = engine.top_k_dominating(
+                queries, 10, algorithm=algorithm
+            )
+            assert top not in {r.object_id for r in results}, algorithm
+
+    def test_answers_match_oracle_after_deletes(self):
+        engine = make_engine(n=70, seed=85)
+        for victim in (3, 17, 44):
+            engine.delete_object(victim)
+        queries = [0, 35]
+        truth = brute_force_scores(
+            engine.space, queries, universe=list(engine.tree.object_ids())
+        )
+        for algorithm in ("brute", "sba", "aba", "pba1", "pba2"):
+            results, _ = engine.top_k_dominating(
+                queries, 5, algorithm=algorithm
+            )
+            assert [r.score for r in results] == sorted(
+                truth.values(), reverse=True
+            )[:5], algorithm
+
+    def test_delete_missing_returns_false(self):
+        engine = make_engine(n=20, seed=86)
+        engine.delete_object(5)
+        assert not engine.delete_object(5)
+
+
+class TestMixedWorkload:
+    def test_interleaved_updates_and_queries(self):
+        engine = make_engine(n=40, seed=87)
+        rng = np.random.default_rng(7)
+        for round_number in range(5):
+            engine.insert_object(rng.random(3))
+            engine.delete_object(round_number)
+            queries = [10, 30]
+            truth = brute_force_scores(
+                engine.space,
+                queries,
+                universe=list(engine.tree.object_ids()),
+            )
+            results, _ = engine.top_k_dominating(queries, 3)
+            assert [r.score for r in results] == sorted(
+                truth.values(), reverse=True
+            )[:3]
+        engine.tree.check_invariants()

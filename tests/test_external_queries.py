@@ -1,0 +1,89 @@
+"""External (non-data-set) query objects via register_query_payload."""
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import brute_force_scores
+
+from tests.conftest import make_engine
+
+
+@pytest.fixture
+def engine():
+    return make_engine(n=100, seed=161)
+
+
+class TestRegistration:
+    def test_registered_id_is_fresh(self, engine):
+        qid = engine.register_query_payload(np.array([0.5, 0.5, 0.5]))
+        assert qid == 100
+        assert qid not in engine.tree  # not indexed
+
+    def test_registered_object_never_a_result(self, engine):
+        qid = engine.register_query_payload(np.array([0.4, 0.4, 0.4]))
+        results, _ = engine.top_k_dominating([qid, 3], 100)
+        assert qid not in {r.object_id for r in results}
+        assert len(results) == 100  # all indexed objects, not the query
+
+
+class TestCorrectness:
+    def test_all_algorithms_agree_with_oracle(self, engine):
+        qid = engine.register_query_payload(np.array([0.3, 0.6, 0.2]))
+        queries = [qid, 10]
+        truth = brute_force_scores(
+            engine.space, queries, universe=list(engine.tree.object_ids())
+        )
+        expected = sorted(truth.values(), reverse=True)[:6]
+        for algorithm in ("brute", "sba", "aba", "pba1", "pba2"):
+            results, _ = engine.top_k_dominating(
+                queries, 6, algorithm=algorithm
+            )
+            assert [r.score for r in results] == expected, algorithm
+
+    def test_purely_external_query_set(self, engine):
+        rng = np.random.default_rng(5)
+        queries = [
+            engine.register_query_payload(rng.random(3)) for _ in range(3)
+        ]
+        truth = brute_force_scores(
+            engine.space, queries, universe=list(engine.tree.object_ids())
+        )
+        for algorithm in ("pba1", "pba2"):
+            results, _ = engine.top_k_dominating(
+                queries, 5, algorithm=algorithm
+            )
+            assert [r.score for r in results] == sorted(
+                truth.values(), reverse=True
+            )[:5], algorithm
+
+    def test_external_queries_with_ties(self):
+        engine = make_engine(n=90, seed=162, grid=3)
+        qid = engine.register_query_payload(
+            np.round(np.random.default_rng(0).random(3) * 3) / 3
+        )
+        queries = [qid, 0]
+        truth = brute_force_scores(
+            engine.space, queries, universe=list(engine.tree.object_ids())
+        )
+        results, _ = engine.top_k_dominating(queries, 6, algorithm="pba2")
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]
+
+    def test_on_vptree_index(self):
+        from tests.conftest import make_vector_space
+        import random
+        from repro import TopKDominatingEngine
+
+        space = make_vector_space(n=80, seed=163)
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(163), index="vptree"
+        )
+        qid = engine.register_query_payload(np.array([0.2, 0.8, 0.5]))
+        truth = brute_force_scores(
+            engine.space, [qid, 1], universe=list(engine.tree.object_ids())
+        )
+        results, _ = engine.top_k_dominating([qid, 1], 5, algorithm="pba2")
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]

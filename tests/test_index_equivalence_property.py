@@ -1,0 +1,88 @@
+"""Property test: the two indexes deliver identical NN semantics.
+
+Both the M-tree and the VP-tree expose the incremental-cursor
+contract; their streams over the same data must agree distance-wise
+on arbitrary instances, which is what makes PBA index-agnostic.
+"""
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric
+from repro.mtree import MTree
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+from repro.vptree import VPTree
+
+_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=6,
+    max_size=50,
+)
+
+
+def _spaces(points):
+    def fresh():
+        return MetricSpace(
+            [np.array(p) for p in points],
+            CountingMetric(EuclideanMetric()),
+        )
+
+    return fresh(), fresh()
+
+
+@settings(max_examples=30, deadline=None)
+@given(points=_points, query=st.integers(min_value=0, max_value=5))
+def test_cursor_streams_agree(points, query):
+    space_m, space_v = _spaces(points)
+    mtree = MTree.build(
+        space_m,
+        LRUBuffer(PageManager(), capacity=32),
+        node_capacity=5,
+        rng=random.Random(0),
+    )
+    vptree = VPTree.build(
+        space_v,
+        LRUBuffer(PageManager(), capacity=32),
+        leaf_capacity=4,
+        rng=random.Random(0),
+    )
+    stream_m = [d for _i, d in mtree.incremental_cursor(query)]
+    stream_v = [d for _i, d in vptree.incremental_cursor(query)]
+    assert stream_m == pytest.approx(stream_v)
+    assert len(stream_m) == len(points)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    points=_points,
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_prefixes_agree_as_sets_of_distances(points, k):
+    space_m, space_v = _spaces(points)
+    mtree = MTree.build(
+        space_m,
+        LRUBuffer(PageManager(), capacity=32),
+        node_capacity=5,
+        rng=random.Random(1),
+    )
+    vptree = VPTree.build(
+        space_v,
+        LRUBuffer(PageManager(), capacity=32),
+        leaf_capacity=4,
+        rng=random.Random(1),
+    )
+    import itertools
+
+    pm = [d for _i, d in itertools.islice(mtree.incremental_cursor(0), k)]
+    pv = [d for _i, d in itertools.islice(vptree.incremental_cursor(0), k)]
+    assert pm == pytest.approx(pv)

@@ -1,0 +1,176 @@
+"""The paper's lemmas as executable properties.
+
+Each test realizes one lemma of Section 4 on randomized instances; the
+algorithms' correctness arguments rest on exactly these facts.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.anns import AggregateNNCursor
+from repro.core.brute_force import brute_force_scores
+from repro.core.dominance import DistanceVectorSource
+from repro.mtree import IncrementalNNCursor
+from repro.skyline import naive_metric_skyline
+
+from tests.conftest import make_engine
+
+
+def setup(seed, n=100, grid=None, m=3):
+    engine = make_engine(n=n, seed=seed, grid=grid)
+    queries = random.Random(seed + 77).sample(range(n), m)
+    source = DistanceVectorSource(engine.space, queries)
+    truth = brute_force_scores(engine.space, queries)
+    return engine, queries, source, truth
+
+
+@pytest.mark.parametrize("seed", range(4))
+class TestLemma1:
+    """The top-1 dominating object is a metric skyline object."""
+
+    def test_top1_in_skyline(self, seed):
+        engine, queries, _source, truth = setup(seed, grid=3 if seed % 2 else None)
+        best_score = max(truth.values())
+        skyline = set(naive_metric_skyline(engine.space, queries))
+        tops = [obj for obj, score in truth.items() if score == best_score]
+        # every maximum-score object must be undominated.
+        for top in tops:
+            assert top in skyline
+
+
+@pytest.mark.parametrize("seed", range(4))
+class TestLemma2:
+    """p ≺ r implies adist(p, Q) < adist(r, Q) (sum aggregate)."""
+
+    def test_dominance_implies_smaller_sum(self, seed):
+        engine, queries, source, _truth = setup(seed, n=60)
+        for a in range(60):
+            for b in range(60):
+                if a != b and source.dominates(a, b):
+                    assert source.aggregate_distance(a) < (
+                        source.aggregate_distance(b)
+                    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+class TestLemma3:
+    """ANN(Q, 1) is a metric skyline object."""
+
+    def test_first_ann_in_skyline(self, seed):
+        engine, queries, source, _truth = setup(seed, grid=4 if seed % 2 else None)
+        first, _adist = next(AggregateNNCursor(engine.tree, queries))
+        assert first in set(naive_metric_skyline(engine.space, queries))
+
+
+@pytest.mark.parametrize("seed", range(3))
+class TestLemma4:
+    """A common neighbor dominates every object not yet seen in any
+    stream (strict version: modulo equivalent objects)."""
+
+    def test_common_neighbor_dominates_unseen(self, seed):
+        engine, queries, source, _truth = setup(seed, n=80)
+        cursors = [
+            IncrementalNNCursor(engine.tree, q) for q in queries
+        ]
+        seen_by = [set() for _ in queries]
+        common = None
+        # round-robin until the first common neighbor appears.
+        for j in itertools.cycle(range(len(queries))):
+            object_id, _d = next(cursors[j])
+            seen_by[j].add(object_id)
+            if all(object_id in s for s in seen_by):
+                common = object_id
+                break
+        seen_any = set().union(*seen_by)
+        for unseen in set(engine.space.object_ids) - seen_any:
+            assert source.dominates(common, unseen) or source.equivalent(
+                common, unseen
+            )
+
+
+@pytest.mark.parametrize("seed", range(3))
+class TestLemma5:
+    """Score estimation upper bounds (Lemma 5 and its tie-safe form).
+
+    The paper states ``dom(o) <= n - max_j rank(o,qj) + eq(o)``; with
+    distance ties that can undercount (an object tied with o — but not
+    equivalent — preceding it in one NN order may still be dominated
+    by o).  The implementation therefore uses the equal-distance
+    group's leftmost rank (``Lpos``): ``dom(o) <= n - max_j Lpos_j(o)
+    - eq(o)``, which these tests verify; for tie-free data both
+    formulas coincide, which is also verified.
+    """
+
+    def _orders(self, engine, queries):
+        for q in queries:
+            yield sorted(
+                engine.space.object_ids,
+                key=lambda i, q=q: (engine.space.distance(i, q), i),
+            ), q
+
+    def test_lpos_estimate_is_upper_bound(self, seed):
+        engine, queries, source, truth = setup(
+            seed, n=70, grid=3 if seed % 2 else None
+        )
+        n = 70
+        lpos_maps = []
+        for order, q in self._orders(engine, queries):
+            lpos = {}
+            group_start = 1
+            for position, obj in enumerate(order, start=1):
+                if position > 1:
+                    prev = order[position - 2]
+                    if engine.space.distance(obj, q) != (
+                        engine.space.distance(prev, q)
+                    ):
+                        group_start = position
+                lpos[obj] = group_start
+            lpos_maps.append(lpos)
+        for obj in engine.space.object_ids:
+            eq = sum(
+                1
+                for other in engine.space.object_ids
+                if other != obj and source.equivalent(obj, other)
+            )
+            estdom = n - max(lp[obj] for lp in lpos_maps) - eq
+            assert truth[obj] <= estdom
+
+    def test_rank_formula_coincides_without_ties(self, seed):
+        engine, queries, source, truth = setup(seed, n=60)  # continuous
+        n = 60
+        ranks = []
+        for order, _q in self._orders(engine, queries):
+            ranks.append({obj: r + 1 for r, obj in enumerate(order)})
+        for obj in engine.space.object_ids:
+            estdom = n - max(r[obj] for r in ranks)  # eq = 0
+            assert truth[obj] <= estdom
+
+
+@pytest.mark.parametrize("seed", range(3))
+class TestLemma7:
+    """dom(o) = n - |U| - eq(o) - 1 with U the strictly-closer union."""
+
+    def test_formula_against_brute_force(self, seed):
+        engine, queries, source, truth = setup(
+            seed, n=60, grid=3 if seed % 2 else None
+        )
+        n = 60
+        for obj in engine.space.object_ids:
+            vec = source.vector(obj)
+            u = {
+                other
+                for other in engine.space.object_ids
+                if other != obj
+                and any(
+                    source.vector(other)[j] < vec[j]
+                    for j in range(len(queries))
+                )
+            }
+            eq = sum(
+                1
+                for other in engine.space.object_ids
+                if other != obj and source.equivalent(obj, other)
+            )
+            assert truth[obj] == n - len(u) - eq - 1

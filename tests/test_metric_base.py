@@ -1,0 +1,94 @@
+"""Unit tests for MetricSpace and the axiom checker."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.metric.base import (
+    MetricAxiomError,
+    MetricSpace,
+    check_metric_axioms,
+)
+from repro.metric.vector import EuclideanMetric
+
+
+class _BrokenAsymmetric:
+    name = "broken"
+
+    def __call__(self, a, b):
+        return float(a - b) if a > b else float(b - a) * 2
+
+
+class _BrokenTriangle:
+    name = "broken-triangle"
+
+    def __call__(self, a, b):
+        return abs(a - b) ** 2  # squared distance violates triangle
+
+
+class TestAxiomChecker:
+    def test_accepts_euclidean(self):
+        payloads = [np.array([i, i % 3]) for i in range(20)]
+        check_metric_axioms(EuclideanMetric(), payloads)
+
+    def test_rejects_asymmetry(self):
+        with pytest.raises(MetricAxiomError):
+            check_metric_axioms(_BrokenAsymmetric(), list(range(10)))
+
+    def test_rejects_triangle_violation(self):
+        with pytest.raises(MetricAxiomError):
+            check_metric_axioms(
+                _BrokenTriangle(), [0.0, 1.0, 2.0, 5.0], sample_triples=500
+            )
+
+    def test_empty_payloads_ok(self):
+        check_metric_axioms(EuclideanMetric(), [])
+
+
+class TestMetricSpace:
+    @pytest.fixture
+    def space(self):
+        rng = np.random.default_rng(0)
+        return MetricSpace(
+            list(rng.random((30, 2))), EuclideanMetric(), name="s"
+        )
+
+    def test_len_and_ids(self, space):
+        assert len(space) == 30
+        assert list(space.object_ids) == list(range(30))
+
+    def test_distance_matches_metric(self, space):
+        expected = EuclideanMetric()(space.payload(1), space.payload(2))
+        assert space.distance(1, 2) == pytest.approx(expected)
+
+    def test_distance_to_payload(self, space):
+        probe = np.array([0.5, 0.5])
+        expected = EuclideanMetric()(space.payload(3), probe)
+        assert space.distance_to_payload(3, probe) == pytest.approx(expected)
+
+    def test_medoid_is_central(self, space):
+        medoid = space.medoid()
+        rng = random.Random(1)
+        worst = max(
+            range(30),
+            key=lambda i: sum(space.distance(i, j) for j in range(30)),
+        )
+        cost_medoid = sum(space.distance(medoid, j) for j in range(30))
+        cost_worst = sum(space.distance(worst, j) for j in range(30))
+        assert cost_medoid <= cost_worst
+
+    def test_approximate_radius_covers_sample(self, space):
+        center = space.medoid()
+        radius = space.approximate_radius(center=center, sample=30)
+        for i in space.object_ids:
+            assert space.distance(center, i) <= radius + 1e-9
+
+    def test_empty_space_radius_zero(self):
+        space = MetricSpace([], EuclideanMetric())
+        assert space.approximate_radius() == 0.0
+
+    def test_empty_space_medoid_raises(self):
+        space = MetricSpace([], EuclideanMetric())
+        with pytest.raises(ValueError):
+            space.medoid()

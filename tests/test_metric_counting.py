@@ -1,0 +1,51 @@
+"""Unit tests for the distance-computation counter."""
+
+import numpy as np
+import pytest
+
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric
+
+
+@pytest.fixture
+def metric():
+    return CountingMetric(EuclideanMetric())
+
+
+class TestCounting:
+    def test_counts_each_call(self, metric):
+        a, b = np.array([0.0, 0.0]), np.array([1.0, 0.0])
+        metric(a, b)
+        metric(a, b)
+        assert metric.count == 2
+
+    def test_identity_shortcircuit_not_counted(self, metric):
+        a = np.array([1.0, 2.0])
+        assert metric(a, a) == 0.0
+        assert metric.count == 0
+
+    def test_equal_but_distinct_payloads_counted(self, metric):
+        a, b = np.array([1.0]), np.array([1.0])
+        assert metric(a, b) == 0.0
+        assert metric.count == 1
+
+    def test_returns_inner_value(self, metric):
+        assert metric(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == (
+            pytest.approx(5.0)
+        )
+
+    def test_reset(self, metric):
+        metric(np.array([0.0]), np.array([1.0]))
+        metric.reset()
+        assert metric.count == 0
+
+    def test_snapshot_delta(self, metric):
+        a, b = np.array([0.0]), np.array([1.0])
+        metric(a, b)
+        snap = metric.snapshot()
+        metric(a, b)
+        metric(a, b)
+        assert metric.delta_since(snap) == 2
+
+    def test_inherits_name(self, metric):
+        assert metric.name == "euclidean"

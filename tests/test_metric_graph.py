@@ -1,0 +1,150 @@
+"""Unit tests for the graph and shortest-path metric."""
+
+import pytest
+
+from repro.metric.graph import Graph, ShortestPathMetric, dijkstra
+
+
+def path_graph(n=5, weight=1.0):
+    g = Graph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, weight)
+    return g
+
+
+class TestGraph:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_add_node(self):
+        g = Graph(2)
+        node = g.add_node()
+        assert node == 2
+        assert g.num_nodes == 3
+
+    def test_add_edge_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.5)
+        assert dict(g.neighbors(0)) == {1: 2.5}
+        assert dict(g.neighbors(1)) == {0: 2.5}
+        assert g.num_edges == 1
+
+    def test_parallel_edge_keeps_minimum(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 9.0)
+        assert dict(g.neighbors(0)) == {1: 2.0}
+        assert g.num_edges == 1
+
+    def test_self_loop_ignored(self):
+        g = Graph(2)
+        g.add_edge(1, 1, 3.0)
+        assert g.num_edges == 0
+
+    def test_negative_weight_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+
+    def test_degree_and_average(self):
+        g = path_graph(4)
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.average_degree() == pytest.approx(2 * 3 / 4)
+
+    def test_edges_iterated_once(self):
+        g = path_graph(4)
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+
+class TestDijkstra:
+    def test_path_distances(self):
+        g = path_graph(5, weight=2.0)
+        dist = dijkstra(g, 0)
+        assert dist == {0: 0.0, 1: 2.0, 2: 4.0, 3: 6.0, 4: 8.0}
+
+    def test_early_termination_is_exact(self):
+        g = path_graph(10)
+        dist = dijkstra(g, 0, target=3)
+        assert dist[3] == pytest.approx(3.0)
+
+    def test_shortcut_wins(self):
+        g = path_graph(4)
+        g.add_edge(0, 3, 0.5)
+        assert dijkstra(g, 0)[3] == pytest.approx(0.5)
+
+    def test_cutoff_limits_exploration(self):
+        g = path_graph(10)
+        dist = dijkstra(g, 0, cutoff=3.0)
+        assert 9 not in dist
+        assert dist[3] == pytest.approx(3.0)
+
+    def test_disconnected_component_absent(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1.0)
+        dist = dijkstra(g, 0)
+        assert 3 not in dist
+
+
+class TestShortestPathMetric:
+    def test_basic_distance(self):
+        metric = ShortestPathMetric(path_graph(5))
+        assert metric(0, 4) == pytest.approx(4.0)
+        assert metric(2, 2) == 0.0
+
+    def test_symmetry(self):
+        g = path_graph(6)
+        g.add_edge(1, 4, 0.7)
+        metric = ShortestPathMetric(g)
+        assert metric(0, 5) == pytest.approx(metric(5, 0))
+
+    def test_triangle_inequality_sampled(self):
+        g = path_graph(8)
+        g.add_edge(0, 5, 1.2)
+        metric = ShortestPathMetric(g)
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    assert metric(a, b) <= metric(a, c) + metric(c, b) + 1e-9
+
+    def test_disconnected_sentinel(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 1.0)
+        metric = ShortestPathMetric(g, disconnected_distance=999.0)
+        assert metric(0, 2) == 999.0
+
+    def test_cache_reduces_dijkstra_runs(self):
+        metric = ShortestPathMetric(path_graph(50), cache_sources=4)
+        for target in range(1, 20):
+            metric(0, target)
+        assert metric.dijkstra_runs == 1
+
+    def test_cache_symmetric_reuse(self):
+        metric = ShortestPathMetric(path_graph(20), cache_sources=4)
+        metric(3, 7)
+        runs = metric.dijkstra_runs
+        metric(9, 3)  # 3's row is cached; reused via symmetry
+        assert metric.dijkstra_runs == runs
+
+    def test_cache_disabled_runs_every_time(self):
+        metric = ShortestPathMetric(path_graph(20), cache_sources=0)
+        metric(0, 5)
+        metric(0, 6)
+        assert metric.dijkstra_runs == 2
+
+    def test_clear_cache(self):
+        metric = ShortestPathMetric(path_graph(20), cache_sources=4)
+        metric(0, 5)
+        metric.clear_cache()
+        metric(0, 6)
+        assert metric.dijkstra_runs == 2

@@ -1,0 +1,68 @@
+"""Unit and property tests for the edit-distance metric."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.metric.strings import EditDistanceMetric, levenshtein
+
+_dna = st.text(alphabet="ACGT", max_size=12)
+
+
+class TestKnownValues:
+    def test_identical(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_classic_kitten_sitting(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_both_empty(self):
+        assert levenshtein("", "") == 0
+
+    def test_single_substitution(self):
+        assert levenshtein("ACGT", "AGGT") == 1
+
+    def test_single_insertion(self):
+        assert levenshtein("ACG", "ACGT") == 1
+
+    def test_transposition_costs_two(self):
+        assert levenshtein("AB", "BA") == 2
+
+    def test_metric_wrapper_returns_float(self):
+        metric = EditDistanceMetric()
+        assert metric("AC", "AG") == 1.0
+        assert isinstance(metric("A", "G"), float)
+        assert metric.name == "edit-distance"
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=_dna, b=_dna)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=_dna, b=_dna)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=_dna, b=_dna, c=_dna)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, b) <= levenshtein(a, c) + levenshtein(c, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=_dna)
+    def test_identity_of_indiscernibles(self, a):
+        assert levenshtein(a, a) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=_dna, b=_dna)
+    def test_zero_implies_equal(self, a, b):
+        if levenshtein(a, b) == 0:
+            assert a == b

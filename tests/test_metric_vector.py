@@ -1,0 +1,100 @@
+"""Unit and property tests for the Lp-norm metrics."""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.metric.vector import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    LpMetric,
+    ManhattanMetric,
+    WeightedEuclideanMetric,
+)
+
+_vec = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=3,
+    max_size=3,
+)
+
+
+class TestKnownValues:
+    def test_euclidean_345(self):
+        assert EuclideanMetric()([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert ManhattanMetric()([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert ChebyshevMetric()([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_l3(self):
+        d = LpMetric(p=3)([0, 0], [1, 1])
+        assert d == pytest.approx(2 ** (1 / 3))
+
+    def test_weighted_euclidean(self):
+        metric = WeightedEuclideanMetric([1.0, 0.0])
+        assert metric([0, 5], [3, 100]) == pytest.approx(3.0)
+
+    def test_names(self):
+        assert EuclideanMetric().name == "euclidean"
+        assert ManhattanMetric().name == "manhattan"
+        assert ChebyshevMetric().name == "chebyshev"
+        assert LpMetric(p=4).name == "l4"
+
+
+class TestValidation:
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LpMetric(p=0.5)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EuclideanMetric()([1, 2], [1, 2, 3])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedEuclideanMetric([1.0, -1.0])
+
+    def test_weight_dimension_enforced(self):
+        metric = WeightedEuclideanMetric([1.0, 1.0])
+        with pytest.raises(ValueError):
+            metric([1, 2, 3], [1, 2, 3])
+
+
+@pytest.mark.parametrize(
+    "metric",
+    [EuclideanMetric(), ManhattanMetric(), ChebyshevMetric(), LpMetric(p=3)],
+    ids=lambda m: m.name,
+)
+class TestMetricAxiomsProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(a=_vec, b=_vec)
+    def test_symmetry_and_positivity(self, metric, a, b):
+        dab = metric(a, b)
+        assert dab >= 0
+        assert dab == pytest.approx(metric(b, a))
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=_vec)
+    def test_reflexivity(self, metric, a):
+        assert metric(a, a) == pytest.approx(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=_vec, b=_vec, c=_vec)
+    def test_triangle_inequality(self, metric, a, b, c):
+        assert metric(a, b) <= metric(a, c) + metric(c, b) + 1e-7
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_vec, b=_vec)
+def test_lp_monotone_in_p(a, b):
+    """L_p norms decrease (weakly) as p grows for the same vectors."""
+    d1 = ManhattanMetric()(a, b)
+    d2 = EuclideanMetric()(a, b)
+    dinf = ChebyshevMetric()(a, b)
+    assert d1 >= d2 - 1e-9 >= dinf - 2e-9

@@ -1,0 +1,146 @@
+"""M-tree bulk loading (pivot-order packing)."""
+
+import random
+
+import pytest
+
+from repro.mtree import MTree, bulk_build, knn_query, range_query
+from repro.mtree.queries import IncrementalNNCursor
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from tests.conftest import make_vector_space
+
+
+def build_pair(n=300, seed=11, grid=None, capacity=12):
+    """The same data bulk-loaded and insert-loaded."""
+    space_a = make_vector_space(n, dims=3, seed=seed, grid=grid)
+    space_b = make_vector_space(n, dims=3, seed=seed, grid=grid)
+    bulk = bulk_build(
+        space_a,
+        LRUBuffer(PageManager(), capacity=64),
+        node_capacity=capacity,
+        rng=random.Random(seed),
+    )
+    incremental = MTree.build(
+        space_b,
+        LRUBuffer(PageManager(), capacity=64),
+        node_capacity=capacity,
+        rng=random.Random(seed),
+    )
+    return bulk, space_a, incremental, space_b
+
+
+class TestStructure:
+    def test_invariants_hold(self):
+        bulk, _sa, _inc, _sb = build_pair()
+        bulk.check_invariants()
+
+    def test_all_objects_indexed(self):
+        bulk, space, _inc, _sb = build_pair(n=250)
+        assert len(bulk) == 250
+        assert set(bulk.object_ids()) == set(space.object_ids)
+
+    def test_uniform_leaf_depth_with_duplicates(self):
+        bulk, _sa, _inc, _sb = build_pair(n=200, grid=2)
+        bulk.check_invariants()  # includes the equal-depth assertion
+
+    def test_empty_and_tiny_inputs(self):
+        space = make_vector_space(0, dims=2, seed=12)
+        tree = bulk_build(
+            space, LRUBuffer(PageManager(), capacity=8), node_capacity=4
+        )
+        assert len(tree) == 0
+        space1 = make_vector_space(1, dims=2, seed=12)
+        tree1 = bulk_build(
+            space1, LRUBuffer(PageManager(), capacity=8), node_capacity=4
+        )
+        assert len(tree1) == 1
+        assert list(IncrementalNNCursor(tree1, 0))[0][0] == 0
+
+    def test_fill_factor_validation(self):
+        space = make_vector_space(10, dims=2, seed=13)
+        with pytest.raises(ValueError):
+            bulk_build(
+                space,
+                LRUBuffer(PageManager(), capacity=8),
+                fill_factor=0.1,
+            )
+
+
+class TestQueryEquivalence:
+    def test_knn_matches_insert_built_tree(self):
+        bulk, sa, incremental, sb = build_pair()
+        for query in (0, 123, 299):
+            a = [d for _i, d in knn_query(bulk, query, 12)]
+            b = [d for _i, d in knn_query(incremental, query, 12)]
+            assert a == pytest.approx(b)
+
+    def test_range_matches(self):
+        bulk, sa, incremental, sb = build_pair()
+        a = {i for i, _d in range_query(bulk, 7, 0.4)}
+        b = {i for i, _d in range_query(incremental, 7, 0.4)}
+        assert a == b
+
+    def test_incremental_stream_sorted_and_complete(self):
+        bulk, space, _inc, _sb = build_pair(n=200)
+        stream = list(IncrementalNNCursor(bulk, 3))
+        assert len(stream) == 200
+        dists = [d for _i, d in stream]
+        assert all(x <= y + 1e-12 for x, y in zip(dists, dists[1:]))
+
+
+class TestBuildCost:
+    def test_bulk_build_uses_far_fewer_distances(self):
+        space_a = make_vector_space(400, dims=3, seed=14)
+        space_b = make_vector_space(400, dims=3, seed=14)
+        before = space_a.metric.count
+        bulk_build(
+            space_a,
+            LRUBuffer(PageManager(), capacity=64),
+            node_capacity=16,
+            rng=random.Random(14),
+        )
+        bulk_cost = space_a.metric.count - before
+        before = space_b.metric.count
+        MTree.build(
+            space_b,
+            LRUBuffer(PageManager(), capacity=64),
+            node_capacity=16,
+            rng=random.Random(14),
+        )
+        insert_cost = space_b.metric.count - before
+        assert bulk_cost < insert_cost / 2
+
+
+class TestDynamicAfterBulk:
+    def test_insert_and_delete_after_bulk(self):
+        bulk, space, _inc, _sb = build_pair(n=150)
+        new_id = space.append(space.payload(0))
+        bulk.insert(new_id)
+        assert bulk.delete(3)
+        bulk.check_invariants()
+        stream = {i for i, _d in IncrementalNNCursor(bulk, 0)}
+        assert new_id in stream and 3 not in stream
+
+    def test_algorithms_run_on_bulk_tree(self):
+        from repro.core.brute_force import brute_force_scores
+        from repro.core.pba import PBA2
+        from repro.core.progressive import QueryContext
+        from repro.storage.buffer import BufferPool
+
+        space = make_vector_space(150, dims=3, seed=15)
+        pool = BufferPool()
+        tree = bulk_build(
+            space,
+            pool.index_buffer,
+            node_capacity=12,
+            rng=random.Random(15),
+        )
+        ctx = QueryContext(space=space, tree=tree, buffers=pool)
+        queries = [0, 75, 149]
+        truth = brute_force_scores(space, queries)
+        results = list(PBA2(ctx).run(queries, 6))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]

@@ -1,0 +1,77 @@
+"""M-tree deletion behaviour (leaf-entry removal, SBA/ABA's need)."""
+
+import random
+
+import pytest
+
+from repro.mtree import IncrementalNNCursor, MTree, knn_query, range_query
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from tests.conftest import make_vector_space
+
+
+@pytest.fixture
+def tree_and_space():
+    space = make_vector_space(n=150, dims=3, seed=6)
+    buf = LRUBuffer(PageManager(), capacity=64)
+    tree = MTree.build(space, buf, node_capacity=8, rng=random.Random(6))
+    return tree, space
+
+
+class TestDelete:
+    def test_delete_removes_object(self, tree_and_space):
+        tree, _ = tree_and_space
+        assert tree.delete(10)
+        assert 10 not in tree
+        assert len(tree) == 149
+
+    def test_delete_absent_returns_false(self, tree_and_space):
+        tree, _ = tree_and_space
+        tree.delete(10)
+        assert not tree.delete(10)
+
+    def test_queries_exclude_deleted(self, tree_and_space):
+        tree, space = tree_and_space
+        victim = knn_query(tree, 0, 2)[1][0]
+        tree.delete(victim)
+        assert victim not in {i for i, _ in knn_query(tree, 0, 10)}
+        assert victim not in {i for i, _ in range_query(tree, 0, 10.0)}
+        assert victim not in {i for i, _ in IncrementalNNCursor(tree, 0)}
+
+    def test_remaining_results_still_exact(self, tree_and_space):
+        tree, space = tree_and_space
+        for victim in [5, 50, 99]:
+            tree.delete(victim)
+        survivors = [i for i in space.object_ids if i not in {5, 50, 99}]
+        expected = sorted(
+            (space.distance(0, i), i) for i in survivors
+        )[:7]
+        got = knn_query(tree, 0, 7)
+        assert [d for _i, d in got] == pytest.approx(
+            [d for d, _i in expected]
+        )
+
+    def test_invariants_after_many_deletions(self, tree_and_space):
+        tree, _ = tree_and_space
+        for victim in range(0, 150, 3):
+            assert tree.delete(victim)
+        tree.check_invariants()
+        assert len(tree) == 100
+
+    def test_reinsert_after_delete(self, tree_and_space):
+        tree, _ = tree_and_space
+        tree.delete(42)
+        tree.insert(42)
+        tree.check_invariants()
+        assert 42 in tree
+        assert knn_query(tree, 42, 1)[0][1] == 0.0
+
+    def test_delete_everything(self):
+        space = make_vector_space(n=30, dims=2, seed=7)
+        buf = LRUBuffer(PageManager(), capacity=32)
+        tree = MTree.build(space, buf, node_capacity=4)
+        for i in range(30):
+            assert tree.delete(i)
+        assert len(tree) == 0
+        assert list(IncrementalNNCursor(tree, space.payload(0))) == []

@@ -1,0 +1,94 @@
+"""Property-based tests of the M-tree against brute force."""
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric, ManhattanMetric
+from repro.mtree import IncrementalNNCursor, MTree, knn_query, range_query
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=5,
+    max_size=60,
+)
+
+
+def build(points, metric=None, capacity=4, seed=0):
+    space = MetricSpace(
+        [np.array(p) for p in points],
+        CountingMetric(metric or EuclideanMetric()),
+    )
+    buf = LRUBuffer(PageManager(), capacity=32)
+    tree = MTree.build(
+        space, buf, node_capacity=capacity, rng=random.Random(seed)
+    )
+    return tree, space
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=_points, query=st.integers(min_value=0, max_value=4))
+def test_incremental_stream_is_brute_force_order(points, query):
+    tree, space = build(points)
+    stream = list(IncrementalNNCursor(tree, query))
+    expected = sorted(space.distance(query, i) for i in space.object_ids)
+    assert [d for _i, d in stream] == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=_points,
+    query=st.integers(min_value=0, max_value=4),
+    radius=st.floats(min_value=0, max_value=1.5, allow_nan=False),
+)
+def test_range_query_matches_filter(points, query, radius):
+    tree, space = build(points)
+    expected = {
+        i for i in space.object_ids if space.distance(query, i) <= radius
+    }
+    got = {i for i, _d in range_query(tree, query, radius)}
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=_points,
+    k=st.integers(min_value=1, max_value=10),
+    capacity=st.integers(min_value=4, max_value=10),
+)
+def test_knn_distances_match_for_any_capacity(points, k, capacity):
+    tree, space = build(points, capacity=capacity)
+    expected = sorted(space.distance(0, i) for i in space.object_ids)[:k]
+    got = [d for _i, d in knn_query(tree, 0, k)]
+    assert got == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(points=_points)
+def test_structural_invariants_always_hold(points):
+    tree, _space = build(points, metric=ManhattanMetric())
+    tree.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=_points,
+    victims=st.sets(st.integers(min_value=0, max_value=4), max_size=3),
+)
+def test_delete_then_query_consistent(points, victims):
+    tree, space = build(points)
+    for victim in victims:
+        tree.delete(victim)
+    survivors = [i for i in space.object_ids if i not in victims]
+    stream = [i for i, _d in IncrementalNNCursor(tree, space.payload(0))]
+    assert sorted(stream) == survivors

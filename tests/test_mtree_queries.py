@@ -1,0 +1,178 @@
+"""M-tree query correctness against brute force."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.mtree import (
+    IncrementalNNCursor,
+    MTree,
+    knn_query,
+    nearest_neighbor,
+    range_query,
+)
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from tests.conftest import make_vector_space
+
+
+@pytest.fixture(scope="module")
+def setup():
+    space = make_vector_space(n=300, dims=3, seed=5)
+    buf = LRUBuffer(PageManager(), capacity=64)
+    tree = MTree.build(space, buf, node_capacity=10, rng=random.Random(5))
+    return tree, space
+
+
+def brute_order(space, query_id):
+    return sorted(
+        (space.distance(query_id, i), i) for i in space.object_ids
+    )
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("radius", [0.0, 0.1, 0.3, 0.7, 10.0])
+    def test_matches_brute_force(self, setup, radius):
+        tree, space = setup
+        query = 17
+        expected = {
+            i for d, i in brute_order(space, query) if d <= radius
+        }
+        got = {i for i, _d in range_query(tree, query, radius)}
+        assert got == expected
+
+    def test_radius_zero_finds_query_itself(self, setup):
+        tree, _ = setup
+        hits = range_query(tree, 42, 0.0)
+        assert 42 in {i for i, _ in hits}
+
+    def test_results_sorted_by_distance(self, setup):
+        tree, _ = setup
+        hits = range_query(tree, 3, 0.5)
+        dists = [d for _i, d in hits]
+        assert dists == sorted(dists)
+
+    def test_boundary_inclusive(self, setup):
+        tree, space = setup
+        # use an exact pairwise distance as the radius: the boundary
+        # object must be included (ABA depends on this).
+        radius = space.distance(0, 100)
+        hits = {i for i, _ in range_query(tree, 0, radius)}
+        assert 100 in hits
+
+    def test_payload_query(self, setup):
+        tree, space = setup
+        probe = np.array([0.5, 0.5, 0.5])
+        got = {i for i, _ in range_query(tree, probe, 0.25)}
+        expected = {
+            i
+            for i in space.object_ids
+            if space.distance_to_payload(i, probe) <= 0.25
+        }
+        assert got == expected
+
+
+class TestKnn:
+    @pytest.mark.parametrize("k", [1, 5, 17, 300])
+    def test_matches_brute_force(self, setup, k):
+        tree, space = setup
+        query = 9
+        expected = [d for d, _i in brute_order(space, query)[:k]]
+        got = [d for _i, d in knn_query(tree, query, k)]
+        assert got == pytest.approx(expected)
+
+    def test_k_zero(self, setup):
+        tree, _ = setup
+        assert knn_query(tree, 0, 0) == []
+
+    def test_k_larger_than_n(self, setup):
+        tree, _ = setup
+        assert len(knn_query(tree, 0, 10_000)) == 300
+
+    def test_negative_k_rejected(self, setup):
+        tree, _ = setup
+        with pytest.raises(ValueError):
+            knn_query(tree, 0, -1)
+
+    def test_nearest_neighbor_is_self_for_member(self, setup):
+        tree, _ = setup
+        object_id, distance = nearest_neighbor(tree, 33)
+        assert distance == 0.0
+
+    def test_uses_fewer_distances_than_brute(self, setup):
+        tree, space = setup
+        metric = space.metric
+        before = metric.snapshot()
+        knn_query(tree, 50, 5)
+        assert metric.delta_since(before) < len(space)
+
+
+class TestIncrementalCursor:
+    def test_full_stream_sorted_and_complete(self, setup):
+        tree, space = setup
+        stream = list(IncrementalNNCursor(tree, 7))
+        assert len(stream) == 300
+        dists = [d for _i, d in stream]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))
+        assert {i for i, _d in stream} == set(space.object_ids)
+
+    def test_prefix_equals_knn(self, setup):
+        tree, _ = setup
+        cursor = IncrementalNNCursor(tree, 11)
+        prefix = list(itertools.islice(cursor, 8))
+        assert [i for i, _ in prefix] == [
+            i for i, _ in knn_query(tree, 11, 8)
+        ]
+
+    def test_lazy_distance_computation(self, setup):
+        tree, space = setup
+        metric = space.metric
+        before = metric.snapshot()
+        cursor = IncrementalNNCursor(tree, 21)
+        next(cursor)
+        first_cost = metric.delta_since(before)
+        for _ in range(50):
+            next(cursor)
+        total_cost = metric.delta_since(before)
+        # pulling more neighbors costs more distances: truly incremental.
+        assert 0 < first_cost < total_cost < len(space) * 2
+
+    def test_skip_set_filters(self, setup):
+        tree, _ = setup
+        skipped = {0, 1, 2, 3}
+        stream = list(IncrementalNNCursor(tree, 0, skip=skipped))
+        assert not ({i for i, _ in stream} & skipped)
+        assert len(stream) == 296
+
+    def test_skip_updated_mid_stream(self, setup):
+        tree, _ = setup
+        skip = set()
+        cursor = IncrementalNNCursor(tree, 5, skip=skip)
+        seen = [next(cursor)[0] for _ in range(5)]
+        # discard a far-away object before the cursor reaches it
+        far = list(IncrementalNNCursor(tree, 5))[-1][0]
+        skip.add(far)
+        rest = [i for i, _ in cursor]
+        assert far not in rest
+        assert far not in seen
+
+    def test_exhausted_cursor_raises(self, setup):
+        tree, _ = setup
+        cursor = IncrementalNNCursor(tree, 2)
+        list(cursor)
+        with pytest.raises(StopIteration):
+            next(cursor)
+
+
+class TestTieHandling:
+    def test_equal_distance_objects_all_streamed(self):
+        space = make_vector_space(n=120, dims=2, seed=8, grid=3)
+        buf = LRUBuffer(PageManager(), capacity=32)
+        tree = MTree.build(space, buf, node_capacity=8)
+        stream = list(IncrementalNNCursor(tree, 0))
+        assert len(stream) == 120
+        dists = [d for _i, d in stream]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))

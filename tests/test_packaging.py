@@ -1,0 +1,88 @@
+"""Packaging-level sanity: public surface imports and metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.metric",
+            "repro.mtree",
+            "repro.vptree",
+            "repro.btree",
+            "repro.skyline",
+            "repro.anns",
+            "repro.storage",
+            "repro.datasets",
+            "repro.bench",
+            "repro.distributed",
+            "repro.streaming",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__, f"{module} must be documented"
+
+    def test_console_script_target(self):
+        from repro.bench.cli import main
+
+        assert callable(main)
+
+    def test_subpackage_alls_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.metric",
+            "repro.mtree",
+            "repro.storage",
+            "repro.datasets",
+            "repro.distributed",
+            "repro.streaming",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name, None) is not None, (
+                    module_name, name,
+                )
+
+
+class TestDocumentationPresence:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "docs/architecture.md",
+            "docs/algorithms.md",
+            "docs/api.md",
+        ],
+    )
+    def test_docs_exist_and_nonempty(self, path):
+        import pathlib
+
+        full = pathlib.Path(__file__).parent.parent / path
+        assert full.exists(), path
+        assert len(full.read_text()) > 500, path
+
+    def test_every_public_module_has_docstring(self):
+        import pathlib
+
+        src = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        for module in src.rglob("*.py"):
+            text = module.read_text()
+            if module.name == "__main__.py":
+                continue
+            assert text.lstrip().startswith(('"""', "'''")), module

@@ -1,0 +1,191 @@
+"""PBA1/PBA2 behaviour (Algorithm 3): correctness, pruning configs,
+progressiveness and the paper's efficiency claims in miniature."""
+
+import itertools
+
+import pytest
+
+from repro import PBA1, PBA2, PruningConfig
+from repro.core.brute_force import brute_force_scores
+
+from tests.conftest import make_engine
+
+ALL_FLAGS = (
+    "dh1", "dh2", "dh3", "eph1", "eph2", "eph3", "eph4", "eph5", "iph",
+)
+
+
+@pytest.fixture(params=[PBA1, PBA2], ids=["pba1", "pba2"])
+def algo_cls(request):
+    return request.param
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_oracle_continuous(self, algo_cls, seed):
+        engine = make_engine(n=120, seed=seed)
+        queries = [seed, 60 + seed, 110 - seed]
+        truth = brute_force_scores(engine.space, queries)
+        results = list(algo_cls(engine.make_context()).run(queries, 7))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:7]
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_oracle_with_ties(self, algo_cls, seed):
+        engine = make_engine(n=110, seed=seed + 40, grid=3)
+        queries = [seed, 55, 100 - seed]
+        truth = brute_force_scores(engine.space, queries)
+        results = list(algo_cls(engine.make_context()).run(queries, 8))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:8]
+
+    def test_single_query_object(self, algo_cls):
+        engine = make_engine(n=80, seed=44)
+        truth = brute_force_scores(engine.space, [13])
+        results = list(algo_cls(engine.make_context()).run([13], 5))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]
+
+    def test_k_equals_n(self, algo_cls):
+        engine = make_engine(n=25, seed=45, grid=2)
+        truth = brute_force_scores(engine.space, [0, 12])
+        results = list(algo_cls(engine.make_context()).run([0, 12], 25))
+        assert len(results) == 25
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )
+
+    def test_many_query_objects(self, algo_cls):
+        engine = make_engine(n=90, seed=46)
+        queries = list(range(0, 80, 10))  # m = 8
+        truth = brute_force_scores(engine.space, queries)
+        results = list(algo_cls(engine.make_context()).run(queries, 4))
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:4]
+
+
+class TestPruningConfigs:
+    @pytest.mark.parametrize("disabled", ALL_FLAGS)
+    def test_each_heuristic_disabled_still_correct(
+        self, algo_cls, disabled
+    ):
+        engine = make_engine(n=100, seed=47, grid=4)
+        queries = [0, 33, 66]
+        truth = brute_force_scores(engine.space, queries)
+        config = PruningConfig()
+        setattr(config, disabled, False)
+        results = list(
+            algo_cls(engine.make_context(), pruning=config).run(queries, 6)
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]
+
+    @pytest.mark.parametrize("enabled", ALL_FLAGS)
+    def test_each_heuristic_alone_still_correct(self, algo_cls, enabled):
+        engine = make_engine(n=100, seed=48, grid=3)
+        queries = [5, 50, 95]
+        truth = brute_force_scores(engine.space, queries)
+        config = PruningConfig.none()
+        setattr(config, enabled, True)
+        results = list(
+            algo_cls(engine.make_context(), pruning=config).run(queries, 6)
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]
+
+    def test_no_pruning_still_correct(self, algo_cls):
+        engine = make_engine(n=90, seed=49)
+        queries = [1, 45]
+        truth = brute_force_scores(engine.space, queries)
+        results = list(
+            algo_cls(
+                engine.make_context(), pruning=PruningConfig.none()
+            ).run(queries, 5)
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]
+
+    def test_pruning_reduces_exact_computations(self, algo_cls):
+        engine = make_engine(n=200, seed=50)
+        queries = [3, 100, 180]
+        ctx_off = engine.make_context()
+        list(
+            algo_cls(ctx_off, pruning=PruningConfig.none()).run(queries, 10)
+        )
+        ctx_on = engine.make_context()
+        list(algo_cls(ctx_on).run(queries, 10))
+        assert (
+            ctx_on.stats.exact_score_computations
+            <= ctx_off.stats.exact_score_computations
+        )
+
+
+class TestProgressiveness:
+    def test_results_stream_incrementally(self, algo_cls):
+        engine = make_engine(n=150, seed=51)
+        queries = [0, 75, 140]
+        metric = engine.space.metric
+        gen = algo_cls(engine.make_context()).run(queries, 10)
+        before = metric.snapshot()
+        next(gen)
+        partial = metric.delta_since(before)
+        list(gen)
+        total = metric.delta_since(before)
+        assert partial < total
+
+    def test_early_stop_cleans_up(self, algo_cls):
+        engine = make_engine(n=100, seed=52)
+        gen = algo_cls(engine.make_context()).run([0, 50], 10)
+        next(gen)
+        gen.close()  # the finally-block must drop the aux structures
+
+    def test_scores_non_increasing(self, algo_cls):
+        engine = make_engine(n=120, seed=53, grid=5)
+        results = list(
+            algo_cls(engine.make_context()).run([2, 60, 118], 12)
+        )
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEfficiencyClaims:
+    def test_exact_computations_far_below_n(self):
+        """Table 3's headline: PBA computes exact scores for a tiny
+        fraction of the data set."""
+        engine = make_engine(n=300, seed=54)
+        queries = [0, 150, 290]
+        ctx = engine.make_context()
+        list(PBA2(ctx).run(queries, 10))
+        assert ctx.stats.exact_score_computations < 300 * 0.3
+
+    def test_pba_uses_fewer_distances_than_full_matrix(self):
+        engine = make_engine(n=300, seed=55)
+        # nearby query objects (the paper's default coverage regime) —
+        # spread-out queries are PBA's worst case and approach n*m.
+        anchor = 10
+        queries = sorted(
+            engine.space.object_ids,
+            key=lambda i: engine.space.distance(anchor, i),
+        )[:4]
+        ctx = engine.make_context()
+        metric = engine.space.metric
+        before = metric.snapshot()
+        list(PBA2(ctx).run(queries, 5))
+        used = metric.delta_since(before)
+        assert used < 300 * len(queries)  # beats SBA/ABA's n*m floor
+
+    def test_pba1_pba2_same_answers(self):
+        engine = make_engine(n=150, seed=56, grid=4)
+        queries = [0, 75, 149]
+        r1 = list(PBA1(engine.make_context()).run(queries, 10))
+        r2 = list(PBA2(engine.make_context()).run(queries, 10))
+        assert [r.score for r in r1] == [r.score for r in r2]

@@ -1,0 +1,79 @@
+"""Progressive-latency instrumentation (bench/progressive.py)."""
+
+import pytest
+
+from repro.bench.progressive import (
+    ProgressiveTrace,
+    measure_progressive_latency,
+)
+
+from tests.conftest import make_engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return make_engine(n=250, seed=101)
+
+
+class TestTrace:
+    def test_trace_has_one_point_per_result(self, engine):
+        trace = measure_progressive_latency(engine, [0, 125], 8)
+        assert trace.k == 8
+        assert [p.rank for p in trace.points] == list(range(1, 9))
+
+    def test_monotone_counters(self, engine):
+        trace = measure_progressive_latency(engine, [1, 130], 10)
+        elapsed = [p.elapsed_seconds for p in trace.points]
+        dists = [p.distance_computations for p in trace.points]
+        faults = [p.page_faults for p in trace.points]
+        assert elapsed == sorted(elapsed)
+        assert dists == sorted(dists)
+        assert faults == sorted(faults)
+
+    def test_scores_descend(self, engine):
+        trace = measure_progressive_latency(engine, [2, 200], 10)
+        scores = [p.score for p in trace.points]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_time_accessors(self, engine):
+        trace = measure_progressive_latency(engine, [3, 90], 5)
+        assert 0 < trace.time_to_first <= trace.time_to_last
+
+    def test_empty_trace_defaults(self):
+        trace = ProgressiveTrace(algorithm="x")
+        assert trace.k == 0
+        assert trace.time_to_first == 0.0
+        assert trace.first_result_fraction() == 0.0
+
+
+class TestFirstResultFraction:
+    def test_fraction_in_unit_interval(self, engine):
+        for algorithm in ("sba", "aba", "pba1", "pba2"):
+            trace = measure_progressive_latency(
+                engine, [5, 150], 10, algorithm=algorithm
+            )
+            for metric in ("distance", "time", "io"):
+                fraction = trace.first_result_fraction(metric)
+                assert 0.0 <= fraction <= 1.0, (algorithm, metric)
+
+    def test_pba_first_result_cheap_in_distances(self, engine):
+        """The progressiveness claim: PBA's first result needs only a
+        fraction of the full run's distance computations."""
+        trace = measure_progressive_latency(
+            engine, [7, 180], 10, algorithm="pba2"
+        )
+        assert trace.first_result_fraction("distance") < 1.0
+
+    def test_unknown_metric_rejected(self, engine):
+        trace = measure_progressive_latency(engine, [8, 60], 3)
+        with pytest.raises(ValueError):
+            trace.first_result_fraction("bogus")
+
+    def test_all_algorithms_report_same_first_score(self, engine):
+        firsts = set()
+        for algorithm in ("sba", "aba", "pba1", "pba2"):
+            trace = measure_progressive_latency(
+                engine, [9, 210], 1, algorithm=algorithm
+            )
+            firsts.add(trace.points[0].score)
+        assert len(firsts) == 1

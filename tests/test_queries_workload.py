@@ -1,0 +1,135 @@
+"""Query-workload generation: the coverage parameter c."""
+
+import random
+
+import pytest
+
+from repro.datasets import QueryWorkload, select_query_objects, uniform
+
+from tests.conftest import make_vector_space
+
+
+@pytest.fixture(scope="module")
+def space():
+    return make_vector_space(n=400, dims=3, seed=17)
+
+
+class TestSelectQueryObjects:
+    def test_returns_m_distinct_members(self, space):
+        queries = select_query_objects(
+            space, m=6, coverage=0.3, rng=random.Random(0)
+        )
+        assert len(queries) == 6
+        assert len(set(queries)) == 6
+        assert all(0 <= q < len(space) for q in queries)
+
+    def test_coverage_bounds_enclosing_radius(self, space):
+        # coverages large enough that the ball is populated at n=400:
+        # the realized spread must respect the target exactly.
+        radius = space.approximate_radius(rng=random.Random(1))
+        for coverage in (0.2, 0.35, 0.5):
+            queries = select_query_objects(
+                space,
+                m=5,
+                coverage=coverage,
+                rng=random.Random(2),
+                dataset_radius=radius,
+            )
+            anchor = queries[0]
+            spread = max(space.distance(anchor, q) for q in queries[1:])
+            assert spread <= coverage * radius + 1e-9
+
+    def test_sparse_ball_best_effort_is_tight(self, space):
+        # at c so small the ball is empty, the best-effort fallback
+        # must return the anchor's nearest sampled neighbors, not an
+        # unconstrained (far-flung) sample.
+        radius = space.approximate_radius(rng=random.Random(11))
+        queries = select_query_objects(
+            space, m=5, coverage=0.001, rng=random.Random(12),
+            dataset_radius=radius,
+        )
+        anchor = queries[0]
+        spread = max(space.distance(anchor, q) for q in queries[1:])
+        assert spread < 0.4 * radius
+
+    def test_larger_coverage_spreads_queries(self, space):
+        radius = space.approximate_radius(rng=random.Random(3))
+
+        def mean_spread(coverage):
+            total = 0.0
+            for rep in range(8):
+                queries = select_query_objects(
+                    space,
+                    m=5,
+                    coverage=coverage,
+                    rng=random.Random(100 + rep),
+                    dataset_radius=radius,
+                )
+                anchor = queries[0]
+                total += max(
+                    space.distance(anchor, q) for q in queries[1:]
+                )
+            return total / 8
+
+        assert mean_spread(0.05) < mean_spread(0.5)
+
+    def test_m_equals_n(self):
+        tiny = make_vector_space(n=5, dims=2, seed=18)
+        queries = select_query_objects(
+            tiny, m=5, coverage=0.2, rng=random.Random(4)
+        )
+        assert sorted(queries) == [0, 1, 2, 3, 4]
+
+    def test_m_exceeding_n_rejected(self):
+        tiny = make_vector_space(n=4, dims=2, seed=19)
+        with pytest.raises(ValueError):
+            select_query_objects(tiny, m=9, coverage=0.5)
+
+    def test_degenerate_space_falls_back(self):
+        # all points coincide: every ball is a point; fallback must
+        # still deliver m distinct ids.
+        import numpy as np
+
+        from repro.metric.base import MetricSpace
+        from repro.metric.counting import CountingMetric
+        from repro.metric.vector import EuclideanMetric
+
+        coincident = MetricSpace(
+            [np.zeros(2)] * 10, CountingMetric(EuclideanMetric())
+        )
+        queries = select_query_objects(
+            coincident, m=3, coverage=0.1, rng=random.Random(5)
+        )
+        assert len(set(queries)) == 3
+
+
+class TestQueryWorkload:
+    def test_validation(self, space):
+        with pytest.raises(ValueError):
+            QueryWorkload(space, m=0)
+        with pytest.raises(ValueError):
+            QueryWorkload(space, coverage=0.0)
+        with pytest.raises(ValueError):
+            QueryWorkload(space, coverage=1.5)
+
+    def test_stream_is_reproducible(self, space):
+        a = QueryWorkload(space, m=4, coverage=0.2, seed=7)
+        b = QueryWorkload(space, m=4, coverage=0.2, seed=7)
+        assert [a.next_query_set() for _ in range(3)] == [
+            b.next_query_set() for _ in range(3)
+        ]
+
+    def test_stream_varies_across_draws(self, space):
+        workload = QueryWorkload(space, m=4, coverage=0.2, seed=8)
+        draws = {tuple(workload.next_query_set()) for _ in range(5)}
+        assert len(draws) > 1
+
+    def test_radius_cached(self, space):
+        workload = QueryWorkload(space, m=3, coverage=0.2, seed=9)
+        first = workload.dataset_radius
+        assert workload.dataset_radius == first
+
+    def test_paper_defaults(self, space):
+        workload = QueryWorkload(space)
+        assert workload.m == 5
+        assert workload.coverage == pytest.approx(0.20)

@@ -1,0 +1,97 @@
+"""SBA-specific behaviour (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro import SBA
+from repro.core.brute_force import brute_force_scores
+
+from tests.conftest import make_engine
+
+
+@pytest.fixture
+def engine():
+    return make_engine(n=130, seed=21)
+
+
+def truth_scores(engine, queries):
+    return brute_force_scores(engine.space, queries)
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, engine):
+        queries = [3, 60, 100]
+        truth = truth_scores(engine, queries)
+        results = list(SBA(engine.make_context()).run(queries, 6))
+        expected = sorted(truth.values(), reverse=True)[:6]
+        assert [r.score for r in results] == expected
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    def test_progressive_yields_descending_scores(self, engine):
+        results = list(SBA(engine.make_context()).run([0, 50], 8))
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_duplicate_results(self, engine):
+        results = list(SBA(engine.make_context()).run([1, 2, 3], 10))
+        ids = [r.object_id for r in results]
+        assert len(set(ids)) == len(ids)
+
+    def test_k_greater_than_n(self):
+        engine = make_engine(n=15, seed=22)
+        results = list(SBA(engine.make_context()).run([0, 7], 50))
+        assert len(results) == 15
+
+
+class TestProgressiveness:
+    def test_first_result_costs_less_than_full_run(self, engine):
+        queries = [5, 55, 105]
+        metric = engine.space.metric
+
+        ctx = engine.make_context()
+        gen = SBA(ctx).run(queries, 10)
+        before = metric.snapshot()
+        next(gen)
+        partial = metric.delta_since(before)
+        list(gen)
+        total = metric.delta_since(before)
+        assert partial <= total
+        # partial consumption reports fewer exact computations as well.
+        ctx2 = engine.make_context()
+        gen2 = SBA(ctx2).run(queries, 10)
+        next(gen2)
+        gen2.close()
+        assert ctx2.stats.exact_score_computations < (
+            ctx.stats.exact_score_computations
+        )
+
+    def test_each_round_recomputes_skyline(self, engine):
+        """SBA's known weakness: exact score computations scale with
+        |skyline| * k, far above PBA's handful (paper Section 4.2)."""
+        ctx = engine.make_context()
+        list(SBA(ctx).run([0, 40, 80], 5))
+        assert ctx.stats.exact_score_computations >= 5
+
+
+class TestPhysicalRemoval:
+    def test_physical_removal_same_answer(self, engine):
+        queries = [10, 70]
+        skip_based = list(SBA(engine.make_context()).run(queries, 5))
+        physical = list(
+            SBA(engine.make_context(), remove_physically=True).run(
+                queries, 5
+            )
+        )
+        assert [r.score for r in skip_based] == [r.score for r in physical]
+
+    def test_tree_restored_after_physical_removal(self, engine):
+        before = len(engine.tree)
+        list(
+            SBA(engine.make_context(), remove_physically=True).run(
+                [0, 50], 5
+            )
+        )
+        assert len(engine.tree) == before
+        engine.tree.check_invariants()

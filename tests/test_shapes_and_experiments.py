@@ -1,0 +1,142 @@
+"""The shape-check engine and the EXPERIMENTS.md generator."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments_md import main as exp_main
+from repro.bench.experiments_md import render_experiments_md
+from repro.bench.shapes import SHAPE_CHECKS, run_shape_checks
+
+
+def _cell(
+    dataset="UNI",
+    algorithm="pba2",
+    parameter="m",
+    value=5,
+    m=5,
+    k=10,
+    c=0.2,
+    cpu=0.1,
+    io=0.2,
+    dists=100,
+    exact=10,
+):
+    return {
+        "dataset": dataset,
+        "algorithm": algorithm,
+        "parameter": parameter,
+        "value": value,
+        "m": m,
+        "k": k,
+        "c": c,
+        "cpu_seconds": cpu,
+        "io_seconds": io,
+        "page_faults": int(io / 0.008),
+        "distance_computations": dists,
+        "exact_score_computations": exact,
+    }
+
+
+def good_cells():
+    """A synthetic result set satisfying every paper claim."""
+    cells = []
+    for dataset in ("UNI", "CAL"):
+        cal = dataset == "CAL"
+        for m in (2, 5, 10):
+            for algorithm, dists, cpu, io, exact in (
+                ("sba", 4000, 1.0, 2.0, 200),
+                ("aba", 8000, 2.0, 4.0, 800),
+                ("pba1", 900 + 10 * m, 0.2, 0.3, 20),
+                ("pba2", 800 + 10 * m, 0.5 if cal else 0.1,
+                 0.05 if cal else 0.3, 20),
+            ):
+                cells.append(
+                    _cell(dataset, algorithm, "m", m, m=m, dists=dists,
+                          cpu=cpu, io=io, exact=exact)
+                )
+        for k in (1, 10, 30):
+            for algorithm in ("sba", "aba", "pba1", "pba2"):
+                exact = 30 * k if algorithm in ("sba", "aba") else 10 + k
+                cells.append(
+                    _cell(dataset, algorithm, "k", k, k=k, exact=exact)
+                )
+        for c in (0.01, 0.2, 0.5):
+            for algorithm in ("sba", "aba", "pba1", "pba2"):
+                exact = (
+                    int(1000 * c) + 100
+                    if algorithm == "sba"
+                    else 20
+                )
+                cells.append(
+                    _cell(dataset, algorithm, "c", c, c=c, exact=exact)
+                )
+    return cells
+
+
+class TestShapeChecks:
+    def test_all_pass_on_conforming_data(self):
+        verdicts = run_shape_checks(good_cells())
+        assert all(verdicts.values()), verdicts
+
+    def test_pba_distances_fails_when_pba_loses(self):
+        cells = good_cells()
+        for cell in cells:
+            if cell["algorithm"] == "pba2" and cell["parameter"] == "m":
+                cell["distance_computations"] = 10**9
+        verdicts = run_shape_checks(cells)
+        assert not verdicts["pba-distances"]
+
+    def test_cal_cpu_bound_fails_when_inverted(self):
+        cells = good_cells()
+        for cell in cells:
+            if cell["dataset"] == "CAL" and cell["algorithm"] == "pba2":
+                cell["cpu_seconds"] = 0.0001
+                cell["io_seconds"] = 10.0
+        verdicts = run_shape_checks(cells)
+        assert not verdicts["cal-cpu-bound"]
+
+    def test_empty_cells_fail_gracefully(self):
+        verdicts = run_shape_checks([])
+        assert set(verdicts) == {check.key for check in SHAPE_CHECKS}
+        assert not verdicts["pba-distances"]
+
+    def test_real_harness_results_pass(self):
+        """The committed quick-profile run must satisfy every claim."""
+        import pathlib
+
+        path = pathlib.Path(__file__).parent.parent / (
+            "results/quick_all.json"
+        )
+        if not path.exists():
+            pytest.skip("no harness results committed")
+        cells = json.loads(path.read_text())
+        verdicts = run_shape_checks(cells)
+        assert all(verdicts.values()), verdicts
+
+
+class TestExperimentsMd:
+    def test_render_contains_all_sections(self):
+        text = render_experiments_md(good_cells(), "note here")
+        for heading in (
+            "# EXPERIMENTS", "## Shape-check summary",
+            "## Figure 4", "## Figure 8", "## Table 2", "## Table 3",
+        ):
+            assert heading in text
+        assert "note here" in text
+        assert "PASS" in text
+
+    def test_render_includes_paper_reference_tables(self):
+        text = render_experiments_md(good_cells())
+        assert "Paper Table 2" in text
+        assert "Paper Table 3" in text
+
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "cells.json"
+        path.write_text(json.dumps(good_cells()))
+        assert exp_main([str(path), "profile", "note"]) == 0
+        out = capsys.readouterr().out
+        assert "profile note" in out
+
+    def test_cli_usage_error(self, capsys):
+        assert exp_main([]) == 2

@@ -1,0 +1,121 @@
+"""Metric skyline: B²MS²-style algorithm vs the naive oracle."""
+
+import random
+
+import pytest
+
+from repro.core.dominance import DistanceVectorSource
+from repro.mtree import MTree
+from repro.skyline import metric_skyline, naive_metric_skyline
+from repro.skyline.b2ms2 import metric_skyline_cursor
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+
+from tests.conftest import make_vector_space
+
+
+def build(n=200, seed=0, grid=None, capacity=10):
+    space = make_vector_space(n, dims=3, seed=seed, grid=grid)
+    buf = LRUBuffer(PageManager(), capacity=64)
+    tree = MTree.build(
+        space, buf, node_capacity=capacity, rng=random.Random(seed)
+    )
+    return tree, space
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive_continuous(self, seed):
+        tree, space = build(n=150, seed=seed)
+        queries = random.Random(seed).sample(range(150), 3)
+        assert sorted(metric_skyline(tree, queries)) == sorted(
+            naive_metric_skyline(space, queries)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_naive_with_ties(self, seed):
+        tree, space = build(n=120, seed=seed, grid=3)
+        queries = random.Random(seed + 10).sample(range(120), 4)
+        assert sorted(metric_skyline(tree, queries)) == sorted(
+            naive_metric_skyline(space, queries)
+        )
+
+    def test_single_query_object(self):
+        tree, space = build(n=100, seed=9)
+        skyline = metric_skyline(tree, [5])
+        # with one query object the skyline is the set of objects at
+        # minimum distance to it — i.e. the query object itself plus
+        # any coincident duplicates.
+        assert 5 in skyline
+        for other in skyline:
+            assert space.distance(5, other) == 0.0
+
+
+class TestSkipSet:
+    def test_skip_excludes_and_reexposes(self):
+        tree, space = build(n=150, seed=2, grid=4)
+        queries = [0, 50, 100]
+        full = metric_skyline(tree, queries)
+        skipped = set(full[:2])
+        reduced = metric_skyline(tree, queries, skip=skipped)
+        assert not (set(reduced) & skipped)
+        universe = [i for i in space.object_ids if i not in skipped]
+        assert sorted(reduced) == sorted(
+            naive_metric_skyline(space, queries, universe=universe)
+        )
+
+    def test_skip_everything_leaves_nothing(self):
+        tree, space = build(n=40, seed=3)
+        skyline = metric_skyline(
+            tree, [0, 1], skip=set(space.object_ids)
+        )
+        assert skyline == []
+
+
+class TestProgressiveness:
+    def test_first_yield_is_aggregate_nn(self):
+        """Lemma 3: the first skyline object reported by the best-first
+        traversal is the sum-aggregate 1-NN."""
+        tree, space = build(n=150, seed=4)
+        queries = [7, 70, 140]
+        source = DistanceVectorSource(space, queries)
+        cursor = metric_skyline_cursor(tree, queries, vectors=source)
+        first = next(cursor)
+        best_adist = min(
+            sum(source.vector(i)) for i in space.object_ids
+        )
+        assert sum(source.vector(first)) == pytest.approx(best_adist)
+
+    def test_yields_in_nondecreasing_adist_order(self):
+        tree, space = build(n=150, seed=5)
+        queries = [1, 2, 3]
+        source = DistanceVectorSource(space, queries)
+        order = [
+            sum(source.vector(i))
+            for i in metric_skyline_cursor(tree, queries, vectors=source)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(order, order[1:]))
+
+    def test_partial_consumption_is_cheaper(self):
+        tree, space = build(n=300, seed=6)
+        queries = [0, 100, 200]
+        metric = space.metric
+        before = metric.snapshot()
+        cursor = metric_skyline_cursor(tree, queries)
+        next(cursor)
+        partial = metric.delta_since(before)
+        list(cursor)
+        total = metric.delta_since(before)
+        assert partial < total
+
+
+class TestSharedVectorCache:
+    def test_vectors_cached_across_calls(self):
+        tree, space = build(n=100, seed=7)
+        queries = [0, 10, 20]
+        source = DistanceVectorSource(space, queries)
+        metric_skyline(tree, queries, vectors=source)
+        metric = space.metric
+        before = metric.snapshot()
+        metric_skyline(tree, queries, vectors=source)
+        assert metric.delta_since(before) == 0  # fully cached

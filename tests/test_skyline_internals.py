@@ -1,0 +1,49 @@
+"""White-box tests of the B²MS²-style skyline internals."""
+
+import pytest
+
+from repro.skyline.b2ms2 import _dominates_region, _node_lower_bounds
+
+
+class TestNodeLowerBounds:
+    def test_bounds_subtract_radius(self):
+        bounds = _node_lower_bounds((5.0, 3.0), covering_radius=2.0)
+        assert bounds[0] == pytest.approx(3.0, rel=1e-9)
+        assert bounds[1] == pytest.approx(1.0, rel=1e-9)
+
+    def test_bounds_clamped_at_zero(self):
+        bounds = _node_lower_bounds((1.0, 0.5), covering_radius=2.0)
+        assert bounds == (0.0, 0.0)
+
+    def test_bounds_never_exceed_raw_difference(self):
+        # the safety pad may only shrink the bound, never grow it.
+        bounds = _node_lower_bounds((10.0,), covering_radius=4.0)
+        assert bounds[0] <= 6.0
+
+
+class TestDominatesRegion:
+    def test_strictly_better_everywhere(self):
+        assert _dominates_region((1.0, 1.0), (2.0, 2.0))
+
+    def test_needs_strict_somewhere(self):
+        assert not _dominates_region((2.0, 2.0), (2.0, 2.0))
+
+    def test_partial_strict_suffices(self):
+        assert _dominates_region((2.0, 1.0), (2.0, 2.0))
+
+    def test_any_worse_coordinate_fails(self):
+        assert not _dominates_region((3.0, 0.0), (2.0, 2.0))
+
+    def test_region_safety_semantics(self):
+        """If the check passes, every vector coordinate-wise >= the
+        bounds is strictly dominated."""
+        skyline_vector = (1.0, 2.0)
+        bounds = (1.5, 2.0)
+        assert _dominates_region(skyline_vector, bounds)
+        # candidate objects inside the region:
+        for candidate in ((1.5, 2.0), (2.0, 3.0), (1.6, 2.1)):
+            assert all(c >= b for c, b in zip(candidate, bounds))
+            # strict dominance of the candidate must follow.
+            le = all(s <= c for s, c in zip(skyline_vector, candidate))
+            lt = any(s < c for s, c in zip(skyline_vector, candidate))
+            assert le and lt

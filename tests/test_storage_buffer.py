@@ -1,0 +1,155 @@
+"""Unit tests for the LRU buffer pools."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool, LRUBuffer
+from repro.storage.pages import PageManager
+
+
+def make_buffer(capacity=3):
+    mgr = PageManager()
+    return mgr, LRUBuffer(mgr, capacity=capacity)
+
+
+class TestLRUBasics:
+    def test_first_read_is_fault(self):
+        mgr, buf = make_buffer()
+        page_id = mgr.allocate()
+        buf.get(page_id)
+        assert buf.stats.page_faults == 1
+        assert buf.stats.buffer_hits == 0
+
+    def test_second_read_is_hit(self):
+        mgr, buf = make_buffer()
+        page_id = mgr.allocate()
+        buf.get(page_id)
+        buf.get(page_id)
+        assert buf.stats.page_faults == 1
+        assert buf.stats.buffer_hits == 1
+
+    def test_lru_eviction_order(self):
+        mgr, buf = make_buffer(capacity=2)
+        a, b, c = (mgr.allocate() for _ in range(3))
+        buf.get(a)
+        buf.get(b)
+        buf.get(c)  # evicts a
+        assert a not in buf
+        assert b in buf and c in buf
+
+    def test_access_refreshes_recency(self):
+        mgr, buf = make_buffer(capacity=2)
+        a, b, c = (mgr.allocate() for _ in range(3))
+        buf.get(a)
+        buf.get(b)
+        buf.get(a)  # a is now most recent
+        buf.get(c)  # evicts b
+        assert b not in buf
+        assert a in buf
+
+    def test_dirty_page_written_back_on_eviction(self):
+        mgr, buf = make_buffer(capacity=1)
+        a, b = mgr.allocate(payload=[]), mgr.allocate()
+        page = buf.get(a)
+        page.payload.append("x")
+        buf.put(page)
+        buf.get(b)  # evicts a, must flush
+        assert mgr.read_page(a).payload == ["x"]
+        assert not mgr.read_page(a).dirty
+
+    def test_put_marks_dirty_and_counts_write(self):
+        mgr, buf = make_buffer()
+        page = buf.get(mgr.allocate())
+        buf.put(page)
+        assert page.dirty
+        assert buf.stats.logical_writes == 1
+
+    def test_zero_capacity_disables_caching(self):
+        mgr, buf = make_buffer(capacity=0)
+        page_id = mgr.allocate()
+        buf.get(page_id)
+        buf.get(page_id)
+        assert buf.stats.page_faults == 2
+        assert buf.stats.buffer_hits == 0
+
+    def test_negative_capacity_rejected(self):
+        mgr = PageManager()
+        with pytest.raises(ValueError):
+            LRUBuffer(mgr, capacity=-1)
+
+    def test_new_page_is_resident_and_dirty(self):
+        mgr, buf = make_buffer()
+        page = buf.new_page(payload="p")
+        assert page.page_id in buf
+        assert page.dirty
+
+    def test_free_page_removes_everywhere(self):
+        mgr, buf = make_buffer()
+        page = buf.new_page()
+        buf.free_page(page.page_id)
+        assert page.page_id not in buf
+        assert page.page_id not in mgr
+
+    def test_invalidate_keeps_disk_copy(self):
+        mgr, buf = make_buffer()
+        page = buf.new_page()
+        buf.invalidate(page.page_id)
+        assert page.page_id not in buf
+        assert page.page_id in mgr
+
+    def test_flush_writes_dirty_frames(self):
+        mgr, buf = make_buffer()
+        page = buf.new_page(payload=[1])
+        buf.flush()
+        assert not mgr.read_page(page.page_id).dirty
+
+    def test_resize_shrink_evicts(self):
+        mgr, buf = make_buffer(capacity=4)
+        ids = [mgr.allocate() for _ in range(4)]
+        for page_id in ids:
+            buf.get(page_id)
+        buf.resize(1)
+        assert len(buf) == 1
+        assert ids[-1] in buf
+
+    def test_hit_ratio(self):
+        mgr, buf = make_buffer()
+        page_id = mgr.allocate()
+        buf.get(page_id)
+        buf.get(page_id)
+        buf.get(page_id)
+        assert buf.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+class TestBufferPool:
+    def test_sizing_rule_applies_fractions(self):
+        pool = BufferPool()
+        pool.size_for(index_pages=1000, dataset_pages=10_000)
+        assert pool.index_buffer.capacity == 100
+        assert pool.aux_buffer.capacity == 2000
+
+    def test_sizing_rule_floors(self):
+        pool = BufferPool()
+        pool.size_for(index_pages=10, dataset_pages=20)
+        assert pool.index_buffer.capacity == BufferPool.MIN_INDEX_FRAMES
+        assert pool.aux_buffer.capacity == BufferPool.MIN_AUX_FRAMES
+
+    def test_combined_io_merges_both(self):
+        pool = BufferPool()
+        a = pool.index_manager.allocate()
+        b = pool.aux_manager.allocate()
+        pool.index_buffer.get(a)
+        pool.aux_buffer.get(b)
+        assert pool.combined_io().page_faults == 2
+        assert pool.combined_io().logical_reads == 2
+
+    def test_reset_stats(self):
+        pool = BufferPool()
+        pool.index_buffer.get(pool.index_manager.allocate())
+        pool.reset_stats()
+        assert pool.combined_io().page_faults == 0
+
+    def test_clear_empties_buffers(self):
+        pool = BufferPool()
+        page = pool.aux_buffer.new_page()
+        pool.clear()
+        assert page.page_id not in pool.aux_buffer

@@ -1,0 +1,120 @@
+"""Unit tests for the page-grained storage manager."""
+
+import pytest
+
+from repro.storage.pages import (
+    DEFAULT_PAGE_SIZE,
+    PagedFile,
+    PageError,
+    PageManager,
+)
+
+
+class TestPageManager:
+    def test_allocate_returns_distinct_ids(self):
+        mgr = PageManager()
+        ids = [mgr.allocate() for _ in range(10)]
+        assert len(set(ids)) == 10
+        assert len(mgr) == 10
+
+    def test_allocation_counter_tracks(self):
+        mgr = PageManager()
+        for _ in range(5):
+            mgr.allocate()
+        assert mgr.stats.pages_allocated == 5
+
+    def test_read_returns_payload(self):
+        mgr = PageManager()
+        page_id = mgr.allocate(payload={"a": 1})
+        assert mgr.read_page(page_id).payload == {"a": 1}
+
+    def test_read_unknown_page_raises(self):
+        mgr = PageManager()
+        with pytest.raises(PageError):
+            mgr.read_page(42)
+
+    def test_free_releases_and_recycles(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        mgr.free(page_id)
+        assert page_id not in mgr
+        recycled = mgr.allocate()
+        assert recycled == page_id
+
+    def test_double_free_raises(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        mgr.free(page_id)
+        with pytest.raises(PageError):
+            mgr.free(page_id)
+
+    def test_write_clears_dirty(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        page = mgr.read_page(page_id)
+        page.dirty = True
+        mgr.write_page(page)
+        assert not mgr.read_page(page_id).dirty
+
+    def test_write_unknown_page_raises(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        page = mgr.read_page(page_id)
+        mgr.free(page_id)
+        with pytest.raises(PageError):
+            mgr.write_page(page)
+
+    def test_default_page_size_is_4kb(self):
+        assert PageManager().page_size == DEFAULT_PAGE_SIZE == 4096
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageManager(page_size=0)
+
+    def test_contains_and_iteration(self):
+        mgr = PageManager()
+        ids = {mgr.allocate() for _ in range(4)}
+        assert set(mgr.iter_page_ids()) == ids
+        assert all(page_id in mgr for page_id in ids)
+
+
+class TestCapacityFor:
+    def test_capacity_scales_with_entry_size(self):
+        mgr = PageManager()
+        assert mgr.capacity_for(64) > mgr.capacity_for(128)
+
+    def test_capacity_accounts_for_header(self):
+        mgr = PageManager(page_size=128)
+        assert mgr.capacity_for(32, header_bytes=32) == (128 - 32) // 32
+
+    def test_capacity_never_below_two(self):
+        mgr = PageManager(page_size=64)
+        assert mgr.capacity_for(10_000) == 2
+
+    def test_capacity_rejects_nonpositive_entries(self):
+        with pytest.raises(ValueError):
+            PageManager().capacity_for(0)
+
+
+class TestPagedFile:
+    def test_allocate_tracks_ownership(self):
+        mgr = PageManager()
+        file = PagedFile(manager=mgr, name="f")
+        page_id = file.allocate()
+        assert page_id in file.page_ids
+        assert len(file) == 1
+
+    def test_free_foreign_page_rejected(self):
+        mgr = PageManager()
+        file = PagedFile(manager=mgr, name="f")
+        foreign = mgr.allocate()
+        with pytest.raises(PageError):
+            file.free(foreign)
+
+    def test_drop_frees_everything(self):
+        mgr = PageManager()
+        file = PagedFile(manager=mgr, name="f")
+        ids = [file.allocate() for _ in range(5)]
+        file.drop()
+        assert len(file) == 0
+        assert all(page_id not in mgr for page_id in ids)

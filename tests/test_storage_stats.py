@@ -1,0 +1,104 @@
+"""Unit tests for I/O statistics and the cost model."""
+
+import pytest
+
+from repro.storage.stats import (
+    PAGE_FAULT_COST_SECONDS,
+    CostModel,
+    IOStats,
+    QueryStats,
+    Stopwatch,
+)
+
+
+class TestIOStats:
+    def test_defaults_zero(self):
+        stats = IOStats()
+        assert stats.logical_accesses == 0
+        assert stats.hit_ratio == 0.0
+
+    def test_merge_accumulates(self):
+        a = IOStats(logical_reads=2, page_faults=1, buffer_hits=1)
+        b = IOStats(logical_reads=3, page_faults=2, buffer_hits=1)
+        a.merge(b)
+        assert a.logical_reads == 5
+        assert a.page_faults == 3
+        assert a.buffer_hits == 2
+
+    def test_snapshot_is_independent(self):
+        a = IOStats(logical_reads=1)
+        snap = a.snapshot()
+        a.logical_reads = 99
+        assert snap.logical_reads == 1
+
+    def test_delta_since(self):
+        earlier = IOStats(page_faults=3, logical_writes=1)
+        later = IOStats(page_faults=10, logical_writes=4)
+        delta = later.delta_since(earlier)
+        assert delta.page_faults == 7
+        assert delta.logical_writes == 3
+
+    def test_reset(self):
+        stats = IOStats(logical_reads=5, page_faults=2)
+        stats.reset()
+        assert stats.logical_reads == 0
+        assert stats.page_faults == 0
+
+
+class TestCostModel:
+    def test_paper_cost_is_8ms(self):
+        assert PAGE_FAULT_COST_SECONDS == pytest.approx(0.008)
+
+    def test_io_seconds(self):
+        model = CostModel()
+        assert model.io_seconds(IOStats(page_faults=125)) == pytest.approx(1.0)
+
+    def test_custom_cost(self):
+        model = CostModel(page_fault_cost=0.001)
+        assert model.io_seconds(IOStats(page_faults=10)) == pytest.approx(0.01)
+
+
+class TestQueryStats:
+    def test_total_combines_cpu_and_io(self):
+        stats = QueryStats(cpu_seconds=1.0)
+        stats.io.page_faults = 125
+        assert stats.io_seconds == pytest.approx(1.0)
+        assert stats.total_seconds == pytest.approx(2.0)
+
+    def test_merge(self):
+        a = QueryStats(cpu_seconds=1.0, distance_computations=10)
+        b = QueryStats(cpu_seconds=0.5, distance_computations=5)
+        b.exact_score_computations = 2
+        a.merge(b)
+        assert a.cpu_seconds == pytest.approx(1.5)
+        assert a.distance_computations == 15
+        assert a.exact_score_computations == 2
+
+    def test_scaled_averages(self):
+        stats = QueryStats(cpu_seconds=3.0, distance_computations=9)
+        stats.io.page_faults = 6
+        avg = stats.scaled(3)
+        assert avg.cpu_seconds == pytest.approx(1.0)
+        assert avg.distance_computations == 3
+        assert avg.io.page_faults == 2
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            QueryStats().scaled(0)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch()
+        with watch:
+            sum(range(10_000))
+        assert watch.elapsed > 0
+
+    def test_accumulates_across_uses(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            sum(range(10_000))
+        assert watch.elapsed > first

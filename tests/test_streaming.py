@@ -1,0 +1,140 @@
+"""Sliding-window continuous top-k dominating queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import brute_force_scores
+from repro.streaming import SlidingWindowTopK, WindowEvent
+
+from tests.conftest import make_engine
+
+
+def make_window(n=40, window_size=40, seed=121):
+    engine = make_engine(n=n, seed=seed)
+    return engine, SlidingWindowTopK(engine, window_size=window_size)
+
+
+class TestMaintenance:
+    def test_append_without_expiry(self):
+        engine, window = make_window(n=10, window_size=20)
+        event = window.append(np.array([0.5, 0.5, 0.5]))
+        assert event.arrived == 10
+        assert event.expired is None
+        assert len(window) == 11
+
+    def test_append_with_expiry(self):
+        engine, window = make_window(n=20, window_size=20)
+        event = window.append(np.array([0.1, 0.2, 0.3]))
+        assert event.expired == 0  # oldest id expires
+        assert 0 not in engine.tree
+        assert len(window) == 20
+
+    def test_fifo_expiry_order(self):
+        engine, window = make_window(n=5, window_size=5)
+        rng = np.random.default_rng(1)
+        expired = [window.append(rng.random(3)).expired for _ in range(3)]
+        assert expired == [0, 1, 2]
+
+    def test_window_size_validation(self):
+        engine, _ = make_window(n=5, window_size=5)
+        with pytest.raises(ValueError):
+            SlidingWindowTopK(engine, window_size=0)
+        with pytest.raises(ValueError):
+            SlidingWindowTopK(engine, window_size=3)  # engine too full
+
+
+class TestQuerying:
+    def test_results_match_oracle_on_window(self):
+        engine, window = make_window(n=30, window_size=30, seed=122)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            window.append(rng.random(3))
+        queries = window.live_ids[:2]
+        results, _ = window.top_k(queries, 5)
+        truth = brute_force_scores(
+            engine.space, queries, universe=window.live_ids
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]
+
+    def test_expired_objects_never_reported(self):
+        engine, window = make_window(n=20, window_size=20, seed=123)
+        rng = np.random.default_rng(3)
+        expired = set()
+        for _ in range(8):
+            event = window.append(rng.random(3))
+            expired.add(event.expired)
+        queries = window.live_ids[-2:]
+        results, _ = window.top_k(queries, 10)
+        assert not ({r.object_id for r in results} & expired)
+
+    def test_expired_query_object_rejected(self):
+        engine, window = make_window(n=10, window_size=10, seed=124)
+        rng = np.random.default_rng(4)
+        window.append(rng.random(3))  # expires id 0
+        with pytest.raises(ValueError):
+            window.top_k([0, 5], 3)
+
+
+class TestPinning:
+    def test_pinned_query_object_survives_expiry(self):
+        engine, window = make_window(n=10, window_size=10, seed=125)
+        window.pin(0)
+        rng = np.random.default_rng(5)
+        event = window.append(rng.random(3))
+        assert event.expired == 0
+        assert 0 in engine.tree  # still physically present
+        results, _ = window.top_k([0, 5], 3)
+        assert all(r.object_id != 0 for r in results)
+
+    def test_pinned_ghost_excluded_from_scores(self):
+        engine, window = make_window(n=12, window_size=12, seed=126)
+        window.pin(0)
+        rng = np.random.default_rng(6)
+        window.append(rng.random(3))  # 0 expires but stays pinned
+        queries = window.live_ids[:2]
+        results, _ = window.top_k(queries, 4)
+        truth = brute_force_scores(
+            engine.space, queries, universe=window.live_ids
+        )
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:4]
+
+    def test_unpin_deletes_departed_ghost(self):
+        engine, window = make_window(n=8, window_size=8, seed=127)
+        window.pin(0)
+        rng = np.random.default_rng(7)
+        window.append(rng.random(3))
+        assert 0 in engine.tree
+        window.unpin(0)
+        assert 0 not in engine.tree
+
+    def test_index_restored_after_query(self):
+        engine, window = make_window(n=10, window_size=10, seed=128)
+        window.pin(0)
+        rng = np.random.default_rng(8)
+        window.append(rng.random(3))
+        before = len(engine.tree)
+        window.top_k(window.live_ids[:2], 3)
+        assert len(engine.tree) == before
+        engine.tree.check_invariants()
+
+
+class TestContinuousScenario:
+    def test_long_stream_stays_consistent(self):
+        engine, window = make_window(n=25, window_size=25, seed=129)
+        rng = np.random.default_rng(9)
+        for step in range(30):
+            window.append(rng.random(3))
+            if step % 10 == 9:
+                queries = window.live_ids[:2]
+                results, _ = window.top_k(queries, 3)
+                truth = brute_force_scores(
+                    engine.space, queries, universe=window.live_ids
+                )
+                assert [r.score for r in results] == sorted(
+                    truth.values(), reverse=True
+                )[:3]
+        engine.tree.check_invariants()

@@ -1,0 +1,61 @@
+"""Property test: the sliding window always matches the oracle.
+
+Arbitrary interleavings of appends and queries must leave the window's
+answers equal to the brute-force result over its live contents.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.brute_force import brute_force_scores
+from repro.streaming import SlidingWindowTopK
+
+from tests.conftest import make_engine
+
+
+@st.composite
+def scenarios(draw):
+    initial = draw(st.integers(min_value=8, max_value=20))
+    window_size = draw(st.integers(min_value=initial, max_value=24))
+    appends = draw(st.integers(min_value=0, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return initial, window_size, appends, seed
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario=scenarios())
+def test_window_answers_match_oracle(scenario):
+    initial, window_size, appends, seed = scenario
+    engine = make_engine(n=initial, seed=seed)
+    window = SlidingWindowTopK(engine, window_size=window_size)
+    rng = np.random.default_rng(seed)
+    for _ in range(appends):
+        window.append(rng.random(3))
+
+    live = window.live_ids
+    assert len(live) == min(initial + appends, window_size)
+    queries = live[:2]
+    k = min(5, len(live))
+    results, _ = window.top_k(queries, k)
+    truth = brute_force_scores(engine.space, queries, universe=live)
+    assert [r.score for r in results] == sorted(
+        truth.values(), reverse=True
+    )[:k]
+
+
+@settings(max_examples=15, deadline=None)
+@given(scenario=scenarios())
+def test_expired_ids_stay_gone(scenario):
+    initial, window_size, appends, seed = scenario
+    engine = make_engine(n=initial, seed=seed)
+    window = SlidingWindowTopK(engine, window_size=window_size)
+    rng = np.random.default_rng(seed + 1)
+    expired = set()
+    for _ in range(appends):
+        event = window.append(rng.random(3))
+        if event.expired is not None:
+            expired.add(event.expired)
+    assert not (expired & set(window.live_ids))
+    for victim in expired:
+        assert victim not in engine.tree

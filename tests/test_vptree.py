@@ -1,0 +1,149 @@
+"""The VP-tree access method and index-agnostic PBA execution."""
+
+import random
+
+import pytest
+
+from repro import TopKDominatingEngine
+from repro.core.brute_force import brute_force_scores
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pages import PageManager
+from repro.vptree import VPTree
+
+from tests.conftest import make_engine, make_vector_space
+
+
+def build(n=200, seed=0, grid=None, leaf_capacity=8):
+    space = make_vector_space(n, dims=3, seed=seed, grid=grid)
+    buf = LRUBuffer(PageManager(), capacity=64)
+    tree = VPTree.build(
+        space, buf, leaf_capacity=leaf_capacity, rng=random.Random(seed)
+    )
+    return tree, space
+
+
+class TestStructure:
+    def test_all_objects_present(self):
+        tree, space = build(n=150)
+        assert len(tree) == 150
+        assert sorted(tree.object_ids()) == list(range(150))
+
+    def test_pages_allocated(self):
+        tree, _ = build(n=200)
+        assert tree.num_pages > 1
+
+    def test_duplicate_points_handled(self):
+        tree, _ = build(n=150, grid=2)  # massive coincidence
+        assert len(tree) == 150
+        stream = list(tree.incremental_cursor(0))
+        assert len(stream) == 150
+
+    def test_leaf_capacity_validation(self):
+        space = make_vector_space(10)
+        buf = LRUBuffer(PageManager(), capacity=8)
+        with pytest.raises(ValueError):
+            VPTree(space, buf, leaf_capacity=1)
+
+
+class TestCursor:
+    def test_stream_matches_brute_order(self):
+        tree, space = build(n=180, seed=3)
+        for query in (0, 57, 179):
+            stream = list(tree.incremental_cursor(query))
+            expected = sorted(
+                space.distance(query, i) for i in space.object_ids
+            )
+            assert [d for _i, d in stream] == pytest.approx(expected)
+
+    def test_lazy_distance_computation(self):
+        tree, space = build(n=400, seed=4)
+        metric = space.metric
+        before = metric.snapshot()
+        cursor = tree.incremental_cursor(11)
+        for _ in range(5):
+            next(cursor)
+        assert metric.delta_since(before) < 400
+
+    def test_skip_set(self):
+        tree, _ = build(n=100, seed=5)
+        stream = list(tree.incremental_cursor(0, skip={1, 2, 3}))
+        assert not ({1, 2, 3} & {i for i, _d in stream})
+
+    def test_payload_query(self):
+        tree, space = build(n=100, seed=6)
+        probe = space.payload(7)
+        first_id, first_d = next(tree.incremental_cursor(probe))
+        assert first_d == pytest.approx(0.0)
+
+
+class TestDeletion:
+    def test_tombstones_respected(self):
+        tree, _ = build(n=80, seed=7)
+        assert tree.delete(5)
+        assert not tree.delete(5)
+        assert 5 not in tree
+        assert len(tree) == 79
+        assert 5 not in {i for i, _d in tree.incremental_cursor(0)}
+
+
+class TestIndexAgnosticAlgorithms:
+    @pytest.fixture
+    def engines(self):
+        space_m = make_vector_space(n=130, dims=3, seed=8)
+        space_v = make_vector_space(n=130, dims=3, seed=8)
+        mtree_engine = TopKDominatingEngine(
+            space_m, rng=random.Random(8), index="mtree"
+        )
+        vptree_engine = TopKDominatingEngine(
+            space_v, rng=random.Random(8), index="vptree"
+        )
+        return mtree_engine, vptree_engine
+
+    @pytest.mark.parametrize("algorithm", ["brute", "pba1", "pba2"])
+    def test_same_answers_on_both_indexes(self, engines, algorithm):
+        mtree_engine, vptree_engine = engines
+        queries = [3, 65, 120]
+        a, _ = mtree_engine.top_k_dominating(
+            queries, 7, algorithm=algorithm
+        )
+        b, _ = vptree_engine.top_k_dominating(
+            queries, 7, algorithm=algorithm
+        )
+        assert [r.score for r in a] == [r.score for r in b]
+
+    def test_vptree_pba_matches_oracle_with_ties(self):
+        space = make_vector_space(n=110, dims=2, seed=9, grid=3)
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(9), index="vptree"
+        )
+        queries = [0, 55, 109]
+        truth = brute_force_scores(engine.space, queries)
+        results, _ = engine.top_k_dominating(queries, 8, algorithm="pba2")
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:8]
+
+    def test_apx_works_on_vptree(self, engines):
+        _mtree_engine, vptree_engine = engines
+        results, _ = vptree_engine.top_k_dominating(
+            [0, 60], 5, algorithm="apx"
+        )
+        assert len(results) == 5
+
+    def test_sba_aba_rejected_on_vptree(self, engines):
+        _mtree_engine, vptree_engine = engines
+        for name in ("sba", "aba"):
+            with pytest.raises(ValueError):
+                vptree_engine.top_k_dominating([0, 60], 3, algorithm=name)
+
+    def test_vptree_static_insert_rejected(self, engines):
+        _mtree_engine, vptree_engine = engines
+        import numpy as np
+
+        with pytest.raises(NotImplementedError):
+            vptree_engine.insert_object(np.zeros(3))
+
+    def test_unknown_index_rejected(self):
+        space = make_vector_space(n=20, dims=2, seed=10)
+        with pytest.raises(ValueError):
+            TopKDominatingEngine(space, index="rtree")

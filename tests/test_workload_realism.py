@@ -1,0 +1,89 @@
+"""Realism checks on the benchmark workloads themselves.
+
+The harness's conclusions are only meaningful if the workloads hit the
+regimes the paper describes; these tests pin down those properties.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import PAPER_DATASETS, select_query_objects
+from repro.skyline import naive_metric_skyline
+
+from tests.conftest import make_vector_space
+
+
+class TestCoverageSkylineRelation:
+    def test_skyline_grows_with_coverage(self):
+        """The causal chain behind Figure 6: larger c -> larger metric
+        skyline (on average)."""
+        space = make_vector_space(n=300, dims=3, seed=151)
+        radius = space.approximate_radius(rng=random.Random(151))
+
+        def mean_skyline(coverage):
+            total = 0
+            for rep in range(5):
+                queries = select_query_objects(
+                    space,
+                    m=5,
+                    coverage=coverage,
+                    rng=random.Random(500 + rep),
+                    dataset_radius=radius,
+                )
+                total += len(naive_metric_skyline(space, queries))
+            return total / 5
+
+        assert mean_skyline(0.05) <= mean_skyline(0.8)
+
+
+class TestQuerySetsAreDatasetMembers:
+    @pytest.mark.parametrize("name", sorted(PAPER_DATASETS))
+    def test_membership(self, name):
+        space = PAPER_DATASETS[name](120, seed=152)
+        queries = select_query_objects(
+            space, m=5, coverage=0.2, rng=random.Random(152)
+        )
+        assert all(0 <= q < len(space) for q in queries)
+        assert len(set(queries)) == 5
+
+
+class TestTieRegimes:
+    def test_zil_produces_equivalent_objects(self):
+        """ZIL's discrete attributes must yield objects with identical
+        distance vectors — the equivalence machinery's real workload."""
+        from repro.core.dominance import DistanceVectorSource
+        from repro.metric.base import MetricSpace
+        from repro.metric.counting import CountingMetric
+
+        raw = PAPER_DATASETS["ZIL"](400, seed=153)
+        space = MetricSpace(
+            [raw.payload(i) for i in raw.object_ids],
+            CountingMetric(raw.metric),
+        )
+        queries = [0, 200]
+        source = DistanceVectorSource(space, queries)
+        vectors = {}
+        duplicates = 0
+        for obj in space.object_ids:
+            vec = source.vector(obj)
+            duplicates += vec in vectors
+            vectors[vec] = obj
+        assert duplicates > 0
+
+    def test_uni_is_essentially_tie_free(self):
+        from repro.core.dominance import DistanceVectorSource
+        from repro.metric.base import MetricSpace
+        from repro.metric.counting import CountingMetric
+
+        raw = PAPER_DATASETS["UNI"](400, seed=154)
+        space = MetricSpace(
+            [raw.payload(i) for i in raw.object_ids],
+            CountingMetric(raw.metric),
+        )
+        source = DistanceVectorSource(space, [0, 200])
+        seen = set()
+        for obj in space.object_ids:
+            vec = source.vector(obj)
+            assert vec not in seen or obj in (0, 200)
+            seen.add(vec)
