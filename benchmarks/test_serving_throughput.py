@@ -1,0 +1,169 @@
+"""Serving benchmark: worker scaling, cache speedup, overload, staleness.
+
+Pins the serving layer's four headline claims on the paper's UNI
+synthetic data set with the simulated-disk I/O model enacted as real
+latency (8 ms per page fault, `ServiceConfig(io_model=True)`):
+
+1. **worker scaling** — ≥2x query throughput with 4 workers vs 1 on a
+   read-only workload of distinct queries (no cache/coalesce help);
+2. **cache speedup** — a cache-hit response is ≥10x faster than the
+   cold execution that populated it;
+3. **no stale reads** — under a write-heavy mix with `verify=True`,
+   every served answer (cold or cached) equals freshly computed
+   brute-force scores, or the run fails with `StaleResultError`;
+4. **typed overload** — a saturated server rejects with `Overloaded`
+   instead of queueing unboundedly.
+
+Measured numbers are recorded in EXPERIMENTS.md ("Serving layer").
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_serving_throughput.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import statistics
+
+from repro import TopKDominatingEngine
+from repro.datasets import PAPER_DATASETS
+from repro.service import (
+    LoadConfig,
+    QueryService,
+    ServiceConfig,
+    run_load,
+)
+
+SERVE_N = 300
+SERVE_SEED = 11
+K = 10
+M = 4
+
+
+def fresh_engine() -> TopKDominatingEngine:
+    space = PAPER_DATASETS["UNI"](SERVE_N, seed=SERVE_SEED)
+    return TopKDominatingEngine(space, rng=random.Random(SERVE_SEED))
+
+
+def read_only_config(requests: int) -> LoadConfig:
+    """Distinct queries (flat mix, pool == requests): every request is
+    a cold engine execution, so throughput measures the workers."""
+    return LoadConfig(
+        clients=8,
+        requests=requests,
+        zipf_s=0.0,
+        pool_size=requests,
+        m=M,
+        k=K,
+        seed=SERVE_SEED,
+    )
+
+
+def test_four_workers_at_least_double_one_worker_throughput():
+    engine = fresh_engine()
+    throughput = {}
+    for workers in (1, 4):
+        config = ServiceConfig(
+            workers=workers, cache_capacity=0, io_model=True
+        )
+        with QueryService(engine, config) as service:
+            report = asyncio.run(run_load(service, read_only_config(48)))
+        assert report.completed == 48
+        assert report.cache_hits == 0
+        throughput[workers] = report.throughput
+        print(
+            f"\n[serving] workers={workers}: "
+            f"{report.throughput:.1f} q/s, "
+            f"p50={report.latency_quantile(0.5) * 1e3:.0f} ms, "
+            f"p99={report.latency_quantile(0.99) * 1e3:.0f} ms"
+        )
+    speedup = throughput[4] / throughput[1]
+    print(f"[serving] 4-worker speedup: {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"expected >=2x throughput at 4 workers, got {speedup:.2f}x "
+        f"({throughput[1]:.1f} -> {throughput[4]:.1f} q/s)"
+    )
+
+
+def test_cache_hit_latency_at_least_10x_below_cold():
+    engine = fresh_engine()
+    config = ServiceConfig(workers=2, io_model=True)
+    query = sorted(random.Random(SERVE_SEED).sample(range(SERVE_N), M))
+
+    async def scenario(service):
+        cold = await service.query(query, K)
+        assert not cold.cached
+        warm_latencies = []
+        for _ in range(5):
+            warm = await service.query(query, K)
+            assert warm.cached
+            assert warm.results == cold.results
+            warm_latencies.append(warm.latency_seconds)
+        return cold.latency_seconds, statistics.median(warm_latencies)
+
+    with QueryService(engine, config) as service:
+        cold_seconds, warm_seconds = asyncio.run(scenario(service))
+    ratio = cold_seconds / warm_seconds
+    print(
+        f"\n[serving] cold={cold_seconds * 1e3:.1f} ms, "
+        f"cache hit={warm_seconds * 1e3:.3f} ms ({ratio:.0f}x)"
+    )
+    assert ratio >= 10.0, (
+        f"cache hit ({warm_seconds * 1e3:.2f} ms) not >=10x faster than "
+        f"cold ({cold_seconds * 1e3:.2f} ms)"
+    )
+
+
+def test_write_heavy_mix_serves_no_stale_scores():
+    engine = fresh_engine()
+    # verify=True audits every cold execution against brute force under
+    # the read lock; LoadConfig.verify additionally audits every
+    # *served* response (cache hits included).  Any stale read raises
+    # StaleResultError and fails the run.
+    config = ServiceConfig(workers=4, io_model=True, verify=True)
+    load = LoadConfig(
+        clients=6,
+        requests=60,
+        write_fraction=0.3,
+        zipf_s=1.1,
+        pool_size=8,
+        m=M,
+        k=K,
+        seed=SERVE_SEED,
+        verify=True,
+    )
+    with QueryService(engine, config) as service:
+        report = asyncio.run(run_load(service, load))
+    print(
+        f"\n[serving] write-heavy mix: {report.writes} writes, "
+        f"{report.completed} queries, {report.cache_hits} cache hits, "
+        f"{report.verified} verified, {report.unverifiable} unverifiable"
+    )
+    assert report.writes > 0
+    assert report.verified > 0
+    assert report.verified + report.unverifiable == report.completed
+
+
+def test_overload_is_rejected_with_typed_error_not_unbounded_queueing():
+    engine = fresh_engine()
+    config = ServiceConfig(
+        workers=1,
+        max_inflight=1,
+        max_queue=2,
+        cache_capacity=0,
+        io_model=True,
+    )
+    load = read_only_config(30)
+    with QueryService(engine, config) as service:
+        report = asyncio.run(run_load(service, load))
+        snapshot = service.snapshot()
+    print(
+        f"\n[serving] overload: {report.completed} served, "
+        f"{report.rejected_overloaded} rejected 429, "
+        f"peak queue depth={snapshot['admission']['peak_queue_depth']}"
+    )
+    assert report.rejected_overloaded > 0, (
+        "8 closed-loop clients against 1 slot + queue of 2 must shed load"
+    )
+    assert report.completed + report.rejected_overloaded == 30
+    # the queue never grew past its bound
+    assert snapshot["admission"]["peak_queue_depth"] <= 2

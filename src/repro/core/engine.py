@@ -22,7 +22,16 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.core.aba import ABA
 from repro.core.approximate import ApproximateTopK
@@ -132,6 +141,8 @@ class TopKDominatingEngine:
         )
         self.buffers.size_for(self.tree.num_pages, dataset_pages)
         self.build_distance_computations = self.counting_metric.count
+        self._epoch = 0
+        self._write_listeners: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # plumbing
@@ -174,6 +185,61 @@ class TopKDominatingEngine:
         return cls(ctx)
 
     # ------------------------------------------------------------------
+    # write epoch (consumed by the serving layer's result cache)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotone write counter: bumped by every successful mutation.
+
+        Two queries executed at the same epoch are guaranteed to see
+        the same data set, which is exactly the invariant a result
+        cache in front of the engine needs (see ``repro.service``).
+        """
+        return self._epoch
+
+    def subscribe_writes(
+        self, listener: Callable[[int], None]
+    ) -> Callable[[], None]:
+        """Call ``listener(new_epoch)`` after every successful write.
+
+        Returns an unsubscribe callable.  Listeners run synchronously
+        inside :meth:`insert_object`/:meth:`delete_object`, after the
+        index mutation completed — so a cache flushing itself from the
+        listener can never observe the pre-write tree at the post-write
+        epoch.
+        """
+        self._write_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._write_listeners.remove(listener)
+            except ValueError:  # already unsubscribed
+                pass
+
+        return unsubscribe
+
+    def _notify_write(self) -> None:
+        self._epoch += 1
+        for listener in list(self._write_listeners):
+            listener(self._epoch)
+
+    def prepare_for_concurrency(self) -> None:
+        """Make the shared mutable internals safe for parallel queries.
+
+        The engine's hot path is single-threaded by design (no lock
+        overhead for benchmarks); a multi-threaded caller such as
+        :class:`repro.service.QueryService` must call this once before
+        issuing concurrent queries.  It locks the two structures that
+        concurrent *readers* mutate: the :class:`CountingMetric`
+        evaluation counter and both LRU buffers (whose recency lists
+        move on every page hit).  Mutating the *data set* concurrently
+        with queries additionally requires external read/write
+        exclusion, which the service layer provides.
+        """
+        self.counting_metric.make_thread_safe()
+        self.buffers.make_thread_safe()
+
+    # ------------------------------------------------------------------
     # dynamic data (the M-tree's insert/delete support, Section 4.1)
     # ------------------------------------------------------------------
     def insert_object(self, payload) -> int:
@@ -185,11 +251,15 @@ class TopKDominatingEngine:
             )
         object_id = self.space.append(payload)
         self.tree.insert(object_id)
+        self._notify_write()
         return object_id
 
     def delete_object(self, object_id: int) -> bool:
         """Remove an object from the index (id stays allocated)."""
-        return self.tree.delete(object_id)
+        removed = self.tree.delete(object_id)
+        if removed:
+            self._notify_write()
+        return removed
 
     def register_query_payload(self, payload) -> int:
         """Admit an *external* query object; returns its query id.

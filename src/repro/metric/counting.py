@@ -11,7 +11,8 @@ exhaustive — there is no side channel to the raw metric.
 
 from __future__ import annotations
 
-from typing import Any
+import threading
+from typing import Any, Optional
 
 from repro.metric.base import Metric
 
@@ -22,18 +23,41 @@ class CountingMetric:
     Identity pairs (``a is b``) are short-circuited to 0 *without*
     counting, matching the convention that ``d(p, p)`` is never actually
     computed by the C++ implementations the paper benchmarks.
+
+    The counter is a plain attribute by default — the fast path for the
+    single-threaded benchmarks.  ``self.count += 1`` is a read-modify-
+    write that CPython does *not* make atomic across threads, so the
+    serving layer (:mod:`repro.service`) calls :meth:`make_thread_safe`
+    once to guard increments with a lock; until then no lock is ever
+    taken.
     """
 
     def __init__(self, inner: Metric) -> None:
         self.inner = inner
         self.name = getattr(inner, "name", "metric")
         self.count = 0
+        self._lock: Optional[threading.Lock] = None
 
     def __call__(self, a: Any, b: Any) -> float:
         if a is b:
             return 0.0
-        self.count += 1
+        lock = self._lock
+        if lock is None:
+            self.count += 1
+        else:
+            with lock:
+                self.count += 1
         return self.inner(a, b)
+
+    def make_thread_safe(self) -> None:
+        """Guard counter increments with a lock (idempotent).
+
+        Needed as soon as concurrent queries share one metric: lost
+        increments would silently under-report the paper's headline
+        cost metric.
+        """
+        if self._lock is None:
+            self._lock = threading.Lock()
 
     def reset(self) -> None:
         """Zero the evaluation counter."""

@@ -1,0 +1,73 @@
+"""repro.service — a concurrent query server over the engine.
+
+The ROADMAP's north star is serving heavy traffic, not one synchronous
+caller; this subsystem is the first layer where that becomes real,
+measurable code.  It wraps one shared
+:class:`~repro.core.engine.TopKDominatingEngine` behind
+:class:`QueryService`:
+
+* **worker pool + read/write lock** — queries execute concurrently on
+  a sized thread pool under shared engine access; ``insert``/``delete``
+  take the exclusive side (``server.py``);
+* **admission control** — a bounded wait queue with per-request
+  deadlines; overload is rejected with the typed :class:`Overloaded`
+  (HTTP-429 analogue) instead of queueing unboundedly
+  (``admission.py``);
+* **single-flight coalescing** — concurrent identical
+  ``(sorted(Q), k, algorithm)`` requests share one engine execution
+  (``coalesce.py``);
+* **result cache** — an LRU keyed the same way, validated against the
+  engine's write epoch and flushed on every ``insert_object`` /
+  ``delete_object`` so a dynamic data set can never be served stale
+  scores (``cache.py``);
+* **metrics** — latency histograms, queue gauges, cache/coalescer
+  effectiveness and per-algorithm engine-cost aggregates, exported as
+  one ``snapshot()`` dict (``metrics.py``);
+* **load generator** — the closed-loop, Zipf-skewed ``repro-serve``
+  console script demonstrating throughput scaling, cache speedup and
+  overload behaviour (``loadgen.py``).
+
+See ``docs/serving.md`` for the architecture and semantics.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    DeadlineExceeded,
+    Overloaded,
+    Rejected,
+    ServiceError,
+    StaleResultError,
+)
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.coalesce import SingleFlight
+from repro.service.loadgen import LoadConfig, LoadReport, run_load
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.server import (
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+    ReadWriteLock,
+    ServiceConfig,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CacheEntry",
+    "DeadlineExceeded",
+    "LatencyHistogram",
+    "LoadConfig",
+    "LoadReport",
+    "Overloaded",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ReadWriteLock",
+    "Rejected",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "SingleFlight",
+    "StaleResultError",
+    "run_load",
+]

@@ -1,0 +1,150 @@
+"""Admission control: bounded queueing, deadlines, typed rejection.
+
+A server in front of :class:`~repro.core.engine.TopKDominatingEngine`
+must not queue unboundedly: MSD queries are expensive (the paper's
+Section 5 charges tens of page faults and thousands of distance
+computations per query), so under overload an unbounded queue turns
+into unbounded latency for *every* client.  The
+:class:`AdmissionController` enforces the classic bounded-queue policy:
+
+* at most ``max_inflight`` requests execute concurrently (a semaphore
+  sized to the worker pool, so admitted work never piles up inside the
+  executor);
+* at most ``max_queue`` further requests wait for a slot; the next one
+  is rejected immediately with :class:`Overloaded` — the HTTP-429
+  analogue, a *typed* signal the client can back off on;
+* a waiting request that outlives its ``deadline`` (seconds) is
+  rejected with :class:`DeadlineExceeded` instead of occupying the
+  queue forever.  The deadline bounds *queueing* delay; execution,
+  once started, runs to completion.
+
+The controller is pure asyncio and allocates its semaphore lazily so it
+can be constructed outside a running event loop (e.g. in synchronous
+test fixtures or the CLI).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator, Optional
+
+
+class ServiceError(RuntimeError):
+    """Base class of every error raised by the serving layer."""
+
+
+class Rejected(ServiceError):
+    """Base class of admission rejections (overload / deadline)."""
+
+
+class Overloaded(Rejected):
+    """Request rejected because the wait queue is full (back off)."""
+
+    def __init__(self, queue_depth: int, max_queue: int) -> None:
+        super().__init__(
+            f"server overloaded: {queue_depth} requests already queued "
+            f"(max_queue={max_queue})"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+class DeadlineExceeded(Rejected):
+    """Request rejected because it queued longer than its deadline."""
+
+    def __init__(self, deadline: float) -> None:
+        super().__init__(
+            f"request queued longer than its {deadline:.3f}s deadline"
+        )
+        self.deadline = deadline
+
+
+class StaleResultError(ServiceError):
+    """A served result disagreed with a fresh brute-force computation.
+
+    Raised only in ``verify`` mode (tests / load-generator audits);
+    seeing this in production mode would mean the cache invalidation
+    protocol is broken.
+    """
+
+
+class AdmissionController:
+    """Bounded admission for the asyncio front end.
+
+    Use as::
+
+        async with controller.admit(deadline=0.5):
+            ...  # at most max_inflight of these bodies run at once
+
+    ``queue_depth`` / ``inflight`` are live gauges;
+    ``peak_queue_depth`` / ``peak_inflight`` are high-water marks for
+    the metrics snapshot.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        default_deadline: Optional[float] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.default_deadline = default_deadline
+        self.queue_depth = 0
+        self.inflight = 0
+        self.peak_queue_depth = 0
+        self.peak_inflight = 0
+        self._semaphore: Optional[asyncio.Semaphore] = None
+
+    def _slots(self) -> asyncio.Semaphore:
+        # lazy: asyncio primitives bind to the running loop on 3.9.
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.max_inflight)
+        return self._semaphore
+
+    @contextlib.asynccontextmanager
+    async def admit(
+        self, deadline: Optional[float] = None
+    ) -> AsyncIterator[None]:
+        """Acquire an execution slot or raise a typed rejection."""
+        slots = self._slots()
+        # the queue bound only applies when no slot is immediately
+        # free: max_queue=0 means "never wait", not "never serve".
+        if slots.locked() and self.queue_depth >= self.max_queue:
+            raise Overloaded(self.queue_depth, self.max_queue)
+        timeout = deadline if deadline is not None else self.default_deadline
+        self.queue_depth += 1
+        self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
+        try:
+            if timeout is None:
+                await slots.acquire()
+            else:
+                try:
+                    await asyncio.wait_for(slots.acquire(), timeout)
+                except asyncio.TimeoutError:
+                    raise DeadlineExceeded(timeout) from None
+        finally:
+            self.queue_depth -= 1
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        try:
+            yield
+        finally:
+            self.inflight -= 1
+            slots.release()
+
+    def snapshot(self) -> dict:
+        """Gauges and limits as plain types (for the metrics export)."""
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "peak_queue_depth": self.peak_queue_depth,
+            "peak_inflight": self.peak_inflight,
+        }

@@ -1,0 +1,155 @@
+"""Epoch-validated LRU result cache.
+
+Caching MSD answers is only sound if the cache can prove an entry was
+computed over the *current* data set — the engine is dynamic
+(``insert_object`` / ``delete_object``, paper Section 4.1), and a
+single insertion can change every domination score.  TTLs cannot give
+that guarantee; epochs can:
+
+* every entry is stamped with the engine's **write epoch** at the
+  moment its query executed (read under the service's engine read
+  lock, so the stamp provably matches the tree state the query saw);
+* :meth:`get` compares the stamp against the caller's current epoch
+  and treats any mismatch as a miss (evicting the corpse);
+* additionally the cache *subscribes* to engine writes
+  (:meth:`attach`) and flushes eagerly, so stale entries do not even
+  occupy frames.
+
+Flushing everything on every write is the deliberately conservative
+v1 — correctness first.  The refinement path (documented in
+``docs/serving.md``) is selective invalidation: a write at distance
+vector ``v`` can only change scores of entries whose query ball
+intersects the dominance region of ``v``, so entries could be indexed
+by query-set ball and invalidated per-region.  The epoch check makes
+such refinements safe to get wrong in the conservative direction only.
+
+The double guard (subscription flush *and* per-get epoch check) means
+correctness never rests on the subscription being wired: a detached
+cache degrades to epoch-checked, never to stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+#: cache keys are the request identity: (sorted query ids, k, algorithm).
+CacheKey = Tuple[Tuple[int, ...], int, str]
+
+
+@dataclass
+class CacheEntry:
+    """One cached answer and the write epoch it was computed at."""
+
+    value: Any
+    epoch: int
+    hits: int = 0
+
+
+class ResultCache:
+    """A thread-safe LRU of query answers, validated by write epoch.
+
+    ``capacity`` counts entries; zero disables caching (every ``get``
+    misses, ``put`` is a no-op) so callers need no special casing.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stale_evictions = 0
+        self.flushes = 0
+        self._detach: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # cache interface
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, epoch: int) -> Optional[CacheEntry]:
+        """The entry for ``key`` iff it was computed at ``epoch``.
+
+        A surviving entry whose stamp disagrees with the current epoch
+        is dropped on sight — the belt to the write-subscription's
+        braces.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch:
+                del self._entries[key]
+                self.stale_evictions += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            return entry
+
+    def put(self, key: Hashable, epoch: int, value: Any) -> None:
+        """Install an answer computed at ``epoch``, evicting LRU."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = CacheEntry(value=value, epoch=epoch)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def flush(self) -> None:
+        """Drop every entry (called on each engine write, v1 policy)."""
+        with self._lock:
+            self._entries.clear()
+            self.flushes += 1
+
+    # ------------------------------------------------------------------
+    # engine wiring
+    # ------------------------------------------------------------------
+    def attach(self, engine: Any) -> Callable[[], None]:
+        """Subscribe to ``engine``'s write hook; returns a detacher.
+
+        ``engine`` is anything exposing ``subscribe_writes(listener)``
+        — in practice :class:`~repro.core.engine.TopKDominatingEngine`.
+        """
+        detach = engine.subscribe_writes(lambda _epoch: self.flush())
+        self._detach = detach
+        return detach
+
+    def detach(self) -> None:
+        """Undo :meth:`attach` (idempotent)."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Counters as plain types (for the metrics export)."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "stale_evictions": self.stale_evictions,
+            "flushes": self.flushes,
+        }

@@ -1,0 +1,106 @@
+"""Single-flight request coalescing.
+
+Query traffic is heavily skewed in practice (the load generator models
+it with a Zipf distribution): at any instant many clients tend to ask
+the *same* ``MSD(Q, k)`` question.  Executing each copy independently
+multiplies distance computations and page faults for identical answers.
+:class:`SingleFlight` deduplicates *concurrent* identical requests: the
+first caller for a key becomes the **leader** and actually executes;
+every caller that arrives while the leader is in flight becomes a
+**follower** and is handed the leader's result (or exception) for free.
+
+The mechanism is intentionally built on
+:class:`concurrent.futures.Future`, not asyncio futures, so the same
+object works from plain threads (the synchronous
+``QueryService.query_sync`` path) and from the asyncio front end via
+:func:`asyncio.wrap_future`.
+
+Unlike the result cache, coalescing holds *no* state after the flight
+lands, so it needs no invalidation: a write arriving mid-flight cannot
+be observed by the flight anyway (execution holds the engine read lock
+for its whole duration), and the shared answer is exactly the answer
+each follower would have computed had it been admitted first — the
+linearization point of every coalesced request is the leader's.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls that share a key.
+
+    Protocol: ``begin(key)`` returns ``(future, is_leader)``.  The
+    leader *must* eventually call :meth:`finish` exactly once with the
+    result or the exception; followers just wait on the future.
+    :meth:`execute` wraps the protocol for synchronous callers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, "Future"] = {}
+        self.flights = 0
+        self.saved = 0
+
+    def begin(self, key: Hashable) -> Tuple["Future", bool]:
+        """Join (or start) the flight for ``key``."""
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.saved += 1
+                return future, False
+            future = Future()
+            self._inflight[key] = future
+            self.flights += 1
+            return future, True
+
+    def finish(
+        self,
+        key: Hashable,
+        result: object = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        """Land the flight, waking every follower (leader only)."""
+        with self._lock:
+            future = self._inflight.pop(key)
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+
+    def execute(self, key: Hashable, fn: Callable[[], T]) -> Tuple[T, bool]:
+        """Synchronous convenience: run ``fn`` once per concurrent key.
+
+        Returns ``(value, shared)`` where ``shared`` is True when this
+        caller rode along on another caller's execution.
+        """
+        future, leader = self.begin(key)
+        if leader:
+            try:
+                value = fn()
+            except BaseException as exc:
+                self.finish(key, exception=exc)
+                raise
+            self.finish(key, result=value)
+            return value, False
+        return future.result(), True
+
+    @property
+    def inflight(self) -> int:
+        """Number of flights currently airborne."""
+        with self._lock:
+            return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        """Counters as plain types (for the metrics export)."""
+        with self._lock:
+            return {
+                "flights": self.flights,
+                "saved": self.saved,
+                "inflight": len(self._inflight),
+            }

@@ -1,0 +1,333 @@
+"""Closed-loop load generator and the ``repro-serve`` console script.
+
+Drives a :class:`~repro.service.server.QueryService` with ``clients``
+concurrent closed-loop clients (each waits for its response before
+issuing the next request — the standard way to measure a server
+without coordinated-omission artifacts from an open-loop arrival
+process).  The query mix is **Zipf-skewed** over a fixed pool of query
+sets — real query logs are heavy-tailed, and the skew is what gives
+the result cache and the single-flight coalescer something to do — and
+a configurable ``write_fraction`` of operations are engine writes
+(inserts, and deletes of previously inserted objects), exercising the
+epoch-invalidation path under load.
+
+``repro-serve`` wires this to the paper's UNI synthetic data set::
+
+    repro-serve --n 400 --clients 8 --workers 4 --requests 200
+    repro-serve --write-fraction 0.2 --verify   # audit vs brute force
+    repro-serve --stats                          # dump metrics JSON
+
+Throughput and p50/p99 latency are measured client-side (exact order
+statistics over all completed requests); ``--stats`` additionally
+dumps the server-side metrics snapshot as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.service.admission import DeadlineExceeded, Overloaded
+from repro.service.server import QueryService, ServiceConfig
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Workload shape for one :func:`run_load` run."""
+
+    clients: int = 8
+    requests: int = 200
+    write_fraction: float = 0.0
+    zipf_s: float = 1.1
+    pool_size: int = 32
+    m: int = 4
+    k: int = 10
+    algorithm: str = "pba2"
+    deadline: Optional[float] = None
+    seed: int = 7
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured (client-side ground truth)."""
+
+    wall_seconds: float = 0.0
+    completed: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    writes: int = 0
+    rejected_overloaded: int = 0
+    rejected_deadline: int = 0
+    verified: int = 0
+    unverifiable: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def latency_quantile(self, q: float) -> float:
+        """Exact order-statistic quantile over completed queries."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def render(self) -> str:
+        """Human-readable one-run summary."""
+        lines = [
+            f"wall time        {self.wall_seconds:8.3f} s",
+            f"completed        {self.completed:8d}"
+            f"  ({self.throughput:.1f} queries/s)",
+            f"cache hits       {self.cache_hits:8d}",
+            f"coalesced        {self.coalesced:8d}",
+            f"writes           {self.writes:8d}",
+            f"rejected 429     {self.rejected_overloaded:8d}",
+            f"rejected ddl     {self.rejected_deadline:8d}",
+            f"latency p50      {self.latency_quantile(0.50) * 1e3:8.2f} ms",
+            f"latency p99      {self.latency_quantile(0.99) * 1e3:8.2f} ms",
+        ]
+        if self.verified or self.unverifiable:
+            lines.append(
+                f"verified         {self.verified:8d}"
+                f"  (+{self.unverifiable} unverifiable: epoch moved)"
+            )
+        return "\n".join(lines)
+
+
+def _default_payload_factory(
+    service: QueryService,
+) -> Callable[[random.Random], Any]:
+    """New objects shaped like the data set's existing payloads."""
+    prototype = np.asarray(service.engine.space.payload(0), dtype=float)
+
+    def factory(rng: random.Random) -> Any:
+        return np.array([rng.random() for _ in range(prototype.shape[0])])
+
+    return factory
+
+
+def _zipf_pool(
+    service: QueryService, config: LoadConfig, rng: random.Random
+) -> Tuple[List[Tuple[int, ...]], List[float]]:
+    """A pool of query sets and their Zipf selection weights."""
+    initial_ids = list(service.engine.space.object_ids)
+    pool: List[Tuple[int, ...]] = []
+    for _ in range(config.pool_size):
+        pool.append(tuple(rng.sample(initial_ids, config.m)))
+    weights = [
+        1.0 / ((rank + 1) ** config.zipf_s) for rank in range(len(pool))
+    ]
+    return pool, weights
+
+
+async def run_load(
+    service: QueryService,
+    config: Optional[LoadConfig] = None,
+    payload_factory: Optional[Callable[[random.Random], Any]] = None,
+) -> LoadReport:
+    """Run the closed-loop workload against ``service``."""
+    config = config or LoadConfig()
+    make_payload = payload_factory or _default_payload_factory(service)
+    pool_rng = random.Random(config.seed)
+    pool, weights = _zipf_pool(service, config, pool_rng)
+    report = LoadReport()
+    inserted_ids: List[int] = []
+    remaining = config.requests
+    loop = asyncio.get_running_loop()
+
+    async def one_write(rng: random.Random) -> None:
+        if inserted_ids and rng.random() < 0.5:
+            victim = inserted_ids.pop(rng.randrange(len(inserted_ids)))
+            await service.delete(victim)
+        else:
+            inserted_ids.append(await service.insert(make_payload(rng)))
+        report.writes += 1
+
+    async def one_query(rng: random.Random) -> None:
+        query_ids = rng.choices(pool, weights=weights)[0]
+        try:
+            response = await service.query(
+                query_ids,
+                config.k,
+                algorithm=config.algorithm,
+                deadline=config.deadline,
+            )
+        except Overloaded:
+            report.rejected_overloaded += 1
+            return
+        except DeadlineExceeded:
+            report.rejected_deadline += 1
+            return
+        report.completed += 1
+        report.latencies.append(response.latency_seconds)
+        if response.cached:
+            report.cache_hits += 1
+        if response.coalesced:
+            report.coalesced += 1
+        if config.verify:
+            # brute force is expensive: run it off the event loop, on
+            # the default executor so it cannot starve the query pool.
+            verdict = await loop.run_in_executor(
+                None,
+                service.verify_response,
+                query_ids,
+                config.k,
+                response,
+            )
+            if verdict is None:
+                report.unverifiable += 1
+            else:
+                report.verified += 1
+
+    async def client(client_id: int) -> None:
+        nonlocal remaining
+        rng = random.Random(config.seed * 1000003 + client_id)
+        while remaining > 0:
+            remaining -= 1
+            if rng.random() < config.write_fraction:
+                await one_write(rng)
+            else:
+                await one_query(rng)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(i) for i in range(config.clients)))
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# console script
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Load-test the concurrent MSD(Q, k) query service over the "
+            "paper's UNI synthetic data set."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=400,
+                        help="data set cardinality (default 400)")
+    parser.add_argument("--dims", type=int, default=4,
+                        help="data set dimensionality (default 4)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--clients", type=int, default=8,
+                        help="closed-loop client count (default 8)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="engine worker threads (default 4)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="total operations to issue (default 200)")
+    parser.add_argument("--write-fraction", type=float, default=0.0,
+                        help="fraction of ops that are writes (default 0)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf skew of the query mix (default 1.1)")
+    parser.add_argument("--pool", type=int, default=32,
+                        help="distinct query sets in the mix (default 32)")
+    parser.add_argument("--m", type=int, default=4,
+                        help="query objects per request (default 4)")
+    parser.add_argument("--k", type=int, default=10,
+                        help="results per request (default 10)")
+    parser.add_argument("--algorithm", default="pba2",
+                        help="engine algorithm (default pba2)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request queueing deadline in seconds")
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument("--max-inflight", type=int, default=None)
+    parser.add_argument("--cache-capacity", type=int, default=256)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--no-io-model", action="store_true",
+                        help="do not sleep the simulated 8ms/fault I/O")
+    parser.add_argument("--io-scale", type=float, default=1.0,
+                        help="scale factor on simulated I/O sleeps")
+    parser.add_argument("--verify", action="store_true",
+                        help="audit every response against brute force")
+    parser.add_argument("--stats", action="store_true",
+                        help="dump the service metrics snapshot as JSON")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the snapshot JSON to PATH")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-serve`` console script."""
+    from repro.core.engine import TopKDominatingEngine
+    from repro.datasets.synthetic import uniform
+
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        service_config = ServiceConfig(
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline=args.deadline,
+            cache_capacity=0 if args.no_cache else args.cache_capacity,
+            io_model=not args.no_io_model,
+            io_cost_scale=args.io_scale,
+            verify=args.verify,
+        )
+        load_config = LoadConfig(
+            clients=args.clients,
+            requests=args.requests,
+            write_fraction=args.write_fraction,
+            zipf_s=args.zipf,
+            pool_size=args.pool,
+            m=args.m,
+            k=args.k,
+            algorithm=args.algorithm,
+            deadline=args.deadline,
+            seed=args.seed,
+            verify=args.verify,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    space = uniform(n=args.n, seed=args.seed, dims=args.dims)
+    engine = TopKDominatingEngine(space, rng=random.Random(args.seed))
+    print(
+        f"serving UNI n={args.n} dims={args.dims} with "
+        f"{args.workers} workers, {args.clients} clients, "
+        f"{args.requests} ops ({args.write_fraction:.0%} writes), "
+        f"algorithm={args.algorithm}"
+    )
+    try:
+        service = QueryService(engine, service_config)
+    except ValueError as exc:
+        parser.error(str(exc))
+    with service:
+        report = asyncio.run(run_load(service, load_config))
+        print(report.render())
+        snapshot = service.snapshot()
+    if args.stats:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"wrote metrics snapshot to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console
+    sys.exit(main())

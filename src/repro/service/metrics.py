@@ -1,0 +1,247 @@
+"""Service observability: latency histograms and counter aggregation.
+
+The benchmark harness measures the paper's three per-query costs (CPU,
+simulated I/O, distance computations); a *server* additionally needs
+distributional latency (p50/p99, not means — queueing skews tails),
+queue gauges and cache/coalescer effectiveness.  Everything here is
+dependency-free and exports plain dicts so ``repro-serve --stats`` can
+dump one JSON document.
+
+Attribution caveat, documented rather than hidden: the engine charges
+I/O and distance computations by *deltas of shared counters*
+(``BufferPool.combined_io``, ``CountingMetric``).  Under concurrent
+queries those deltas interleave, so **per-request** stats are
+approximate (a request may absorb a neighbour's page faults) while the
+**aggregate** totals across all requests remain exact.  The
+per-algorithm aggregation below therefore reports totals and averages,
+never per-request attributions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.storage.stats import QueryStats
+
+
+class LatencyHistogram:
+    """Fixed exponential buckets, thread-safe, with quantile estimates.
+
+    Buckets double from 50 µs up to ~100 s — three decades around the
+    latencies this service produces (sub-ms cache hits up to multi-
+    second cold scans under the 8 ms/fault I/O model).  Quantiles are
+    estimated by linear interpolation inside the winning bucket, the
+    standard Prometheus-style approximation: good to one bucket width,
+    plenty for p50/p99 reporting.
+    """
+
+    _BOUNDS: List[float] = [50e-6 * (2.0 ** i) for i in range(21)]
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self._BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        with self._lock:
+            index = self._bucket_index(seconds)
+            self._counts[index] += 1
+            self.count += 1
+            self.total += seconds
+            if self.min is None or seconds < self.min:
+                self.min = seconds
+            if self.max is None or seconds > self.max:
+                self.max = seconds
+
+    def _bucket_index(self, seconds: float) -> int:
+        for i, bound in enumerate(self._BOUNDS):
+            if seconds <= bound:
+                return i
+        return len(self._BOUNDS)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) in seconds."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            seen = 0
+            for i, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if seen + bucket_count >= rank:
+                    lower = self._BOUNDS[i - 1] if i > 0 else 0.0
+                    upper = (
+                        self._BOUNDS[i]
+                        if i < len(self._BOUNDS)
+                        else (self.max or self._BOUNDS[-1])
+                    )
+                    fraction = (rank - seen) / bucket_count
+                    estimate = lower + (upper - lower) * fraction
+                    # never estimate outside the observed range.
+                    if self.max is not None:
+                        estimate = min(estimate, self.max)
+                    if self.min is not None:
+                        estimate = max(estimate, self.min)
+                    return estimate
+                seen += bucket_count
+            return self.max or 0.0  # pragma: no cover - defensive
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Summary statistics as plain types."""
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.quantile(0.50),
+            "p90_seconds": self.quantile(0.90),
+            "p99_seconds": self.quantile(0.99),
+            "min_seconds": self.min or 0.0,
+            "max_seconds": self.max or 0.0,
+        }
+
+
+class _AlgorithmAggregate:
+    """Engine-cost totals for one algorithm (exact in aggregate)."""
+
+    def __init__(self) -> None:
+        self.executions = 0
+        self.stats = QueryStats()
+
+    def merge(self, stats: QueryStats) -> None:
+        self.executions += 1
+        self.stats.merge(stats)
+
+    def snapshot(self) -> dict:
+        io = self.stats.io
+        return {
+            "executions": self.executions,
+            "cpu_seconds": self.stats.cpu_seconds,
+            "io_seconds": self.stats.io_seconds,
+            "distance_computations": self.stats.distance_computations,
+            "exact_score_computations": self.stats.exact_score_computations,
+            "page_faults": io.page_faults,
+            "buffer_hits": io.buffer_hits,
+            "results_reported": self.stats.results_reported,
+        }
+
+
+class ServiceMetrics:
+    """All serving-layer counters, snapshotted as one nested dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.completed = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.cold_executions = 0
+        self.rejected_overloaded = 0
+        self.rejected_deadline = 0
+        self.failures = 0
+        self.writes = 0
+        self.latency_all = LatencyHistogram()
+        self.latency_cold = LatencyHistogram()
+        self.latency_cache_hit = LatencyHistogram()
+        self.latency_write = LatencyHistogram()
+        self._per_algorithm: Dict[str, _AlgorithmAggregate] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def observe_request(self) -> None:
+        """Count an arriving query request."""
+        with self._lock:
+            self.requests += 1
+
+    def observe_response(
+        self,
+        latency_seconds: float,
+        cached: bool,
+        coalesced: bool,
+    ) -> None:
+        """Count a successfully served query and its latency."""
+        with self._lock:
+            self.completed += 1
+            if cached:
+                self.cache_hits += 1
+            if coalesced:
+                self.coalesced += 1
+        self.latency_all.record(latency_seconds)
+        if cached:
+            self.latency_cache_hit.record(latency_seconds)
+        elif not coalesced:
+            self.latency_cold.record(latency_seconds)
+
+    def observe_execution(self, algorithm: str, stats: QueryStats) -> None:
+        """Aggregate one cold engine execution's cost counters."""
+        with self._lock:
+            self.cold_executions += 1
+            aggregate = self._per_algorithm.get(algorithm)
+            if aggregate is None:
+                aggregate = self._per_algorithm[algorithm] = (
+                    _AlgorithmAggregate()
+                )
+            aggregate.merge(stats)
+
+    def observe_rejection(self, overloaded: bool) -> None:
+        """Count a typed admission rejection."""
+        with self._lock:
+            if overloaded:
+                self.rejected_overloaded += 1
+            else:
+                self.rejected_deadline += 1
+
+    def observe_failure(self) -> None:
+        """Count a query that raised a non-admission error."""
+        with self._lock:
+            self.failures += 1
+
+    def observe_write(self, latency_seconds: float) -> None:
+        """Count an insert/delete and its latency."""
+        with self._lock:
+            self.writes += 1
+        self.latency_write.record(latency_seconds)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every counter and histogram summary, JSON-serialisable."""
+        with self._lock:
+            requests = {
+                "received": self.requests,
+                "completed": self.completed,
+                "cache_hits": self.cache_hits,
+                "coalesced": self.coalesced,
+                "cold_executions": self.cold_executions,
+                "rejected_overloaded": self.rejected_overloaded,
+                "rejected_deadline": self.rejected_deadline,
+                "failures": self.failures,
+                "writes": self.writes,
+            }
+            per_algorithm = {
+                name: aggregate.snapshot()
+                for name, aggregate in sorted(self._per_algorithm.items())
+            }
+        return {
+            "requests": requests,
+            "latency": {
+                "all": self.latency_all.snapshot(),
+                "cold": self.latency_cold.snapshot(),
+                "cache_hit": self.latency_cache_hit.snapshot(),
+                "write": self.latency_write.snapshot(),
+            },
+            "per_algorithm": per_algorithm,
+        }

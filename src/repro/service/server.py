@@ -1,0 +1,495 @@
+"""The concurrent query service over one shared engine.
+
+:class:`QueryService` turns a single
+:class:`~repro.core.engine.TopKDominatingEngine` into a multi-tenant
+server.  The request path composes the subsystem's parts in a fixed
+order::
+
+    client --> admission (bounded queue, deadline)      [admission.py]
+           --> result cache (epoch-validated LRU)       [cache.py]
+           --> single-flight coalescing                 [coalesce.py]
+           --> worker pool --> engine read lock --> engine
+                                     |
+    insert/delete --> engine WRITE lock --> epoch bump --> cache flush
+
+Concurrency model
+-----------------
+Queries run on a sized :class:`~concurrent.futures.ThreadPoolExecutor`
+and share the engine under a **writer-preference read/write lock**:
+any number of queries execute concurrently; ``insert``/``delete`` take
+the write side, so a query never observes a half-mutated M-tree and a
+cached entry's epoch stamp provably matches the tree its query read.
+
+Simulated I/O as real latency (``io_model``)
+--------------------------------------------
+The paper *charges* 8 ms per page fault without sleeping — right for
+offline benchmarking, wrong for a server demo where latency and
+worker-scaling behaviour are the point.  With ``io_model=True`` the
+worker sleeps the query's simulated I/O seconds (scaled by
+``io_cost_scale``) *after* releasing the read lock, making the
+workload I/O-bound the way the paper's cost model says it is — which
+is also what lets N workers overlap stalls into real throughput on a
+GIL-constrained runtime.
+
+Verification (``verify`` / :meth:`verify_response`)
+---------------------------------------------------
+In verify mode every cold execution is audited under the same read
+lock against :func:`~repro.core.brute_force.brute_force_scores`; the
+public :meth:`verify_response` additionally audits *served* responses
+(including cache hits), raising :class:`StaleResultError` on any
+mismatch.  This is the teeth behind the "no stale cache reads" claim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.brute_force import brute_force_scores
+from repro.core.engine import TopKDominatingEngine
+from repro.core.progressive import ResultItem
+from repro.service.admission import (
+    AdmissionController,
+    DeadlineExceeded,
+    Overloaded,
+    Rejected,
+    StaleResultError,
+)
+from repro.service.cache import CacheKey, ResultCache
+from repro.service.coalesce import SingleFlight
+from repro.service.metrics import ServiceMetrics
+from repro.storage.stats import QueryStats
+
+
+class ReadWriteLock:
+    """Writer-preference shared/exclusive lock for engine access.
+
+    Readers (queries) share; writers (``insert``/``delete``) exclude
+    everyone.  Writer preference — new readers wait while a writer is
+    waiting — keeps a steady query stream from starving updates.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextlib.contextmanager
+    def read(self) -> Iterator[None]:
+        """``with lock.read():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write(self) -> Iterator[None]:
+        """``with lock.write():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A normalized ``MSD(Q, k)`` request.
+
+    ``query_ids`` are stored sorted: domination scores depend on the
+    distance *vector as a set of components*, so any permutation of
+    ``Q`` yields the same answer — normalizing maximizes cache and
+    coalescing hit rates.
+    """
+
+    query_ids: Tuple[int, ...]
+    k: int
+    algorithm: str = "pba2"
+
+    @classmethod
+    def make(
+        cls, query_ids: Sequence[int], k: int, algorithm: str = "pba2"
+    ) -> "QueryRequest":
+        """Normalize raw arguments into a canonical request."""
+        return cls(
+            query_ids=tuple(sorted(query_ids)),
+            k=k,
+            algorithm=algorithm.lower(),
+        )
+
+    @property
+    def key(self) -> CacheKey:
+        """The cache / coalescing identity of this request."""
+        return (self.query_ids, self.k, self.algorithm)
+
+
+@dataclass
+class QueryResponse:
+    """A served answer plus its provenance.
+
+    ``epoch`` is the engine write epoch the answer was computed at;
+    ``cached``/``coalesced`` say how it was served; ``stats`` are the
+    engine costs of the execution that *produced* the answer (for a
+    cache hit: the original cold run, not the hit itself).
+    """
+
+    results: List[ResultItem]
+    stats: QueryStats
+    epoch: int
+    algorithm: str
+    cached: bool = False
+    coalesced: bool = False
+    latency_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of :class:`QueryService` (all have serving defaults)."""
+
+    workers: int = 4
+    max_inflight: Optional[int] = None  # default: workers
+    max_queue: int = 64
+    default_deadline: Optional[float] = None
+    cache_capacity: int = 256
+    io_model: bool = False
+    io_cost_scale: float = 1.0
+    verify: bool = False
+
+    def resolved_max_inflight(self) -> int:
+        """Admission slots: default one per worker thread."""
+        return self.max_inflight if self.max_inflight else self.workers
+
+
+class QueryService:
+    """Serve ``MSD(Q, k, algorithm)`` queries and writes concurrently.
+
+    Asynchronous API (:meth:`query`, :meth:`insert`, :meth:`delete`)
+    for servers and the load generator; synchronous API
+    (:meth:`query_sync`) for embedding and deterministic tests.  Use as
+    a context manager or call :meth:`close` to release the pool.
+    """
+
+    def __init__(
+        self,
+        engine: TopKDominatingEngine,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        engine.prepare_for_concurrency()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._engine_lock = ReadWriteLock()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.cache.attach(engine)
+        self.coalescer = SingleFlight()
+        self.admission = AdmissionController(
+            max_inflight=self.config.resolved_max_inflight(),
+            max_queue=self.config.max_queue,
+            default_deadline=self.config.default_deadline,
+        )
+        self.metrics = ServiceMetrics()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # async API
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str = "pba2",
+        deadline: Optional[float] = None,
+    ) -> QueryResponse:
+        """Serve one query: admission -> cache -> coalesce -> engine.
+
+        Raises :class:`Overloaded` / :class:`DeadlineExceeded` on
+        admission rejection; engine validation errors (unknown
+        algorithm, bad query ids) propagate as-is.
+        """
+        request = QueryRequest.make(query_ids, k, algorithm)
+        started = time.perf_counter()
+        self.metrics.observe_request()
+        try:
+            async with self.admission.admit(deadline):
+                entry = self.cache.get(request.key, self.engine.epoch)
+                if entry is not None:
+                    results, stats, epoch = entry.value
+                    return self._respond(
+                        request, results, stats, epoch, started, cached=True
+                    )
+                future, leader = self.coalescer.begin(request.key)
+                if leader:
+                    loop = asyncio.get_running_loop()
+                    try:
+                        outcome = await loop.run_in_executor(
+                            self._pool, self._execute, request
+                        )
+                    except BaseException as exc:
+                        self.coalescer.finish(request.key, exception=exc)
+                        raise
+                    self.coalescer.finish(request.key, result=outcome)
+                else:
+                    outcome = await asyncio.wrap_future(future)
+                results, stats, epoch = outcome
+                return self._respond(
+                    request,
+                    results,
+                    stats,
+                    epoch,
+                    started,
+                    coalesced=not leader,
+                )
+        except Overloaded:
+            self.metrics.observe_rejection(overloaded=True)
+            raise
+        except DeadlineExceeded:
+            self.metrics.observe_rejection(overloaded=False)
+            raise
+        except Rejected:  # pragma: no cover - future rejection kinds
+            raise
+        except Exception:
+            self.metrics.observe_failure()
+            raise
+
+    async def insert(self, payload: object) -> int:
+        """Add an object (exclusive engine access); returns its id."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self.insert_sync, payload)
+
+    async def delete(self, object_id: int) -> bool:
+        """Remove an object (exclusive engine access)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self.delete_sync, object_id
+        )
+
+    # ------------------------------------------------------------------
+    # sync API (embedding, tests, property checks)
+    # ------------------------------------------------------------------
+    def query_sync(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str = "pba2",
+    ) -> QueryResponse:
+        """Serve one query synchronously (cache + coalesce + engine).
+
+        No admission control — the caller owns its own backpressure.
+        """
+        request = QueryRequest.make(query_ids, k, algorithm)
+        started = time.perf_counter()
+        self.metrics.observe_request()
+        try:
+            entry = self.cache.get(request.key, self.engine.epoch)
+            if entry is not None:
+                results, stats, epoch = entry.value
+                return self._respond(
+                    request, results, stats, epoch, started, cached=True
+                )
+            outcome, shared = self.coalescer.execute(
+                request.key, lambda: self._execute(request)
+            )
+            results, stats, epoch = outcome
+            return self._respond(
+                request, results, stats, epoch, started, coalesced=shared
+            )
+        except Exception:
+            self.metrics.observe_failure()
+            raise
+
+    def insert_sync(self, payload: object) -> int:
+        """Synchronous :meth:`insert`."""
+        started = time.perf_counter()
+        with self._engine_lock.write():
+            object_id = self.engine.insert_object(payload)
+        self.metrics.observe_write(time.perf_counter() - started)
+        return object_id
+
+    def delete_sync(self, object_id: int) -> bool:
+        """Synchronous :meth:`delete`."""
+        started = time.perf_counter()
+        with self._engine_lock.write():
+            removed = self.engine.delete_object(object_id)
+        self.metrics.observe_write(time.perf_counter() - started)
+        return removed
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify_response(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        response: QueryResponse,
+    ) -> Optional[bool]:
+        """Audit a served response against fresh brute-force scores.
+
+        Returns True when verified, None when unverifiable (the engine
+        has moved past ``response.epoch``, so the ground truth the
+        response was computed against no longer exists — which is not
+        staleness: the cache would refuse to *serve* that entry now).
+        Raises :class:`StaleResultError` on a genuine mismatch.
+        Approximate algorithms (``apx``) are not auditable this way.
+        """
+        with self._engine_lock.read():
+            if self.engine.epoch != response.epoch:
+                return None
+            self._verify_locked(
+                QueryRequest.make(query_ids, k, response.algorithm),
+                response.results,
+            )
+        return True
+
+    def _verify_locked(
+        self, request: QueryRequest, results: List[ResultItem]
+    ) -> None:
+        expected = brute_force_scores(
+            self.engine.space,
+            list(request.query_ids),
+            universe=list(self.engine.tree.object_ids()),
+        )
+        for item in results:
+            if expected.get(item.object_id) != item.score:
+                raise StaleResultError(
+                    f"object {item.object_id} served with score "
+                    f"{item.score}, brute force says "
+                    f"{expected.get(item.object_id)} "
+                    f"(Q={request.query_ids}, k={request.k})"
+                )
+        top = sorted(expected.values(), reverse=True)[: len(results)]
+        served = sorted((item.score for item in results), reverse=True)
+        if served != top:
+            raise StaleResultError(
+                f"served top-{request.k} scores {served} are not the "
+                f"brute-force top scores {top}"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _execute(
+        self, request: QueryRequest
+    ) -> Tuple[List[ResultItem], QueryStats, int]:
+        """Cold execution on a worker thread, under the read lock."""
+        with self._engine_lock.read():
+            epoch = self.engine.epoch
+            results, stats = self.engine.top_k_dominating(
+                list(request.query_ids),
+                request.k,
+                algorithm=request.algorithm,
+            )
+            if self.config.verify and request.algorithm != "apx":
+                self._verify_locked(request, results)
+            self.cache.put(request.key, epoch, (results, stats, epoch))
+        self.metrics.observe_execution(request.algorithm, stats)
+        if self.config.io_model and stats.io_seconds > 0.0:
+            # enact the paper's simulated disk outside the lock: the
+            # stall delays this client, not writers or other queries.
+            time.sleep(stats.io_seconds * self.config.io_cost_scale)
+        return results, stats, epoch
+
+    def _respond(
+        self,
+        request: QueryRequest,
+        results: List[ResultItem],
+        stats: QueryStats,
+        epoch: int,
+        started: float,
+        cached: bool = False,
+        coalesced: bool = False,
+    ) -> QueryResponse:
+        latency = time.perf_counter() - started
+        self.metrics.observe_response(latency, cached, coalesced)
+        return QueryResponse(
+            results=results,
+            stats=stats,
+            epoch=epoch,
+            algorithm=request.algorithm,
+            cached=cached,
+            coalesced=coalesced,
+            latency_seconds=latency,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle & introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool and detach from the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        self.cache.detach()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    async def __aenter__(self) -> "QueryService":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        self.close()
+
+    def snapshot(self) -> dict:
+        """One JSON-serialisable dict of every subsystem's counters."""
+        return {
+            "config": {
+                "workers": self.config.workers,
+                "max_inflight": self.config.resolved_max_inflight(),
+                "max_queue": self.config.max_queue,
+                "cache_capacity": self.config.cache_capacity,
+                "io_model": self.config.io_model,
+                "io_cost_scale": self.config.io_cost_scale,
+            },
+            "engine": {
+                "epoch": self.engine.epoch,
+                "objects": len(self.engine.tree),
+                "index": self.engine.index_kind,
+            },
+            "admission": self.admission.snapshot(),
+            "cache": self.cache.snapshot(),
+            "coalescer": self.coalescer.snapshot(),
+            **self.metrics.snapshot(),
+        }

@@ -12,11 +12,18 @@ the two buffers the paper uses and offers sizing helpers.
 
 from __future__ import annotations
 
+import contextlib
+import threading
 from collections import OrderedDict
-from typing import Any, Optional
+from typing import Any, ContextManager, Optional
 
 from repro.storage.pages import Page, PageError, PageManager
 from repro.storage.stats import IOStats
+
+#: shared no-op lock used until :meth:`LRUBuffer.make_thread_safe` is
+#: called — ``nullcontext`` is stateless, so one instance serves all
+#: buffers without contention or allocation per access.
+_UNLOCKED: ContextManager[None] = contextlib.nullcontext()
 
 
 class LRUBuffer:
@@ -25,6 +32,11 @@ class LRUBuffer:
     ``capacity`` is the number of page frames.  A capacity of zero
     disables caching — every access is a fault — which the ablation
     benchmarks use to quantify the buffer's contribution.
+
+    Single-threaded by default.  The recency list is an ``OrderedDict``
+    mutated on *every* access (hits ``move_to_end``, misses evict), so
+    concurrent readers corrupt it; the serving layer calls
+    :meth:`make_thread_safe` to serialize page operations.
     """
 
     def __init__(
@@ -40,22 +52,29 @@ class LRUBuffer:
         self.name = name
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self.stats = IOStats()
+        self._lock: ContextManager[None] = _UNLOCKED
+
+    def make_thread_safe(self) -> None:
+        """Serialize page operations behind a reentrant lock (idempotent)."""
+        if self._lock is _UNLOCKED:
+            self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # page interface used by access methods
     # ------------------------------------------------------------------
     def get(self, page_id: int) -> Page:
         """Read a page through the buffer (logical read)."""
-        self.stats.logical_reads += 1
-        page = self._frames.get(page_id)
-        if page is not None:
-            self._frames.move_to_end(page_id)
-            self.stats.buffer_hits += 1
+        with self._lock:
+            self.stats.logical_reads += 1
+            page = self._frames.get(page_id)
+            if page is not None:
+                self._frames.move_to_end(page_id)
+                self.stats.buffer_hits += 1
+                return page
+            page = self.manager.read_page(page_id)
+            self.stats.page_faults += 1
+            self._admit(page)
             return page
-        page = self.manager.read_page(page_id)
-        self.stats.page_faults += 1
-        self._admit(page)
-        return page
 
     def put(self, page: Page) -> None:
         """Write a page through the buffer (logical write).
@@ -64,15 +83,16 @@ class LRUBuffer:
         fault accounting — the paper charges faults, not write-backs)
         when evicted or when :meth:`flush` is called.
         """
-        self.stats.logical_writes += 1
-        page.dirty = True
-        if page.page_id in self._frames:
-            self._frames.move_to_end(page.page_id)
-            self._frames[page.page_id] = page
-            self.stats.buffer_hits += 1
-            return
-        self.stats.page_faults += 1
-        self._admit(page)
+        with self._lock:
+            self.stats.logical_writes += 1
+            page.dirty = True
+            if page.page_id in self._frames:
+                self._frames.move_to_end(page.page_id)
+                self._frames[page.page_id] = page
+                self.stats.buffer_hits += 1
+                return
+            self.stats.page_faults += 1
+            self._admit(page)
 
     def new_page(self, payload: Any = None) -> Page:
         """Allocate a page and install it into the buffer dirty.
@@ -81,41 +101,47 @@ class LRUBuffer:
         as a (write) hit, keeping the identity ``logical_accesses ==
         buffer_hits + page_faults`` exact.
         """
-        page_id = self.manager.allocate(payload)
-        page = self.manager.read_page(page_id)
-        page.dirty = True
-        self.stats.logical_writes += 1
-        self.stats.buffer_hits += 1
-        self._admit(page)
-        return page
+        with self._lock:
+            page_id = self.manager.allocate(payload)
+            page = self.manager.read_page(page_id)
+            page.dirty = True
+            self.stats.logical_writes += 1
+            self.stats.buffer_hits += 1
+            self._admit(page)
+            return page
 
     def free_page(self, page_id: int) -> None:
         """Drop a page from the buffer and the underlying manager."""
-        self._frames.pop(page_id, None)
-        self.manager.free(page_id)
+        with self._lock:
+            self._frames.pop(page_id, None)
+            self.manager.free(page_id)
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the buffer without freeing it on disk."""
-        self._frames.pop(page_id, None)
+        with self._lock:
+            self._frames.pop(page_id, None)
 
     def flush(self) -> None:
         """Write back every dirty frame (no fault accounting)."""
-        for page in self._frames.values():
-            if page.dirty:
-                self.manager.write_page(page)
+        with self._lock:
+            for page in self._frames.values():
+                if page.dirty:
+                    self.manager.write_page(page)
 
     def clear(self) -> None:
         """Flush and empty the buffer (used between benchmark runs)."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            self._frames.clear()
 
     def resize(self, capacity: int) -> None:
         """Change the frame count, evicting LRU frames if shrinking."""
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
-        self.capacity = capacity
-        while len(self._frames) > self.capacity:
-            self._evict_one()
+        with self._lock:
+            self.capacity = capacity
+            while len(self._frames) > self.capacity:
+                self._evict_one()
 
     # ------------------------------------------------------------------
     # internals
@@ -187,6 +213,11 @@ class BufferPool:
         self.aux_buffer = LRUBuffer(
             self.aux_manager, aux_capacity, name="aux-buffer"
         )
+
+    def make_thread_safe(self) -> None:
+        """Serialize page operations on both buffers (idempotent)."""
+        self.index_buffer.make_thread_safe()
+        self.aux_buffer.make_thread_safe()
 
     def size_for(self, index_pages: int, dataset_pages: int) -> None:
         """Apply the paper's sizing rule to both buffers."""

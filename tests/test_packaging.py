@@ -30,6 +30,7 @@ class TestPublicSurface:
             "repro.bench",
             "repro.distributed",
             "repro.streaming",
+            "repro.service",
         ],
     )
     def test_subpackages_import(self, module):
@@ -41,6 +42,36 @@ class TestPublicSurface:
 
         assert callable(main)
 
+    def test_serve_console_script_target(self):
+        from repro.service.loadgen import main
+
+        assert callable(main)
+
+    def test_console_scripts_declared(self):
+        import pathlib
+
+        pyproject = (
+            pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        ).read_text()
+        assert 'repro-bench = "repro.bench.cli:main"' in pyproject
+        assert 'repro-serve = "repro.service.loadgen:main"' in pyproject
+
+    def test_py_typed_marker_installed(self):
+        import importlib.resources
+        import pathlib
+
+        # resolvable through the import system (how type checkers and
+        # installed distributions see it) ...
+        marker = importlib.resources.files("repro").joinpath("py.typed")
+        assert marker.is_file(), "src/repro/py.typed must ship"
+        # ... and declared as package data so wheels include it.
+        pyproject = (
+            pathlib.Path(__file__).parent.parent / "pyproject.toml"
+        ).read_text()
+        assert "py.typed" in pyproject, (
+            "pyproject must declare py.typed package data"
+        )
+
     def test_subpackage_alls_resolve(self):
         for module_name in (
             "repro.core",
@@ -50,6 +81,7 @@ class TestPublicSurface:
             "repro.datasets",
             "repro.distributed",
             "repro.streaming",
+            "repro.service",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
@@ -68,6 +100,7 @@ class TestDocumentationPresence:
             "docs/architecture.md",
             "docs/algorithms.md",
             "docs/api.md",
+            "docs/serving.md",
         ],
     )
     def test_docs_exist_and_nonempty(self, path):

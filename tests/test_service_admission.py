@@ -1,0 +1,154 @@
+"""Unit tests of admission control (bounded queue, deadlines)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import (
+    AdmissionController,
+    DeadlineExceeded,
+    Overloaded,
+    Rejected,
+    ServiceError,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_admits_up_to_max_inflight(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=2, max_queue=0)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            tasks = [asyncio.create_task(occupant()) for _ in range(2)]
+            await asyncio.sleep(0.01)
+            assert controller.inflight == 2
+            # both slots busy, zero queue allowance -> typed rejection
+            with pytest.raises(Overloaded):
+                async with controller.admit():
+                    pass  # pragma: no cover - never admitted
+            release.set()
+            await asyncio.gather(*tasks)
+            assert controller.inflight == 0
+
+        run(scenario())
+
+    def test_queue_absorbs_burst_then_rejects(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=2)
+            release = asyncio.Event()
+            admitted = []
+
+            async def occupant(tag):
+                async with controller.admit():
+                    admitted.append(tag)
+                    await release.wait()
+
+            first = asyncio.create_task(occupant("first"))
+            await asyncio.sleep(0.01)
+            waiters = [
+                asyncio.create_task(occupant(f"waiter{i}")) for i in range(2)
+            ]
+            await asyncio.sleep(0.01)
+            assert controller.queue_depth == 2
+            with pytest.raises(Overloaded) as excinfo:
+                async with controller.admit():
+                    pass  # pragma: no cover - never admitted
+            assert excinfo.value.queue_depth == 2
+            assert excinfo.value.max_queue == 2
+            release.set()
+            await asyncio.gather(first, *waiters)
+            assert admitted == ["first", "waiter0", "waiter1"]
+            assert controller.peak_queue_depth == 2
+
+        run(scenario())
+
+    def test_idle_server_with_zero_queue_still_serves(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=0)
+            async with controller.admit():
+                assert controller.inflight == 1
+
+        run(scenario())
+
+    def test_deadline_exceeded_while_queued(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=4)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                async with controller.admit(deadline=0.05):
+                    pass  # pragma: no cover - never admitted
+            assert controller.queue_depth == 0, "rejected waiter left queue"
+            release.set()
+            await task
+
+        run(scenario())
+
+    def test_default_deadline_applies(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_inflight=1, max_queue=4, default_deadline=0.05
+            )
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            task = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+            with pytest.raises(DeadlineExceeded):
+                async with controller.admit():
+                    pass  # pragma: no cover - never admitted
+            release.set()
+            await task
+
+        run(scenario())
+
+    def test_slot_released_after_body_raises(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=0)
+            with pytest.raises(KeyError):
+                async with controller.admit():
+                    raise KeyError("body failure")
+            # the slot must be free again
+            async with controller.admit():
+                assert controller.inflight == 1
+
+        run(scenario())
+
+
+class TestErrorTaxonomy:
+    def test_rejections_are_typed(self):
+        assert issubclass(Overloaded, Rejected)
+        assert issubclass(DeadlineExceeded, Rejected)
+        assert issubclass(Rejected, ServiceError)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0, max_queue=1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=1, max_queue=-1)
+
+    def test_snapshot_shape(self):
+        controller = AdmissionController(max_inflight=3, max_queue=7)
+        snap = controller.snapshot()
+        assert snap["max_inflight"] == 3
+        assert snap["max_queue"] == 7
+        assert snap["queue_depth"] == 0

@@ -1,0 +1,102 @@
+"""Unit tests of the epoch-validated LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+KEY_A = ((1, 2, 3), 5, "pba2")
+KEY_B = ((4, 5), 3, "pba2")
+KEY_C = ((4, 5), 3, "sba")
+
+
+class TestLRUSemantics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(KEY_A, epoch=0) is None
+        cache.put(KEY_A, epoch=0, value="answer")
+        entry = cache.get(KEY_A, epoch=0)
+        assert entry is not None and entry.value == "answer"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_query_different_k_or_algorithm_are_distinct(self):
+        cache = ResultCache(capacity=4)
+        cache.put(KEY_B, epoch=0, value="k3-pba2")
+        assert cache.get(KEY_C, epoch=0) is None
+        cache.put(KEY_C, epoch=0, value="k3-sba")
+        assert cache.get(KEY_B, epoch=0).value == "k3-pba2"
+        assert cache.get(KEY_C, epoch=0).value == "k3-sba"
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(KEY_A, 0, "a")
+        cache.put(KEY_B, 0, "b")
+        cache.get(KEY_A, 0)  # A is now most-recent
+        cache.put(KEY_C, 0, "c")  # evicts B
+        assert cache.get(KEY_B, 0) is None
+        assert cache.get(KEY_A, 0).value == "a"
+        assert cache.get(KEY_C, 0).value == "c"
+        assert len(cache) == 2
+
+    def test_put_overwrites(self):
+        cache = ResultCache(capacity=2)
+        cache.put(KEY_A, 0, "old")
+        cache.put(KEY_A, 0, "new")
+        assert cache.get(KEY_A, 0).value == "new"
+        assert len(cache) == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(KEY_A, 0, "a")
+        assert cache.get(KEY_A, 0) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+
+class TestEpochValidation:
+    def test_stale_epoch_is_a_miss_and_evicts(self):
+        cache = ResultCache(capacity=4)
+        cache.put(KEY_A, epoch=3, value="old world")
+        assert cache.get(KEY_A, epoch=4) is None
+        assert cache.stale_evictions == 1
+        # the corpse is gone, not resurrectable at the old epoch
+        assert cache.get(KEY_A, epoch=3) is None
+
+    def test_flush_clears_everything(self):
+        cache = ResultCache(capacity=4)
+        cache.put(KEY_A, 0, "a")
+        cache.put(KEY_B, 0, "b")
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.flushes == 1
+
+    def test_attach_flushes_on_engine_writes(self, small_engine):
+        cache = ResultCache(capacity=4)
+        detach = cache.attach(small_engine)
+        cache.put(KEY_A, small_engine.epoch, "a")
+        payload = small_engine.space.payload(0)
+        small_engine.insert_object(payload)
+        assert len(cache) == 0, "write subscription must flush the cache"
+        # after detaching, writes no longer flush — but the epoch
+        # check still rejects the stale entry (belt and braces).
+        detach()
+        stale_epoch = small_engine.epoch
+        cache.put(KEY_A, stale_epoch, "b")
+        small_engine.insert_object(payload)
+        assert len(cache) == 1
+        assert cache.get(KEY_A, small_engine.epoch) is None
+
+    def test_snapshot_shape(self):
+        cache = ResultCache(capacity=4)
+        cache.put(KEY_A, 0, "a")
+        cache.get(KEY_A, 0)
+        cache.get(KEY_B, 0)
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,124 @@
+"""Unit tests of single-flight request coalescing (thread semantics)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.coalesce import SingleFlight
+
+
+class TestProtocol:
+    def test_leader_then_follower(self):
+        flight = SingleFlight()
+        future, leader = flight.begin("key")
+        assert leader
+        follower_future, follower_leader = flight.begin("key")
+        assert not follower_leader
+        assert follower_future is future
+        flight.finish("key", result=42)
+        assert future.result(timeout=1) == 42
+        assert flight.saved == 1 and flight.flights == 1
+
+    def test_new_flight_after_landing(self):
+        flight = SingleFlight()
+        _, leader = flight.begin("key")
+        flight.finish("key", result=1)
+        _, leader_again = flight.begin("key")
+        assert leader and leader_again
+        assert flight.flights == 2
+        flight.finish("key", result=2)
+        assert flight.inflight == 0
+
+    def test_distinct_keys_fly_separately(self):
+        flight = SingleFlight()
+        _, a = flight.begin("a")
+        _, b = flight.begin("b")
+        assert a and b
+        assert flight.inflight == 2
+        flight.finish("a", result=None)
+        flight.finish("b", result=None)
+
+
+class TestExecute:
+    def test_concurrent_identical_calls_share_one_execution(self):
+        flight = SingleFlight()
+        executions = []
+        barrier = threading.Barrier(4)
+        results = []
+
+        def work():
+            executions.append(threading.get_ident())
+            time.sleep(0.05)  # hold the flight open for the followers
+            return "value"
+
+        def caller():
+            barrier.wait()
+            results.append(flight.execute("key", work))
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(executions) == 1, "exactly one caller may execute"
+        assert [value for value, _shared in results] == ["value"] * 4
+        assert sum(shared for _value, shared in results) == 3
+        assert flight.saved == 3
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def exploding():
+            time.sleep(0.05)
+            raise RuntimeError("boom")
+
+        def leader():
+            barrier.wait()
+            try:
+                flight.execute("key", exploding)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def follower():
+            barrier.wait()
+            time.sleep(0.01)  # ensure the leader begins first
+            try:
+                flight.execute("key", lambda: "never runs")
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=leader),
+            threading.Thread(target=follower),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 2
+        assert all(str(exc) == "boom" for exc in errors)
+        # the failed flight is gone; the key flies fresh next time
+        assert flight.execute("key", lambda: "recovered") == (
+            "recovered",
+            False,
+        )
+
+    def test_sequential_calls_never_share(self):
+        flight = SingleFlight()
+        first = flight.execute("key", lambda: 1)
+        second = flight.execute("key", lambda: 2)
+        assert first == (1, False)
+        assert second == (2, False), "sequential calls each execute"
+
+
+def test_snapshot_shape():
+    flight = SingleFlight()
+    flight.execute("key", lambda: None)
+    snap = flight.snapshot()
+    assert snap == {"flights": 1, "saved": 0, "inflight": 0}

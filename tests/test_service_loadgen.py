@@ -1,0 +1,104 @@
+"""Tests of the closed-loop load generator and ``repro-serve`` CLI."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import LoadConfig, QueryService, ServiceConfig, run_load
+from repro.service.loadgen import main
+
+
+class TestRunLoad:
+    def test_read_only_run_completes_everything(self, small_engine):
+        config = LoadConfig(
+            clients=4, requests=24, pool_size=6, m=3, k=5, seed=11
+        )
+        with QueryService(small_engine, ServiceConfig(workers=2)) as service:
+            report = asyncio.run(run_load(service, config))
+        assert report.completed == 24
+        assert report.writes == 0
+        assert report.throughput > 0
+        assert len(report.latencies) == 24
+        # Zipf skew over a 6-set pool with 24 requests must repeat
+        # some query, so the cache or the coalescer saves work.
+        assert report.cache_hits + report.coalesced > 0
+        assert report.latency_quantile(0.99) >= report.latency_quantile(0.5)
+
+    def test_write_mix_is_verified_against_brute_force(self, small_engine):
+        config = LoadConfig(
+            clients=3,
+            requests=20,
+            write_fraction=0.3,
+            pool_size=4,
+            m=3,
+            k=5,
+            seed=13,
+            verify=True,
+        )
+        with QueryService(small_engine, ServiceConfig(workers=2)) as service:
+            report = asyncio.run(run_load(service, config))
+        assert report.writes > 0
+        assert report.completed == 20 - report.writes
+        # every completed query was audited: verified, or provably
+        # unverifiable because a write landed before the audit ran.
+        assert report.verified + report.unverifiable == report.completed
+        assert report.verified > 0
+
+    def test_render_mentions_key_numbers(self, small_engine):
+        config = LoadConfig(clients=2, requests=6, pool_size=3, m=2, k=3)
+        with QueryService(small_engine, ServiceConfig(workers=1)) as service:
+            report = asyncio.run(run_load(service, config))
+        text = report.render()
+        assert "completed" in text and "latency p99" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadConfig(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadConfig(pool_size=0)
+
+
+class TestConsoleScript:
+    def test_main_runs_and_reports(self, capsys, tmp_path):
+        json_path = tmp_path / "snapshot.json"
+        exit_code = main(
+            [
+                "--n", "80",
+                "--requests", "16",
+                "--clients", "3",
+                "--workers", "2",
+                "--pool", "4",
+                "--m", "3",
+                "--k", "5",
+                "--no-io-model",
+                "--stats",
+                "--json", str(json_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert '"cache"' in out, "--stats must dump the metrics JSON"
+        snapshot = json.loads(json_path.read_text())
+        assert snapshot["requests"]["completed"] == 16
+        assert snapshot["config"]["workers"] == 2
+
+    def test_main_write_heavy_verify(self, capsys):
+        exit_code = main(
+            [
+                "--n", "60",
+                "--requests", "12",
+                "--clients", "2",
+                "--workers", "2",
+                "--write-fraction", "0.4",
+                "--no-io-model",
+                "--verify",
+            ]
+        )
+        assert exit_code == 0
+        assert "verified" in capsys.readouterr().out

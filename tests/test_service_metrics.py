@@ -1,0 +1,136 @@
+"""Unit tests of the service metrics layer."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.storage.stats import QueryStats
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_mean_min_max_are_exact(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.min == pytest.approx(0.001)
+        assert histogram.max == pytest.approx(0.003)
+
+    def test_quantiles_are_bucket_accurate(self):
+        histogram = LatencyHistogram()
+        # 90 fast requests, 10 slow ones: p50 must look fast, p99 slow
+        for _ in range(90):
+            histogram.record(0.001)
+        for _ in range(10):
+            histogram.record(1.0)
+        p50 = histogram.quantile(0.50)
+        p99 = histogram.quantile(0.99)
+        assert p50 < 0.01
+        assert p99 > 0.25
+        # estimates never leave the observed range
+        assert histogram.min <= p50 <= histogram.max
+        assert histogram.min <= p99 <= histogram.max
+
+    def test_quantile_validation(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_out_of_range_observation_lands_in_overflow(self):
+        histogram = LatencyHistogram()
+        histogram.record(10_000.0)  # beyond the last bound
+        assert histogram.count == 1
+        assert histogram.quantile(1.0) == pytest.approx(10_000.0)
+
+    def test_thread_safety_no_lost_updates(self):
+        histogram = LatencyHistogram()
+
+        def hammer():
+            for _ in range(1000):
+                histogram.record(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 4000
+
+    def test_snapshot_shape(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.005)
+        snap = histogram.snapshot()
+        assert set(snap) == {
+            "count",
+            "mean_seconds",
+            "p50_seconds",
+            "p90_seconds",
+            "p99_seconds",
+            "min_seconds",
+            "max_seconds",
+        }
+        assert snap["count"] == 1
+
+
+class TestServiceMetrics:
+    def test_response_accounting(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request()
+        metrics.observe_response(0.01, cached=False, coalesced=False)
+        metrics.observe_request()
+        metrics.observe_response(0.001, cached=True, coalesced=False)
+        metrics.observe_request()
+        metrics.observe_response(0.002, cached=False, coalesced=True)
+        snap = metrics.snapshot()
+        assert snap["requests"]["received"] == 3
+        assert snap["requests"]["completed"] == 3
+        assert snap["requests"]["cache_hits"] == 1
+        assert snap["requests"]["coalesced"] == 1
+        assert snap["latency"]["all"]["count"] == 3
+        assert snap["latency"]["cache_hit"]["count"] == 1
+        # coalesced responses are not cold executions
+        assert snap["latency"]["cold"]["count"] == 1
+
+    def test_per_algorithm_aggregation(self):
+        metrics = ServiceMetrics()
+        stats = QueryStats()
+        stats.distance_computations = 100
+        stats.io.page_faults = 7
+        metrics.observe_execution("pba2", stats)
+        metrics.observe_execution("pba2", stats)
+        metrics.observe_execution("sba", stats)
+        snap = metrics.snapshot()
+        assert snap["per_algorithm"]["pba2"]["executions"] == 2
+        assert snap["per_algorithm"]["pba2"]["distance_computations"] == 200
+        assert snap["per_algorithm"]["pba2"]["page_faults"] == 14
+        assert snap["per_algorithm"]["sba"]["executions"] == 1
+
+    def test_rejections_and_failures(self):
+        metrics = ServiceMetrics()
+        metrics.observe_rejection(overloaded=True)
+        metrics.observe_rejection(overloaded=False)
+        metrics.observe_failure()
+        metrics.observe_write(0.01)
+        snap = metrics.snapshot()
+        assert snap["requests"]["rejected_overloaded"] == 1
+        assert snap["requests"]["rejected_deadline"] == 1
+        assert snap["requests"]["failures"] == 1
+        assert snap["requests"]["writes"] == 1
+        assert snap["latency"]["write"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        metrics = ServiceMetrics()
+        metrics.observe_execution("pba2", QueryStats())
+        assert json.loads(json.dumps(metrics.snapshot()))

@@ -1,0 +1,100 @@
+"""Property: dynamic updates racing cached queries never serve stale
+scores.
+
+This is the cache-epoch invalidation correctness argument of
+``docs/serving.md``, executed: arbitrary interleavings of
+``insert_object`` / ``delete_object`` and *cached* ``top_k_dominating``
+calls through :class:`~repro.service.QueryService`, where every served
+answer — cache hit or cold — is audited against a freshly computed
+brute-force score over the live data set.  A single missed
+invalidation (flush not firing, epoch not bumped, stamp mismatched)
+surfaces as :class:`StaleResultError`.
+
+The interleavings are driven synchronously (``query_sync``) so the
+ground truth is exact at every step; the concurrent execution path
+over the same cache/epoch machinery is exercised by
+``tests/test_service_server.py`` and the serving benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.service import QueryService, ServiceConfig
+from tests.conftest import make_engine
+
+
+@st.composite
+def interleavings(draw):
+    """A schedule of inserts, deletes and queries plus a query pool."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    pool_count = draw(st.integers(min_value=2, max_value=4))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), st.integers(0, 1_000)),
+                st.tuples(st.just("delete"), st.integers(0, 1_000)),
+                st.tuples(
+                    st.just("query"),
+                    st.integers(0, pool_count - 1),
+                ),
+            ),
+            min_size=4,
+            max_size=14,
+        )
+    )
+    return seed, pool_count, ops
+
+
+@settings(max_examples=20, deadline=None)
+@given(schedule=interleavings())
+def test_interleaved_updates_never_serve_stale_scores(schedule):
+    seed, pool_count, ops = schedule
+    n = 36
+    engine = make_engine(n=n, dims=2, seed=seed, grid=4)
+    rng = random.Random(seed)
+    pool = [tuple(sorted(rng.sample(range(n), 3))) for _ in range(pool_count)]
+    k = 4
+    deletable = list(range(n))
+    served_epoch = {}
+
+    with QueryService(
+        engine, ServiceConfig(workers=1, cache_capacity=16)
+    ) as service:
+        for op in ops:
+            if op[0] == "insert":
+                point = np.asarray(
+                    [rng.random(), rng.random()], dtype=float
+                )
+                deletable.append(service.insert_sync(point))
+            elif op[0] == "delete":
+                if not deletable:
+                    continue
+                victim = deletable.pop(op[1] % len(deletable))
+                service.delete_sync(victim)
+            else:
+                query_ids = pool[op[1]]
+                response = service.query_sync(list(query_ids), k)
+                # the audit: every served score must equal a freshly
+                # computed brute-force score over the live tree.
+                # verify_response raises StaleResultError on mismatch.
+                assert (
+                    service.verify_response(list(query_ids), k, response)
+                    is True
+                )
+                # bookkeeping assertion: between writes, the repeat of
+                # a pooled query MUST be served from cache (the cache
+                # is large enough that nothing is evicted by size).
+                key = (query_ids, k, "pba2")
+                if served_epoch.get(key) == engine.epoch:
+                    assert response.cached, (
+                        "expected a cache hit for a repeated query "
+                        "with no intervening write"
+                    )
+                else:
+                    assert not response.cached
+                served_epoch[key] = engine.epoch
