@@ -298,19 +298,23 @@ class TopKDominatingEngine:
 
         CPU seconds are measured wall time of the computation; I/O
         seconds are simulated (page faults x 8 ms across both buffers);
-        distance computations are the counting metric's delta.
+        distance computations are the counting metric's delta.  The
+        I/O and distance deltas are taken from the calling thread's
+        own counters once :meth:`prepare_for_concurrency` has run, so
+        per-query attribution stays exact under concurrent queries;
+        single-threaded, the thread-local view *is* the global one.
         """
         context = self.make_context()
         algo = self.make_algorithm(algorithm, context, pruning=pruning)
-        io_before = self.buffers.combined_io()
-        dist_before = self.counting_metric.snapshot()
+        io_before = self.buffers.local_io()
+        dist_before = self.counting_metric.local_count()
         watch = Stopwatch()
         with watch:
             results = list(algo.run(query_ids, k))
         stats = context.stats
         stats.cpu_seconds = watch.elapsed
-        stats.io = self.buffers.combined_io().delta_since(io_before)
-        stats.distance_computations = self.counting_metric.delta_since(
-            dist_before
+        stats.io = self.buffers.local_io().delta_since(io_before)
+        stats.distance_computations = (
+            self.counting_metric.local_count() - dist_before
         )
         return results, stats

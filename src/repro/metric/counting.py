@@ -30,6 +30,12 @@ class CountingMetric:
     serving layer (:mod:`repro.service`) calls :meth:`make_thread_safe`
     once to guard increments with a lock; until then no lock is ever
     taken.
+
+    Thread-safe mode additionally maintains a **per-thread** counter:
+    a query executes entirely on one worker thread, so deltas of
+    :meth:`local_count` attribute distance computations to exactly the
+    query that performed them, where deltas of the shared ``count``
+    would absorb concurrent neighbours' evaluations.
     """
 
     def __init__(self, inner: Metric) -> None:
@@ -37,6 +43,7 @@ class CountingMetric:
         self.name = getattr(inner, "name", "metric")
         self.count = 0
         self._lock: Optional[threading.Lock] = None
+        self._local: Optional[threading.local] = None
 
     def __call__(self, a: Any, b: Any) -> float:
         if a is b:
@@ -47,6 +54,11 @@ class CountingMetric:
         else:
             with lock:
                 self.count += 1
+            local = self._local
+            try:
+                local.count += 1  # type: ignore[union-attr]
+            except AttributeError:  # first evaluation on this thread
+                local.count = 1  # type: ignore[union-attr]
         return self.inner(a, b)
 
     def make_thread_safe(self) -> None:
@@ -54,10 +66,24 @@ class CountingMetric:
 
         Needed as soon as concurrent queries share one metric: lost
         increments would silently under-report the paper's headline
-        cost metric.
+        cost metric.  Also switches :meth:`local_count` to per-thread
+        counters for exact per-query attribution.
         """
         if self._lock is None:
             self._lock = threading.Lock()
+            self._local = threading.local()
+
+    def local_count(self) -> int:
+        """The calling thread's own evaluation count.
+
+        Falls back to the global ``count`` in single-threaded mode
+        (where the two are identical).  Per-thread counts only ever
+        grow, so callers diff two calls the same way they diff
+        :meth:`snapshot` — :meth:`reset` does not touch them.
+        """
+        if self._local is None:
+            return self.count
+        return getattr(self._local, "count", 0)
 
     def reset(self) -> None:
         """Zero the evaluation counter."""

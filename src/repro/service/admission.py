@@ -7,9 +7,9 @@ computations per query), so under overload an unbounded queue turns
 into unbounded latency for *every* client.  The
 :class:`AdmissionController` enforces the classic bounded-queue policy:
 
-* at most ``max_inflight`` requests execute concurrently (a semaphore
-  sized to the worker pool, so admitted work never piles up inside the
-  executor);
+* at most ``max_inflight`` requests execute concurrently (a FIFO slot
+  pool sized to the worker pool, so admitted work never piles up
+  inside the executor);
 * at most ``max_queue`` further requests wait for a slot; the next one
   is rejected immediately with :class:`Overloaded` — the HTTP-429
   analogue, a *typed* signal the client can back off on;
@@ -18,16 +18,18 @@ into unbounded latency for *every* client.  The
   queue forever.  The deadline bounds *queueing* delay; execution,
   once started, runs to completion.
 
-The controller is pure asyncio and allocates its semaphore lazily so it
-can be constructed outside a running event loop (e.g. in synchronous
-test fixtures or the CLI).
+The controller is pure asyncio and binds to the event loop lazily (its
+waiter futures are created per acquisition), so it can be constructed
+outside a running event loop (e.g. in synchronous test fixtures or the
+CLI).
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import AsyncIterator, Optional
+from collections import deque
+from typing import AsyncIterator, Deque, Optional
 
 
 class ServiceError(RuntimeError):
@@ -69,6 +71,71 @@ class StaleResultError(ServiceError):
     """
 
 
+class _FifoSlots:
+    """Bounded execution slots with loss-free timed acquisition.
+
+    Deliberately *not* ``asyncio.Semaphore``: on Python 3.9/3.10 (3.9
+    is in the CI matrix) cancelling ``wait_for(semaphore.acquire(),
+    timeout)`` can swallow a wakeup that had already been handed to the
+    cancelled waiter (CPython GH-90155, fixed in 3.11), so repeated
+    deadline timeouts under contention strand permits and progressively
+    wedge admission.  Here a release either bumps the free count or
+    completes the next waiter's plain ``Future`` directly.  Plain
+    futures cancel *synchronously* (no task is interposed), so a waiter
+    observes exactly one of "completed with the slot" or "cancelled" —
+    and a waiter cancelled just after being handed the slot passes it
+    on instead of dropping it.
+    """
+
+    def __init__(self, slots: int) -> None:
+        self._free = slots
+        self._waiters: Deque["asyncio.Future[None]"] = deque()
+
+    def locked(self) -> bool:
+        """True when no slot is immediately free."""
+        return self._free == 0
+
+    async def acquire(self, timeout: Optional[float] = None) -> None:
+        """Take a slot, waiting (bounded by ``timeout`` seconds) FIFO.
+
+        Raises :class:`asyncio.TimeoutError` if no slot arrived in
+        time; on timeout or cancellation no slot is ever leaked.
+        """
+        if self._free > 0:
+            # fast path; release() hands slots to waiters directly, so
+            # a free slot implies nobody is queued ahead of us.
+            self._free -= 1
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        try:
+            if timeout is None:
+                await future
+            else:
+                await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            if future.done() and not future.cancelled():
+                # the slot was handed over concurrently with our
+                # cancellation — pass it on rather than strand it.
+                self.release()
+            else:
+                try:
+                    self._waiters.remove(future)
+                except ValueError:  # already popped by release()
+                    pass
+            raise
+        # future completed: the slot was transferred directly to us.
+
+    def release(self) -> None:
+        """Return a slot: wake the next live waiter or free the slot."""
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                return
+        self._free += 1
+
+
 class AdmissionController:
     """Bounded admission for the asyncio front end.
 
@@ -99,20 +166,14 @@ class AdmissionController:
         self.inflight = 0
         self.peak_queue_depth = 0
         self.peak_inflight = 0
-        self._semaphore: Optional[asyncio.Semaphore] = None
-
-    def _slots(self) -> asyncio.Semaphore:
-        # lazy: asyncio primitives bind to the running loop on 3.9.
-        if self._semaphore is None:
-            self._semaphore = asyncio.Semaphore(self.max_inflight)
-        return self._semaphore
+        self._slots = _FifoSlots(max_inflight)
 
     @contextlib.asynccontextmanager
     async def admit(
         self, deadline: Optional[float] = None
     ) -> AsyncIterator[None]:
         """Acquire an execution slot or raise a typed rejection."""
-        slots = self._slots()
+        slots = self._slots
         # the queue bound only applies when no slot is immediately
         # free: max_queue=0 means "never wait", not "never serve".
         if slots.locked() and self.queue_depth >= self.max_queue:
@@ -121,13 +182,10 @@ class AdmissionController:
         self.queue_depth += 1
         self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
         try:
-            if timeout is None:
-                await slots.acquire()
-            else:
-                try:
-                    await asyncio.wait_for(slots.acquire(), timeout)
-                except asyncio.TimeoutError:
-                    raise DeadlineExceeded(timeout) from None
+            try:
+                await slots.acquire(timeout)
+            except asyncio.TimeoutError:
+                raise DeadlineExceeded(timeout) from None
         finally:
             self.queue_depth -= 1
         self.inflight += 1

@@ -137,19 +137,27 @@ class ResultCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache."""
+        with self._lock:
+            return self._hit_rate_locked()
+
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> dict:
-        """Counters as plain types (for the metrics export)."""
+        """Counters as plain types (for the metrics export).
+
+        All counters are read under the lock so the snapshot is
+        mutually consistent (e.g. ``hit_rate`` never straddles a
+        concurrent hits/misses update).
+        """
         with self._lock:
-            size = len(self._entries)
-        return {
-            "capacity": self.capacity,
-            "size": size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "stale_evictions": self.stale_evictions,
-            "flushes": self.flushes,
-        }
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self._hit_rate_locked(),
+                "stale_evictions": self.stale_evictions,
+                "flushes": self.flushes,
+            }

@@ -15,12 +15,19 @@ object works from plain threads (the synchronous
 ``QueryService.query_sync`` path) and from the asyncio front end via
 :func:`asyncio.wrap_future`.
 
-Unlike the result cache, coalescing holds *no* state after the flight
-lands, so it needs no invalidation: a write arriving mid-flight cannot
-be observed by the flight anyway (execution holds the engine read lock
-for its whole duration), and the shared answer is exactly the answer
-each follower would have computed had it been admitted first — the
-linearization point of every coalesced request is the leader's.
+Coalescing interacts with invalidation through *when the key leaves
+the inflight map*.  A flight that stays joinable after its answer's
+epoch can be superseded is a staleness hole: a request arriving after
+a write commits could ride along on a pre-write answer.  The protocol
+therefore lands a flight in two phases: :meth:`close` removes the key
+— barring new joiners — and is meant to be called at the result's
+linearization point (for the query service: while the engine read
+lock, which excludes writes, is still held), while completing the
+returned future delivers the answer and may happen later (e.g. after
+the modeled I/O stall).  Every follower then joined while the
+leader's epoch was current at some instant of its wait, so the shared
+answer is always one the follower could have computed itself.
+:meth:`finish` fuses both phases for callers without such a window.
 """
 
 from __future__ import annotations
@@ -59,15 +66,31 @@ class SingleFlight:
             self.flights += 1
             return future, True
 
+    def close(self, key: Hashable) -> "Future":
+        """Bar new joiners and return the flight's future (leader only).
+
+        After ``close`` the next :meth:`begin` for ``key`` starts a
+        fresh flight even though the returned future is not yet
+        completed.  Call it at the result's linearization point — e.g.
+        while still holding the lock the result was computed under —
+        so no request arriving after that point can inherit an answer
+        that predates it; complete the future when ready to deliver.
+        """
+        with self._lock:
+            return self._inflight.pop(key)
+
     def finish(
         self,
         key: Hashable,
         result: object = None,
         exception: Optional[BaseException] = None,
     ) -> None:
-        """Land the flight, waking every follower (leader only)."""
-        with self._lock:
-            future = self._inflight.pop(key)
+        """Land the flight, waking every follower (leader only).
+
+        One-step convenience over :meth:`close` for leaders with no
+        gap between linearization and delivery.
+        """
+        future = self.close(key)
         if exception is not None:
             future.set_exception(exception)
         else:

@@ -7,14 +7,15 @@ queue gauges and cache/coalescer effectiveness.  Everything here is
 dependency-free and exports plain dicts so ``repro-serve --stats`` can
 dump one JSON document.
 
-Attribution caveat, documented rather than hidden: the engine charges
-I/O and distance computations by *deltas of shared counters*
-(``BufferPool.combined_io``, ``CountingMetric``).  Under concurrent
-queries those deltas interleave, so **per-request** stats are
-approximate (a request may absorb a neighbour's page faults) while the
-**aggregate** totals across all requests remain exact.  The
-per-algorithm aggregation below therefore reports totals and averages,
-never per-request attributions.
+Attribution: the engine charges I/O and distance computations from
+**per-thread** counters once ``prepare_for_concurrency`` has run
+(``BufferPool.local_io``, ``CountingMetric.local_count``).  A query
+executes entirely on one worker thread, so each request's
+``QueryStats`` reflects exactly its own page faults and distance
+evaluations even while neighbours run concurrently — which matters
+beyond reporting, because the server *enacts* ``io_seconds`` as real
+latency in ``io_model`` mode and caches the stats in the response.
+The shared global counters still exist and stay exact in aggregate.
 """
 
 from __future__ import annotations

@@ -19,6 +19,11 @@ and share the engine under a **writer-preference read/write lock**:
 any number of queries execute concurrently; ``insert``/``delete`` take
 the write side, so a query never observes a half-mutated M-tree and a
 cached entry's epoch stamp provably matches the tree its query read.
+A cold execution also *closes* its single-flight entry while still
+holding the read lock: a write can only commit once every reader has
+released, so by the time the epoch moves the flight is guaranteed
+un-joinable and a post-write request starts a fresh execution instead
+of inheriting a pre-write answer.
 
 Simulated I/O as real latency (``io_model``)
 --------------------------------------------
@@ -46,7 +51,7 @@ import asyncio
 import contextlib
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -190,8 +195,17 @@ class ServiceConfig:
     verify: bool = False
 
     def resolved_max_inflight(self) -> int:
-        """Admission slots: default one per worker thread."""
-        return self.max_inflight if self.max_inflight else self.workers
+        """Admission slots: default one per worker thread.
+
+        Only ``None`` means "default"; an explicit ``max_inflight=0``
+        is passed through so :class:`AdmissionController` rejects it
+        instead of being silently coerced to ``workers``.
+        """
+        return (
+            self.max_inflight
+            if self.max_inflight is not None
+            else self.workers
+        )
 
 
 class QueryService:
@@ -259,14 +273,9 @@ class QueryService:
                 future, leader = self.coalescer.begin(request.key)
                 if leader:
                     loop = asyncio.get_running_loop()
-                    try:
-                        outcome = await loop.run_in_executor(
-                            self._pool, self._execute, request
-                        )
-                    except BaseException as exc:
-                        self.coalescer.finish(request.key, exception=exc)
-                        raise
-                    self.coalescer.finish(request.key, result=outcome)
+                    outcome = await loop.run_in_executor(
+                        self._pool, self._execute, request
+                    )
                 else:
                     outcome = await asyncio.wrap_future(future)
                 results, stats, epoch = outcome
@@ -325,12 +334,14 @@ class QueryService:
                 return self._respond(
                     request, results, stats, epoch, started, cached=True
                 )
-            outcome, shared = self.coalescer.execute(
-                request.key, lambda: self._execute(request)
-            )
+            future, leader = self.coalescer.begin(request.key)
+            if leader:
+                outcome = self._execute(request)
+            else:
+                outcome = future.result()
             results, stats, epoch = outcome
             return self._respond(
-                request, results, stats, epoch, started, coalesced=shared
+                request, results, stats, epoch, started, coalesced=not leader
             )
         except Exception:
             self.metrics.observe_failure()
@@ -409,23 +420,55 @@ class QueryService:
     def _execute(
         self, request: QueryRequest
     ) -> Tuple[List[ResultItem], QueryStats, int]:
-        """Cold execution on a worker thread, under the read lock."""
-        with self._engine_lock.read():
-            epoch = self.engine.epoch
-            results, stats = self.engine.top_k_dominating(
-                list(request.query_ids),
-                request.k,
-                algorithm=request.algorithm,
-            )
-            if self.config.verify and request.algorithm != "apx":
-                self._verify_locked(request, results)
-            self.cache.put(request.key, epoch, (results, stats, epoch))
-        self.metrics.observe_execution(request.algorithm, stats)
+        """Cold leader execution: compute, land the flight, stall.
+
+        The caller must hold the leadership of the ``request.key``
+        flight (``coalescer.begin`` returned ``leader=True``); this
+        method owns landing it.  The flight is **closed** while the
+        engine read lock is still held: a write commits only after
+        every reader releases, so once the epoch can move the key is
+        already gone and a post-write request starts a fresh flight
+        instead of joining one whose answer predates it (the stale-join
+        window a joinable-until-delivery flight would open).  The
+        future is **completed** only after
+        the modeled I/O stall, so followers that did join still
+        experience the leader's I/O latency — the answer physically
+        does not exist before the disk read finishes.
+        """
+        flight: Optional[Future] = None
+        try:
+            with self._engine_lock.read():
+                epoch = self.engine.epoch
+                results, stats = self.engine.top_k_dominating(
+                    list(request.query_ids),
+                    request.k,
+                    algorithm=request.algorithm,
+                )
+                if self.config.verify and request.algorithm != "apx":
+                    self._verify_locked(request, results)
+                self.cache.put(request.key, epoch, (results, stats, epoch))
+                flight = self.coalescer.close(request.key)
+            outcome = (results, stats, epoch)
+            self.metrics.observe_execution(request.algorithm, stats)
+            self._io_stall(stats)
+            flight.set_result(outcome)
+            return outcome
+        except BaseException as exc:
+            if flight is None:
+                flight = self.coalescer.close(request.key)
+            if not flight.done():
+                flight.set_exception(exc)
+            raise
+
+    def _io_stall(self, stats: QueryStats) -> None:
+        """Enact the paper's simulated disk outside the read lock.
+
+        The stall delays this client (and its coalesced followers),
+        not writers or unrelated queries.  Separated out so tests can
+        interleave writes into the stall window deterministically.
+        """
         if self.config.io_model and stats.io_seconds > 0.0:
-            # enact the paper's simulated disk outside the lock: the
-            # stall delays this client, not writers or other queries.
             time.sleep(stats.io_seconds * self.config.io_cost_scale)
-        return results, stats, epoch
 
     def _respond(
         self,

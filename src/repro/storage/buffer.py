@@ -37,6 +37,12 @@ class LRUBuffer:
     mutated on *every* access (hits ``move_to_end``, misses evict), so
     concurrent readers corrupt it; the serving layer calls
     :meth:`make_thread_safe` to serialize page operations.
+
+    Thread-safe mode also mirrors every accounting increment into a
+    **per-thread** :class:`IOStats`: a query runs entirely on one
+    worker thread, so deltas of :meth:`local_stats` attribute page
+    faults to exactly the query that incurred them, where deltas of
+    the shared ``stats`` would absorb concurrent neighbours' faults.
     """
 
     def __init__(
@@ -53,11 +59,37 @@ class LRUBuffer:
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self.stats = IOStats()
         self._lock: ContextManager[None] = _UNLOCKED
+        self._local: Optional[threading.local] = None
 
     def make_thread_safe(self) -> None:
-        """Serialize page operations behind a reentrant lock (idempotent)."""
+        """Serialize page operations behind a reentrant lock (idempotent).
+
+        Also switches :meth:`local_stats` to per-thread counters for
+        exact per-query attribution.
+        """
         if self._lock is _UNLOCKED:
             self._lock = threading.RLock()
+            self._local = threading.local()
+
+    def local_stats(self) -> IOStats:
+        """The calling thread's own counters (live object, not a copy).
+
+        Falls back to the global ``stats`` in single-threaded mode
+        (where the two are identical).  Per-thread counters only ever
+        grow — callers diff snapshots, as with ``stats``.
+        """
+        if self._local is None:
+            return self.stats
+        stats = getattr(self._local, "stats", None)
+        if stats is None:
+            stats = self._local.stats = IOStats()
+        return stats
+
+    def _sinks(self) -> "tuple[IOStats, ...]":
+        """The stats objects the current access must be charged to."""
+        if self._local is None:
+            return (self.stats,)
+        return (self.stats, self.local_stats())
 
     # ------------------------------------------------------------------
     # page interface used by access methods
@@ -65,14 +97,18 @@ class LRUBuffer:
     def get(self, page_id: int) -> Page:
         """Read a page through the buffer (logical read)."""
         with self._lock:
-            self.stats.logical_reads += 1
+            sinks = self._sinks()
+            for stats in sinks:
+                stats.logical_reads += 1
             page = self._frames.get(page_id)
             if page is not None:
                 self._frames.move_to_end(page_id)
-                self.stats.buffer_hits += 1
+                for stats in sinks:
+                    stats.buffer_hits += 1
                 return page
             page = self.manager.read_page(page_id)
-            self.stats.page_faults += 1
+            for stats in sinks:
+                stats.page_faults += 1
             self._admit(page)
             return page
 
@@ -84,14 +120,18 @@ class LRUBuffer:
         when evicted or when :meth:`flush` is called.
         """
         with self._lock:
-            self.stats.logical_writes += 1
+            sinks = self._sinks()
+            for stats in sinks:
+                stats.logical_writes += 1
             page.dirty = True
             if page.page_id in self._frames:
                 self._frames.move_to_end(page.page_id)
                 self._frames[page.page_id] = page
-                self.stats.buffer_hits += 1
+                for stats in sinks:
+                    stats.buffer_hits += 1
                 return
-            self.stats.page_faults += 1
+            for stats in sinks:
+                stats.page_faults += 1
             self._admit(page)
 
     def new_page(self, payload: Any = None) -> Page:
@@ -105,8 +145,9 @@ class LRUBuffer:
             page_id = self.manager.allocate(payload)
             page = self.manager.read_page(page_id)
             page.dirty = True
-            self.stats.logical_writes += 1
-            self.stats.buffer_hits += 1
+            for stats in self._sinks():
+                stats.logical_writes += 1
+                stats.buffer_hits += 1
             self._admit(page)
             return page
 
@@ -233,6 +274,19 @@ class BufferPool:
         total = IOStats()
         total.merge(self.index_buffer.stats)
         total.merge(self.aux_buffer.stats)
+        return total
+
+    def local_io(self) -> IOStats:
+        """Aggregate the calling thread's counters across both buffers.
+
+        In thread-safe mode this reflects only pages this thread
+        touched, so deltas attribute I/O to a single query exactly
+        even while neighbours fault pages concurrently; single-threaded
+        it equals :meth:`combined_io`.
+        """
+        total = IOStats()
+        total.merge(self.index_buffer.local_stats())
+        total.merge(self.aux_buffer.local_stats())
         return total
 
     def reset_stats(self) -> None:

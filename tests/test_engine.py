@@ -116,6 +116,53 @@ class TestMeasurement:
         assert len(results) == 4
         assert stats.results_reported == 4
 
+    def test_concurrent_query_stats_partition_shared_counters(self):
+        # regression: per-query stats must reflect only the
+        # query's own page faults and distance computations, even while
+        # neighbours run concurrently — the serving layer enacts
+        # io_seconds as real latency and caches the stats, so absorbed
+        # foreign faults were a behavioural bug, not just noisy
+        # reporting.  Exactness is checked as a partition: each access
+        # is charged to exactly one query, so per-query deltas sum to
+        # the global delta.
+        import threading
+
+        engine = make_engine(n=100, seed=65)
+        engine.prepare_for_concurrency()
+        io_before = engine.buffers.combined_io()
+        dist_before = engine.counting_metric.snapshot()
+        queries = [[1, 2, 3], [40, 41, 42], [70, 71, 72], [10, 50, 90]]
+        collected = []
+        barrier = threading.Barrier(len(queries))
+
+        def worker(query_ids):
+            barrier.wait()  # maximize interleaving
+            _results, stats = engine.top_k_dominating(query_ids, 5)
+            collected.append(stats)
+
+        threads = [
+            threading.Thread(target=worker, args=(q,)) for q in queries
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        io_delta = engine.buffers.combined_io().delta_since(io_before)
+        assert (
+            sum(s.io.logical_reads for s in collected)
+            == io_delta.logical_reads
+        )
+        assert (
+            sum(s.io.page_faults for s in collected) == io_delta.page_faults
+        )
+        assert (
+            sum(s.distance_computations for s in collected)
+            == engine.counting_metric.snapshot() - dist_before
+        )
+        for stats in collected:
+            assert stats.distance_computations > 0
+
 
 class TestSafetyHelper:
     def test_zero_and_negative_clamped(self):

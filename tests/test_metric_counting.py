@@ -49,3 +49,40 @@ class TestCounting:
 
     def test_inherits_name(self, metric):
         assert metric.name == "euclidean"
+
+
+class TestThreadLocalAttribution:
+    def test_local_count_tracks_global_single_threaded(self, metric):
+        a, b = np.array([0.0]), np.array([1.0])
+        metric(a, b)
+        assert metric.local_count() == metric.count == 1
+        metric.make_thread_safe()
+        before = metric.local_count()
+        metric(a, b)
+        assert metric.local_count() - before == 1
+
+    def test_local_counts_partition_global_across_threads(self, metric):
+        import threading
+
+        metric.make_thread_safe()
+        a, b = np.array([0.0]), np.array([1.0])
+        per_thread = {}
+
+        def worker(tag, evaluations):
+            before = metric.local_count()
+            for _ in range(evaluations):
+                metric(a, b)
+            per_thread[tag] = metric.local_count() - before
+
+        threads = [
+            threading.Thread(target=worker, args=(tag, n))
+            for tag, n in (("x", 7), ("y", 13))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # each thread saw exactly its own evaluations, and the shared
+        # counter remained exact in aggregate.
+        assert per_thread == {"x": 7, "y": 13}
+        assert metric.count == 20

@@ -12,6 +12,7 @@ from repro.service.admission import (
     Overloaded,
     Rejected,
     ServiceError,
+    _FifoSlots,
 )
 
 
@@ -130,6 +131,72 @@ class TestAdmission:
             # the slot must be free again
             async with controller.admit():
                 assert controller.inflight == 1
+
+        run(scenario())
+
+
+class TestSlotSafety:
+    """The GH-90155 class of bugs: timed waits must never leak slots."""
+
+    def test_repeated_deadline_timeouts_do_not_strand_slots(self):
+        async def scenario():
+            controller = AdmissionController(max_inflight=1, max_queue=8)
+            release = asyncio.Event()
+
+            async def occupant():
+                async with controller.admit():
+                    await release.wait()
+
+            holder = asyncio.create_task(occupant())
+            await asyncio.sleep(0.01)
+            for _ in range(5):
+                with pytest.raises(DeadlineExceeded):
+                    async with controller.admit(deadline=0.02):
+                        pass  # pragma: no cover - never admitted
+            release.set()
+            await holder
+            # every timed-out wait must have left the slot recoverable
+            for _ in range(3):
+                async with controller.admit(deadline=0.5):
+                    assert controller.inflight == 1
+
+        run(scenario())
+
+    def test_slot_handed_over_during_cancellation_is_not_lost(self):
+        # the precise race: the slot is handed to a waiter in the same
+        # event-loop tick its wait is cancelled.  Depending on the
+        # Python version the waiter either keeps the slot (3.9's
+        # wait_for returns a completed future's result despite the
+        # cancel) or is cancelled and must pass the slot on; in both
+        # worlds the slot stays usable — never stranded, which is how
+        # asyncio.Semaphore failed on 3.9/3.10.
+        async def scenario():
+            slots = _FifoSlots(1)
+            await slots.acquire()
+            waiter = asyncio.create_task(slots.acquire(timeout=5))
+            await asyncio.sleep(0.01)  # waiter is queued
+            slots.release()  # hand the slot over...
+            waiter.cancel()  # ...while cancelling the wait, same tick
+            try:
+                await waiter
+                acquired = True
+            except asyncio.CancelledError:
+                acquired = False
+            if acquired:
+                slots.release()  # an admitted caller releases normally
+            await asyncio.wait_for(slots.acquire(), timeout=1)
+
+        run(scenario())
+
+    def test_timed_out_waiter_leaves_the_queue(self):
+        async def scenario():
+            slots = _FifoSlots(1)
+            await slots.acquire()
+            with pytest.raises(asyncio.TimeoutError):
+                await slots.acquire(timeout=0.02)
+            assert not slots._waiters, "timed-out waiter must dequeue"
+            slots.release()
+            await asyncio.wait_for(slots.acquire(), timeout=1)
 
         run(scenario())
 

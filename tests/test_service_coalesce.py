@@ -42,6 +42,38 @@ class TestProtocol:
         flight.finish("b", result=None)
 
 
+class TestClose:
+    def test_close_bars_new_joiners_before_completion(self):
+        # the two-phase landing: after close() the key flies fresh even
+        # though the old flight's future is not yet completed — this is
+        # what lets the service bar joiners at its linearization point
+        # (under the engine read lock) and deliver after the I/O stall.
+        flight = SingleFlight()
+        future, leader = flight.begin("key")
+        assert leader
+        closed = flight.close("key")
+        assert closed is future
+        assert flight.inflight == 0
+        fresh_future, fresh_leader = flight.begin("key")
+        assert fresh_leader, "a post-close request must start a new flight"
+        assert fresh_future is not future
+        # completing the old flight later still wakes its followers
+        future.set_result("old answer")
+        assert future.result(timeout=1) == "old answer"
+        flight.finish("key", result="new answer")
+        assert fresh_future.result(timeout=1) == "new answer"
+
+    def test_follower_joined_before_close_still_served(self):
+        flight = SingleFlight()
+        future, _ = flight.begin("key")
+        follower_future, follower_leader = flight.begin("key")
+        assert not follower_leader
+        flight.close("key")
+        future.set_result(7)
+        assert follower_future.result(timeout=1) == 7
+        assert flight.saved == 1
+
+
 class TestExecute:
     def test_concurrent_identical_calls_share_one_execution(self):
         flight = SingleFlight()

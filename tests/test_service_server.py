@@ -153,6 +153,58 @@ class TestOverload:
             assert svc.metrics.completed == 1
 
 
+class TestCoalesceFreshness:
+    def test_write_during_io_stall_does_not_feed_a_late_query(
+        self, small_engine
+    ):
+        # regression: a query arriving after a write commits
+        # (epoch bumped, cache flushed) must not join a flight whose
+        # leader computed at the pre-write epoch.  The leader closes
+        # its flight under the engine read lock, so by the time the
+        # write can land the key is un-joinable and the late query
+        # recomputes fresh.  With the flight left joinable through the
+        # io_model stall (the old behaviour), the inner query below
+        # joins it and blocks on a future the stalled leader has not
+        # completed — a deadlock caught by the join timeout — and with
+        # any other timing it would be handed the stale answer.
+        import threading
+
+        config = ServiceConfig(workers=2, io_model=True, io_cost_scale=0.01)
+        inner = {}
+
+        with QueryService(small_engine, config) as service:
+            original_stall = service._io_stall
+            interleaved = threading.Event()
+
+            def stall_with_interleaved_write(stats):
+                if not interleaved.is_set():
+                    interleaved.set()
+                    service.insert_sync(small_engine.space.payload(0) * 0.25)
+
+                    def late_query():
+                        inner["response"] = service.query_sync(QUERY, K)
+
+                    thread = threading.Thread(target=late_query)
+                    thread.start()
+                    thread.join(timeout=10)
+                    assert not thread.is_alive(), (
+                        "post-write query joined the pre-write flight"
+                    )
+                original_stall(stats)
+
+            service._io_stall = stall_with_interleaved_write
+            leader = service.query_sync(QUERY, K)
+
+        assert interleaved.is_set()
+        response = inner["response"]
+        assert response.epoch == small_engine.epoch
+        assert not response.coalesced and not response.cached
+        assert service.verify_response(QUERY, K, response) is True
+        # the leader itself is not stale: its request predates the
+        # write, and its epoch stamp says so.
+        assert leader.epoch == response.epoch - 1
+
+
 class TestVerification:
     def test_verify_response_confirms_fresh_results(self, service):
         response = run(service.query(QUERY, K))
@@ -215,6 +267,14 @@ class TestLifecycleAndSnapshot:
     def test_workers_validated(self, small_engine):
         with pytest.raises(ValueError):
             QueryService(small_engine, ServiceConfig(workers=0))
+
+    def test_explicit_zero_max_inflight_rejected(self, small_engine):
+        # max_inflight=0 must surface as a config error, not be
+        # silently coerced to the workers default by truthiness.
+        with pytest.raises(ValueError):
+            QueryService(
+                small_engine, ServiceConfig(workers=2, max_inflight=0)
+            )
 
 
 class TestReadWriteLock:

@@ -153,3 +153,59 @@ class TestBufferPool:
         page = pool.aux_buffer.new_page()
         pool.clear()
         assert page.page_id not in pool.aux_buffer
+
+
+class TestThreadLocalAttribution:
+    def test_local_stats_alias_global_single_threaded(self):
+        mgr, buf = make_buffer()
+        buf.get(mgr.allocate())
+        assert buf.local_stats() is buf.stats
+
+    def test_local_stats_partition_global_across_threads(self):
+        import threading
+
+        mgr, buf = make_buffer(capacity=8)
+        buf.make_thread_safe()
+        pages = [mgr.allocate() for _ in range(6)]
+        per_thread = {}
+
+        def worker(tag, my_pages, repeats):
+            before = buf.local_stats().snapshot()
+            for _ in range(repeats):
+                for page_id in my_pages:
+                    buf.get(page_id)
+            per_thread[tag] = buf.local_stats().delta_since(before)
+
+        threads = [
+            threading.Thread(target=worker, args=("x", pages[:3], 2)),
+            threading.Thread(target=worker, args=("y", pages[3:], 3)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # each thread is charged exactly its own accesses...
+        assert per_thread["x"].logical_reads == 6
+        assert per_thread["y"].logical_reads == 9
+        # ...and fault/hit attribution partitions the global counters
+        # exactly (each access increments both views once).
+        total = buf.stats
+        assert (
+            per_thread["x"].page_faults + per_thread["y"].page_faults
+            == total.page_faults
+        )
+        assert (
+            per_thread["x"].buffer_hits + per_thread["y"].buffer_hits
+            == total.buffer_hits
+        )
+        assert total.logical_reads == 15
+
+    def test_pool_local_io_merges_thread_views(self):
+        pool = BufferPool()
+        pool.make_thread_safe()
+        pool.index_buffer.get(pool.index_manager.allocate())
+        pool.aux_buffer.get(pool.aux_manager.allocate())
+        local = pool.local_io()
+        assert local.page_faults == 2
+        assert local.logical_reads == 2
