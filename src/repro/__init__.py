@@ -20,7 +20,10 @@ Public API highlights:
 * :mod:`repro.datasets` — generators for the paper's four evaluation
   data sets (UNI, FC, ZIL, CAL) and coverage-controlled query sets;
 * :mod:`repro.bench` — the harness regenerating the paper's
-  Figures 4-8 and Tables 2-3.
+  Figures 4-8 and Tables 2-3;
+* :mod:`repro.faults` — seeded fault injection (page checksums,
+  retries, circuit breakers, degraded-mode distributed answers); see
+  ``docs/robustness.md``.
 """
 
 from repro.core import (
@@ -36,6 +39,7 @@ from repro.core import (
     TopKDominatingEngine,
     brute_force_scores,
 )
+from repro.faults import ChaosConfig, FaultInjector
 from repro.metric import (
     CountingMetric,
     EditDistanceMetric,
@@ -55,9 +59,11 @@ __all__ = [
     "ALGORITHMS",
     "ApproximateTopK",
     "BruteForce",
+    "ChaosConfig",
     "CountingMetric",
     "EditDistanceMetric",
     "EuclideanMetric",
+    "FaultInjector",
     "Graph",
     "LpMetric",
     "MTree",

@@ -143,6 +143,7 @@ class TopKDominatingEngine:
         self.build_distance_computations = self.counting_metric.count
         self._epoch = 0
         self._write_listeners: List[Callable[[int], None]] = []
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -238,6 +239,18 @@ class TopKDominatingEngine:
         """
         self.counting_metric.make_thread_safe()
         self.buffers.make_thread_safe()
+
+    def attach_fault_injector(self, injector) -> None:
+        """Attach a :class:`~repro.faults.chaos.FaultInjector`.
+
+        Enables page checksumming and fault injection on both simulated
+        disks (index and aux).  With all probabilities at zero this
+        changes no result and no counter — checksums are stamped and
+        verified but no fault ever fires; see ``docs/robustness.md``.
+        """
+        self.fault_injector = injector
+        self.buffers.index_manager.attach_injector(injector)
+        self.buffers.aux_manager.attach_injector(injector)
 
     # ------------------------------------------------------------------
     # dynamic data (the M-tree's insert/delete support, Section 4.1)

@@ -9,17 +9,30 @@ own M-tree, and a coordinator runs a provably correct merge protocol
 (see :mod:`repro.distributed.coordinator`) while the simulation layer
 counts messages and per-site distance computations — the costs a real
 deployment would care about.
+
+Site calls go through :class:`~repro.distributed.rpc.SiteClient`
+(retries, per-site circuit breakers, optional seeded fault injection
+via :mod:`repro.faults`); unreachable sites degrade the answer — with
+an explicit :class:`~repro.distributed.coordinator.Coverage` report —
+instead of failing it.  Everything is deterministic given the
+coordinator's ``rng`` seed and the chaos seed: partitioning, per-site
+index builds, protocol order and the injected fault sequence.
 """
 
 from repro.distributed.coordinator import (
-    DistributedTopK,
+    Coverage,
     DistributedStats,
+    DistributedTopK,
 )
+from repro.distributed.rpc import RpcStats, SiteClient
 from repro.distributed.site import Site, partition_round_robin
 
 __all__ = [
+    "Coverage",
     "DistributedStats",
     "DistributedTopK",
+    "RpcStats",
     "Site",
+    "SiteClient",
     "partition_round_robin",
 ]

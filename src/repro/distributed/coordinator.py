@@ -20,21 +20,77 @@ tops are excluded everywhere).  The protocol per reported result:
 The coordinator caches candidate scores between rounds: a removal can
 only affect the scores of objects that dominated the removed one, and
 a removed top is dominated by nobody, so cached global scores stay
-exact — mirroring the single-site argument in DESIGN.md.
+exact — mirroring the single-site argument in DESIGN.md.  Counts are
+cached **per site** (not pre-summed), which is also what makes partial
+answers honest (below).
+
+Degraded mode
+-------------
+Site calls go through :class:`~repro.distributed.rpc.SiteClient`
+(timeouts, retries, a per-site circuit breaker).  When a site cannot
+be reached — breaker open at query start, or any call failing after
+retries mid-query — the coordinator *drops* it for the remainder of
+the query instead of crashing, and the same Lemma 1 argument tells us
+exactly what the answer still means: restricted to the union of the
+responding partitions the protocol is unchanged, so the reported
+objects are the true top-k of that union and their scores (sums of the
+responding sites' local counts) are **exact over the responding
+partitions** — and therefore exact lower bounds on the unknowable
+global scores.  Every yielded result carries a :class:`Coverage`
+report naming the responding and missing partitions; a dropped site
+stays dropped for the whole query (its removal stream is broken, so
+its local counts could go stale), but its breaker may recover
+(half-open probe) for the *next* query.
 
 Costs tracked: messages (by type), bytes-ish payload units, per-site
-distance computations (the site's counting metric does that part).
+distance computations (the site's counting metric does that part),
+plus RPC retries and per-site drops under faults.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.progressive import ResultItem
+from repro.distributed.rpc import SiteClient
 from repro.distributed.site import Site, partition_round_robin
+from repro.faults.chaos import ChaosConfig, FaultInjector
+from repro.faults.errors import FaultError
 from repro.metric.base import MetricSpace
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """Which partitions contributed to an answer.
+
+    ``exact`` means every site answered: scores are the true global
+    domination scores.  Otherwise the answer covers exactly the
+    ``responding`` partitions and each reported score is exact over
+    their union — an exact lower bound on the global score (missing
+    partitions can only add dominated objects, never subtract).
+    """
+
+    total_sites: int
+    responding: Tuple[int, ...]
+    missing: Tuple[int, ...]
+
+    @property
+    def exact(self) -> bool:
+        return not self.missing
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing)
+
+    def as_dict(self) -> dict:
+        return {
+            "total_sites": self.total_sites,
+            "responding": list(self.responding),
+            "missing": list(self.missing),
+            "exact": self.exact,
+        }
 
 
 @dataclass
@@ -46,6 +102,9 @@ class DistributedStats:
     removal_broadcasts: int = 0
     candidate_vectors_shipped: int = 0
     results_reported: int = 0
+    rpc_retries: int = 0
+    sites_dropped: int = 0
+    coverage: Optional[Coverage] = None
 
     @property
     def total_messages(self) -> int:
@@ -69,6 +128,15 @@ class DistributedTopK:
         Number of horizontal partitions.
     partitions:
         Explicit partition lists; defaults to round-robin.
+    rng:
+        Seeded :class:`random.Random` from which every site's M-tree
+        build RNG is derived — the whole system (partitioning, index
+        shapes, protocol order) is a deterministic function of this
+        seed plus the chaos seed.
+    chaos:
+        Optional :class:`ChaosConfig` (or a ready
+        :class:`FaultInjector`) enabling RPC fault injection on every
+        site call; the per-site circuit breakers come from it too.
     """
 
     def __init__(
@@ -77,6 +145,7 @@ class DistributedTopK:
         num_sites: int = 4,
         partitions: Optional[List[List[int]]] = None,
         rng: Optional[random.Random] = None,
+        chaos: Optional[Union[ChaosConfig, FaultInjector]] = None,
     ) -> None:
         rng = rng or random.Random(0)
         if partitions is None:
@@ -86,9 +155,18 @@ class DistributedTopK:
         ):
             raise ValueError("every site needs at least one object")
         self.space = space
+        if isinstance(chaos, FaultInjector):
+            self.injector: Optional[FaultInjector] = chaos
+        elif chaos is not None:
+            self.injector = FaultInjector(chaos)
+        else:
+            self.injector = None
         self.sites = [
             Site(i, space, partition, rng=random.Random(rng.randrange(1 << 30)))
             for i, partition in enumerate(partitions)
+        ]
+        self.clients = [
+            SiteClient(site, injector=self.injector) for site in self.sites
         ]
 
     # ------------------------------------------------------------------
@@ -97,56 +175,153 @@ class DistributedTopK:
     def run(
         self, query_ids: Sequence[int], k: int
     ) -> Iterator[Tuple[ResultItem, DistributedStats]]:
-        """Progressively yield ``(result, stats-so-far)`` pairs."""
-        stats = DistributedStats()
-        for site in self.sites:
-            site.begin_query(query_ids)
-        score_cache: Dict[int, int] = {}
-        vector_of: Dict[int, Tuple[float, ...]] = {}
+        """Progressively yield ``(result, stats-so-far)`` pairs.
 
-        total = sum(len(site) for site in self.sites)
+        ``stats.coverage`` at each yield names the partitions the
+        result (and its score) covers; it can only shrink as sites
+        fail.  With no faults injected the protocol — including every
+        message count — is identical to the fault-oblivious original.
+        """
+        return self._run(query_ids, k, DistributedStats())
+
+    def _run(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        stats: DistributedStats,
+    ) -> Iterator[Tuple[ResultItem, DistributedStats]]:
+        active: Dict[int, SiteClient] = {}
+        for client in self.clients:
+            try:
+                client.begin_query(query_ids)
+            except FaultError:
+                stats.sites_dropped += 1
+            else:
+                active[client.site_id] = client
+        stats.coverage = self._coverage(active)
+
+        # per-object state: owning site, distance vector, and the
+        # per-site local counts gathered so far (cached across rounds).
+        owner: Dict[int, int] = {}
+        vector_of: Dict[int, Tuple[float, ...]] = {}
+        site_counts: Dict[int, Dict[int, int]] = {}
+
+        def drop(site_id: int) -> None:
+            active.pop(site_id, None)
+            stats.sites_dropped += 1
+            stats.coverage = self._coverage(active)
+
+        total = sum(
+            len(self.sites[site_id].object_ids) for site_id in active
+        )
         for _round in range(min(k, total)):
-            # 1. candidate generation: union of local skylines.
+            # 1. candidate generation: union of live local skylines.
             candidates: List[int] = []
-            for site in self.sites:
+            for site_id, client in list(active.items()):
                 stats.skyline_requests += 1
-                for object_id, vector in site.local_skyline():
+                try:
+                    skyline = client.local_skyline()
+                except FaultError:
+                    drop(site_id)
+                    continue
+                for object_id, vector in skyline:
+                    owner[object_id] = site_id
                     vector_of[object_id] = vector
                     candidates.append(object_id)
+
+            # 2. global scoring: fill in any missing per-site counts.
+            for object_id in candidates:
+                if owner[object_id] not in active:
+                    continue
+                counts = site_counts.setdefault(object_id, {})
+                vector = vector_of[object_id]
+                for site_id, client in list(active.items()):
+                    if site_id in counts:
+                        continue
+                    stats.scoring_requests += 1
+                    stats.candidate_vectors_shipped += 1
+                    try:
+                        counts[site_id] = client.count_dominated(vector)
+                    except FaultError:
+                        drop(site_id)
+
+            # a site that died above invalidates its own candidates
+            # (their partition is no longer covered) but nobody
+            # else's: surviving candidates keep exact counts for
+            # every still-active site.
+            candidates = [
+                object_id
+                for object_id in candidates
+                if owner[object_id] in active
+            ]
             if not candidates:
                 return
 
-            # 2. global scoring of new candidates.
-            for object_id in candidates:
-                if object_id in score_cache:
-                    continue
-                vector = vector_of[object_id]
-                global_score = 0
-                for site in self.sites:
-                    stats.scoring_requests += 1
-                    global_score += site.count_dominated(vector)
-                stats.candidate_vectors_shipped += len(self.sites)
-                score_cache[object_id] = global_score
+            # 3. report the best remaining candidate.  Scores sum the
+            # *currently active* sites' cached counts, so they are
+            # exact over exactly the partitions named in coverage.
+            def global_score(object_id: int) -> int:
+                counts = site_counts[object_id]
+                return sum(counts[site_id] for site_id in active)
 
-            # 3. report the best remaining candidate and broadcast
-            #    its removal.
             best_id = min(
                 candidates,
-                key=lambda obj: (-score_cache[obj], obj),
+                key=lambda obj: (-global_score(obj), obj),
             )
-            best_score = score_cache.pop(best_id)
-            for site in self.sites:
-                stats.removal_broadcasts += 1
-                site.remove(best_id)
+            best_score = global_score(best_id)
+            site_counts.pop(best_id)
             stats.results_reported += 1
+            stats.rpc_retries = sum(
+                client.stats.retries for client in self.clients
+            )
             yield ResultItem(best_id, best_score), stats
+
+            # 4. broadcast the removal (after the yield: a failed
+            # broadcast degrades *future* rounds, not the answer that
+            # was just reported).
+            for site_id, client in list(active.items()):
+                stats.removal_broadcasts += 1
+                try:
+                    client.remove(best_id)
+                except FaultError:
+                    drop(site_id)
 
     def top_k(
         self, query_ids: Sequence[int], k: int
     ) -> Tuple[List[ResultItem], DistributedStats]:
-        """Materialized answer plus the final protocol statistics."""
-        results: List[ResultItem] = []
+        """Materialized answer plus the final protocol statistics.
+
+        Under faults the answer may be degraded — check
+        ``stats.coverage`` for the partitions it covers.
+        """
         stats = DistributedStats()
-        for item, stats in self.run(query_ids, k):
-            results.append(item)
+        results = [item for item, _ in self._run(query_ids, k, stats)]
+        stats.rpc_retries = sum(
+            client.stats.retries for client in self.clients
+        )
         return results, stats
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _coverage(self, active: Dict[int, SiteClient]) -> Coverage:
+        responding = tuple(sorted(active))
+        missing = tuple(
+            client.site_id
+            for client in self.clients
+            if client.site_id not in active
+        )
+        return Coverage(
+            total_sites=len(self.clients),
+            responding=responding,
+            missing=missing,
+        )
+
+    def snapshot(self) -> dict:
+        """Per-site RPC/breaker state plus injector counters."""
+        return {
+            "sites": [client.snapshot() for client in self.clients],
+            "faults": (
+                self.injector.snapshot() if self.injector else None
+            ),
+        }

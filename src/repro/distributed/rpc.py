@@ -1,0 +1,143 @@
+"""The coordinator-side RPC shim over a :class:`Site`.
+
+In the simulation a site call is a Python method call; a real
+deployment pays timeouts, dropped connections and dead sites.
+:class:`SiteClient` interposes exactly that failure surface — per-call
+fault injection, bounded retries with backoff, and a per-site circuit
+breaker — without the site or the merge protocol knowing:
+
+* each call attempt first consults the breaker
+  (:class:`~repro.faults.errors.CircuitOpen` when open, no time paid),
+  then the fault injector (which may delay the call, raise
+  :class:`~repro.faults.errors.RpcTimeout` or
+  :class:`~repro.faults.errors.SiteUnavailable`), then runs the real
+  site method;
+* transient faults are retried under the injector's policy; every
+  *attempt* outcome feeds the breaker, so a consistently failing site
+  trips it even while individual calls still (eventually) succeed;
+* once the breaker opens the site is rejected locally until the reset
+  timeout admits a half-open probe — the hook the coordinator's
+  degraded mode hangs off.
+
+Without an injector the client is a transparent pass-through (plus an
+always-closed breaker), so the fault-free protocol behaves exactly as
+before this layer existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.distributed.site import Site
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.chaos import FaultInjector
+from repro.faults.errors import CircuitOpen, RpcFault
+from repro.faults.retry import RetryPolicy
+
+
+@dataclass
+class RpcStats:
+    """Per-site call accounting (attempts, retries, failures)."""
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    failures: int = 0
+    breaker_rejections: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "calls": self.calls,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failures": self.failures,
+            "breaker_rejections": self.breaker_rejections,
+        }
+
+
+class SiteClient:
+    """Fault-aware proxy for one site's remote interface."""
+
+    def __init__(
+        self,
+        site: Site,
+        injector: Optional[FaultInjector] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.site = site
+        self.site_id = site.site_id
+        self.injector = injector
+        if breaker is None:
+            if injector is not None:
+                breaker = injector.make_breaker(f"site{site.site_id}")
+            else:
+                breaker = CircuitBreaker(name=f"site{site.site_id}")
+        self.breaker = breaker
+        self.retry_policy = retry_policy or (
+            injector.retry_policy if injector is not None else RetryPolicy()
+        )
+        self.stats = RpcStats()
+
+    def call(self, method: str, *args: Any) -> Any:
+        """Invoke ``site.<method>(*args)`` through breaker + retries.
+
+        Raises :class:`CircuitOpen` without touching the site when the
+        breaker is open; otherwise retries transient
+        :class:`RpcFault` s up to the policy's attempt budget and
+        surfaces the last fault typed.
+        """
+        if not self.breaker.allow():
+            self.stats.breaker_rejections += 1
+            raise CircuitOpen(self.site_id, method)
+        self.stats.calls += 1
+        attempt = 0
+        while True:
+            self.stats.attempts += 1
+            try:
+                if self.injector is not None:
+                    self.injector.on_rpc(self.site_id, method)
+                result = getattr(self.site, method)(*args)
+            except RpcFault as fault:
+                self.stats.failures += 1
+                self.breaker.record_failure()
+                retries_left = attempt < self.retry_policy.max_attempts - 1
+                if not (fault.retryable and retries_left):
+                    raise
+                if not self.breaker.allow():
+                    # the breaker tripped mid-call: stop retrying a
+                    # site the policy already declared down.
+                    self.stats.breaker_rejections += 1
+                    raise CircuitOpen(self.site_id, method) from fault
+                delay = self.retry_policy.backoff(
+                    attempt, self.injector.retry_rng
+                )
+                self.stats.retries += 1
+                self.injector.note_retry("rpc", f"site{self.site_id}.{method}")
+                self.injector.sleep(delay)
+                attempt += 1
+            else:
+                self.breaker.record_success()
+                return result
+
+    # convenience wrappers mirroring the Site interface ---------------
+    def begin_query(self, query_ids) -> None:
+        self.call("begin_query", query_ids)
+
+    def local_skyline(self):
+        return self.call("local_skyline")
+
+    def count_dominated(self, vector) -> int:
+        return self.call("count_dominated", vector)
+
+    def remove(self, object_id: int) -> bool:
+        return self.call("remove", object_id)
+
+    def snapshot(self) -> dict:
+        """Call stats plus breaker state for the metrics export."""
+        return {
+            "site_id": self.site_id,
+            "rpc": self.stats.snapshot(),
+            "breaker": self.breaker.snapshot(),
+        }

@@ -11,6 +11,12 @@ its own M-tree over its own buffer pool, and answers two remote calls:
 Both calls are counted as messages by the coordinator; the site-side
 distance computations accumulate in the site's own counting metric, so
 the simulation exposes exactly the costs a real deployment would pay.
+
+Determinism: no module-level RNG is ever consumed.  The M-tree build
+randomness comes from an explicit :class:`random.Random` — derived by
+the coordinator from its own seeded generator, or from ``site_id`` as
+a stable fallback — so two systems built with equal seeds are
+byte-for-byte identical, which the fault-injection tests rely on.
 """
 
 from __future__ import annotations

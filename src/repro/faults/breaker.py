@@ -1,0 +1,133 @@
+"""Per-dependency circuit breaker (closed → open → half-open).
+
+Retries handle *blips*; a breaker handles a dependency that is *down*.
+After ``failure_threshold`` consecutive failures the breaker opens and
+every call is rejected locally with
+:class:`~repro.faults.errors.CircuitOpen` — no timeout is paid, which
+is what lets the distributed coordinator answer in degraded mode at
+full speed instead of stalling on a dead site every round.  After
+``reset_timeout`` seconds one probe call is admitted (half-open): if it
+succeeds the breaker closes, otherwise it re-opens for another window.
+
+The clock is injectable so tests (and seeded chaos runs) can drive the
+state machine deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+#: state names (plain strings: they appear in snapshots / logs).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open probe."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 0.050,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "breaker",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        # lifetime counters for the metrics snapshot.
+        self.opens = 0
+        self.rejections = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, resolving an elapsed open window to half-open."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+
+    def allow(self) -> bool:
+        """Whether the next call may proceed (counts rejections).
+
+        In half-open state only one probe is admitted at a time; it is
+        accounted via ``probes`` and decided by the next
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                self.probes += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        """A call (or probe) succeeded: close and reset the count."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A call failed: count it; threshold (or a failed probe) opens."""
+        with self._lock:
+            self._consecutive_failures += 1
+            failed_probe = self._state == HALF_OPEN
+            if (
+                failed_probe
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != OPEN:
+                    self.opens += 1
+                self._state = OPEN
+                self._opened_at = self.clock()
+
+    def force_open(self) -> None:
+        """Trip the breaker manually (tests, operational kill switch)."""
+        with self._lock:
+            if self._state != OPEN:
+                self.opens += 1
+            self._state = OPEN
+            self._opened_at = self.clock()
+            self._consecutive_failures = self.failure_threshold
+
+    def force_close(self) -> None:
+        """Reset the breaker manually."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+
+    def snapshot(self) -> dict:
+        """State and lifetime counters as plain types."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+                "opens": self.opens,
+                "rejections": self.rejections,
+                "probes": self.probes,
+            }

@@ -1,0 +1,30 @@
+"""CRC32 page checksums.
+
+A real storage engine checksums each 4 KB page so silent corruption is
+detected on read instead of propagating into query answers.  Pages here
+carry live Python payloads rather than bytes, so the checksum is taken
+over a canonical serialization: :func:`pickle.dumps` when the payload
+is picklable (all node types and record blocks are plain dataclasses /
+lists / numpy arrays), falling back to ``repr`` otherwise.  Within one
+process either encoding is stable for an unmutated payload, which is
+exactly the contract a read-verify needs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Any
+
+#: XOR mask the fault injector applies to a stored checksum to model
+#: on-disk corruption (any non-zero mask guarantees a mismatch).
+CORRUPTION_MASK = 0x5A5A5A5A
+
+
+def payload_checksum(payload: Any) -> int:
+    """CRC32 of the payload's canonical serialization (32-bit int)."""
+    try:
+        data = pickle.dumps(payload, protocol=4)
+    except Exception:
+        data = repr(payload).encode("utf-8", "replace")
+    return zlib.crc32(data) & 0xFFFFFFFF

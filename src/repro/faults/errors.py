@@ -1,0 +1,123 @@
+"""Typed failures raised by the fault-injection framework.
+
+Every fault the framework can inject (or detect) is a subclass of
+:class:`FaultError` carrying two classification attributes:
+
+* ``layer`` — which subsystem produced it (``"storage"`` or ``"rpc"``),
+* ``retryable`` — whether trying again can plausibly succeed.  The
+  retry loops in :mod:`repro.faults.retry` and the serving layer's
+  error mapping (`repro.service`) both branch on this flag alone, so
+  adding a new fault kind never requires touching the recovery code.
+
+The hierarchy is deliberately *separate* from
+:class:`~repro.storage.pages.PageError`: ``PageError`` means the caller
+used the API wrong (double free, unknown id) and must never be retried,
+while a ``FaultError`` means the simulated hardware misbehaved.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class of every injected or detected fault."""
+
+    #: subsystem that produced the fault ("storage", "rpc", ...).
+    layer = "fault"
+    #: whether retrying the failed operation can plausibly succeed.
+    retryable = False
+
+
+# ----------------------------------------------------------------------
+# storage layer
+# ----------------------------------------------------------------------
+class StorageFault(FaultError):
+    """Base class of simulated-disk faults."""
+
+    layer = "storage"
+
+
+class TransientPageError(StorageFault):
+    """A page read failed transiently (e.g. a timeout); retry it."""
+
+    retryable = True
+
+    def __init__(self, disk: str, page_id: int) -> None:
+        super().__init__(
+            f"transient read fault on page {page_id} of {disk}"
+        )
+        self.disk = disk
+        self.page_id = page_id
+
+
+class PermanentPageError(StorageFault):
+    """A page read failed permanently (e.g. a dead sector)."""
+
+    def __init__(self, disk: str, page_id: int) -> None:
+        super().__init__(
+            f"permanent read fault on page {page_id} of {disk}"
+        )
+        self.disk = disk
+        self.page_id = page_id
+
+
+class StorageCorruption(StorageFault):
+    """A page's CRC32 checksum did not match its payload on read.
+
+    Never retryable: the corruption is on the (simulated) disk, so a
+    re-read returns the same corrupted bytes.
+    """
+
+    def __init__(self, disk: str, page_id: int) -> None:
+        super().__init__(
+            f"checksum mismatch reading page {page_id} of {disk}"
+        )
+        self.disk = disk
+        self.page_id = page_id
+
+
+# ----------------------------------------------------------------------
+# rpc / distributed layer
+# ----------------------------------------------------------------------
+class RpcFault(FaultError):
+    """Base class of simulated site-communication faults."""
+
+    layer = "rpc"
+
+    def __init__(self, site_id: int, method: str, reason: str) -> None:
+        super().__init__(
+            f"{reason} calling {method}() on site {site_id}"
+        )
+        self.site_id = site_id
+        self.method = method
+
+
+class RpcTimeout(RpcFault):
+    """A site call exceeded its (simulated) timeout."""
+
+    retryable = True
+
+    def __init__(self, site_id: int, method: str) -> None:
+        super().__init__(site_id, method, "timeout")
+
+
+class SiteUnavailable(RpcFault):
+    """A site call failed outright (site down, link broken)."""
+
+    retryable = True
+
+    def __init__(self, site_id: int, method: str) -> None:
+        super().__init__(site_id, method, "site unavailable")
+
+
+class CircuitOpen(RpcFault):
+    """The per-site circuit breaker rejected the call locally.
+
+    Retryable in the back-off sense: the breaker will admit a probe
+    once its reset timeout elapses — but the *current* call was never
+    sent, so the coordinator degrades instead of waiting.
+    """
+
+    retryable = True
+
+    def __init__(self, site_id: int, method: str) -> None:
+        super().__init__(site_id, method, "circuit breaker open")

@@ -1,0 +1,86 @@
+"""Retries with capped exponential backoff and deterministic jitter.
+
+The standard recovery loop for transient faults: attempt, back off
+``base_delay * multiplier**attempt`` (capped at ``max_delay``), add
+jitter so concurrent retriers do not synchronize, try again up to
+``max_attempts`` times, then surface the last error.
+
+Jitter is drawn from a caller-supplied :class:`random.Random`, *not*
+the global RNG — with a seeded generator the exact backoff sequence
+(and therefore any latency-sensitive downstream behaviour) replays
+byte-identically, which is what makes chaos runs debuggable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.faults.errors import FaultError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of one retry loop (attempt count and backoff curve)."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    max_delay: float = 0.050
+    multiplier: float = 2.0
+    #: jitter fraction: the delay is scaled by a uniform draw from
+    #: ``[1 - jitter, 1]`` (so the cap is never exceeded).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based), in seconds."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** attempt
+        )
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+def default_retryable(exc: BaseException) -> bool:
+    """The framework's classification: retry exactly transient faults."""
+    return isinstance(exc, FaultError) and exc.retryable
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    rng: random.Random,
+    sleep: Callable[[float], None],
+    retryable: Callable[[BaseException], bool] = default_retryable,
+    on_retry: Optional[Callable[[BaseException, int, float], None]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or retries are exhausted.
+
+    ``on_retry(exc, attempt, delay)`` fires before each backoff sleep
+    (used by the fault injector to count and log retries).  The final
+    failure propagates unchanged so callers see the typed fault.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as exc:
+            if not retryable(exc) or attempt >= policy.max_attempts - 1:
+                raise
+            delay = policy.backoff(attempt, rng)
+            if on_retry is not None:
+                on_retry(exc, attempt, delay)
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

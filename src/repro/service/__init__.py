@@ -25,7 +25,13 @@ measurable code.  It wraps one shared
   one ``snapshot()`` dict (``metrics.py``);
 * **load generator** — the closed-loop, Zipf-skewed ``repro-serve``
   console script demonstrating throughput scaling, cache speedup and
-  overload behaviour (``loadgen.py``).
+  overload behaviour (``loadgen.py``);
+* **fault handling** — with a :class:`~repro.faults.chaos.ChaosConfig`
+  (``ServiceConfig(chaos=...)`` or ``repro-serve --fault-profile``),
+  typed engine faults surface as :class:`TransientFault` (HTTP-503,
+  retryable) or :class:`FatalFault` (HTTP-500) instead of crashing
+  workers, and fault/retry counters join the metrics snapshot (see
+  ``docs/robustness.md``).
 
 See ``docs/serving.md`` for the architecture and semantics.
 """
@@ -33,10 +39,12 @@ See ``docs/serving.md`` for the architecture and semantics.
 from repro.service.admission import (
     AdmissionController,
     DeadlineExceeded,
+    FatalFault,
     Overloaded,
     Rejected,
     ServiceError,
     StaleResultError,
+    TransientFault,
 )
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.coalesce import SingleFlight
@@ -54,6 +62,7 @@ __all__ = [
     "AdmissionController",
     "CacheEntry",
     "DeadlineExceeded",
+    "FatalFault",
     "LatencyHistogram",
     "LoadConfig",
     "LoadReport",
@@ -69,5 +78,6 @@ __all__ = [
     "ServiceMetrics",
     "SingleFlight",
     "StaleResultError",
+    "TransientFault",
     "run_load",
 ]

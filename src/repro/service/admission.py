@@ -71,6 +71,27 @@ class StaleResultError(ServiceError):
     """
 
 
+class TransientFault(Rejected):
+    """A query failed on a *retryable* upstream fault (HTTP-503).
+
+    The engine's transient faults are retried internally (storage
+    backoff, RPC retries); this surfaces only once those budgets are
+    exhausted — the client may retry, ideally after backing off.  The
+    original :class:`~repro.faults.errors.FaultError` is chained as
+    ``__cause__``.
+    """
+
+
+class FatalFault(ServiceError):
+    """A query failed on a *non-retryable* upstream fault (HTTP-500).
+
+    Checksum corruption or a permanent page error: retrying cannot
+    succeed, so the client must not.  The original
+    :class:`~repro.faults.errors.FaultError` is chained as
+    ``__cause__``.
+    """
+
+
 class _FifoSlots:
     """Bounded execution slots with loss-free timed acquisition.
 

@@ -16,6 +16,7 @@ epoch-invalidation path under load.
     repro-serve --n 400 --clients 8 --workers 4 --requests 200
     repro-serve --write-fraction 0.2 --verify   # audit vs brute force
     repro-serve --stats                          # dump metrics JSON
+    repro-serve --fault-profile flaky-disk --fault-seed 3   # chaos run
 
 Throughput and p50/p99 latency are measured client-side (exact order
 statistics over all completed requests); ``--stats`` additionally
@@ -35,7 +36,13 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.service.admission import DeadlineExceeded, Overloaded
+from repro.faults.chaos import PROFILES, ChaosConfig
+from repro.service.admission import (
+    DeadlineExceeded,
+    FatalFault,
+    Overloaded,
+    TransientFault,
+)
 from repro.service.server import QueryService, ServiceConfig
 
 
@@ -75,6 +82,8 @@ class LoadReport:
     writes: int = 0
     rejected_overloaded: int = 0
     rejected_deadline: int = 0
+    faulted_transient: int = 0
+    faulted_fatal: int = 0
     verified: int = 0
     unverifiable: int = 0
     latencies: List[float] = field(default_factory=list)
@@ -105,6 +114,8 @@ class LoadReport:
             f"writes           {self.writes:8d}",
             f"rejected 429     {self.rejected_overloaded:8d}",
             f"rejected ddl     {self.rejected_deadline:8d}",
+            f"faults 503       {self.faulted_transient:8d}",
+            f"faults 500       {self.faulted_fatal:8d}",
             f"latency p50      {self.latency_quantile(0.50) * 1e3:8.2f} ms",
             f"latency p99      {self.latency_quantile(0.99) * 1e3:8.2f} ms",
         ]
@@ -179,6 +190,12 @@ async def run_load(
             return
         except DeadlineExceeded:
             report.rejected_deadline += 1
+            return
+        except TransientFault:
+            report.faulted_transient += 1
+            return
+        except FatalFault:
+            report.faulted_fatal += 1
             return
         report.completed += 1
         report.latencies.append(response.latency_seconds)
@@ -264,6 +281,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="scale factor on simulated I/O sleeps")
     parser.add_argument("--verify", action="store_true",
                         help="audit every response against brute force")
+    parser.add_argument("--fault-profile", default="none",
+                        choices=sorted(PROFILES),
+                        help="seeded chaos profile injected into the "
+                             "engine's simulated disks (default none)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="chaos seed (default: --seed); equal seeds "
+                             "replay identical fault sequences")
     parser.add_argument("--stats", action="store_true",
                         help="dump the service metrics snapshot as JSON")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -279,6 +303,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
+        chaos = None
+        if args.fault_profile != "none":
+            fault_seed = (
+                args.fault_seed if args.fault_seed is not None else args.seed
+            )
+            chaos = ChaosConfig.profile(args.fault_profile, seed=fault_seed)
         service_config = ServiceConfig(
             workers=args.workers,
             max_inflight=args.max_inflight,
@@ -288,6 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             io_model=not args.no_io_model,
             io_cost_scale=args.io_scale,
             verify=args.verify,
+            chaos=chaos,
         )
         load_config = LoadConfig(
             clients=args.clients,
@@ -306,11 +337,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(str(exc))
     space = uniform(n=args.n, seed=args.seed, dims=args.dims)
     engine = TopKDominatingEngine(space, rng=random.Random(args.seed))
+    chaos_note = (
+        f", chaos={args.fault_profile}/seed={chaos.seed}" if chaos else ""
+    )
     print(
         f"serving UNI n={args.n} dims={args.dims} with "
         f"{args.workers} workers, {args.clients} clients, "
         f"{args.requests} ops ({args.write_fraction:.0%} writes), "
-        f"algorithm={args.algorithm}"
+        f"algorithm={args.algorithm}{chaos_note}"
     )
     try:
         service = QueryService(engine, service_config)

@@ -151,6 +151,8 @@ class ServiceMetrics:
         self.rejected_overloaded = 0
         self.rejected_deadline = 0
         self.failures = 0
+        self.faults_transient = 0
+        self.faults_fatal = 0
         self.writes = 0
         self.latency_all = LatencyHistogram()
         self.latency_cold = LatencyHistogram()
@@ -209,6 +211,20 @@ class ServiceMetrics:
         with self._lock:
             self.failures += 1
 
+    def observe_fault(self, retryable: bool) -> None:
+        """Count a query killed by a typed upstream fault.
+
+        Transient faults absorbed by retries are *not* counted here —
+        those queries succeed; the injector's own counters (merged into
+        the service snapshot under ``"faults"``) account every injected
+        event and every retry taken.
+        """
+        with self._lock:
+            if retryable:
+                self.faults_transient += 1
+            else:
+                self.faults_fatal += 1
+
     def observe_write(self, latency_seconds: float) -> None:
         """Count an insert/delete and its latency."""
         with self._lock:
@@ -230,6 +246,8 @@ class ServiceMetrics:
                 "rejected_overloaded": self.rejected_overloaded,
                 "rejected_deadline": self.rejected_deadline,
                 "failures": self.failures,
+                "faults_transient": self.faults_transient,
+                "faults_fatal": self.faults_fatal,
                 "writes": self.writes,
             }
             per_algorithm = {

@@ -58,12 +58,16 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.core.brute_force import brute_force_scores
 from repro.core.engine import TopKDominatingEngine
 from repro.core.progressive import ResultItem
+from repro.faults.chaos import ChaosConfig, FaultInjector
+from repro.faults.errors import FaultError
 from repro.service.admission import (
     AdmissionController,
     DeadlineExceeded,
+    FatalFault,
     Overloaded,
     Rejected,
     StaleResultError,
+    TransientFault,
 )
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.coalesce import SingleFlight
@@ -193,6 +197,10 @@ class ServiceConfig:
     io_model: bool = False
     io_cost_scale: float = 1.0
     verify: bool = False
+    #: optional seeded fault injection on the engine's simulated disks
+    #: (see repro.faults); typed failures surface as TransientFault /
+    #: FatalFault instead of crashing workers.
+    chaos: Optional[ChaosConfig] = None
 
     def resolved_max_inflight(self) -> int:
         """Admission slots: default one per worker thread.
@@ -227,6 +235,9 @@ class QueryService:
         if self.config.workers < 1:
             raise ValueError("workers must be >= 1")
         engine.prepare_for_concurrency()
+        if self.config.chaos is not None:
+            engine.attach_fault_injector(FaultInjector(self.config.chaos))
+        self.injector: Optional[FaultInjector] = engine.fault_injector
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="repro-serve",
@@ -295,6 +306,8 @@ class QueryService:
             raise
         except Rejected:  # pragma: no cover - future rejection kinds
             raise
+        except FaultError as exc:
+            raise self._map_fault(exc) from exc
         except Exception:
             self.metrics.observe_failure()
             raise
@@ -343,9 +356,25 @@ class QueryService:
             return self._respond(
                 request, results, stats, epoch, started, coalesced=not leader
             )
+        except FaultError as exc:
+            raise self._map_fault(exc) from exc
         except Exception:
             self.metrics.observe_failure()
             raise
+
+    def _map_fault(self, fault: FaultError):
+        """Map a typed engine fault onto the admission error taxonomy.
+
+        Retryable faults (transient storage errors that exhausted their
+        retry budget) become :class:`TransientFault` — the HTTP-503
+        analogue a client may retry; non-retryable ones (checksum
+        corruption, permanent page errors) become :class:`FatalFault`.
+        Either way the worker survives and the fault is counted.
+        """
+        self.metrics.observe_fault(fault.retryable)
+        if fault.retryable:
+            return TransientFault(str(fault))
+        return FatalFault(str(fault))
 
     def insert_sync(self, payload: object) -> int:
         """Synchronous :meth:`insert`."""
@@ -534,5 +563,10 @@ class QueryService:
             "admission": self.admission.snapshot(),
             "cache": self.cache.snapshot(),
             "coalescer": self.coalescer.snapshot(),
+            "faults": (
+                self.injector.snapshot()
+                if self.injector is not None
+                else None
+            ),
             **self.metrics.snapshot(),
         }

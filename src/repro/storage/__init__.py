@@ -10,6 +10,11 @@ cost-model objects (:mod:`repro.storage.stats`).
 Nothing here touches a real disk — pages live in memory and the "I/O
 time" reported by the benchmark harness is ``page_faults *
 PAGE_FAULT_COST_SECONDS``, exactly the accounting the paper uses.
+
+Attaching a :class:`~repro.faults.chaos.FaultInjector` (see
+``repro.faults`` and ``docs/robustness.md``) additionally enables page
+checksums verified on every physical read, injected read faults and
+latency, and transparent retry of transient faults in the buffer pool.
 """
 
 from repro.storage.buffer import BufferPool, LRUBuffer

@@ -17,6 +17,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, ContextManager, Optional
 
+from repro.faults.retry import call_with_retry
 from repro.storage.pages import Page, PageError, PageManager
 from repro.storage.stats import IOStats
 
@@ -106,11 +107,33 @@ class LRUBuffer:
                 for stats in sinks:
                     stats.buffer_hits += 1
                 return page
-            page = self.manager.read_page(page_id)
+            page = self._physical_read(page_id)
             for stats in sinks:
                 stats.page_faults += 1
             self._admit(page)
             return page
+
+    def _physical_read(self, page_id: int) -> Page:
+        """One physical read, retrying transient injected faults.
+
+        With a fault injector attached to the manager, transient read
+        faults are retried under the injector's policy (capped
+        exponential backoff, deterministic jitter); permanent faults
+        and checksum corruption propagate typed.  Without an injector
+        this is a plain read.
+        """
+        injector = self.manager.injector
+        if injector is None:
+            return self.manager.read_page(page_id)
+        return call_with_retry(
+            lambda: self.manager.read_page(page_id),
+            policy=injector.retry_policy,
+            rng=injector.retry_rng,
+            sleep=injector.sleep,
+            on_retry=lambda _exc, _attempt, _delay: injector.note_retry(
+                "storage", f"{self.manager.name}:{page_id}"
+            ),
+        )
 
     def put(self, page: Page) -> None:
         """Write a page through the buffer (logical write).
@@ -142,8 +165,7 @@ class LRUBuffer:
         buffer_hits + page_faults`` exact.
         """
         with self._lock:
-            page_id = self.manager.allocate(payload)
-            page = self.manager.read_page(page_id)
+            page = self.manager.allocate_page(payload)
             page.dirty = True
             for stats in self._sinks():
                 stats.logical_writes += 1

@@ -16,9 +16,14 @@ size the same way a C++ implementation's would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Set
 
+from repro.faults.checksum import payload_checksum
+from repro.faults.errors import StorageCorruption
 from repro.storage.stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.chaos import FaultInjector
 
 #: Disk page size in bytes (paper Section 5: "The disk page size is set
 #: to 4KB for all access methods").
@@ -31,15 +36,20 @@ class PageError(Exception):
 
 @dataclass
 class Page:
-    """A disk page: an id, a payload and a dirty flag.
+    """A disk page: an id, a payload, a dirty flag and a checksum.
 
     The payload is an arbitrary Python object owned by the access method
     that allocated the page (an M-tree node, a B+-tree node, ...).
+    ``crc`` is the CRC32 of the payload as of the last physical write;
+    it is only maintained (and verified on read) while a
+    :class:`~repro.faults.chaos.FaultInjector` is attached to the
+    owning manager, so the default path pays nothing for it.
     """
 
     page_id: int
     payload: Any = None
     dirty: bool = False
+    crc: Optional[int] = None
 
 
 class PageManager:
@@ -53,52 +63,117 @@ class PageManager:
     behaviour (and its fault accounting) is exercised on every access.
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, name: str = "disk"):
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        name: str = "disk",
+        injector: Optional["FaultInjector"] = None,
+    ):
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
         self.name = name
         self._pages: Dict[int, Page] = {}
         self._free_ids: list[int] = []
+        self._freed: Set[int] = set()
         self._next_id = 0
         self.stats = IOStats()
+        self.injector: Optional["FaultInjector"] = None
+        if injector is not None:
+            self.attach_injector(injector)
+
+    # ------------------------------------------------------------------
+    # fault injection & checksums
+    # ------------------------------------------------------------------
+    def attach_injector(self, injector: "FaultInjector") -> None:
+        """Enable fault injection and page checksumming on this disk.
+
+        Every live page is stamped with its current CRC32 so reads of
+        pre-existing pages verify cleanly; from here on every physical
+        write re-stamps and every physical read verifies.
+        """
+        self.injector = injector
+        for page in self._pages.values():
+            page.crc = payload_checksum(page.payload)
+
+    def _stamp(self, page: Page) -> None:
+        if self.injector is not None:
+            page.crc = payload_checksum(page.payload)
+
+    def _verify(self, page: Page) -> None:
+        if (
+            self.injector is not None
+            and page.crc is not None
+            and payload_checksum(page.payload) != page.crc
+        ):
+            raise StorageCorruption(self.name, page.page_id)
 
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
     def allocate(self, payload: Any = None) -> int:
         """Allocate a fresh page and return its id."""
+        return self.allocate_page(payload).page_id
+
+    def allocate_page(self, payload: Any = None) -> Page:
+        """Allocate a fresh page and return the page itself.
+
+        Allocation is not a physical read, so no fault is injected —
+        buffer pools use this to install newborn pages without paying
+        (or risking) a disk access.
+        """
         if self._free_ids:
             page_id = self._free_ids.pop()
+            self._freed.discard(page_id)
         else:
             page_id = self._next_id
             self._next_id += 1
-        self._pages[page_id] = Page(page_id=page_id, payload=payload)
+        page = Page(page_id=page_id, payload=payload)
+        self._stamp(page)
+        self._pages[page_id] = page
         self.stats.pages_allocated += 1
-        return page_id
+        return page
 
     def free(self, page_id: int) -> None:
         """Release a page back to the free list."""
         if page_id not in self._pages:
+            if page_id in self._freed:
+                raise PageError(f"double free of page {page_id}")
             raise PageError(f"free of unknown page {page_id}")
         del self._pages[page_id]
         self._free_ids.append(page_id)
+        self._freed.add(page_id)
 
     # ------------------------------------------------------------------
     # physical I/O (normally reached only through a buffer pool)
     # ------------------------------------------------------------------
     def read_page(self, page_id: int) -> Page:
-        """Fetch a page from the simulated disk (a physical read)."""
+        """Fetch a page from the simulated disk (a physical read).
+
+        With a fault injector attached the read may be delayed or fail
+        (:class:`~repro.faults.errors.TransientPageError` /
+        :class:`~repro.faults.errors.PermanentPageError`), and the
+        page's checksum is verified —
+        :class:`~repro.faults.errors.StorageCorruption` on mismatch.
+        """
         page = self._pages.get(page_id)
         if page is None:
+            if page_id in self._freed:
+                raise PageError(f"read of freed page {page_id}")
             raise PageError(f"read of unknown page {page_id}")
+        if self.injector is not None:
+            self.injector.on_physical_read(self.name, page)
+            self._verify(page)
         return page
 
     def write_page(self, page: Page) -> None:
         """Persist a page to the simulated disk (a physical write)."""
         if page.page_id not in self._pages:
+            if page.page_id in self._freed:
+                raise PageError(f"write of freed page {page.page_id}")
             raise PageError(f"write of unknown page {page.page_id}")
         page.dirty = False
+        self._stamp(page)
         self._pages[page.page_id] = page
 
     # ------------------------------------------------------------------

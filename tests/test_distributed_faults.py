@@ -1,0 +1,225 @@
+"""Degraded-mode distributed answers under injected RPC faults.
+
+The coordinator's contract (coordinator.py docstring): when sites drop,
+the answer restricted to the union of the responding partitions is the
+true top-k of that union, scores exact over it — verified here against
+brute force on exactly that universe.
+"""
+
+import random
+
+import pytest
+
+from repro.core.brute_force import brute_force_scores
+from repro.distributed import DistributedTopK
+from repro.faults.chaos import ChaosConfig, FaultInjector
+from repro.faults.errors import CircuitOpen
+
+from tests.conftest import make_vector_space
+
+QUERIES = [0, 30, 60]
+
+
+def make_system(seed=50, n=90, num_sites=3, chaos=None):
+    space = make_vector_space(n=n, dims=3, seed=seed)
+    system = DistributedTopK(
+        space,
+        num_sites=num_sites,
+        rng=random.Random(seed),
+        chaos=chaos,
+    )
+    return space, system
+
+
+def responding_universe(system, coverage, removed=()):
+    """Objects of the partitions named responding, minus removals."""
+    return [
+        object_id
+        for site_id in coverage.responding
+        for object_id in system.sites[site_id].object_ids
+        if object_id not in removed
+    ]
+
+
+class TestForcedOpenBreaker:
+    def test_degraded_answer_names_missing_partition(self):
+        space, system = make_system(chaos=ChaosConfig(seed=7))
+        system.clients[1].breaker.force_open()
+        results, stats = system.top_k(QUERIES, 6)
+        coverage = stats.coverage
+        assert coverage.missing == (1,)
+        assert coverage.responding == (0, 2)
+        assert coverage.total_sites == 3
+        assert coverage.degraded and not coverage.exact
+        assert stats.sites_dropped == 1
+        assert len(results) == 6
+
+    def test_degraded_scores_are_exact_over_responding_sites(self):
+        space, system = make_system(chaos=ChaosConfig(seed=7))
+        system.clients[1].breaker.force_open()
+        results, stats = system.top_k(QUERIES, 6)
+        universe = responding_universe(system, stats.coverage)
+        truth = brute_force_scores(space, QUERIES, universe=universe)
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:6]
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    def test_degraded_results_exclude_missing_partition(self):
+        space, system = make_system(chaos=ChaosConfig(seed=7))
+        system.clients[0].breaker.force_open()
+        results, _stats = system.top_k(QUERIES, 8)
+        dead = set(system.sites[0].object_ids)
+        assert not dead.intersection(r.object_id for r in results)
+
+    def test_breaker_works_without_an_injector(self):
+        # degraded mode is a property of the client shim, not of chaos
+        # being configured: a plain system has breakers too.
+        space, system = make_system(chaos=None)
+        assert system.injector is None
+        system.clients[2].breaker.force_open()
+        results, stats = system.top_k(QUERIES, 4)
+        assert stats.coverage.missing == (2,)
+        universe = responding_universe(system, stats.coverage)
+        truth = brute_force_scores(space, QUERIES, universe=universe)
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+    def test_all_sites_down_yields_empty_answer(self):
+        _space, system = make_system(chaos=ChaosConfig(seed=7))
+        for client in system.clients:
+            client.breaker.force_open()
+        results, stats = system.top_k(QUERIES, 5)
+        assert results == []
+        assert stats.coverage.responding == ()
+        assert stats.coverage.missing == (0, 1, 2)
+        assert stats.results_reported == 0
+
+    def test_open_breaker_rejects_locally(self):
+        _space, system = make_system(chaos=ChaosConfig(seed=7))
+        client = system.clients[0]
+        client.breaker.force_open()
+        with pytest.raises(CircuitOpen):
+            client.local_skyline()
+        assert client.stats.breaker_rejections == 1
+        assert client.stats.calls == 0  # never reached the site
+
+
+class TestBreakerRecovery:
+    def test_next_query_probes_and_recovers(self):
+        clock = {"now": 0.0}
+        injector = FaultInjector(
+            ChaosConfig(seed=3, breaker_reset_timeout=1.0),
+            sleep=lambda _s: None,
+            clock=lambda: clock["now"],
+        )
+        space, system = make_system(chaos=injector)
+        system.clients[1].breaker.force_open()
+        _results, stats = system.top_k(QUERIES, 3)
+        assert stats.coverage.missing == (1,)
+
+        clock["now"] += 1.0  # reset window elapses; probe is admitted
+        results, stats = system.top_k(QUERIES, 3)
+        assert stats.coverage.exact
+        assert stats.coverage.missing == ()
+        truth = brute_force_scores(space, QUERIES)
+        for item in results:
+            assert truth[item.object_id] == item.score
+
+
+class TestMidQueryFaults:
+    def chaotic_injector(self, seed):
+        return FaultInjector(
+            ChaosConfig(
+                seed=seed,
+                rpc_fail_p=0.30,
+                retry_max_attempts=2,
+                breaker_failure_threshold=3,
+            ),
+            sleep=lambda _s: None,
+        )
+
+    def test_every_yield_is_exact_over_its_coverage(self):
+        # the per-yield contract: each reported score is the maximum
+        # domination count over the remaining objects of the partitions
+        # its own coverage names — whatever subset of sites survived.
+        space, system = make_system(
+            seed=60, chaos=self.chaotic_injector(17)
+        )
+        removed = set()
+        yields = 0
+        for item, stats in system.run(QUERIES, 8):
+            yields += 1
+            universe = responding_universe(
+                system, stats.coverage, removed=removed
+            )
+            truth = brute_force_scores(space, QUERIES, universe=universe)
+            assert truth[item.object_id] == item.score
+            assert item.score == max(truth.values())
+            removed.add(item.object_id)
+        assert yields > 0
+
+    def test_faults_actually_fired_and_sites_dropped(self):
+        _space, system = make_system(
+            seed=60, chaos=self.chaotic_injector(17)
+        )
+        _results, stats = system.top_k(QUERIES, 8)
+        counters = system.injector.counters()
+        assert counters.get("rpc.unavailable", 0) > 0
+        assert stats.sites_dropped > 0
+        assert stats.coverage.degraded
+
+    def test_retries_absorb_faults_with_generous_budget(self):
+        injector = FaultInjector(
+            ChaosConfig(seed=23, rpc_timeout_p=0.10, retry_max_attempts=6),
+            sleep=lambda _s: None,
+        )
+        space, system = make_system(seed=61, chaos=injector)
+        results, stats = system.top_k(QUERIES, 5)
+        assert stats.rpc_retries > 0
+        assert stats.coverage.exact
+        truth = brute_force_scores(space, QUERIES)
+        assert [r.score for r in results] == sorted(
+            truth.values(), reverse=True
+        )[:5]
+
+    def test_same_chaos_seed_reproduces_run_byte_identically(self):
+        def one_run():
+            space, system = make_system(
+                seed=60, chaos=self.chaotic_injector(17)
+            )
+            results, stats = system.top_k(QUERIES, 8)
+            return (
+                [(r.object_id, r.score) for r in results],
+                stats.coverage,
+                stats.rpc_retries,
+                system.injector.fault_log(),
+            )
+
+        assert one_run() == one_run()
+
+
+class TestSnapshots:
+    def test_system_snapshot_includes_breakers_and_faults(self):
+        # a huge reset timeout keeps the forced-open breaker from
+        # drifting to half-open while the query runs on the real clock.
+        _space, system = make_system(
+            chaos=ChaosConfig(seed=7, breaker_reset_timeout=3600.0)
+        )
+        system.clients[1].breaker.force_open()
+        system.top_k(QUERIES, 3)
+        snap = system.snapshot()
+        assert len(snap["sites"]) == 3
+        assert snap["sites"][1]["breaker"]["state"] == "open"
+        assert snap["sites"][1]["rpc"]["breaker_rejections"] > 0
+        assert snap["faults"]["seed"] == 7
+
+    def test_plain_system_snapshot_has_no_faults(self):
+        _space, system = make_system(chaos=None)
+        system.top_k(QUERIES, 2)
+        snap = system.snapshot()
+        assert snap["faults"] is None
+        assert all(
+            site["breaker"]["state"] == "closed" for site in snap["sites"]
+        )

@@ -42,6 +42,35 @@ def partitioned_instances(draw):
 
 @settings(max_examples=20, deadline=None)
 @given(instance=partitioned_instances())
+def test_score_cache_exact_under_removals(instance):
+    """The coordinator's cached global scores stay exact every round.
+
+    The cache's correctness argument (coordinator.py): a removed top is
+    dominated by nobody, so removing it cannot change any surviving
+    object's score.  Check it the hard way — after every yielded
+    result, brute-force rescore the *remaining* objects from scratch
+    and demand the reported (cached) score and ranking match.
+    """
+    n, seed, partitions, m, k = instance
+    rng = np.random.default_rng(seed)
+    points = list(rng.random((n, 3)))
+    space = MetricSpace(points, CountingMetric(EuclideanMetric()))
+    queries = random.Random(seed).sample(range(n), m)
+    system = DistributedTopK(
+        space, partitions=partitions, rng=random.Random(seed)
+    )
+    remaining = set(range(n))
+    for item, _stats in system.run(queries, k):
+        truth = brute_force_scores(
+            space, queries, universe=sorted(remaining)
+        )
+        assert truth[item.object_id] == item.score
+        assert item.score == max(truth.values())
+        remaining.discard(item.object_id)
+
+
+@settings(max_examples=20, deadline=None)
+@given(instance=partitioned_instances())
 def test_distributed_equals_centralized(instance):
     n, seed, partitions, m, k = instance
     rng = np.random.default_rng(seed)

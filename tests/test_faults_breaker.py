@@ -1,0 +1,155 @@
+"""Unit tests for the circuit breaker state machine (fake clock)."""
+
+import pytest
+
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, reset=1.0, clock=None):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        reset_timeout=reset,
+        clock=clock or FakeClock(),
+        name="test",
+    )
+
+
+class TestValidation:
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_negative_reset_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_threshold_consecutive_failures_open(self):
+        breaker = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+        assert breaker.rejections == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_rejects_until_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert breaker.probes == 1
+
+    def test_successful_probe_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_another_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=3, reset=1.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one probe failure suffices, not 3
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 2
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestManualControls:
+    def test_force_open_trips_immediately(self):
+        breaker = make_breaker()
+        breaker.force_open()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_force_open_recovers_via_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(reset=1.0, clock=clock)
+        breaker.force_open()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_force_close_resets(self):
+        breaker = make_breaker(threshold=1)
+        breaker.record_failure()
+        breaker.force_close()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_force_open_idempotent_on_opens_counter(self):
+        breaker = make_breaker()
+        breaker.force_open()
+        breaker.force_open()
+        assert breaker.opens == 1
+
+
+class TestSnapshot:
+    def test_snapshot_reports_state_and_counters(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=1.0, clock=clock)
+        breaker.record_failure()
+        breaker.allow()  # rejected
+        snap = breaker.snapshot()
+        assert snap["state"] == OPEN
+        assert snap["opens"] == 1
+        assert snap["rejections"] == 1
+        assert snap["failure_threshold"] == 1
+        assert snap["reset_timeout"] == 1.0
+
+    def test_snapshot_resolves_elapsed_window_to_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(threshold=1, reset=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.snapshot()["state"] == HALF_OPEN

@@ -1,0 +1,200 @@
+"""Unit tests for the retry policy and retry loop."""
+
+import random
+
+import pytest
+
+from repro.faults.errors import TransientPageError, StorageCorruption
+from repro.faults.retry import RetryPolicy, call_with_retry, default_retryable
+from repro.storage.pages import PageError
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.base_delay <= policy.max_delay
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.001, max_delay=10.0, multiplier=2.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(a, rng) for a in range(4)]
+        assert delays == [0.001, 0.002, 0.004, 0.008]
+
+    def test_backoff_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=0.001, max_delay=0.004, multiplier=2.0, jitter=0.0
+        )
+        rng = random.Random(0)
+        assert policy.backoff(10, rng) == 0.004
+
+    def test_jitter_never_exceeds_cap_and_never_negative(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.05, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(20):
+            delay = policy.backoff(attempt % 6, rng)
+            assert 0.0 <= delay <= policy.max_delay
+
+    def test_jitter_is_deterministic_given_seeded_rng(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, random.Random(42)) for i in range(5)]
+        b = [policy.backoff(i, random.Random(42)) for i in range(5)]
+        assert a == b
+
+    def test_jitter_varies_with_rng_stream(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=10.0, jitter=0.5)
+        rng = random.Random(3)
+        delays = {policy.backoff(0, rng) for _ in range(10)}
+        assert len(delays) > 1
+
+
+class TestDefaultRetryable:
+    def test_transient_fault_is_retryable(self):
+        assert default_retryable(TransientPageError("disk", 1))
+
+    def test_corruption_is_not_retryable(self):
+        assert not default_retryable(StorageCorruption("disk", 1))
+
+    def test_page_error_is_never_retryable(self):
+        # API misuse must surface immediately, not burn retry budget.
+        assert not default_retryable(PageError("double free of page 3"))
+
+    def test_arbitrary_exception_is_not_retryable(self):
+        assert not default_retryable(RuntimeError("boom"))
+
+
+class TestCallWithRetry:
+    def _policy(self, attempts=4):
+        return RetryPolicy(max_attempts=attempts, jitter=0.0)
+
+    def test_success_first_try_no_sleep(self):
+        sleeps = []
+        result = call_with_retry(
+            lambda: 42,
+            policy=self._policy(),
+            rng=random.Random(0),
+            sleep=sleeps.append,
+        )
+        assert result == 42
+        assert sleeps == []
+
+    def test_transient_fault_retried_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientPageError("disk", 9)
+            return "ok"
+
+        sleeps = []
+        result = call_with_retry(
+            flaky,
+            policy=self._policy(),
+            rng=random.Random(0),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_budget_exhaustion_raises_last_fault(self):
+        def always_fails():
+            raise TransientPageError("disk", 5)
+
+        with pytest.raises(TransientPageError):
+            call_with_retry(
+                always_fails,
+                policy=self._policy(attempts=3),
+                rng=random.Random(0),
+                sleep=lambda _s: None,
+            )
+
+    def test_attempt_budget_is_total_attempts(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise TransientPageError("disk", 5)
+
+        with pytest.raises(TransientPageError):
+            call_with_retry(
+                always_fails,
+                policy=self._policy(attempts=3),
+                rng=random.Random(0),
+                sleep=lambda _s: None,
+            )
+        assert calls["n"] == 3
+
+    def test_non_retryable_fault_raises_immediately(self):
+        calls = {"n": 0}
+
+        def corrupt():
+            calls["n"] += 1
+            raise StorageCorruption("disk", 2)
+
+        with pytest.raises(StorageCorruption):
+            call_with_retry(
+                corrupt,
+                policy=self._policy(),
+                rng=random.Random(0),
+                sleep=lambda _s: None,
+            )
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_fault_attempt_and_delay(self):
+        seen = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientPageError("disk", 1)
+            return None
+
+        call_with_retry(
+            flaky,
+            policy=self._policy(),
+            rng=random.Random(0),
+            sleep=lambda _s: None,
+            on_retry=lambda exc, attempt, delay: seen.append(
+                (type(exc).__name__, attempt, delay)
+            ),
+        )
+        assert [s[0] for s in seen] == ["TransientPageError"] * 2
+        assert [s[1] for s in seen] == [0, 1]
+        assert all(s[2] >= 0 for s in seen)
+
+    def test_custom_retryable_predicate(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise KeyError("transient-looking")
+            return "ok"
+
+        result = call_with_retry(
+            flaky,
+            policy=self._policy(),
+            rng=random.Random(0),
+            sleep=lambda _s: None,
+            retryable=lambda exc: isinstance(exc, KeyError),
+        )
+        assert result == "ok"

@@ -1,0 +1,132 @@
+"""Typed fault surfacing through the query service."""
+
+import asyncio
+
+import pytest
+
+from repro.faults.chaos import ChaosConfig
+from repro.faults.errors import StorageCorruption, TransientPageError
+from repro.service import (
+    FatalFault,
+    QueryService,
+    Rejected,
+    ServiceConfig,
+    ServiceError,
+    TransientFault,
+)
+
+from tests.conftest import make_engine
+
+QUERIES = [0, 40, 80]
+
+
+def make_service(chaos=None, **config_kwargs):
+    engine = make_engine(n=120, dims=3, seed=31)
+    service = QueryService(
+        engine, ServiceConfig(workers=2, chaos=chaos, **config_kwargs)
+    )
+    if chaos is not None:
+        # the build leaves pages resident; start cold so queries do
+        # physical reads and actually meet the injected disk.
+        engine.buffers.clear()
+    return service
+
+
+def certain_transient():
+    return ChaosConfig(
+        seed=5,
+        read_transient_p=1.0,
+        retry_base_delay=0.0,
+        retry_max_delay=0.0,
+    )
+
+
+def certain_corruption():
+    return ChaosConfig(seed=5, corrupt_p=1.0)
+
+
+class TestFaultTaxonomy:
+    def test_transient_fault_is_a_retryable_rejection(self):
+        # 503 semantics: subclass of Rejected, so a client treats it
+        # like overload — back off and retry.
+        assert issubclass(TransientFault, Rejected)
+        assert issubclass(FatalFault, ServiceError)
+        assert not issubclass(FatalFault, Rejected)
+
+
+class TestSyncPath:
+    def test_exhausted_transient_surfaces_as_transient_fault(self):
+        with make_service(chaos=certain_transient()) as service:
+            with pytest.raises(TransientFault) as excinfo:
+                service.query_sync(QUERIES, 3)
+            assert isinstance(excinfo.value.__cause__, TransientPageError)
+
+    def test_corruption_surfaces_as_fatal_fault(self):
+        with make_service(chaos=certain_corruption()) as service:
+            with pytest.raises(FatalFault) as excinfo:
+                service.query_sync(QUERIES, 3)
+            assert isinstance(excinfo.value.__cause__, StorageCorruption)
+
+    def test_fault_counters_separate_transient_from_fatal(self):
+        with make_service(chaos=certain_transient()) as service:
+            with pytest.raises(TransientFault):
+                service.query_sync(QUERIES, 3)
+            requests = service.metrics.snapshot()["requests"]
+            assert requests["faults_transient"] == 1
+            assert requests["faults_fatal"] == 0
+            # a typed fault is not an unexplained worker crash.
+            assert requests["failures"] == 0
+        with make_service(chaos=certain_corruption()) as service:
+            with pytest.raises(FatalFault):
+                service.query_sync(QUERIES, 3)
+            requests = service.metrics.snapshot()["requests"]
+            assert requests["faults_transient"] == 0
+            assert requests["faults_fatal"] == 1
+
+    def test_worker_survives_and_serves_after_fault(self):
+        with make_service(chaos=certain_transient()) as service:
+            with pytest.raises(TransientFault):
+                service.query_sync(QUERIES, 3)
+            # heal the disk: later queries must succeed on the same
+            # service (the flight was landed, the worker not poisoned).
+            service.injector.config = ChaosConfig(seed=5)
+            response = service.query_sync(QUERIES, 3)
+            assert len(response.results) == 3
+
+
+class TestAsyncPath:
+    def test_async_query_maps_faults_too(self):
+        async def scenario():
+            with make_service(chaos=certain_transient()) as service:
+                with pytest.raises(TransientFault):
+                    await service.query(QUERIES, 3)
+                return service.metrics.snapshot()["requests"]
+
+        requests = asyncio.run(scenario())
+        assert requests["faults_transient"] == 1
+
+
+class TestSnapshotAndNeutrality:
+    def test_snapshot_exposes_injector_counters(self):
+        with make_service(chaos=certain_transient()) as service:
+            with pytest.raises(TransientFault):
+                service.query_sync(QUERIES, 3)
+            snap = service.snapshot()
+            assert snap["faults"]["seed"] == 5
+            assert snap["faults"]["counters"]["storage.read_transient"] > 0
+            assert snap["faults"]["counters"]["storage.retry"] > 0
+
+    def test_snapshot_without_chaos_has_no_faults_section(self):
+        with make_service() as service:
+            service.query_sync(QUERIES, 3)
+            assert service.snapshot()["faults"] is None
+
+    def test_zero_probability_chaos_serves_identical_answers(self):
+        with make_service() as plain:
+            expected = plain.query_sync(QUERIES, 4)
+        with make_service(chaos=ChaosConfig(seed=0)) as chaotic:
+            served = chaotic.query_sync(QUERIES, 4)
+            assert [(r.object_id, r.score) for r in served.results] == [
+                (r.object_id, r.score) for r in expected.results
+            ]
+            assert chaotic.snapshot()["faults"]["events"] == 0

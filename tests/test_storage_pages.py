@@ -48,6 +48,48 @@ class TestPageManager:
         with pytest.raises(PageError):
             mgr.free(page_id)
 
+    def test_double_free_names_the_page(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        mgr.free(page_id)
+        with pytest.raises(PageError, match=f"double free of page {page_id}"):
+            mgr.free(page_id)
+
+    def test_free_of_unknown_page_names_the_page(self):
+        with pytest.raises(PageError, match="free of unknown page 42"):
+            PageManager().free(42)
+
+    def test_read_after_free_names_the_page(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        mgr.free(page_id)
+        with pytest.raises(PageError, match=f"read of freed page {page_id}"):
+            mgr.read_page(page_id)
+
+    def test_read_of_unknown_page_names_the_page(self):
+        with pytest.raises(PageError, match="read of unknown page 42"):
+            PageManager().read_page(42)
+
+    def test_write_after_free_names_the_page(self):
+        mgr = PageManager()
+        page_id = mgr.allocate()
+        page = mgr.read_page(page_id)
+        mgr.free(page_id)
+        with pytest.raises(
+            PageError, match=f"write of freed page {page_id}"
+        ):
+            mgr.write_page(page)
+
+    def test_recycled_id_is_live_again(self):
+        # freeing then reallocating the same id must clear the freed
+        # mark, or the hardened error paths would reject a valid page.
+        mgr = PageManager()
+        page_id = mgr.allocate(payload="first")
+        mgr.free(page_id)
+        recycled = mgr.allocate(payload="second")
+        assert recycled == page_id
+        assert mgr.read_page(recycled).payload == "second"
+
     def test_write_clears_dirty(self):
         mgr = PageManager()
         page_id = mgr.allocate()
