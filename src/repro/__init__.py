@@ -23,7 +23,10 @@ Public API highlights:
   Figures 4-8 and Tables 2-3;
 * :mod:`repro.faults` — seeded fault injection (page checksums,
   retries, circuit breakers, degraded-mode distributed answers); see
-  ``docs/robustness.md``.
+  ``docs/robustness.md``;
+* :mod:`repro.obs` — end-to-end query tracing with paper-cost
+  attribution, a unified metrics registry (JSON + Prometheus), and
+  the ``repro-trace`` CLI; see ``docs/observability.md``.
 """
 
 from repro.core import (
@@ -51,6 +54,7 @@ from repro.metric import (
     ShortestPathMetric,
 )
 from repro.mtree import MTree
+from repro.obs import MetricsRegistry, Tracer
 
 __version__ = "1.0.0"
 
@@ -69,6 +73,7 @@ __all__ = [
     "MTree",
     "ManhattanMetric",
     "MetricSpace",
+    "MetricsRegistry",
     "PBA1",
     "PBA2",
     "PruningConfig",
@@ -76,6 +81,7 @@ __all__ = [
     "SBA",
     "ShortestPathMetric",
     "TopKDominatingEngine",
+    "Tracer",
     "brute_force_scores",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from repro.anns.mbm import AggregateNNCursor
 from repro.core.dominance import DistanceVectorSource, DominanceMatrix
 from repro.core.progressive import QueryContext, ResultItem, TopKAlgorithm
 from repro.mtree.queries import range_query
+from repro.obs import trace
 
 
 class ABA(TopKAlgorithm):
@@ -51,42 +52,51 @@ class ABA(TopKAlgorithm):
         matrix: DominanceMatrix | None = None
 
         for _round in range(min(k, len(universe))):
-            # line 2: the 1st sum-aggregate nearest neighbor (MBM).
-            cursor = AggregateNNCursor(
-                ctx.tree, query_ids, vectors=vectors, skip=removed
-            )
-            try:
-                p, _adist = next(cursor)
-            except StopIteration:
-                return
+            # every span closes before the yield: a ContextVar set in a
+            # generator frame would otherwise leak into the consumer.
+            with trace.span(
+                "aba.round", category="algo", args={"round": _round}
+            ) as round_span:
+                # line 2: the 1st sum-aggregate nearest neighbor (MBM).
+                with trace.span("aba.ann", category="algo"):
+                    cursor = AggregateNNCursor(
+                        ctx.tree, query_ids, vectors=vectors, skip=removed
+                    )
+                    try:
+                        p, _adist = next(cursor)
+                    except StopIteration:
+                        return
 
-            # lines 3-6: candidate collection by range queries.
-            p_vector = vectors.vector(p)
-            candidates: Set[int] = {p}
-            for j, query_id in enumerate(query_ids):
-                hits = range_query(ctx.tree, query_id, p_vector[j])
-                for object_id, distance in hits:
-                    if object_id in removed:
-                        continue
-                    candidates.add(object_id)
-            ctx.stats.objects_retrieved += len(candidates)
+                # lines 3-6: candidate collection by range queries.
+                with trace.span("aba.candidates", category="algo"):
+                    p_vector = vectors.vector(p)
+                    candidates: Set[int] = {p}
+                    for j, query_id in enumerate(query_ids):
+                        hits = range_query(ctx.tree, query_id, p_vector[j])
+                        for object_id, distance in hits:
+                            if object_id in removed:
+                                continue
+                            candidates.add(object_id)
+                    ctx.stats.objects_retrieved += len(candidates)
+                round_span.set("candidates", len(candidates))
 
-            # lines 8-17: exact scoring of every candidate.
-            if matrix is None:
-                matrix = DominanceMatrix(vectors, universe)
-            best_id = -1
-            best_score = -1
-            for object_id in sorted(candidates):
-                score = matrix.score(object_id)
-                ctx.stats.exact_score_computations += 1
-                if score > best_score:
-                    best_score = score
-                    best_id = object_id
-            removed.add(best_id)
-            matrix.deactivate(best_id)
-            if self.remove_physically:
-                ctx.tree.delete(best_id)
-            ctx.stats.results_reported += 1
+                # lines 8-17: exact scoring of every candidate.
+                if matrix is None:
+                    matrix = DominanceMatrix(vectors, universe)
+                best_id = -1
+                best_score = -1
+                with trace.span("aba.score", category="algo"):
+                    for object_id in sorted(candidates):
+                        score = matrix.score(object_id)
+                        ctx.stats.exact_score_computations += 1
+                        if score > best_score:
+                            best_score = score
+                            best_id = object_id
+                removed.add(best_id)
+                matrix.deactivate(best_id)
+                if self.remove_physically:
+                    ctx.tree.delete(best_id)
+                ctx.stats.results_reported += 1
             yield ResultItem(best_id, best_score)
 
         if self.remove_physically:

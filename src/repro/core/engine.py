@@ -43,6 +43,7 @@ from repro.core.sba import SBA
 from repro.metric.base import MetricSpace
 from repro.metric.counting import CountingMetric
 from repro.mtree.tree import MTree
+from repro.obs import trace
 from repro.storage.buffer import BufferPool
 from repro.storage.stats import QueryStats, Stopwatch
 
@@ -319,15 +320,52 @@ class TopKDominatingEngine:
         """
         context = self.make_context()
         algo = self.make_algorithm(algorithm, context, pruning=pruning)
-        io_before = self.buffers.local_io()
-        dist_before = self.counting_metric.local_count()
-        watch = Stopwatch()
-        with watch:
-            results = list(algo.run(query_ids, k))
-        stats = context.stats
-        stats.cpu_seconds = watch.elapsed
-        stats.io = self.buffers.local_io().delta_since(io_before)
-        stats.distance_computations = (
-            self.counting_metric.local_count() - dist_before
-        )
+        probe = self.cost_probe(context) if trace.active() else None
+        with trace.span(
+            "engine.query",
+            category="engine",
+            probe=probe,
+            args={
+                "algorithm": algorithm.lower(),
+                "k": k,
+                "m": len(query_ids),
+            },
+        ):
+            io_before = self.buffers.local_io()
+            dist_before = self.counting_metric.local_count()
+            watch = Stopwatch()
+            with watch:
+                results = list(algo.run(query_ids, k))
+            stats = context.stats
+            stats.cpu_seconds = watch.elapsed
+            stats.io = self.buffers.local_io().delta_since(io_before)
+            stats.distance_computations = (
+                self.counting_metric.local_count() - dist_before
+            )
         return results, stats
+
+    def cost_probe(self, context: QueryContext) -> "trace.CostProbe":
+        """A tracing probe over this thread's paper-cost counters.
+
+        The probe reads the same sources the stats accounting above
+        reads — the thread-local buffer counters, the thread-local
+        distance count, and the context's exact-score count — so the
+        ``engine.query`` span's cost delta is *identical* to the
+        returned :class:`QueryStats` (pinned by
+        ``tests/test_obs_attribution.py``).  Algorithm phase spans
+        inherit it through the ambient scope.
+        """
+        buffers = self.buffers
+        metric = self.counting_metric
+        stats = context.stats
+
+        def probe() -> trace.CostSnapshot:
+            io = buffers.local_io()
+            return trace.CostSnapshot(
+                page_faults=io.page_faults,
+                buffer_hits=io.buffer_hits,
+                distance_computations=metric.local_count(),
+                exact_score_computations=stats.exact_score_computations,
+            )
+
+        return probe

@@ -51,6 +51,7 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.aux_index import AuxBPlusTree, AuxRecord
 from repro.core.progressive import QueryContext, ResultItem, TopKAlgorithm
+from repro.obs import trace
 from repro.core.pruning import (
     ExactScoreInfo,
     PruningConfig,
@@ -373,41 +374,69 @@ class _PBARun:
     # ------------------------------------------------------------------
     def execute(self) -> Iterator[ResultItem]:
         reported = 0
-        self.fetch_next_common()  # line 4-5: seed the heap
+        with trace.span("pba.seed", category="algo"):
+            self.fetch_next_common()  # line 4-5: seed the heap
         while reported < self.k:
-            while True:
-                self.fetch_next_common()  # line 6
-                candidate = self._pop_valid()
-                if candidate is None:
-                    if self.fetch_next_common():
-                        continue
-                    return  # data set exhausted
-                score, object_id, is_exact = candidate
-                rec = self.aux.get(object_id)
-                assert rec is not None
-                if not is_exact:
-                    if self._eph_prune(rec):
-                        continue
-                    exact = self._compute_exact(rec)
-                    if exact is None:
-                        continue  # IPH pruned
-                    score = exact
-                next_best = self._peek_valid_score()
-                future = self._future_bound()
-                threshold = max(
-                    (b for b in (next_best, future) if b is not None),
-                    default=None,
-                )
-                if threshold is None or score >= threshold:
-                    break  # Lemma 6: confirmed
-                heapq.heappush(
-                    self._heap,
-                    (-score, next(self._seq), object_id, True),
-                )
+            # the round span closes before the yield: a ContextVar set
+            # in a generator frame must not leak into the consumer.
+            with trace.span(
+                "pba.round", category="algo", args={"round": reported}
+            ) as round_span:
+                pruned_before = self.stats.objects_pruned
+                retrieved_before = self.stats.objects_retrieved
+                confirmed = self._confirm_next()
+                if round_span:
+                    round_span.set(
+                        "pruned", self.stats.objects_pruned - pruned_before
+                    )
+                    round_span.set(
+                        "retrieved",
+                        self.stats.objects_retrieved - retrieved_before,
+                    )
+            if confirmed is None:
+                return  # data set exhausted
+            object_id, score = confirmed
             self._reported.add(object_id)
             self.stats.results_reported += 1
             reported += 1
             yield ResultItem(object_id, score)
+
+    def _confirm_next(self) -> Optional[Tuple[int, int]]:
+        """Algorithm 3 inner loop: the next confirmed (id, score)."""
+        while True:
+            self.fetch_next_common()  # line 6
+            candidate = self._pop_valid()
+            if candidate is None:
+                if self.fetch_next_common():
+                    continue
+                return None  # data set exhausted
+            score, object_id, is_exact = candidate
+            rec = self.aux.get(object_id)
+            assert rec is not None
+            if not is_exact:
+                if self._eph_prune(rec):
+                    continue
+                with trace.span(
+                    "pba.exact_score",
+                    category="algo",
+                    args={"object_id": object_id},
+                ):
+                    exact = self._compute_exact(rec)
+                if exact is None:
+                    continue  # IPH pruned
+                score = exact
+            next_best = self._peek_valid_score()
+            future = self._future_bound()
+            threshold = max(
+                (b for b in (next_best, future) if b is not None),
+                default=None,
+            )
+            if threshold is None or score >= threshold:
+                return object_id, score  # Lemma 6: confirmed
+            heapq.heappush(
+                self._heap,
+                (-score, next(self._seq), object_id, True),
+            )
 
     def close(self) -> None:
         self.aux.drop()

@@ -23,6 +23,7 @@ from typing import Iterator, List, Sequence, Set
 
 from repro.core.dominance import DistanceVectorSource, DominanceMatrix
 from repro.core.progressive import QueryContext, ResultItem, TopKAlgorithm
+from repro.obs import trace
 from repro.skyline.b2ms2 import metric_skyline
 
 
@@ -51,28 +52,36 @@ class SBA(TopKAlgorithm):
         matrix: DominanceMatrix | None = None
 
         for _round in range(min(k, len(universe))):
-            skyline = metric_skyline(
-                ctx.tree, query_ids, vectors=vectors, skip=removed
-            )
-            if not skyline:
-                return
-            if matrix is None:
-                matrix = DominanceMatrix(vectors, universe)
-            best_id = -1
-            best_score = -1
-            for object_id in skyline:
-                score = matrix.score(object_id)
-                ctx.stats.exact_score_computations += 1
-                if score > best_score or (
-                    score == best_score and object_id < best_id
-                ):
-                    best_score = score
-                    best_id = object_id
-            removed.add(best_id)
-            matrix.deactivate(best_id)
-            if self.remove_physically:
-                ctx.tree.delete(best_id)
-            ctx.stats.results_reported += 1
+            # every span closes before the yield: a ContextVar set in a
+            # generator frame would otherwise leak into the consumer.
+            with trace.span(
+                "sba.round", category="algo", args={"round": _round}
+            ) as round_span:
+                with trace.span("sba.skyline", category="algo"):
+                    skyline = metric_skyline(
+                        ctx.tree, query_ids, vectors=vectors, skip=removed
+                    )
+                if not skyline:
+                    return
+                round_span.set("skyline_size", len(skyline))
+                if matrix is None:
+                    matrix = DominanceMatrix(vectors, universe)
+                best_id = -1
+                best_score = -1
+                with trace.span("sba.score", category="algo"):
+                    for object_id in skyline:
+                        score = matrix.score(object_id)
+                        ctx.stats.exact_score_computations += 1
+                        if score > best_score or (
+                            score == best_score and object_id < best_id
+                        ):
+                            best_score = score
+                            best_id = object_id
+                removed.add(best_id)
+                matrix.deactivate(best_id)
+                if self.remove_physically:
+                    ctx.tree.delete(best_id)
+                ctx.stats.results_reported += 1
             yield ResultItem(best_id, best_score)
 
         if self.remove_physically:

@@ -59,6 +59,7 @@ from repro.distributed.site import Site, partition_round_robin
 from repro.faults.chaos import ChaosConfig, FaultInjector
 from repro.faults.errors import FaultError
 from repro.metric.base import MetricSpace
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -191,14 +192,21 @@ class DistributedTopK:
         stats: DistributedStats,
     ) -> Iterator[Tuple[ResultItem, DistributedStats]]:
         active: Dict[int, SiteClient] = {}
-        for client in self.clients:
-            try:
-                client.begin_query(query_ids)
-            except FaultError:
-                stats.sites_dropped += 1
-            else:
-                active[client.site_id] = client
-        stats.coverage = self._coverage(active)
+        # every span here closes before each yield: a ContextVar set in
+        # a generator frame would otherwise leak into the consumer.
+        with trace.span("dist.begin", category="dist") as begin_span:
+            for client in self.clients:
+                try:
+                    client.begin_query(query_ids)
+                except FaultError:
+                    stats.sites_dropped += 1
+                else:
+                    active[client.site_id] = client
+            stats.coverage = self._coverage(active)
+            if begin_span:
+                begin_span.set(
+                    "responding", list(stats.coverage.responding)
+                )
 
         # per-object state: owning site, distance vector, and the
         # per-site local counts gathered so far (cached across rounds).
@@ -215,76 +223,92 @@ class DistributedTopK:
             len(self.sites[site_id].object_ids) for site_id in active
         )
         for _round in range(min(k, total)):
-            # 1. candidate generation: union of live local skylines.
-            candidates: List[int] = []
-            for site_id, client in list(active.items()):
-                stats.skyline_requests += 1
-                try:
-                    skyline = client.local_skyline()
-                except FaultError:
-                    drop(site_id)
-                    continue
-                for object_id, vector in skyline:
-                    owner[object_id] = site_id
-                    vector_of[object_id] = vector
-                    candidates.append(object_id)
+            with trace.span(
+                "dist.round", category="dist", args={"round": _round}
+            ) as round_span:
+                # 1. candidate generation: union of live local skylines.
+                candidates: List[int] = []
+                with trace.span("dist.skyline", category="dist"):
+                    for site_id, client in list(active.items()):
+                        stats.skyline_requests += 1
+                        try:
+                            skyline = client.local_skyline()
+                        except FaultError:
+                            drop(site_id)
+                            continue
+                        for object_id, vector in skyline:
+                            owner[object_id] = site_id
+                            vector_of[object_id] = vector
+                            candidates.append(object_id)
 
-            # 2. global scoring: fill in any missing per-site counts.
-            for object_id in candidates:
-                if owner[object_id] not in active:
-                    continue
-                counts = site_counts.setdefault(object_id, {})
-                vector = vector_of[object_id]
-                for site_id, client in list(active.items()):
-                    if site_id in counts:
-                        continue
-                    stats.scoring_requests += 1
-                    stats.candidate_vectors_shipped += 1
-                    try:
-                        counts[site_id] = client.count_dominated(vector)
-                    except FaultError:
-                        drop(site_id)
+                # 2. global scoring: fill in missing per-site counts.
+                with trace.span("dist.score", category="dist"):
+                    for object_id in candidates:
+                        if owner[object_id] not in active:
+                            continue
+                        counts = site_counts.setdefault(object_id, {})
+                        vector = vector_of[object_id]
+                        for site_id, client in list(active.items()):
+                            if site_id in counts:
+                                continue
+                            stats.scoring_requests += 1
+                            stats.candidate_vectors_shipped += 1
+                            try:
+                                counts[site_id] = client.count_dominated(
+                                    vector
+                                )
+                            except FaultError:
+                                drop(site_id)
 
-            # a site that died above invalidates its own candidates
-            # (their partition is no longer covered) but nobody
-            # else's: surviving candidates keep exact counts for
-            # every still-active site.
-            candidates = [
-                object_id
-                for object_id in candidates
-                if owner[object_id] in active
-            ]
-            if not candidates:
-                return
+                # a site that died above invalidates its own candidates
+                # (their partition is no longer covered) but nobody
+                # else's: surviving candidates keep exact counts for
+                # every still-active site.
+                candidates = [
+                    object_id
+                    for object_id in candidates
+                    if owner[object_id] in active
+                ]
+                if round_span:
+                    round_span.set("candidates", len(candidates))
+                    round_span.set(
+                        "responding",
+                        list(stats.coverage.responding)
+                        if stats.coverage
+                        else [],
+                    )
+                if not candidates:
+                    return
 
-            # 3. report the best remaining candidate.  Scores sum the
-            # *currently active* sites' cached counts, so they are
-            # exact over exactly the partitions named in coverage.
-            def global_score(object_id: int) -> int:
-                counts = site_counts[object_id]
-                return sum(counts[site_id] for site_id in active)
+                # 3. report the best remaining candidate.  Scores sum
+                # the *currently active* sites' cached counts, so they
+                # are exact over exactly the coverage's partitions.
+                def global_score(object_id: int) -> int:
+                    counts = site_counts[object_id]
+                    return sum(counts[site_id] for site_id in active)
 
-            best_id = min(
-                candidates,
-                key=lambda obj: (-global_score(obj), obj),
-            )
-            best_score = global_score(best_id)
-            site_counts.pop(best_id)
-            stats.results_reported += 1
-            stats.rpc_retries = sum(
-                client.stats.retries for client in self.clients
-            )
+                best_id = min(
+                    candidates,
+                    key=lambda obj: (-global_score(obj), obj),
+                )
+                best_score = global_score(best_id)
+                site_counts.pop(best_id)
+                stats.results_reported += 1
+                stats.rpc_retries = sum(
+                    client.stats.retries for client in self.clients
+                )
             yield ResultItem(best_id, best_score), stats
 
             # 4. broadcast the removal (after the yield: a failed
             # broadcast degrades *future* rounds, not the answer that
             # was just reported).
-            for site_id, client in list(active.items()):
-                stats.removal_broadcasts += 1
-                try:
-                    client.remove(best_id)
-                except FaultError:
-                    drop(site_id)
+            with trace.span("dist.remove", category="dist"):
+                for site_id, client in list(active.items()):
+                    stats.removal_broadcasts += 1
+                    try:
+                        client.remove(best_id)
+                    except FaultError:
+                        drop(site_id)
 
     def top_k(
         self, query_ids: Sequence[int], k: int

@@ -34,6 +34,7 @@ from repro.faults.breaker import CircuitBreaker
 from repro.faults.chaos import FaultInjector
 from repro.faults.errors import CircuitOpen, RpcFault
 from repro.faults.retry import RetryPolicy
+from repro.obs import trace
 
 
 @dataclass
@@ -86,8 +87,25 @@ class SiteClient:
         Raises :class:`CircuitOpen` without touching the site when the
         breaker is open; otherwise retries transient
         :class:`RpcFault` s up to the policy's attempt budget and
-        surfaces the last fault typed.
+        surfaces the last fault typed.  Under an active trace each call
+        is a span tagged with site, method, the breaker state at entry
+        and the attempt count (retries included).
         """
+        with trace.span("rpc.call", category="rpc") as span_obj:
+            if span_obj:
+                span_obj.set("site", self.site_id)
+                span_obj.set("method", method)
+                span_obj.set("breaker", self.breaker.state)
+                attempts_before = self.stats.attempts
+            try:
+                return self._call(method, *args)
+            finally:
+                if span_obj:
+                    span_obj.set(
+                        "attempts", self.stats.attempts - attempts_before
+                    )
+
+    def _call(self, method: str, *args: Any) -> Any:
         if not self.breaker.allow():
             self.stats.breaker_rejections += 1
             raise CircuitOpen(self.site_id, method)

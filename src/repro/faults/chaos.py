@@ -32,6 +32,7 @@ from repro.faults.errors import (
     TransientPageError,
 )
 from repro.faults.retry import RetryPolicy
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -175,6 +176,7 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._log: List[FaultRecord] = []
         self._counters: Dict[str, int] = {}
+        self._breakers: List[CircuitBreaker] = []
 
     # ------------------------------------------------------------------
     # shared recovery machinery
@@ -189,13 +191,21 @@ class FaultInjector:
         return self._retry_rng
 
     def make_breaker(self, name: str) -> CircuitBreaker:
-        """A circuit breaker with this config's thresholds and clock."""
-        return CircuitBreaker(
+        """A circuit breaker with this config's thresholds and clock.
+
+        Breakers made here are remembered so :meth:`snapshot` can
+        expose every breaker's state in one place (the service's
+        unified metrics document).
+        """
+        breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failure_threshold,
             reset_timeout=self.config.breaker_reset_timeout,
             clock=self.clock,
             name=name,
         )
+        with self._lock:
+            self._breakers.append(breaker)
+        return breaker
 
     def sleep(self, seconds: float) -> None:
         """Enact injected latency / backoff via the configured hook."""
@@ -206,11 +216,20 @@ class FaultInjector:
         """Record one retry taken in response to a transient fault."""
         self._record(layer, "retry", target)
 
+    def note_checksum_failure(self, disk: str, page_id: int) -> None:
+        """Record one detected page-checksum mismatch."""
+        self._record("storage", "checksum_failure", f"{disk}:{page_id}")
+
     def _record(self, layer: str, kind: str, target: str) -> None:
         with self._lock:
             self._log.append(FaultRecord(layer, kind, target))
             key = f"{layer}.{kind}"
             self._counters[key] = self._counters.get(key, 0) + 1
+        # every fault-framework event funnels through here, so this one
+        # call makes faults visible inside query traces too.
+        trace.event(
+            f"fault.{layer}.{kind}", category="fault", args={"target": target}
+        )
 
     # ------------------------------------------------------------------
     # storage decisions (called by PageManager on physical reads)
@@ -282,12 +301,14 @@ class FaultInjector:
             return dict(self._counters)
 
     def snapshot(self) -> dict:
-        """Config echo plus counters, JSON-serialisable."""
+        """Config echo, counters and breaker states, JSON-serialisable."""
         with self._lock:
             counters = dict(self._counters)
             events = len(self._log)
+            breakers = list(self._breakers)
         return {
             "seed": self.config.seed,
             "events": events,
             "counters": counters,
+            "breakers": {b.name: b.snapshot() for b in breakers},
         }

@@ -1,0 +1,57 @@
+"""repro.obs — observability: span tracing, metrics registry, export.
+
+* :mod:`repro.obs.trace` — ambient span tracer with per-span deltas of
+  the paper's cost counters (page faults, distance computations,
+  exact-score computations) and a free no-op path when disabled.
+* :mod:`repro.obs.registry` — unified Counter/Gauge/Histogram registry
+  plus pull collectors; JSON and Prometheus text exposition.
+* :mod:`repro.obs.export` — native trace files and Chrome trace-event
+  JSON (Perfetto-loadable), with schema validation.
+* :mod:`repro.obs.summary` — per-phase cost shares and top-N analysis.
+* :mod:`repro.obs.cli` — the ``repro-trace`` console script.
+"""
+
+from repro.obs.export import (
+    TRACE_EVENT_SCHEMA,
+    load_trace,
+    spans_to_chrome,
+    trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    CostSnapshot,
+    Span,
+    TraceScope,
+    Tracer,
+    active,
+    attach,
+    capture,
+    event,
+    span,
+)
+
+__all__ = [
+    "CostSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TRACE_EVENT_SCHEMA",
+    "TraceScope",
+    "Tracer",
+    "active",
+    "attach",
+    "capture",
+    "event",
+    "load_trace",
+    "span",
+    "spans_to_chrome",
+    "trace_document",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,214 @@
+"""``repro-trace`` — record, inspect and export query traces.
+
+Subcommands::
+
+    repro-trace record    --out trace.json [workload flags]
+    repro-trace summarize trace.json
+    repro-trace top       trace.json --axis io -n 10
+    repro-trace export    trace.json --chrome trace.chrome.json
+
+``record`` runs the same closed-loop UNI workload as ``repro-serve``
+with tracing enabled and writes the native trace file; ``summarize``
+prints per-phase shares of the paper's three cost axes (CPU time, I/O
+= page faults x 8 ms, distance computations); ``top`` ranks traces
+(requests) by one axis; ``export`` converts to Chrome trace-event
+JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+from typing import Optional, Sequence
+
+from repro.obs.export import (
+    load_trace,
+    spans_to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.summary import (
+    AXES,
+    format_summary,
+    format_top,
+    phase_summary,
+    top_queries,
+)
+from repro.obs.trace import Tracer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Record, inspect and export repro query traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="run a traced workload and write the trace file"
+    )
+    record.add_argument("--out", required=True, metavar="PATH",
+                        help="native trace file to write")
+    record.add_argument("--chrome", metavar="PATH", default=None,
+                        help="also export Chrome trace-event JSON to PATH")
+    record.add_argument("--n", type=int, default=300,
+                        help="data set cardinality (default 300)")
+    record.add_argument("--dims", type=int, default=4)
+    record.add_argument("--seed", type=int, default=7)
+    record.add_argument("--clients", type=int, default=4)
+    record.add_argument("--workers", type=int, default=2)
+    record.add_argument("--requests", type=int, default=40)
+    record.add_argument("--write-fraction", type=float, default=0.0)
+    record.add_argument("--m", type=int, default=4)
+    record.add_argument("--k", type=int, default=10)
+    record.add_argument("--algorithm", default="pba2")
+    record.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (every query cold)")
+    record.add_argument("--no-io-model", action="store_true",
+                        help="do not sleep the simulated 8ms/fault I/O")
+    record.add_argument("--fault-profile", default="none",
+                        help="seeded chaos profile (default none)")
+    record.add_argument("--fault-seed", type=int, default=None)
+
+    summarize = sub.add_parser(
+        "summarize", help="per-phase shares of the paper's cost axes"
+    )
+    summarize.add_argument("trace", metavar="TRACE", help="native trace file")
+
+    top = sub.add_parser("top", help="top-N most expensive traces by axis")
+    top.add_argument("trace", metavar="TRACE", help="native trace file")
+    top.add_argument("--axis", choices=AXES, default="cpu",
+                     help="ranking axis (default cpu)")
+    top.add_argument("-n", "--limit", type=int, default=10)
+
+    export = sub.add_parser(
+        "export", help="convert a native trace to Chrome trace-event JSON"
+    )
+    export.add_argument("trace", metavar="TRACE", help="native trace file")
+    export.add_argument("--chrome", required=True, metavar="PATH",
+                        help="Chrome trace-event JSON file to write")
+
+    return parser
+
+
+def _record(args: argparse.Namespace) -> int:
+    from repro.core.engine import TopKDominatingEngine
+    from repro.datasets.synthetic import uniform
+    from repro.faults.chaos import ChaosConfig
+    from repro.service.loadgen import LoadConfig, run_load
+    from repro.service.server import QueryService, ServiceConfig
+
+    chaos = None
+    if args.fault_profile != "none":
+        fault_seed = (
+            args.fault_seed if args.fault_seed is not None else args.seed
+        )
+        chaos = ChaosConfig.profile(args.fault_profile, seed=fault_seed)
+
+    tracer = Tracer()
+    service_config = ServiceConfig(
+        workers=args.workers,
+        cache_capacity=0 if args.no_cache else 256,
+        io_model=not args.no_io_model,
+        chaos=chaos,
+        tracer=tracer,
+    )
+    load_config = LoadConfig(
+        clients=args.clients,
+        requests=args.requests,
+        write_fraction=args.write_fraction,
+        m=args.m,
+        k=args.k,
+        algorithm=args.algorithm,
+        seed=args.seed,
+    )
+    space = uniform(n=args.n, seed=args.seed, dims=args.dims)
+    engine = TopKDominatingEngine(space, rng=random.Random(args.seed))
+    print(
+        f"recording UNI n={args.n} dims={args.dims}, "
+        f"{args.workers} workers, {args.clients} clients, "
+        f"{args.requests} ops, algorithm={args.algorithm}"
+    )
+    with QueryService(engine, service_config) as service:
+        report = asyncio.run(run_load(service, load_config))
+    meta = {
+        "workload": {
+            "n": args.n,
+            "dims": args.dims,
+            "seed": args.seed,
+            "requests": args.requests,
+            "algorithm": args.algorithm,
+            "write_fraction": args.write_fraction,
+            "fault_profile": args.fault_profile,
+        },
+        "throughput": report.throughput,
+        "completed": report.completed,
+    }
+    document = write_trace(args.out, tracer, meta=meta)
+    print(
+        f"wrote {len(document['spans'])} spans to {args.out}"
+        + (f" ({document['dropped']} dropped)" if document["dropped"] else "")
+    )
+    if args.chrome:
+        write_chrome_trace(args.chrome, document["spans"])
+        print(f"wrote Chrome trace-event JSON to {args.chrome}")
+    print()
+    print(format_summary(phase_summary(document["spans"]),
+                         dropped=document["dropped"]))
+    return 0
+
+
+def _summarize(args: argparse.Namespace) -> int:
+    document = load_trace(args.trace)
+    print(format_summary(phase_summary(document["spans"]),
+                         dropped=document.get("dropped", 0)))
+    return 0
+
+
+def _top(args: argparse.Namespace) -> int:
+    document = load_trace(args.trace)
+    rows = top_queries(document["spans"], axis=args.axis, limit=args.limit)
+    print(format_top(rows, axis=args.axis))
+    return 0
+
+
+def _export(args: argparse.Namespace) -> int:
+    document = load_trace(args.trace)
+    chrome = spans_to_chrome(document["spans"])
+    validate_chrome_trace(chrome)
+    with open(args.chrome, "w", encoding="utf-8") as handle:
+        json.dump(chrome, handle)
+        handle.write("\n")
+    print(
+        f"wrote {len(chrome['traceEvents'])} trace events to {args.chrome} "
+        "(load in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "record": _record,
+    "summarize": _summarize,
+    "top": _top,
+    "export": _export,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-trace`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console
+    sys.exit(main())

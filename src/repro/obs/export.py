@@ -1,0 +1,246 @@
+"""Trace persistence and Chrome trace-event export.
+
+Two formats:
+
+* **native** — ``{"format": "repro-trace/1", "spans": [...],
+  "dropped": n, "meta": {...}}`` where each span is
+  :meth:`repro.obs.trace.Span.as_dict`.  Lossless; what ``repro-trace
+  record`` writes and ``summarize``/``top`` read.
+* **Chrome trace event** — the ``{"traceEvents": [...]}`` JSON object
+  format understood by Perfetto and ``chrome://tracing``.  Spans map
+  to complete events (``ph: "X"``, microsecond ``ts``/``dur``),
+  instants to ``ph: "i"`` with thread scope, plus ``ph: "M"``
+  metadata naming the process and threads.  Cost deltas ride along in
+  ``args`` so the three paper axes are visible when a slice is
+  selected in the UI.
+
+Thread ids are remapped to small consecutive integers in order of
+first appearance so exports are deterministic across runs (OS thread
+idents are not).  :func:`validate_chrome_trace` is a dependency-free
+structural check used by the CI trace-smoke step; the full JSON-Schema
+description :data:`TRACE_EVENT_SCHEMA` is exercised in the test suite
+when ``jsonschema`` is available.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "TRACE_EVENT_SCHEMA",
+    "load_trace",
+    "spans_to_chrome",
+    "trace_document",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+]
+
+NATIVE_FORMAT = "repro-trace/1"
+
+
+def trace_document(
+    tracer: Tracer, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The native JSON document for everything a tracer recorded."""
+    return {
+        "format": NATIVE_FORMAT,
+        "meta": dict(meta) if meta else {},
+        "dropped": tracer.dropped,
+        "spans": tracer.export(),
+    }
+
+
+def write_trace(
+    path: str, tracer: Tracer, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Write the native document to ``path``; returns the document."""
+    document = trace_document(tracer, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read a native trace document, checking the format marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("format") != NATIVE_FORMAT:
+        raise ValueError(
+            f"{path}: not a {NATIVE_FORMAT} trace file "
+            f"(format={document.get('format') if isinstance(document, dict) else None!r})"
+        )
+    return document
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event conversion
+# ----------------------------------------------------------------------
+_PID = 1
+
+
+def spans_to_chrome(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert native span dicts to a Chrome trace-event JSON object.
+
+    Timestamps are rebased to the earliest span start so ``ts`` starts
+    near zero regardless of the recording clock's epoch.
+    """
+    span_list = list(spans)
+    origin = min((s["start"] for s in span_list), default=0.0)
+
+    # deterministic small tids: order of first appearance in the span
+    # list (which is finish order — itself deterministic under a fake
+    # clock and stable enough under a real one).
+    tid_of: Dict[int, int] = {}
+    thread_names: Dict[int, str] = {}
+    for span in span_list:
+        ident = span["thread"]
+        if ident not in tid_of:
+            tid_of[ident] = len(tid_of) + 1
+            thread_names[tid_of[ident]] = span.get("thread_name") or f"thread-{ident}"
+
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for tid in sorted(thread_names):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": thread_names[tid]},
+            }
+        )
+
+    for span in span_list:
+        args = dict(span.get("args") or {})
+        costs = span.get("costs")
+        if costs:
+            args.update(costs)
+        args["trace_id"] = span["trace_id"]
+        base = {
+            "name": span["name"],
+            "cat": span.get("cat") or "span",
+            "pid": _PID,
+            "tid": tid_of[span["thread"]],
+            "ts": _micros(span["start"] - origin),
+            "args": args,
+        }
+        if span.get("ph") == "i":
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+        else:
+            base["ph"] = "X"
+            base["dur"] = _micros(span["end"] - span["start"])
+        events.append(base)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _micros(seconds: float) -> float:
+    """Seconds to microseconds, rounded to 0.001 us to keep JSON tidy."""
+    return round(seconds * 1e6, 3)
+
+
+def write_chrome_trace(path: str, spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert + write a Chrome trace JSON file; returns the object."""
+    document = spans_to_chrome(spans)
+    validate_chrome_trace(document)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return document
+
+
+#: JSON Schema (draft-07) for the subset of the Chrome trace-event
+#: JSON-object format this exporter emits.  Used by the test suite via
+#: ``jsonschema`` and mirrored by the dependency-free validator below.
+TRACE_EVENT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "ph": {"enum": ["X", "i", "M", "B", "E"]},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "s": {"enum": ["t", "p", "g"]},
+                    "args": {"type": "object"},
+                },
+                "allOf": [
+                    {
+                        "if": {"properties": {"ph": {"const": "X"}}},
+                        "then": {"required": ["ts", "dur"]},
+                    },
+                    {
+                        "if": {"properties": {"ph": {"const": "i"}}},
+                        "then": {"required": ["ts", "s"]},
+                    },
+                ],
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+    },
+}
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Structural validation of a trace-event JSON object.
+
+    Pure python (no ``jsonschema`` dependency) so it can run inside
+    the exporter and the CI smoke step.  Raises ``ValueError`` with
+    the first offending event index on failure.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be an array")
+    for index, ev in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: event must be an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                raise ValueError(f"{where}: missing required field {field!r}")
+        if not isinstance(ev["name"], str):
+            raise ValueError(f"{where}: name must be a string")
+        if ev["ph"] not in ("X", "i", "M", "B", "E"):
+            raise ValueError(f"{where}: unknown phase {ev['ph']!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev[field], int) or isinstance(ev[field], bool):
+                raise ValueError(f"{where}: {field} must be an integer")
+        if ev["ph"] == "X":
+            for field in ("ts", "dur"):
+                value = ev.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"{where}: complete event needs non-negative {field}"
+                    )
+        if ev["ph"] == "i":
+            if not isinstance(ev.get("ts"), (int, float)):
+                raise ValueError(f"{where}: instant event needs ts")
+            if ev.get("s") not in ("t", "p", "g"):
+                raise ValueError(f"{where}: instant event needs scope s")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"{where}: args must be an object")

@@ -1,0 +1,294 @@
+"""Unified metrics registry with JSON and Prometheus exposition.
+
+One place where every operational number of the system meets:
+
+* **instruments** — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` created through the registry by name; cheap,
+  thread-safe, and exported with proper ``# TYPE`` lines;
+* **collectors** — pull-style callables registered per section that
+  return nested plain-type dicts at scrape time.  Existing snapshot
+  providers (``ServiceMetrics``, ``FaultInjector``, ``BufferPool``,
+  admission/cache/coalescer) plug in unchanged, so the registry
+  *absorbs* them instead of duplicating their state.
+
+:meth:`MetricsRegistry.collect` produces one JSON document (what
+``repro-serve --stats`` prints); :meth:`MetricsRegistry.to_prometheus`
+flattens the same tree into Prometheus text exposition format 0.0.4,
+mapping numeric leaves to untyped samples, booleans to 0/1, and string
+leaves (breaker states, algorithm names) to info-style samples with
+the value as a label.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_ROOT = ""  # section name under which a collector merges into the top level
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary dotted/nested path to a legal Prometheus name."""
+    cleaned = _NAME_OK.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def export(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def export(self) -> Any:
+        return self.value
+
+
+DEFAULT_BOUNDS: Sequence[float] = tuple(0.001 * 4**i for i in range(10))
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus cumulative exposition."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Sequence[float] = DEFAULT_BOUNDS,
+    ) -> None:
+        if list(bounds) != sorted(bounds) or len(bounds) != len(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if value != value:  # NaN: unusable, never corrupt the sum
+            return
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def export(self) -> Any:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": {
+                    ("+Inf" if i == len(self.bounds) else repr(self.bounds[i])): c
+                    for i, c in enumerate(self._counts)
+                },
+            }
+
+    def prometheus_lines(self, prefix: str) -> List[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc_sum = self._sum
+        lines = []
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += counts[i]
+            lines.append(f'{prefix}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += counts[-1]
+        lines.append(f'{prefix}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{prefix}_sum {acc_sum}")
+        lines.append(f"{prefix}_count {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments plus pull collectors, exported as one surface."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._instruments: "OrderedDict[str, Any]" = OrderedDict()
+        self._collectors: "OrderedDict[str, Callable[[], Any]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # instruments (get-or-create by name)
+    # ------------------------------------------------------------------
+    def _instrument(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._instrument(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._instrument(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: Sequence[float] = DEFAULT_BOUNDS,
+    ) -> Histogram:
+        return self._instrument(Histogram, name, help, bounds=bounds)
+
+    # ------------------------------------------------------------------
+    # collectors
+    # ------------------------------------------------------------------
+    def register_collector(
+        self, section: Optional[str], collect: Callable[[], Any]
+    ) -> Callable[[], None]:
+        """Attach a pull collector under ``section`` of the JSON document.
+
+        ``section=None`` merges the collector's returned mapping into
+        the top level (used for legacy snapshots whose keys are already
+        sections of their own).  Returns an unregister callable.
+        """
+        key = _ROOT if section is None else section
+        with self._lock:
+            if key in self._collectors:
+                raise ValueError(f"collector {section!r} already registered")
+            self._collectors[key] = collect
+
+        def unregister() -> None:
+            with self._lock:
+                self._collectors.pop(key, None)
+
+        return unregister
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def collect(self) -> Dict[str, Any]:
+        """One nested plain-type document covering every source."""
+        with self._lock:
+            collectors = list(self._collectors.items())
+            instruments = list(self._instruments.items())
+        document: Dict[str, Any] = {}
+        for section, fn in collectors:
+            value = fn()
+            if section == _ROOT:
+                if value:
+                    document.update(value)
+            else:
+                document[section] = value
+        if instruments:
+            document["instruments"] = {
+                name: inst.export() for name, inst in instruments
+            }
+        return document
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition 0.0.4 of the full document."""
+        with self._lock:
+            instruments = list(self._instruments.items())
+        lines: List[str] = []
+        for name, inst in instruments:
+            full = sanitize_metric_name(f"{self.namespace}_{name}")
+            if inst.help:
+                lines.append(f"# HELP {full} {inst.help}")
+            lines.append(f"# TYPE {full} {inst.kind}")
+            if isinstance(inst, Histogram):
+                lines.extend(inst.prometheus_lines(full))
+            else:
+                lines.append(f"{full} {inst.export()}")
+        with self._lock:
+            collectors = list(self._collectors.items())
+        for section, fn in collectors:
+            value = fn()
+            if value is None:
+                continue
+            prefix = self.namespace if section == _ROOT else (
+                f"{self.namespace}_{section}"
+            )
+            self._flatten(prefix, value, lines)
+        return "\n".join(lines) + "\n"
+
+    def _flatten(self, prefix: str, value: Any, lines: List[str]) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                self._flatten(f"{prefix}_{key}", sub, lines)
+            return
+        name = sanitize_metric_name(prefix)
+        if isinstance(value, bool):
+            lines.append(f"{name} {int(value)}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"{name} {value}")
+        elif isinstance(value, str):
+            # info-style: the string becomes a label, the value is 1.
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(f'{name}{{value="{escaped}"}} 1')
+        # lists / None / other types carry no scalar sample; they stay
+        # available in the JSON document.

@@ -1,0 +1,238 @@
+"""Span analysis: per-phase cost shares and top-N slow queries.
+
+Works on native span dicts (:func:`repro.obs.export.load_trace`).
+Attribution is by *self* time/costs — a span's own duration and
+counter deltas minus those of its direct children — so a phase's
+share counts only work done in that phase, never double-counting the
+nesting (``service.request`` > ``engine.query`` > ``pba.round`` >
+``pba.exact_score``).
+
+The three axes reported are the paper's (Section 5):
+
+* **cpu** — self wall-clock seconds (the repo's CPU-time convention,
+  see ``Stopwatch``);
+* **io** — self page faults x 8 ms;
+* **distance** — self distance computations;
+
+plus exact-score computations, the fourth quantity Table 3 tracks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.storage.stats import PAGE_FAULT_COST_SECONDS
+
+__all__ = ["PhaseRow", "TraceRow", "format_summary", "format_top", "phase_summary", "top_queries"]
+
+AXES = ("cpu", "io", "distance")
+
+_COST_KEYS = (
+    "page_faults",
+    "buffer_hits",
+    "distance_computations",
+    "exact_score_computations",
+)
+
+
+@dataclass
+class PhaseRow:
+    """Aggregated self-attribution for one span name."""
+
+    name: str
+    count: int = 0
+    wall_seconds: float = 0.0
+    self_seconds: float = 0.0
+    self_costs: Dict[str, int] = field(
+        default_factory=lambda: {k: 0 for k in _COST_KEYS}
+    )
+
+    @property
+    def self_io_seconds(self) -> float:
+        return self.self_costs["page_faults"] * PAGE_FAULT_COST_SECONDS
+
+    def axis(self, axis: str) -> float:
+        if axis == "cpu":
+            return self.self_seconds
+        if axis == "io":
+            return self.self_io_seconds
+        if axis == "distance":
+            return float(self.self_costs["distance_computations"])
+        raise ValueError(f"unknown axis {axis!r}")
+
+
+def _self_attribution(spans: List[Dict[str, Any]]):
+    """Per-span self duration and self cost deltas.
+
+    Children are matched by ``parent_id``; instants (``ph: "i"``) have
+    no extent and are excluded from both sides of the subtraction.
+    """
+    complete = [s for s in spans if s.get("ph") != "i"]
+    children = defaultdict(list)
+    for span in complete:
+        if span.get("parent_id") is not None:
+            children[span["parent_id"]].append(span)
+
+    rows = []
+    for span in complete:
+        duration = max(0.0, span["end"] - span["start"])
+        self_seconds = duration
+        costs = dict(span.get("costs") or {})
+        self_costs = {k: int(costs.get(k, 0)) for k in _COST_KEYS}
+        for child in children.get(span["span_id"], ()):
+            self_seconds -= max(0.0, child["end"] - child["start"])
+            child_costs = child.get("costs")
+            if child_costs:
+                for k in _COST_KEYS:
+                    self_costs[k] -= int(child_costs.get(k, 0))
+        self_seconds = max(0.0, self_seconds)
+        for k in _COST_KEYS:
+            self_costs[k] = max(0, self_costs[k])
+        rows.append((span, duration, self_seconds, self_costs))
+    return rows
+
+
+def phase_summary(spans: Iterable[Dict[str, Any]]) -> List[PhaseRow]:
+    """Aggregate spans by name, ordered by descending self CPU time."""
+    by_name: Dict[str, PhaseRow] = {}
+    for span, duration, self_seconds, self_costs in _self_attribution(list(spans)):
+        row = by_name.get(span["name"])
+        if row is None:
+            row = by_name[span["name"]] = PhaseRow(name=span["name"])
+        row.count += 1
+        row.wall_seconds += duration
+        row.self_seconds += self_seconds
+        for k in _COST_KEYS:
+            row.self_costs[k] += self_costs[k]
+    return sorted(by_name.values(), key=lambda r: -r.self_seconds)
+
+
+def format_summary(rows: List[PhaseRow], dropped: int = 0) -> str:
+    """Render the per-phase table with shares of each paper axis."""
+    totals = {axis: sum(r.axis(axis) for r in rows) for axis in AXES}
+    total_exact = sum(r.self_costs["exact_score_computations"] for r in rows)
+
+    header = (
+        f"{'phase':<28} {'count':>6} "
+        f"{'cpu s':>9} {'cpu%':>6} "
+        f"{'io s':>9} {'io%':>6} "
+        f"{'dist':>9} {'dist%':>6} "
+        f"{'exact':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<28} {row.count:>6} "
+            f"{row.self_seconds:>9.4f} {_share(row.axis('cpu'), totals['cpu']):>6} "
+            f"{row.self_io_seconds:>9.4f} {_share(row.axis('io'), totals['io']):>6} "
+            f"{row.self_costs['distance_computations']:>9} "
+            f"{_share(row.axis('distance'), totals['distance']):>6} "
+            f"{row.self_costs['exact_score_computations']:>8}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total (self)':<28} {sum(r.count for r in rows):>6} "
+        f"{totals['cpu']:>9.4f} {'100%':>6} "
+        f"{totals['io']:>9.4f} {'100%':>6} "
+        f"{int(totals['distance']):>9} {'100%':>6} "
+        f"{total_exact:>8}"
+    )
+    if dropped:
+        lines.append(
+            f"warning: {dropped} span(s) dropped at the tracer's capacity; "
+            "shares cover recorded spans only"
+        )
+    return "\n".join(lines)
+
+
+def _share(value: float, total: float) -> str:
+    if total <= 0:
+        return "-"
+    return f"{100.0 * value / total:.0f}%"
+
+
+@dataclass
+class TraceRow:
+    """One trace (request) with root identity and aggregate costs."""
+
+    trace_id: int
+    name: str
+    args: Dict[str, Any]
+    wall_seconds: float
+    costs: Dict[str, int]
+    error: Optional[str] = None
+
+    @property
+    def io_seconds(self) -> float:
+        return self.costs["page_faults"] * PAGE_FAULT_COST_SECONDS
+
+    def axis(self, axis: str) -> float:
+        if axis == "cpu":
+            return self.wall_seconds
+        if axis == "io":
+            return self.io_seconds
+        if axis == "distance":
+            return float(self.costs["distance_computations"])
+        raise ValueError(f"unknown axis {axis!r}")
+
+
+def top_queries(
+    spans: Iterable[Dict[str, Any]], axis: str = "cpu", limit: int = 10
+) -> List[TraceRow]:
+    """The most expensive traces along one axis, descending.
+
+    A trace's costs are the summed self-costs of its spans (equal to
+    the probe-covered totals, however deep the nesting), and its wall
+    time is the root span's duration.
+    """
+    if axis not in AXES:
+        raise ValueError(f"axis must be one of {AXES}, got {axis!r}")
+    span_list = list(spans)
+    roots: Dict[int, Dict[str, Any]] = {}
+    costs: Dict[int, Dict[str, int]] = defaultdict(
+        lambda: {k: 0 for k in _COST_KEYS}
+    )
+    for span, _duration, _self_seconds, self_costs in _self_attribution(span_list):
+        if span.get("parent_id") is None:
+            roots[span["trace_id"]] = span
+        acc = costs[span["trace_id"]]
+        for k in _COST_KEYS:
+            acc[k] += self_costs[k]
+
+    rows = []
+    for trace_id, root in roots.items():
+        rows.append(
+            TraceRow(
+                trace_id=trace_id,
+                name=root["name"],
+                args=dict(root.get("args") or {}),
+                wall_seconds=max(0.0, root["end"] - root["start"]),
+                costs=costs[trace_id],
+                error=(root.get("args") or {}).get("error"),
+            )
+        )
+    rows.sort(key=lambda r: -r.axis(axis))
+    return rows[:limit]
+
+
+def format_top(rows: List[TraceRow], axis: str) -> str:
+    header = (
+        f"{'trace':>6} {'root':<18} {'detail':<26} "
+        f"{'cpu s':>9} {'io s':>9} {'dist':>9} {'exact':>8}"
+    )
+    lines = [f"top {len(rows)} traces by {axis}", header, "-" * len(header)]
+    for row in rows:
+        detail = ",".join(
+            f"{k}={row.args[k]}"
+            for k in ("algorithm", "k", "m", "op", "outcome", "error")
+            if k in row.args
+        )
+        lines.append(
+            f"{row.trace_id:>6} {row.name:<18} {detail[:26]:<26} "
+            f"{row.wall_seconds:>9.4f} {row.io_seconds:>9.4f} "
+            f"{row.costs['distance_computations']:>9} "
+            f"{row.costs['exact_score_computations']:>8}"
+        )
+    return "\n".join(lines)

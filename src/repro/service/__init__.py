@@ -22,7 +22,13 @@ measurable code.  It wraps one shared
   scores (``cache.py``);
 * **metrics** — latency histograms, queue gauges, cache/coalescer
   effectiveness and per-algorithm engine-cost aggregates, exported as
-  one ``snapshot()`` dict (``metrics.py``);
+  one ``snapshot()`` dict (``metrics.py``) through the unified
+  :class:`~repro.obs.registry.MetricsRegistry` (JSON and Prometheus
+  text exposition; see ``docs/observability.md``);
+* **tracing** — ``ServiceConfig(tracer=...)`` (or ``repro-serve
+  --trace``) records per-request span trees with paper-cost deltas
+  across the asyncio front end and the worker threads (see
+  :mod:`repro.obs.trace`);
 * **load generator** — the closed-loop, Zipf-skewed ``repro-serve``
   console script demonstrating throughput scaling, cache speedup and
   overload behaviour (``loadgen.py``);

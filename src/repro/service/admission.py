@@ -31,6 +31,8 @@ import contextlib
 from collections import deque
 from typing import AsyncIterator, Deque, Optional
 
+from repro.obs import trace
+
 
 class ServiceError(RuntimeError):
     """Base class of every error raised by the serving layer."""
@@ -204,7 +206,13 @@ class AdmissionController:
         self.peak_queue_depth = max(self.peak_queue_depth, self.queue_depth)
         try:
             try:
-                await slots.acquire(timeout)
+                # span duration == queueing delay (the part the
+                # deadline bounds); closed before the body runs so the
+                # execute spans are siblings, not children, of the wait.
+                with trace.span(
+                    "service.admission_wait", category="service"
+                ):
+                    await slots.acquire(timeout)
             except asyncio.TimeoutError:
                 raise DeadlineExceeded(timeout) from None
         finally:

@@ -16,7 +16,9 @@ epoch-invalidation path under load.
     repro-serve --n 400 --clients 8 --workers 4 --requests 200
     repro-serve --write-fraction 0.2 --verify   # audit vs brute force
     repro-serve --stats                          # dump metrics JSON
+    repro-serve --stats --metrics-format prometheus   # text exposition
     repro-serve --fault-profile flaky-disk --fault-seed 3   # chaos run
+    repro-serve --trace run.trace.json --trace-chrome run.chrome.json
 
 Throughput and p50/p99 latency are measured client-side (exact order
 statistics over all completed requests); ``--stats`` additionally
@@ -289,9 +291,18 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="chaos seed (default: --seed); equal seeds "
                              "replay identical fault sequences")
     parser.add_argument("--stats", action="store_true",
-                        help="dump the service metrics snapshot as JSON")
+                        help="dump the service metrics snapshot")
+    parser.add_argument("--metrics-format", default="json",
+                        choices=("json", "prometheus"),
+                        help="--stats output format (default json)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the snapshot JSON to PATH")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record spans and write a native trace "
+                             "file (repro-trace reads it)")
+    parser.add_argument("--trace-chrome", metavar="PATH", default=None,
+                        help="also export the trace as Chrome "
+                             "trace-event JSON (Perfetto-loadable)")
     return parser
 
 
@@ -309,6 +320,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.fault_seed if args.fault_seed is not None else args.seed
             )
             chaos = ChaosConfig.profile(args.fault_profile, seed=fault_seed)
+        tracer = None
+        if args.trace or args.trace_chrome:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
         service_config = ServiceConfig(
             workers=args.workers,
             max_inflight=args.max_inflight,
@@ -319,6 +335,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             io_cost_scale=args.io_scale,
             verify=args.verify,
             chaos=chaos,
+            tracer=tracer,
         )
         load_config = LoadConfig(
             clients=args.clients,
@@ -354,12 +371,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = asyncio.run(run_load(service, load_config))
         print(report.render())
         snapshot = service.snapshot()
+        prometheus = (
+            service.metrics_prometheus()
+            if args.stats and args.metrics_format == "prometheus"
+            else None
+        )
     if args.stats:
-        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        if prometheus is not None:
+            print(prometheus, end="")
+        else:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
         print(f"wrote metrics snapshot to {args.json}")
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace, write_trace
+
+        meta = {
+            "workload": {
+                "n": args.n,
+                "dims": args.dims,
+                "seed": args.seed,
+                "clients": args.clients,
+                "requests": args.requests,
+                "algorithm": args.algorithm,
+            },
+            "completed": report.completed,
+            "throughput": report.throughput,
+        }
+        if args.trace:
+            write_trace(args.trace, tracer, meta=meta)
+            print(f"wrote {len(tracer)} spans to {args.trace}")
+        if args.trace_chrome:
+            write_chrome_trace(args.trace_chrome, tracer.export())
+            print(f"wrote Chrome trace to {args.trace_chrome}")
     return 0
 
 

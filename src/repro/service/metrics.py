@@ -43,12 +43,26 @@ class LatencyHistogram:
         self._lock = threading.Lock()
         self._counts = [0] * (len(self._BOUNDS) + 1)
         self.count = 0
+        self.dropped = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
     def record(self, seconds: float) -> None:
-        """Add one observation."""
+        """Add one observation.
+
+        A NaN duration is dropped (and counted in ``dropped``): one
+        would otherwise poison ``total`` and, through ``min``/``max``,
+        every quantile clamp forever.  A negative duration — possible
+        when a caller diffs timestamps from a non-monotonic clock —
+        clamps to 0.0 so ``total`` and the quantiles stay monotone.
+        """
+        if seconds != seconds:  # NaN
+            with self._lock:
+                self.dropped += 1
+            return
+        if seconds < 0.0:
+            seconds = 0.0
         with self._lock:
             index = self._bucket_index(seconds)
             self._counts[index] += 1
@@ -73,6 +87,12 @@ class LatencyHistogram:
             if self.count == 0:
                 return 0.0
             rank = q * self.count
+            # float rounding can land rank an epsilon off an integer
+            # (e.g. 0.9 * 10 == 9.000000000000002), which would push a
+            # boundary quantile into the *next* bucket; snap it back.
+            nearest = round(rank)
+            if abs(rank - nearest) <= 1e-9 * self.count:
+                rank = float(nearest)
             seen = 0
             for i, bucket_count in enumerate(self._counts):
                 if bucket_count == 0:
@@ -85,7 +105,13 @@ class LatencyHistogram:
                         else (self.max or self._BOUNDS[-1])
                     )
                     fraction = (rank - seen) / bucket_count
-                    estimate = lower + (upper - lower) * fraction
+                    if fraction >= 1.0:
+                        # exact at the bucket's upper boundary:
+                        # lower + (upper - lower) * 1.0 need not round
+                        # to `upper` in floating point.
+                        estimate = upper
+                    else:
+                        estimate = lower + (upper - lower) * fraction
                     # never estimate outside the observed range.
                     if self.max is not None:
                         estimate = min(estimate, self.max)
@@ -104,6 +130,7 @@ class LatencyHistogram:
         """Summary statistics as plain types."""
         return {
             "count": self.count,
+            "dropped": self.dropped,
             "mean_seconds": self.mean,
             "p50_seconds": self.quantile(0.50),
             "p90_seconds": self.quantile(0.90),

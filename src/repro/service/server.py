@@ -49,17 +49,29 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    ContextManager,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.brute_force import brute_force_scores
 from repro.core.engine import TopKDominatingEngine
 from repro.core.progressive import ResultItem
 from repro.faults.chaos import ChaosConfig, FaultInjector
 from repro.faults.errors import FaultError
+from repro.obs import trace
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Tracer
 from repro.service.admission import (
     AdmissionController,
     DeadlineExceeded,
@@ -73,6 +85,10 @@ from repro.service.cache import CacheKey, ResultCache
 from repro.service.coalesce import SingleFlight
 from repro.service.metrics import ServiceMetrics
 from repro.storage.stats import QueryStats
+
+#: shared stand-in for "no root trace": yields the falsy no-op span, so
+#: the request path needs a single truthiness check, not two branches.
+_NO_TRACE: ContextManager = contextlib.nullcontext(trace.NOOP_SPAN)
 
 
 class ReadWriteLock:
@@ -201,6 +217,11 @@ class ServiceConfig:
     #: (see repro.faults); typed failures surface as TransientFault /
     #: FatalFault instead of crashing workers.
     chaos: Optional[ChaosConfig] = None
+    #: optional span tracer (see repro.obs.trace).  ``None`` — the
+    #: default — keeps every instrumentation point on its no-op fast
+    #: path; the service then never copies contextvars into workers,
+    #: so the untraced request path is unchanged.
+    tracer: Optional[Tracer] = None
 
     def resolved_max_inflight(self) -> int:
         """Admission slots: default one per worker thread.
@@ -252,7 +273,61 @@ class QueryService:
             default_deadline=self.config.default_deadline,
         )
         self.metrics = ServiceMetrics()
+        self.tracer: Optional[Tracer] = self.config.tracer
+        self.registry = MetricsRegistry()
+        self._register_collectors()
         self._closed = False
+
+    def _register_collectors(self) -> None:
+        """Plug every subsystem's snapshot into the unified registry.
+
+        The registry *pulls* at scrape time, so the sections below stay
+        live views; the root (``None``) collector merges the service
+        metrics' own sections (``requests`` / ``latency`` /
+        ``per_algorithm``) at the top level, preserving the snapshot
+        shape clients of earlier versions already parse.
+        """
+        registry = self.registry
+        registry.register_collector(None, self.metrics.snapshot)
+        registry.register_collector("config", self._config_snapshot)
+        registry.register_collector("engine", self._engine_snapshot)
+        registry.register_collector("admission", self.admission.snapshot)
+        registry.register_collector("cache", self.cache.snapshot)
+        registry.register_collector("coalescer", self.coalescer.snapshot)
+        registry.register_collector(
+            "faults",
+            lambda: (
+                self.injector.snapshot()
+                if self.injector is not None
+                else None
+            ),
+        )
+        registry.register_collector(
+            "storage", self.engine.buffers.snapshot
+        )
+        registry.register_collector(
+            "observability",
+            lambda: (
+                self.tracer.snapshot() if self.tracer is not None else None
+            ),
+        )
+
+    def _config_snapshot(self) -> dict:
+        return {
+            "workers": self.config.workers,
+            "max_inflight": self.config.resolved_max_inflight(),
+            "max_queue": self.config.max_queue,
+            "cache_capacity": self.config.cache_capacity,
+            "io_model": self.config.io_model,
+            "io_cost_scale": self.config.io_cost_scale,
+        }
+
+    def _engine_snapshot(self) -> dict:
+        return {
+            "epoch": self.engine.epoch,
+            "objects": len(self.engine.tree),
+            "index": self.engine.index_kind,
+        }
 
     # ------------------------------------------------------------------
     # async API
@@ -274,30 +349,51 @@ class QueryService:
         started = time.perf_counter()
         self.metrics.observe_request()
         try:
-            async with self.admission.admit(deadline):
-                entry = self.cache.get(request.key, self.engine.epoch)
-                if entry is not None:
-                    results, stats, epoch = entry.value
+            with self._trace_request(request) as root:
+                async with self.admission.admit(deadline):
+                    entry = self._cache_lookup(request)
+                    if entry is not None:
+                        results, stats, epoch = entry.value
+                        return self._respond(
+                            request,
+                            results,
+                            stats,
+                            epoch,
+                            started,
+                            cached=True,
+                            root=root,
+                        )
+                    future, leader = self.coalescer.begin(request.key)
+                    if leader:
+                        loop = asyncio.get_running_loop()
+                        if root:
+                            # run_in_executor does NOT copy contextvars
+                            # (bpo-34014 by design), so carry the trace
+                            # scope into the worker explicitly.  Only
+                            # traced requests pay the context copy.
+                            ctx = contextvars.copy_context()
+                            outcome = await loop.run_in_executor(
+                                self._pool, ctx.run, self._execute, request
+                            )
+                        else:
+                            outcome = await loop.run_in_executor(
+                                self._pool, self._execute, request
+                            )
+                    else:
+                        with trace.span(
+                            "service.coalesce_join", category="service"
+                        ):
+                            outcome = await asyncio.wrap_future(future)
+                    results, stats, epoch = outcome
                     return self._respond(
-                        request, results, stats, epoch, started, cached=True
+                        request,
+                        results,
+                        stats,
+                        epoch,
+                        started,
+                        coalesced=not leader,
+                        root=root,
                     )
-                future, leader = self.coalescer.begin(request.key)
-                if leader:
-                    loop = asyncio.get_running_loop()
-                    outcome = await loop.run_in_executor(
-                        self._pool, self._execute, request
-                    )
-                else:
-                    outcome = await asyncio.wrap_future(future)
-                results, stats, epoch = outcome
-                return self._respond(
-                    request,
-                    results,
-                    stats,
-                    epoch,
-                    started,
-                    coalesced=not leader,
-                )
         except Overloaded:
             self.metrics.observe_rejection(overloaded=True)
             raise
@@ -341,21 +437,37 @@ class QueryService:
         started = time.perf_counter()
         self.metrics.observe_request()
         try:
-            entry = self.cache.get(request.key, self.engine.epoch)
-            if entry is not None:
-                results, stats, epoch = entry.value
+            with self._trace_request(request) as root:
+                entry = self._cache_lookup(request)
+                if entry is not None:
+                    results, stats, epoch = entry.value
+                    return self._respond(
+                        request,
+                        results,
+                        stats,
+                        epoch,
+                        started,
+                        cached=True,
+                        root=root,
+                    )
+                future, leader = self.coalescer.begin(request.key)
+                if leader:
+                    outcome = self._execute(request)
+                else:
+                    with trace.span(
+                        "service.coalesce_join", category="service"
+                    ):
+                        outcome = future.result()
+                results, stats, epoch = outcome
                 return self._respond(
-                    request, results, stats, epoch, started, cached=True
+                    request,
+                    results,
+                    stats,
+                    epoch,
+                    started,
+                    coalesced=not leader,
+                    root=root,
                 )
-            future, leader = self.coalescer.begin(request.key)
-            if leader:
-                outcome = self._execute(request)
-            else:
-                outcome = future.result()
-            results, stats, epoch = outcome
-            return self._respond(
-                request, results, stats, epoch, started, coalesced=not leader
-            )
         except FaultError as exc:
             raise self._map_fault(exc) from exc
         except Exception:
@@ -379,18 +491,40 @@ class QueryService:
     def insert_sync(self, payload: object) -> int:
         """Synchronous :meth:`insert`."""
         started = time.perf_counter()
-        with self._engine_lock.write():
-            object_id = self.engine.insert_object(payload)
+        with self._trace_write("insert"):
+            with trace.span(
+                "service.write_lock_wait", category="service"
+            ):
+                self._engine_lock.acquire_write()
+            try:
+                object_id = self.engine.insert_object(payload)
+            finally:
+                self._engine_lock.release_write()
         self.metrics.observe_write(time.perf_counter() - started)
         return object_id
 
     def delete_sync(self, object_id: int) -> bool:
         """Synchronous :meth:`delete`."""
         started = time.perf_counter()
-        with self._engine_lock.write():
-            removed = self.engine.delete_object(object_id)
+        with self._trace_write("delete"):
+            with trace.span(
+                "service.write_lock_wait", category="service"
+            ):
+                self._engine_lock.acquire_write()
+            try:
+                removed = self.engine.delete_object(object_id)
+            finally:
+                self._engine_lock.release_write()
         self.metrics.observe_write(time.perf_counter() - started)
         return removed
+
+    def _trace_write(self, op: str) -> ContextManager:
+        """Root span for a write (writes are their own traces)."""
+        if self.tracer is None:
+            return _NO_TRACE
+        return self.tracer.trace(
+            "service.write", category="service", args={"op": op}
+        )
 
     # ------------------------------------------------------------------
     # verification
@@ -446,6 +580,36 @@ class QueryService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _trace_request(self, request: QueryRequest) -> ContextManager:
+        """Open a root ``service.request`` span (no-op without a tracer).
+
+        The root lives on the event loop (or the sync caller's thread),
+        where the engine's per-thread counters never move, so it
+        carries no cost probe — the ``engine.query`` span inside the
+        worker owns the paper-cost delta.
+        """
+        if self.tracer is None:
+            return _NO_TRACE
+        return self.tracer.trace(
+            "service.request",
+            category="service",
+            args={
+                "algorithm": request.algorithm,
+                "k": request.k,
+                "m": len(request.query_ids),
+            },
+        )
+
+    def _cache_lookup(self, request: QueryRequest):
+        """Epoch-validated cache probe, spanned with its outcome."""
+        with trace.span(
+            "service.cache_lookup", category="service"
+        ) as span_obj:
+            entry = self.cache.get(request.key, self.engine.epoch)
+            if span_obj:
+                span_obj.set("hit", entry is not None)
+            return entry
+
     def _execute(
         self, request: QueryRequest
     ) -> Tuple[List[ResultItem], QueryStats, int]:
@@ -466,7 +630,9 @@ class QueryService:
         """
         flight: Optional[Future] = None
         try:
-            with self._engine_lock.read():
+            with trace.span("service.lock_wait", category="service"):
+                self._engine_lock.acquire_read()
+            try:
                 epoch = self.engine.epoch
                 results, stats = self.engine.top_k_dominating(
                     list(request.query_ids),
@@ -474,9 +640,12 @@ class QueryService:
                     algorithm=request.algorithm,
                 )
                 if self.config.verify and request.algorithm != "apx":
-                    self._verify_locked(request, results)
+                    with trace.span("service.verify", category="service"):
+                        self._verify_locked(request, results)
                 self.cache.put(request.key, epoch, (results, stats, epoch))
                 flight = self.coalescer.close(request.key)
+            finally:
+                self._engine_lock.release_read()
             outcome = (results, stats, epoch)
             self.metrics.observe_execution(request.algorithm, stats)
             self._io_stall(stats)
@@ -497,7 +666,12 @@ class QueryService:
         interleave writes into the stall window deterministically.
         """
         if self.config.io_model and stats.io_seconds > 0.0:
-            time.sleep(stats.io_seconds * self.config.io_cost_scale)
+            with trace.span(
+                "service.io_stall",
+                category="service",
+                args={"io_seconds": stats.io_seconds},
+            ):
+                time.sleep(stats.io_seconds * self.config.io_cost_scale)
 
     def _respond(
         self,
@@ -508,9 +682,14 @@ class QueryService:
         started: float,
         cached: bool = False,
         coalesced: bool = False,
+        root: Any = NOOP_SPAN,
     ) -> QueryResponse:
         latency = time.perf_counter() - started
         self.metrics.observe_response(latency, cached, coalesced)
+        if root:
+            root.set("cached", cached)
+            root.set("coalesced", coalesced)
+            root.set("epoch", epoch)
         return QueryResponse(
             results=results,
             stats=stats,
@@ -545,28 +724,18 @@ class QueryService:
         self.close()
 
     def snapshot(self) -> dict:
-        """One JSON-serialisable dict of every subsystem's counters."""
-        return {
-            "config": {
-                "workers": self.config.workers,
-                "max_inflight": self.config.resolved_max_inflight(),
-                "max_queue": self.config.max_queue,
-                "cache_capacity": self.config.cache_capacity,
-                "io_model": self.config.io_model,
-                "io_cost_scale": self.config.io_cost_scale,
-            },
-            "engine": {
-                "epoch": self.engine.epoch,
-                "objects": len(self.engine.tree),
-                "index": self.engine.index_kind,
-            },
-            "admission": self.admission.snapshot(),
-            "cache": self.cache.snapshot(),
-            "coalescer": self.coalescer.snapshot(),
-            "faults": (
-                self.injector.snapshot()
-                if self.injector is not None
-                else None
-            ),
-            **self.metrics.snapshot(),
-        }
+        """One JSON-serialisable dict of every subsystem's counters.
+
+        Since the registry absorbed the hand-rolled snapshot this is a
+        straight :meth:`MetricsRegistry.collect` — the legacy sections
+        (``config`` / ``engine`` / ``admission`` / ``cache`` /
+        ``coalescer`` / ``faults`` plus the top-level ``requests`` /
+        ``latency`` / ``per_algorithm``) are unchanged, and
+        ``storage`` (buffer pools) and ``observability`` (tracer) are
+        new.
+        """
+        return self.registry.collect()
+
+    def metrics_prometheus(self) -> str:
+        """The same document in Prometheus text exposition 0.0.4."""
+        return self.registry.to_prometheus()

@@ -236,6 +236,22 @@ class LRUBuffer:
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._frames
 
+    def snapshot(self) -> dict:
+        """Capacity, residency and global I/O counters as plain types."""
+        with self._lock:
+            stats = self.stats
+            return {
+                "name": self.name,
+                "capacity": self.capacity,
+                "resident": len(self._frames),
+                "hit_ratio": stats.hit_ratio,
+                "logical_reads": stats.logical_reads,
+                "logical_writes": stats.logical_writes,
+                "page_faults": stats.page_faults,
+                "buffer_hits": stats.buffer_hits,
+                "pages_allocated": stats.pages_allocated,
+            }
+
 
 class BufferPool:
     """The two-buffer configuration of the paper's experiments.
@@ -315,6 +331,22 @@ class BufferPool:
         """Zero both buffers' counters (between benchmark repetitions)."""
         self.index_buffer.stats.reset()
         self.aux_buffer.stats.reset()
+
+    def snapshot(self) -> dict:
+        """Both buffers plus the combined counters, as plain types."""
+        combined = self.combined_io()
+        return {
+            "index": self.index_buffer.snapshot(),
+            "aux": self.aux_buffer.snapshot(),
+            "combined": {
+                "hit_ratio": combined.hit_ratio,
+                "logical_reads": combined.logical_reads,
+                "logical_writes": combined.logical_writes,
+                "page_faults": combined.page_faults,
+                "buffer_hits": combined.buffer_hits,
+                "pages_allocated": combined.pages_allocated,
+            },
+        }
 
     def clear(self) -> None:
         """Empty both buffers (cold-cache benchmark runs)."""

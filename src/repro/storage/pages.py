@@ -106,6 +106,7 @@ class PageManager:
             and page.crc is not None
             and payload_checksum(page.payload) != page.crc
         ):
+            self.injector.note_checksum_failure(self.name, page.page_id)
             raise StorageCorruption(self.name, page.page_id)
 
     # ------------------------------------------------------------------

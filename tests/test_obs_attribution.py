@@ -1,0 +1,148 @@
+"""Cost-attribution invariants of the span tracer.
+
+Two load-bearing identities:
+
+1. **Span == QueryStats.**  The ``engine.query`` span's cost delta is
+   read by the same probe, over the same thread-local counters, across
+   the same window as the engine's own stats accounting — so the two
+   must agree *exactly*, per query, for every algorithm (hypothesis
+   property).
+2. **Spans sum to the globals.**  Per-thread counters partition the
+   global ones, so summing every ``engine.query`` span's delta across
+   concurrently executing workers must reproduce the global counter
+   movement exactly (cache and coalescing disabled so every request
+   reaches the engine).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.trace import Tracer
+from repro.service.server import QueryService, ServiceConfig
+from tests.conftest import make_engine
+
+
+def _engine_query_spans(tracer: Tracer):
+    return [s for s in tracer.spans() if s.name == "engine.query"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=12),
+    m=st.integers(min_value=1, max_value=5),
+    algorithm=st.sampled_from(["sba", "aba", "pba1", "pba2"]),
+)
+def test_engine_span_costs_equal_query_stats(seed, k, m, algorithm):
+    engine = make_engine(n=90, dims=3, seed=seed % 7)
+    query_ids = [(seed + 13 * i) % 90 for i in range(m)]
+    tracer = Tracer()
+    with tracer.trace("request"):
+        _results, stats = engine.top_k_dominating(
+            sorted(set(query_ids)), k, algorithm=algorithm
+        )
+    (span,) = _engine_query_spans(tracer)
+    assert span.costs is not None
+    assert span.costs.page_faults == stats.io.page_faults
+    assert span.costs.buffer_hits == stats.io.buffer_hits
+    assert span.costs.distance_computations == stats.distance_computations
+    assert (
+        span.costs.exact_score_computations
+        == stats.exact_score_computations
+    )
+
+
+def test_phase_spans_partition_the_query():
+    """Child phase spans never exceed their engine.query parent."""
+    engine = make_engine(n=120, dims=3, seed=4)
+    tracer = Tracer()
+    with tracer.trace("request"):
+        _results, stats = engine.top_k_dominating([1, 2, 3], 10)
+    spans = tracer.spans()
+    (query_span,) = _engine_query_spans(tracer)
+    children = [
+        s
+        for s in spans
+        if s.parent_id == query_span.span_id and s.costs is not None
+    ]
+    assert children, "pba phase spans must nest under engine.query"
+    for axis in ("page_faults", "distance_computations"):
+        child_sum = sum(getattr(s.costs, axis) for s in children)
+        assert child_sum <= getattr(query_span.costs, axis)
+
+
+def test_concurrent_span_sums_equal_global_counters():
+    engine = make_engine(n=130, dims=3, seed=6)
+    tracer = Tracer()
+    config = ServiceConfig(
+        workers=4,
+        cache_capacity=0,  # no cache: every request executes
+        io_model=False,
+        tracer=tracer,
+    )
+    service = QueryService(engine, config)
+    global_io_before = engine.buffers.combined_io()
+    dist_before = engine.counting_metric.count
+
+    async def drive():
+        # distinct query sets so single-flight never coalesces them.
+        await asyncio.gather(
+            *(
+                service.query([i, i + 7, i + 23], 6)
+                for i in range(12)
+            )
+        )
+
+    with service:
+        asyncio.run(drive())
+
+    spans = _engine_query_spans(tracer)
+    assert len(spans) == 12
+    workers = {s.thread_id for s in spans}
+    assert len(workers) > 1, "queries must actually run on several workers"
+
+    global_io = engine.buffers.combined_io().delta_since(global_io_before)
+    assert (
+        sum(s.costs.page_faults for s in spans) == global_io.page_faults
+    )
+    assert sum(s.costs.buffer_hits for s in spans) == global_io.buffer_hits
+    assert (
+        sum(s.costs.distance_computations for s in spans)
+        == engine.counting_metric.count - dist_before
+    )
+
+
+def test_request_trace_structure_under_service():
+    """service.request roots own their engine.query via the copied context."""
+    engine = make_engine(n=100, dims=3, seed=8)
+    tracer = Tracer()
+    service = QueryService(
+        engine,
+        ServiceConfig(workers=2, cache_capacity=8, tracer=tracer),
+    )
+
+    async def drive():
+        await service.query([1, 2, 3], 5)
+        await service.query([1, 2, 3], 5)  # served from cache
+
+    with service:
+        asyncio.run(drive())
+
+    spans = tracer.spans()
+    roots = [s for s in spans if s.name == "service.request"]
+    assert len(roots) == 2
+    by_trace = {r.trace_id: r for r in roots}
+    engine_spans = _engine_query_spans(tracer)
+    assert len(engine_spans) == 1  # second request was a cache hit
+    # the worker-side span belongs to the first request's trace.
+    assert engine_spans[0].trace_id in by_trace
+    cold = by_trace[engine_spans[0].trace_id]
+    assert cold.args["cached"] is False
+    hits = [r for r in roots if r.args["cached"]]
+    assert len(hits) == 1
+    lookups = [s for s in spans if s.name == "service.cache_lookup"]
+    assert [s.args["hit"] for s in lookups] == [False, True]

@@ -1,0 +1,166 @@
+"""Tests for trace persistence and Chrome trace-event export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.export import (
+    NATIVE_FORMAT,
+    TRACE_EVENT_SCHEMA,
+    load_trace,
+    spans_to_chrome,
+    trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.trace import Tracer
+
+jsonschema = pytest.importorskip("jsonschema")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 0.5
+        return self.now
+
+
+@pytest.fixture
+def recorded_tracer() -> Tracer:
+    tracer = Tracer(clock=FakeClock())
+    with tracer.trace("service.request", args={"k": 5}):
+        with trace.span("engine.query", category="engine"):
+            trace.event("fault.storage.transient", category="fault")
+    return tracer
+
+
+class TestNativeFormat:
+    def test_document_shape(self, recorded_tracer):
+        document = trace_document(recorded_tracer, meta={"seed": 7})
+        assert document["format"] == NATIVE_FORMAT
+        assert document["meta"] == {"seed": 7}
+        assert document["dropped"] == 0
+        assert len(document["spans"]) == 3
+
+    def test_roundtrip(self, recorded_tracer, tmp_path):
+        path = str(tmp_path / "t.trace.json")
+        written = write_trace(path, recorded_tracer, meta={"a": 1})
+        loaded = load_trace(path)
+        assert loaded == json.loads(json.dumps(written))
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other/9", "spans": []}')
+        with pytest.raises(ValueError, match="repro-trace/1"):
+            load_trace(str(path))
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad2.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+
+class TestChromeConversion:
+    def test_events_validate_against_schema(self, recorded_tracer):
+        document = spans_to_chrome(recorded_tracer.export())
+        jsonschema.validate(document, TRACE_EVENT_SCHEMA)
+        validate_chrome_trace(document)
+
+    def test_timestamps_rebased_and_micros(self, recorded_tracer):
+        document = spans_to_chrome(recorded_tracer.export())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in events) == 0.0
+        # fake clock steps 0.5 s; the root spans 0.5..2.5 -> 2.0e6 us
+        root = next(e for e in events if e["name"] == "service.request")
+        assert root["dur"] == pytest.approx(2.0e6)
+
+    def test_metadata_events(self, recorded_tracer):
+        document = spans_to_chrome(recorded_tracer.export())
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+
+    def test_deterministic_small_tids(self, recorded_tracer):
+        document = spans_to_chrome(recorded_tracer.export())
+        tids = {
+            e["tid"] for e in document["traceEvents"] if e["ph"] != "M"
+        }
+        assert tids == {1}  # single-threaded recording -> first tid
+
+    def test_costs_and_trace_id_in_args(self):
+        tracer = Tracer(clock=FakeClock())
+        probe_values = iter(
+            [
+                trace.CostSnapshot(page_faults=0),
+                trace.CostSnapshot(page_faults=4),
+            ]
+        )
+        with tracer.trace("root", probe=lambda: next(probe_values)):
+            pass
+        document = spans_to_chrome(tracer.export())
+        root = next(
+            e for e in document["traceEvents"] if e["name"] == "root"
+        )
+        assert root["args"]["page_faults"] == 4
+        assert root["args"]["trace_id"] == 1
+
+    def test_instant_events_have_scope(self, recorded_tracer):
+        document = spans_to_chrome(recorded_tracer.export())
+        instant = next(
+            e for e in document["traceEvents"] if e["ph"] == "i"
+        )
+        assert instant["s"] == "t"
+        jsonschema.validate(document, TRACE_EVENT_SCHEMA)
+
+    def test_write_chrome_trace_validates_and_writes(
+        self, recorded_tracer, tmp_path
+    ):
+        path = str(tmp_path / "t.chrome.json")
+        document = write_chrome_trace(path, recorded_tracer.export())
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == json.loads(json.dumps(document))
+
+
+class TestValidator:
+    """The pure-python validator must agree with the JSON schema."""
+
+    def _one_event(self, **overrides):
+        event = {"name": "e", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0.0, "dur": 1.0}
+        event.update(overrides)
+        return {"traceEvents": [event]}
+
+    def test_accepts_valid(self):
+        validate_chrome_trace(self._one_event())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"ph": "Z"},
+            {"ts": -1.0},
+            {"dur": None},
+            {"tid": "one"},
+            {"args": [1]},
+            {"ph": "i", "s": None},
+        ],
+    )
+    def test_rejects_invalid(self, overrides):
+        document = self._one_event(**overrides)
+        with pytest.raises(ValueError, match=r"traceEvents\[0\]"):
+            validate_chrome_trace(document)
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(document, TRACE_EVENT_SCHEMA)
+
+    def test_rejects_non_object_document(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([1])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})

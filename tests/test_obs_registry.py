@@ -1,0 +1,174 @@
+"""Unit tests for the unified metrics registry (repro.obs.registry)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    sanitize_metric_name,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_up_and_down(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+    def test_histogram_observe_and_export(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        exported = histogram.export()
+        assert exported["count"] == 3
+        assert exported["sum"] == pytest.approx(55.5)
+        assert exported["buckets"] == {"1.0": 1, "10.0": 1, "+Inf": 1}
+
+    def test_histogram_nan_skipped(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(float("nan"))
+        assert histogram.export()["count"] == 0
+
+    def test_histogram_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_histogram_prometheus_cumulative(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        lines = histogram.prometheus_lines("ns_h")
+        assert 'ns_h_bucket{le="1.0"} 2' in lines
+        assert 'ns_h_bucket{le="10.0"} 3' in lines
+        assert 'ns_h_bucket{le="+Inf"} 4' in lines
+        assert "ns_h_count 4" in lines
+
+
+class TestRegistryInstruments:
+    def test_get_or_create_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests")
+        b = registry.counter("requests")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_instruments_in_collect(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(2)
+        document = registry.collect()
+        assert document["instruments"]["hits"] == 3.0
+        assert document["instruments"]["depth"] == 2.0
+
+
+class TestCollectors:
+    def test_sections_and_root_merge(self):
+        registry = MetricsRegistry()
+        registry.register_collector("engine", lambda: {"epoch": 4})
+        registry.register_collector(None, lambda: {"requests": {"total": 9}})
+        document = registry.collect()
+        assert document["engine"] == {"epoch": 4}
+        assert document["requests"] == {"total": 9}
+
+    def test_duplicate_section_rejected(self):
+        registry = MetricsRegistry()
+        registry.register_collector("a", dict)
+        with pytest.raises(ValueError):
+            registry.register_collector("a", dict)
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        unregister = registry.register_collector("a", lambda: {"x": 1})
+        unregister()
+        assert "a" not in registry.collect()
+
+    def test_collect_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            "mix", lambda: {"s": "text", "b": True, "f": 1.5, "n": None}
+        )
+        json.dumps(registry.collect())
+
+
+class TestPrometheus:
+    def test_numeric_bool_and_string_leaves(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.register_collector(
+            "svc",
+            lambda: {
+                "count": 3,
+                "enabled": True,
+                "state": "closed",
+                "nested": {"ratio": 0.5},
+                "ignored": [1, 2],
+                "missing": None,
+            },
+        )
+        text = registry.to_prometheus()
+        assert "repro_svc_count 3" in text
+        assert "repro_svc_enabled 1" in text
+        assert 'repro_svc_state{value="closed"} 1' in text
+        assert "repro_svc_nested_ratio 0.5" in text
+        assert "ignored" not in text
+        assert "missing" not in text
+        assert text.endswith("\n")
+
+    def test_instrument_type_lines(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("reqs", help="total requests").inc()
+        registry.histogram("lat", bounds=(0.1,)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "# HELP repro_reqs total requests" in text
+        assert "# TYPE repro_reqs counter" in text
+        assert "# TYPE repro_lat histogram" in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+
+    def test_none_section_skipped(self):
+        registry = MetricsRegistry()
+        registry.register_collector("faults", lambda: None)
+        assert "faults" not in registry.to_prometheus()
+        # ...but present (as null) in the JSON document.
+        assert registry.collect()["faults"] is None
+
+    def test_string_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.register_collector("s", lambda: {"v": 'say "hi"\\'})
+        text = registry.to_prometheus()
+        assert '{value="say \\"hi\\"\\\\"} 1' in text
+
+
+@pytest.mark.parametrize(
+    ("raw", "expected"),
+    [
+        ("plain", "plain"),
+        ("dots.and-dashes", "dots_and_dashes"),
+        ("9starts_with_digit", "_9starts_with_digit"),
+        ("", "_"),
+        ("ok:colon", "ok:colon"),
+    ],
+)
+def test_sanitize_metric_name(raw, expected):
+    assert sanitize_metric_name(raw) == expected

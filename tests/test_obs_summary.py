@@ -1,0 +1,160 @@
+"""Tests for span analysis: self-attribution, phase shares, top-N."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.summary import (
+    AXES,
+    format_summary,
+    format_top,
+    phase_summary,
+    top_queries,
+)
+from repro.obs.trace import CostSnapshot, Tracer
+from repro.storage.stats import PAGE_FAULT_COST_SECONDS
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def _record_nested() -> Tracer:
+    """root (6 s wall) > child (2 s wall); child does 3 of root's 5 faults."""
+    counters = {"faults": 0, "dist": 0, "exact": 0}
+
+    def probe() -> CostSnapshot:
+        return CostSnapshot(
+            page_faults=counters["faults"],
+            distance_computations=counters["dist"],
+            exact_score_computations=counters["exact"],
+        )
+
+    tracer = Tracer(clock=FakeClock())
+    with tracer.trace("root", probe=probe):
+        counters["faults"] += 2
+        counters["dist"] += 10
+        with trace.span("child"):
+            counters["faults"] += 3
+            counters["exact"] += 1
+        trace.event("instant")  # excluded from attribution
+    return tracer
+
+
+class TestPhaseSummary:
+    def test_self_attribution_subtracts_children(self):
+        rows = {r.name: r for r in phase_summary(_record_nested().export())}
+        root, child = rows["root"], rows["child"]
+        # fake clock reads: root start 1, child 2..3, event at 4,
+        # root end 5 -> root wall 4 s minus the child's 1 s (the
+        # instant has no extent and is not subtracted).
+        assert root.wall_seconds == pytest.approx(4.0)
+        assert root.self_seconds == pytest.approx(3.0)
+        assert child.self_seconds == pytest.approx(1.0)
+        assert root.self_costs["page_faults"] == 2
+        assert child.self_costs["page_faults"] == 3
+        assert root.self_costs["distance_computations"] == 10
+        assert child.self_costs["exact_score_computations"] == 1
+        assert root.self_io_seconds == pytest.approx(
+            2 * PAGE_FAULT_COST_SECONDS
+        )
+
+    def test_self_never_negative(self):
+        # a child reporting more cost than its parent (possible when the
+        # parent has no probe) must clamp to zero, not go negative.
+        spans = [
+            {
+                "trace_id": 1, "span_id": 1, "parent_id": None,
+                "name": "p", "ph": "X", "start": 0.0, "end": 1.0,
+                "thread": 1, "args": {}, "costs": None,
+            },
+            {
+                "trace_id": 1, "span_id": 2, "parent_id": 1,
+                "name": "c", "ph": "X", "start": 0.0, "end": 2.0,
+                "thread": 1, "args": {},
+                "costs": {"page_faults": 9},
+            },
+        ]
+        rows = {r.name: r for r in phase_summary(spans)}
+        assert rows["p"].self_seconds == 0.0
+        assert rows["p"].self_costs["page_faults"] == 0
+
+    def test_ordering_by_self_cpu(self):
+        rows = phase_summary(_record_nested().export())
+        assert [r.name for r in rows] == ["root", "child"]
+
+    def test_axis_validation(self):
+        (row, *_rest) = phase_summary(_record_nested().export())
+        for axis in AXES:
+            row.axis(axis)
+        with pytest.raises(ValueError):
+            row.axis("bogus")
+
+
+class TestFormatSummary:
+    def test_renders_all_axes(self):
+        text = format_summary(phase_summary(_record_nested().export()))
+        assert "cpu%" in text and "io%" in text and "dist%" in text
+        assert "root" in text and "child" in text
+        assert "total (self)" in text
+
+    def test_dropped_warning(self):
+        text = format_summary([], dropped=3)
+        assert "3 span(s) dropped" in text
+
+    def test_empty_totals_render_dashes(self):
+        text = format_summary(
+            phase_summary(
+                [
+                    {
+                        "trace_id": 1, "span_id": 1, "parent_id": None,
+                        "name": "idle", "ph": "X", "start": 0.0,
+                        "end": 0.0, "thread": 1, "args": {},
+                        "costs": None,
+                    }
+                ]
+            )
+        )
+        assert "-" in text  # zero totals must not divide by zero
+
+
+class TestTopQueries:
+    def _two_traces(self) -> Tracer:
+        counters = {"faults": 0}
+
+        def probe() -> CostSnapshot:
+            return CostSnapshot(page_faults=counters["faults"])
+
+        tracer = Tracer(clock=FakeClock())
+        with tracer.trace("req", args={"algorithm": "pba2"}, probe=probe):
+            counters["faults"] += 1
+        with tracer.trace("req", args={"algorithm": "sba"}, probe=probe):
+            counters["faults"] += 5
+        return tracer
+
+    def test_ranking_by_io(self):
+        rows = top_queries(self._two_traces().export(), axis="io")
+        assert [r.args["algorithm"] for r in rows] == ["sba", "pba2"]
+        assert rows[0].io_seconds == pytest.approx(
+            5 * PAGE_FAULT_COST_SECONDS
+        )
+
+    def test_limit(self):
+        rows = top_queries(self._two_traces().export(), axis="cpu", limit=1)
+        assert len(rows) == 1
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            top_queries([], axis="bogus")
+
+    def test_format_top(self):
+        rows = top_queries(self._two_traces().export(), axis="distance")
+        text = format_top(rows, axis="distance")
+        assert "top 2 traces by distance" in text
+        assert "algorithm=sba" in text

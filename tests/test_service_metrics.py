@@ -68,12 +68,53 @@ class TestLatencyHistogram:
             thread.join()
         assert histogram.count == 4000
 
+    def test_nan_is_dropped_and_counted(self):
+        histogram = LatencyHistogram()
+        histogram.record(float("nan"))
+        assert histogram.count == 0
+        assert histogram.dropped == 1
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+        # totals stay un-poisoned: later observations remain exact
+        histogram.record(0.002)
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.snapshot()["dropped"] == 1
+
+    def test_negative_duration_clamps_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-0.5)
+        assert histogram.count == 1
+        assert histogram.dropped == 0
+        assert histogram.min == 0.0
+        assert histogram.total == 0.0
+        assert histogram.quantile(1.0) == 0.0
+
+    def test_quantile_exact_at_bucket_boundary(self):
+        # rank = 0.9 * 10 is 9.000000000000002 in floats; without the
+        # integer snap the estimate jumps into the slow bucket.
+        histogram = LatencyHistogram()
+        for _ in range(9):
+            histogram.record(0.0001)
+        histogram.record(1.0)
+        assert histogram.quantile(0.90) == pytest.approx(0.0001)
+
+    def test_quantile_boundary_returns_upper_exactly(self):
+        # fraction == 1.0 must return the bucket's upper bound itself,
+        # not lower + (upper - lower) * 1.0, which can round past it.
+        histogram = LatencyHistogram()
+        for _ in range(5):
+            histogram.record(50e-6)
+        for _ in range(5):
+            histogram.record(1.0)
+        assert histogram.quantile(0.50) == 50e-6
+
     def test_snapshot_shape(self):
         histogram = LatencyHistogram()
         histogram.record(0.005)
         snap = histogram.snapshot()
         assert set(snap) == {
             "count",
+            "dropped",
             "mean_seconds",
             "p50_seconds",
             "p90_seconds",
