@@ -39,6 +39,23 @@ def engine_for(dataset: str) -> TopKDominatingEngine:
     return engine
 
 
+@pytest.fixture(autouse=True)
+def _per_cell_cost_counters():
+    """Zero the cached engines' global cost counters around each cell.
+
+    Engines are session-cached (building an M-tree per cell would
+    dwarf the measurement), so without this their *global* distance
+    and I/O counters accumulate across parametrized cells — any
+    reader of the globals (and the perf observatory's counter-based
+    gates) would see order-dependent running totals instead of exact
+    per-cell values.  Per-query ``QueryStats`` are deltas and were
+    always exact; this makes the globals match them.
+    """
+    for engine in _ENGINES.values():
+        engine.reset_cost_counters()
+    yield
+
+
 def query_set(engine: TopKDominatingEngine, m: int, c: float, rep: int = 0):
     rng = random.Random(hash((BENCH_SEED, m, round(c, 3), rep)) & 0x7FFFFFFF)
     return select_query_objects(engine.space, m=m, coverage=c, rng=rng)

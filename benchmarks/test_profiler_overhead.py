@@ -1,0 +1,68 @@
+"""Sampling-profiler overhead: sampling must cost < 5% query throughput.
+
+Times a CPU-bound batch of repeated queries (warm buffers, one shared
+engine) three ways — profiler absent, profiler running at the default
+5 ms interval, absent again — and compares medians.  The profiler reads
+interpreter frames from its own daemon thread; under the GIL its cost
+is the sampler's share of interpreter time, which at ~200 Hz with
+microsecond stack walks should be far below the bar.
+
+The acceptance bar in ISSUE.md is < 5% overhead; as with the tracing
+benchmark the assertion allows 15% because CI machines are noisy — the
+number recorded in EXPERIMENTS.md ("Sampling profiler overhead") comes
+from a quiet interactive run.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_profiler_overhead.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import engine_for, query_set
+from repro.obs.perf.profiler import SamplingProfiler
+
+QUERIES_PER_ROUND = 8
+ROUNDS = 4
+
+
+def _batch_seconds(engine) -> float:
+    started = time.perf_counter()
+    for rep in range(QUERIES_PER_ROUND):
+        queries = query_set(engine, m=4, c=0.20, rep=rep)
+        engine.top_k_dominating(queries, 10, algorithm="pba2")
+    return time.perf_counter() - started
+
+
+def test_sampling_overhead_below_bar():
+    engine = engine_for("UNI")
+    _batch_seconds(engine)  # warm buffers + code paths, unmeasured
+
+    off, on = [], []
+    for _ in range(ROUNDS):
+        off.append(_batch_seconds(engine))
+        profiler = SamplingProfiler(interval=0.005)
+        with profiler:
+            on.append(_batch_seconds(engine))
+        assert profiler.sample_count > 0  # the sampler really sampled
+
+    # min-of-runs, not median: timing noise on shared machines is
+    # one-sided (preemption only ever adds time), so the minimum is
+    # the best estimate of the true cost on both arms.
+    off_best = min(off)
+    on_best = min(on)
+    overhead = (on_best - off_best) / off_best
+    print(
+        f"\n[perf] unprofiled: {off_best * 1e3:.1f} ms/batch "
+        f"(runs: {', '.join(f'{t * 1e3:.1f}' for t in off)})"
+    )
+    print(
+        f"[perf] profiled:   {on_best * 1e3:.1f} ms/batch "
+        f"(runs: {', '.join(f'{t * 1e3:.1f}' for t in on)})"
+    )
+    print(f"[perf] sampling overhead: {overhead * 100:+.1f}%")
+    assert overhead < 0.15, (
+        f"sampling cost {overhead * 100:.1f}% "
+        f"({off_best * 1e3:.1f} -> {on_best * 1e3:.1f} ms/batch); "
+        "budget is 5% nominal, 15% CI ceiling"
+    )

@@ -6,6 +6,14 @@ Examples::
     python -m repro.bench figures --table 3 --profile full
     python -m repro.bench figures --all --json results.json
     python -m repro.bench figures --figure 6 --n 1200 --repeats 3
+
+The performance-observatory subcommands (``run`` / ``compare`` /
+``gate`` / ``history`` — continuous benchmarking over
+``BENCH_<suite>.json`` trajectories) are registered from
+:mod:`repro.obs.perf.cli`::
+
+    repro-bench run --suite core --profile smoke
+    repro-bench gate --suite core
 """
 
 from __future__ import annotations
@@ -30,6 +38,11 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    from repro.obs.perf.cli import register as register_perf
+
+    register_perf(sub)
+
     fig = sub.add_parser(
         "figures", help="run figure/table reproductions"
     )
@@ -90,6 +103,8 @@ def _resolve_profile(args: argparse.Namespace) -> BenchProfile:
 
 def main(argv: List[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command != "figures":
+        return args.func(args)
     profile = _resolve_profile(args)
 
     exhibits = []

@@ -241,6 +241,21 @@ class TopKDominatingEngine:
         self.counting_metric.make_thread_safe()
         self.buffers.make_thread_safe()
 
+    def reset_cost_counters(self) -> None:
+        """Zero the engine's *global* cost accumulators.
+
+        Per-query :class:`QueryStats` are exact deltas already; the
+        global distance count and buffer I/O counters, however, keep
+        accumulating for the engine's lifetime.  Callers that hold an
+        engine across many measured cells (session-cached benchmark
+        engines, the perf-observatory suites) reset between cells so
+        any reader of the globals sees per-cell values instead of a
+        running total.  Thread-local counters are untouched — they are
+        diffed, never read absolutely.
+        """
+        self.counting_metric.reset()
+        self.buffers.reset_stats()
+
     def attach_fault_injector(self, injector) -> None:
         """Attach a :class:`~repro.faults.chaos.FaultInjector`.
 

@@ -46,6 +46,12 @@ class ChaosConfig:
 
     seed: int = 0
 
+    #: the named profile this config came from (``ChaosConfig.profile``
+    #: stamps it; hand-built configs stay ``None``).  Purely
+    #: informational — surfaced by metrics snapshots so a scrape is
+    #: attributable to the fault mix that produced it.
+    profile_name: Optional[str] = None
+
     # storage layer (per physical page read)
     read_transient_p: float = 0.0
     read_permanent_p: float = 0.0
@@ -99,7 +105,7 @@ class ChaosConfig:
                 f"unknown fault profile {name!r}; choose from "
                 f"{sorted(PROFILES)}"
             ) from None
-        return replace(cls(seed=seed), **overrides)
+        return replace(cls(seed=seed, profile_name=name), **overrides)
 
 
 #: named fault profiles for the load generator / chaos harness.  Keys

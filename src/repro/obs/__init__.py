@@ -9,6 +9,10 @@
   JSON (Perfetto-loadable), with schema validation.
 * :mod:`repro.obs.summary` — per-phase cost shares and top-N analysis.
 * :mod:`repro.obs.cli` — the ``repro-trace`` console script.
+* :mod:`repro.obs.perf` — the performance observatory: benchmark
+  suites, ``BENCH_<suite>.json`` trajectories, the regression gate and
+  the sampling profiler (imported on demand, not re-exported here, so
+  ``import repro.obs`` stays light).
 """
 
 from repro.obs.export import (

@@ -83,25 +83,50 @@ def load_trace(path: str) -> Dict[str, Any]:
 _PID = 1
 
 
-def spans_to_chrome(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+def spans_to_chrome(
+    spans: Iterable[Dict[str, Any]],
+    samples: Optional[Iterable[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
     """Convert native span dicts to a Chrome trace-event JSON object.
 
     Timestamps are rebased to the earliest span start so ``ts`` starts
     near zero regardless of the recording clock's epoch.
+
+    ``samples`` optionally merges a sampling-profiler timeline
+    (:meth:`repro.obs.perf.SamplingProfiler.timeline`) into the same
+    document: each sample becomes a thread-scoped instant event named
+    after its leaf frame, carrying the folded stack in ``args`` — so a
+    Perfetto slice shows *declared* phases (spans) and the *observed*
+    interpreter stacks (samples) on one timeline.  Profiler and tracer
+    share ``time.perf_counter`` by default, so no clock rebasing is
+    needed beyond the common origin shift.
     """
     span_list = list(spans)
-    origin = min((s["start"] for s in span_list), default=0.0)
+    sample_list = list(samples) if samples is not None else []
+    origin = min(
+        (
+            *(s["start"] for s in span_list),
+            *(s["ts"] for s in sample_list),
+        ),
+        default=0.0,
+    )
 
     # deterministic small tids: order of first appearance in the span
     # list (which is finish order — itself deterministic under a fake
     # clock and stable enough under a real one).
     tid_of: Dict[int, int] = {}
     thread_names: Dict[int, str] = {}
-    for span in span_list:
-        ident = span["thread"]
+
+    def _assign_tid(ident: int, name: Optional[str]) -> int:
         if ident not in tid_of:
             tid_of[ident] = len(tid_of) + 1
-            thread_names[tid_of[ident]] = span.get("thread_name") or f"thread-{ident}"
+            thread_names[tid_of[ident]] = name or f"thread-{ident}"
+        return tid_of[ident]
+
+    for span in span_list:
+        _assign_tid(span["thread"], span.get("thread_name"))
+    for sample in sample_list:
+        _assign_tid(sample["thread"], sample.get("thread_name"))
 
     events: List[Dict[str, Any]] = [
         {
@@ -145,6 +170,22 @@ def spans_to_chrome(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             base["dur"] = _micros(span["end"] - span["start"])
         events.append(base)
 
+    for sample in sample_list:
+        stack = tuple(sample.get("stack") or ())
+        leaf = stack[-1] if stack else "?"
+        events.append(
+            {
+                "name": f"sample:{leaf}",
+                "cat": "sample",
+                "ph": "i",
+                "s": "t",
+                "pid": _PID,
+                "tid": tid_of[sample["thread"]],
+                "ts": _micros(sample["ts"] - origin),
+                "args": {"stack": ";".join(stack)},
+            }
+        )
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -153,9 +194,13 @@ def _micros(seconds: float) -> float:
     return round(seconds * 1e6, 3)
 
 
-def write_chrome_trace(path: str, spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+def write_chrome_trace(
+    path: str,
+    spans: Iterable[Dict[str, Any]],
+    samples: Optional[Iterable[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
     """Convert + write a Chrome trace JSON file; returns the object."""
-    document = spans_to_chrome(spans)
+    document = spans_to_chrome(spans, samples=samples)
     validate_chrome_trace(document)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)

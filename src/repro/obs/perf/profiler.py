@@ -1,0 +1,234 @@
+"""A pure-Python sampling profiler (``sys._current_frames`` sampler).
+
+The span tracer (:mod:`repro.obs.trace`) attributes cost to the phases
+the code *declares*; the profiler answers the complementary question —
+where does the interpreter actually spend its time *inside* a phase —
+without touching the measured code at all.  A daemon thread wakes
+every ``interval`` seconds, snapshots every thread's current frame
+stack via :func:`sys._current_frames`, and aggregates the stacks into
+folded (collapsed-stack) counts, the format flamegraph.pl and
+speedscope load directly.
+
+Design constraints, in order:
+
+* **Off by default, provably inert.**  Nothing is sampled, no thread
+  exists, until :meth:`SamplingProfiler.start`.  The profiler never
+  imports or calls into the engine; it only *reads* interpreter frame
+  objects, so results and cost counters of the measured workload are
+  bit-identical with and without it (pinned by
+  ``tests/test_obs_neutrality.py``).
+* **Bounded overhead.**  One wakeup per interval (default 5 ms) walks
+  the frame stacks — a few microseconds per thread — so the measured
+  overhead stays well under 5 % (EXPERIMENTS.md, "Sampling profiler
+  overhead").  Aggregation happens in the sampler thread; measured
+  threads never block on the profiler.
+* **Bounded memory.**  Folded counts grow with distinct stacks (small);
+  the optional raw timeline ring (for the Chrome trace merge) is
+  capped and drops are counted, mirroring :class:`repro.obs.Tracer`.
+
+Typical use::
+
+    profiler = SamplingProfiler(interval=0.005)
+    with profiler:
+        run_workload()
+    profiler.write_collapsed("profile.folded")     # flamegraph.pl input
+    # or merge the timeline into a Chrome trace export:
+    write_chrome_trace("out.json", tracer.export(),
+                       samples=profiler.timeline())
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SamplingProfiler", "frames_to_stack"]
+
+#: hard cap on walked stack depth: a runaway recursion must not turn
+#: one sample into an unbounded walk.
+MAX_DEPTH = 128
+
+
+def frames_to_stack(frame: Any, max_depth: int = MAX_DEPTH) -> Tuple[str, ...]:
+    """Walk a frame to a root-first tuple of ``module:function`` labels."""
+    stack: List[str] = []
+    depth = 0
+    while frame is not None and depth < max_depth:
+        code = frame.f_code
+        module = os.path.splitext(os.path.basename(code.co_filename))[0]
+        stack.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+        depth += 1
+    stack.reverse()
+    return tuple(stack)
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler with folded-stack output.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default 5 ms — ~200 Hz).
+    timeline_capacity:
+        Cap on retained raw samples for the Chrome-trace merge; folded
+        counts are unaffected.  Samples past the cap are counted in
+        :attr:`dropped`.
+    clock:
+        Injectable timestamp source; defaults to ``time.perf_counter``
+        so sample timestamps share the tracer's clock and merge into
+        the same Chrome timeline without rebasing.
+    include_profiler_thread:
+        Sample the sampler's own thread too (off by default: its
+        wait-loop stack is noise).
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        timeline_capacity: int = 100_000,
+        clock=time.perf_counter,
+        include_profiler_thread: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if timeline_capacity < 1:
+            raise ValueError("timeline_capacity must be >= 1")
+        self.interval = interval
+        self.clock = clock
+        self.timeline_capacity = timeline_capacity
+        self.include_profiler_thread = include_profiler_thread
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: (thread_name, stack tuple) -> sample count
+        self._folded: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self._timeline: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self.sample_count = 0
+        self.tick_count = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the sampler thread (idempotent while running)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler thread."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        """Take one sample of every live thread (called by the sampler
+        thread; public-ish for deterministic tests)."""
+        now = self.clock()
+        own_ident = threading.get_ident()
+        names = {
+            t.ident: t.name for t in threading.enumerate() if t.ident
+        }
+        frames = sys._current_frames()
+        records: List[Tuple[int, str, Tuple[str, ...]]] = []
+        for ident, frame in frames.items():
+            if ident == own_ident and not self.include_profiler_thread:
+                continue
+            stack = frames_to_stack(frame)
+            if not stack:
+                continue
+            records.append((ident, names.get(ident, f"thread-{ident}"), stack))
+        del frames  # drop frame references promptly
+        with self._lock:
+            self.tick_count += 1
+            for ident, name, stack in records:
+                self.sample_count += 1
+                key = (name, stack)
+                self._folded[key] = self._folded.get(key, 0) + 1
+                if len(self._timeline) < self.timeline_capacity:
+                    self._timeline.append(
+                        {
+                            "ts": now,
+                            "thread": ident,
+                            "thread_name": name,
+                            "stack": stack,
+                        }
+                    )
+                else:
+                    self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def folded(self) -> Dict[Tuple[str, Tuple[str, ...]], int]:
+        """A copy of the aggregated (thread, stack) -> count map."""
+        with self._lock:
+            return dict(self._folded)
+
+    def collapsed_lines(self) -> List[str]:
+        """Folded-stack lines: ``thread;frame;...;frame count``.
+
+        The thread name is the root frame, the standard way to keep
+        per-thread flame graphs separable in one file; the result sorts
+        lexicographically so output is deterministic.
+        """
+        lines = []
+        for (name, stack), count in self.folded().items():
+            root = name.replace(";", "_").replace(" ", "_")
+            lines.append(";".join((root,) + stack) + f" {count}")
+        return sorted(lines)
+
+    def write_collapsed(self, path: str) -> int:
+        """Write collapsed-stack output; returns the line count."""
+        lines = self.collapsed_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """Raw time-ordered samples (for the Chrome trace merge)."""
+        with self._lock:
+            return [dict(sample) for sample in self._timeline]
+
+    def snapshot(self) -> dict:
+        """Counters as plain types (for metrics exposition)."""
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_seconds": self.interval,
+                "samples": self.sample_count,
+                "ticks": self.tick_count,
+                "distinct_stacks": len(self._folded),
+                "timeline_dropped": self.dropped,
+            }

@@ -1,0 +1,318 @@
+"""Declarative benchmark suites for the performance observatory.
+
+A **suite** is a named list of :class:`BenchCase` objects; a **case**
+is one repeatable measurement that yields a wall-clock sample, the
+paper's deterministic cost counters, and free-form metrics.  Three
+suites ship:
+
+* ``core`` — one case per (data set, algorithm, parameter) cell of the
+  paper's figure/table grids, scaled by the shared
+  :data:`repro.bench.config.PROFILES`.  Each case runs **one fixed
+  query set** on a cold buffer, so its distance computations, page
+  faults, buffer hits and exact-score computations are deterministic
+  under the profile's seed — the property the gate's zero-tolerance
+  counter comparison relies on.
+* ``serving`` — the closed-loop load-generator workload
+  (:func:`repro.service.loadgen.run_load`) in a read-heavy and a
+  write-mix shape.  Thread scheduling makes its counters
+  non-deterministic, so serving cases expose wall-clock and
+  throughput/latency metrics only.
+* ``chaos`` — the serving workload under seeded fault profiles
+  (``flaky-disk``, ``bad-sectors``), recording degraded throughput and
+  fault counts.
+
+Case query sets are seeded through :func:`stable_seed` (CRC32, not
+``hash``) because ``PYTHONHASHSEED`` randomises string hashing per
+process — a per-process query set would destroy the cross-run counter
+determinism the gate is built on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.config import PROFILES, BenchProfile
+
+__all__ = [
+    "BenchCase",
+    "CaseSample",
+    "SUITES",
+    "build_suite",
+    "stable_seed",
+]
+
+
+def stable_seed(*parts: Any) -> int:
+    """A process-stable seed from arbitrary parts (CRC32 of their repr).
+
+    ``hash(str)`` is randomised per process (PYTHONHASHSEED), which
+    would silently give every run different query sets; CRC32 of the
+    canonical repr is stable across processes, platforms and Python
+    versions.
+    """
+    blob = "|".join(repr(part) for part in parts).encode("utf-8")
+    return zlib.crc32(blob) & 0x7FFFFFFF
+
+
+@dataclass
+class CaseSample:
+    """One measured repetition of a case."""
+
+    wall_seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named, repeatable measurement.
+
+    ``run`` executes a single repetition and returns a
+    :class:`CaseSample`; the runner owns warmup and repetition policy.
+    ``meta`` is recorded verbatim in the run document.
+    """
+
+    id: str
+    run: Callable[[], CaseSample]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# core: the paper's figure/table grid, one case per cell
+# ----------------------------------------------------------------------
+def _core_cases(
+    profile: BenchProfile, clock: Callable[[], float]
+) -> List[BenchCase]:
+    from repro.bench.config import DEFAULT_C, DEFAULT_K, DEFAULT_M
+    from repro.bench.harness import BenchHarness
+    from repro.datasets import select_query_objects
+
+    harness = BenchHarness(profile, verbose=False)
+    radius: Dict[str, float] = {}
+
+    def engine_for(dataset: str):
+        engine = harness.engine(dataset)
+        if dataset not in radius:
+            radius[dataset] = engine.space.approximate_radius(
+                rng=random.Random(profile.seed)
+            )
+        return engine
+
+    def make_case(
+        dataset: str, algorithm: str, parameter: str, value: float,
+        m: int, k: int, c: float,
+    ) -> BenchCase:
+        def run() -> CaseSample:
+            engine = engine_for(dataset)
+            rng = random.Random(
+                stable_seed("core", profile.seed, dataset, m, k, round(c, 4))
+            )
+            query_ids = select_query_objects(
+                engine.space,
+                m=m,
+                coverage=c,
+                rng=rng,
+                dataset_radius=radius[dataset],
+            )
+            # cold, order-independent buffer state: page faults then
+            # depend only on (data set, query, algorithm), never on
+            # which cell ran before this one.
+            engine.buffers.clear()
+            engine.reset_cost_counters()
+            started = clock()
+            results, stats = engine.top_k_dominating(
+                query_ids, k, algorithm=algorithm
+            )
+            wall = clock() - started
+            return CaseSample(
+                wall_seconds=wall,
+                counters={
+                    "distance_computations": stats.distance_computations,
+                    "page_faults": stats.io.page_faults,
+                    "buffer_hits": stats.io.buffer_hits,
+                    "exact_score_computations": (
+                        stats.exact_score_computations
+                    ),
+                },
+                metrics={
+                    "cpu_seconds": stats.cpu_seconds,
+                    "io_seconds": stats.io_seconds,
+                    "results": len(results),
+                },
+            )
+
+        return BenchCase(
+            id=f"{dataset}/{algorithm}/{parameter}={value:g}",
+            run=run,
+            meta={
+                "dataset": dataset,
+                "algorithm": algorithm,
+                "parameter": parameter,
+                "value": value,
+                "m": m,
+                "k": k,
+                "c": c,
+                "n": profile.n,
+            },
+        )
+
+    cases: List[BenchCase] = []
+    grids: List[Tuple[str, Tuple[float, ...], Callable[[float], dict]]] = [
+        ("m", profile.m_values,
+         lambda v: dict(m=int(v), k=DEFAULT_K, c=DEFAULT_C)),
+        ("k", profile.k_values,
+         lambda v: dict(m=DEFAULT_M, k=int(v), c=DEFAULT_C)),
+        ("c", profile.c_values,
+         lambda v: dict(m=DEFAULT_M, k=DEFAULT_K, c=float(v))),
+    ]
+    for dataset in profile.datasets:
+        for parameter, values, params_for in grids:
+            for value in values:
+                params = params_for(value)
+                if params["m"] > profile.n:
+                    continue
+                for algorithm in profile.algorithms:
+                    cases.append(
+                        make_case(
+                            dataset, algorithm, parameter, value, **params
+                        )
+                    )
+    return cases
+
+
+# ----------------------------------------------------------------------
+# serving / chaos: the load-generator workload
+# ----------------------------------------------------------------------
+#: scale knobs per profile name for the service-level suites.
+_SERVING_SCALE: Dict[str, Dict[str, int]] = {
+    "smoke": dict(n=200, requests=48, clients=4, workers=2, pool=12),
+    "quick": dict(n=400, requests=160, clients=8, workers=4, pool=24),
+    "full": dict(n=800, requests=400, clients=8, workers=4, pool=32),
+}
+
+
+def _serving_case(
+    case_id: str,
+    profile: BenchProfile,
+    clock: Callable[[], float],
+    write_fraction: float = 0.0,
+    fault_profile: Optional[str] = None,
+) -> BenchCase:
+    import asyncio
+
+    scale = _SERVING_SCALE.get(profile.name, _SERVING_SCALE["smoke"])
+
+    def run() -> CaseSample:
+        from repro.core.engine import TopKDominatingEngine
+        from repro.datasets.synthetic import uniform
+        from repro.faults.chaos import ChaosConfig
+        from repro.service.loadgen import LoadConfig, run_load
+        from repro.service.server import QueryService, ServiceConfig
+
+        chaos = None
+        if fault_profile is not None:
+            chaos = ChaosConfig.profile(fault_profile, seed=profile.seed)
+        space = uniform(n=scale["n"], seed=profile.seed, dims=4)
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(profile.seed)
+        )
+        service_config = ServiceConfig(
+            workers=scale["workers"],
+            io_model=True,
+            chaos=chaos,
+        )
+        load_config = LoadConfig(
+            clients=scale["clients"],
+            requests=scale["requests"],
+            write_fraction=write_fraction,
+            pool_size=scale["pool"],
+            seed=profile.seed,
+        )
+        started = clock()
+        with QueryService(engine, service_config) as service:
+            report = asyncio.run(run_load(service, load_config))
+        wall = clock() - started
+        # thread/task interleaving makes every service-level count
+        # (cache hits, coalesces, per-client write mix, injected
+        # faults) timing-dependent: expose them as metrics, never as
+        # gate-exact counters.
+        return CaseSample(
+            wall_seconds=wall,
+            counters={},
+            metrics={
+                "throughput_qps": report.throughput,
+                "latency_p50_ms": report.latency_quantile(0.50) * 1e3,
+                "latency_p99_ms": report.latency_quantile(0.99) * 1e3,
+                "completed": report.completed,
+                "cache_hits": report.cache_hits,
+                "coalesced": report.coalesced,
+                "writes": report.writes,
+                "faulted_transient": report.faulted_transient,
+                "faulted_fatal": report.faulted_fatal,
+            },
+        )
+
+    meta: Dict[str, Any] = dict(scale)
+    meta["write_fraction"] = write_fraction
+    if fault_profile is not None:
+        meta["fault_profile"] = fault_profile
+    return BenchCase(id=case_id, run=run, meta=meta)
+
+
+def _serving_cases(
+    profile: BenchProfile, clock: Callable[[], float]
+) -> List[BenchCase]:
+    return [
+        _serving_case("loadgen/read-heavy", profile, clock),
+        _serving_case(
+            "loadgen/write-mix", profile, clock, write_fraction=0.2
+        ),
+    ]
+
+
+def _chaos_cases(
+    profile: BenchProfile, clock: Callable[[], float]
+) -> List[BenchCase]:
+    return [
+        _serving_case(
+            f"loadgen/{name}", profile, clock, fault_profile=name
+        )
+        for name in ("flaky-disk", "bad-sectors")
+    ]
+
+
+#: suite name -> builder(profile, clock) -> cases
+SUITES: Dict[
+    str, Callable[[BenchProfile, Callable[[], float]], List[BenchCase]]
+] = {
+    "core": _core_cases,
+    "serving": _serving_cases,
+    "chaos": _chaos_cases,
+}
+
+
+def build_suite(
+    suite: str,
+    profile: BenchProfile | str = "smoke",
+    clock: Callable[[], float] = time.perf_counter,
+) -> List[BenchCase]:
+    """Instantiate a named suite's cases under a scale profile."""
+    try:
+        builder = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {suite!r}; choose from {sorted(SUITES)}"
+        ) from None
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            raise ValueError(
+                f"unknown profile {profile!r}; choose from "
+                f"{sorted(PROFILES)}"
+            ) from None
+    return builder(profile, clock)

@@ -26,7 +26,14 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_help_text",
+    "escape_label_value",
+]
 
 _ROOT = ""  # section name under which a collector merges into the top level
 
@@ -39,6 +46,27 @@ def sanitize_metric_name(name: str) -> str:
     if not cleaned or cleaned[0].isdigit():
         cleaned = "_" + cleaned
     return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec (0.0.4).
+
+    Inside double-quoted label values, backslash, double quote and
+    line feed must appear as ``\\\\``, ``\\"`` and ``\\n`` — a raw
+    newline would terminate the sample line mid-way and corrupt the
+    whole exposition.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and line feed only (the spec
+    does not escape quotes outside label values)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 class Counter:
@@ -258,7 +286,9 @@ class MetricsRegistry:
         for name, inst in instruments:
             full = sanitize_metric_name(f"{self.namespace}_{name}")
             if inst.help:
-                lines.append(f"# HELP {full} {inst.help}")
+                lines.append(
+                    f"# HELP {full} {escape_help_text(inst.help)}"
+                )
             lines.append(f"# TYPE {full} {inst.kind}")
             if isinstance(inst, Histogram):
                 lines.extend(inst.prometheus_lines(full))
@@ -288,7 +318,6 @@ class MetricsRegistry:
             lines.append(f"{name} {value}")
         elif isinstance(value, str):
             # info-style: the string becomes a label, the value is 1.
-            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
-            lines.append(f'{name}{{value="{escaped}"}} 1')
+            lines.append(f'{name}{{value="{escape_label_value(value)}"}} 1')
         # lists / None / other types carry no scalar sample; they stay
         # available in the JSON document.

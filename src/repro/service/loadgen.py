@@ -19,6 +19,7 @@ epoch-invalidation path under load.
     repro-serve --stats --metrics-format prometheus   # text exposition
     repro-serve --fault-profile flaky-disk --fault-seed 3   # chaos run
     repro-serve --trace run.trace.json --trace-chrome run.chrome.json
+    repro-serve --profile-collapsed run.folded       # sampling profiler
 
 Throughput and p50/p99 latency are measured client-side (exact order
 statistics over all completed requests); ``--stats`` additionally
@@ -303,6 +304,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-chrome", metavar="PATH", default=None,
                         help="also export the trace as Chrome "
                              "trace-event JSON (Perfetto-loadable)")
+    parser.add_argument("--profile-collapsed", metavar="PATH", default=None,
+                        help="attach the sampling profiler for the load "
+                             "run and write collapsed stacks "
+                             "(flamegraph.pl / speedscope input); "
+                             "samples also merge into --trace-chrome")
+    parser.add_argument("--profile-interval", type=float, default=0.005,
+                        help="sampling interval in seconds "
+                             "(default 0.005)")
     return parser
 
 
@@ -367,8 +376,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         service = QueryService(engine, service_config)
     except ValueError as exc:
         parser.error(str(exc))
+    profiler = None
+    if args.profile_collapsed:
+        from repro.obs.perf.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler(interval=args.profile_interval)
     with service:
-        report = asyncio.run(run_load(service, load_config))
+        if profiler is not None:
+            profiler.start()
+        try:
+            report = asyncio.run(run_load(service, load_config))
+        finally:
+            if profiler is not None:
+                profiler.stop()
         print(report.render())
         snapshot = service.snapshot()
         prometheus = (
@@ -404,8 +424,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             write_trace(args.trace, tracer, meta=meta)
             print(f"wrote {len(tracer)} spans to {args.trace}")
         if args.trace_chrome:
-            write_chrome_trace(args.trace_chrome, tracer.export())
+            samples = profiler.timeline() if profiler is not None else None
+            write_chrome_trace(
+                args.trace_chrome, tracer.export(), samples=samples
+            )
             print(f"wrote Chrome trace to {args.trace_chrome}")
+    if profiler is not None:
+        lines = profiler.write_collapsed(args.profile_collapsed)
+        print(
+            f"wrote {lines} collapsed stacks "
+            f"({profiler.sample_count} samples) to {args.profile_collapsed}"
+        )
     return 0
 
 

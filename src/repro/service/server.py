@@ -70,6 +70,7 @@ from repro.core.progressive import ResultItem
 from repro.faults.chaos import ChaosConfig, FaultInjector
 from repro.faults.errors import FaultError
 from repro.obs import trace
+from repro.obs.perf.env import environment_fingerprint
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NOOP_SPAN, Tracer
 from repro.service.admission import (
@@ -274,6 +275,18 @@ class QueryService:
         )
         self.metrics = ServiceMetrics()
         self.tracer: Optional[Tracer] = self.config.tracer
+        chaos = self.config.chaos
+        self._fingerprint = environment_fingerprint(
+            extras={
+                "trace_enabled": self.tracer is not None,
+                "fault_profile": (
+                    (chaos.profile_name or "custom")
+                    if chaos is not None
+                    else "none"
+                ),
+                "fault_seed": chaos.seed if chaos is not None else None,
+            }
+        )
         self.registry = MetricsRegistry()
         self._register_collectors()
         self._closed = False
@@ -289,6 +302,7 @@ class QueryService:
         """
         registry = self.registry
         registry.register_collector(None, self.metrics.snapshot)
+        registry.register_collector("build", self._build_snapshot)
         registry.register_collector("config", self._config_snapshot)
         registry.register_collector("engine", self._engine_snapshot)
         registry.register_collector("admission", self.admission.snapshot)
@@ -311,6 +325,16 @@ class QueryService:
                 self.tracer.snapshot() if self.tracer is not None else None
             ),
         )
+
+    def _build_snapshot(self) -> dict:
+        """Who produced these numbers: build + run-mode attribution.
+
+        The environment fingerprint (git SHA, Python, platform, CPU
+        count) is computed once at service construction; the trace and
+        fault-profile attribution makes any archived snapshot
+        answerable to "which build, under which injection mix?".
+        """
+        return self._fingerprint
 
     def _config_snapshot(self) -> dict:
         return {
@@ -730,9 +754,10 @@ class QueryService:
         straight :meth:`MetricsRegistry.collect` — the legacy sections
         (``config`` / ``engine`` / ``admission`` / ``cache`` /
         ``coalescer`` / ``faults`` plus the top-level ``requests`` /
-        ``latency`` / ``per_algorithm``) are unchanged, and
-        ``storage`` (buffer pools) and ``observability`` (tracer) are
-        new.
+        ``latency`` / ``per_algorithm``) are unchanged;
+        ``storage`` (buffer pools), ``observability`` (tracer) and
+        ``build`` (environment fingerprint + trace/fault attribution)
+        ride along.
         """
         return self.registry.collect()
 

@@ -77,6 +77,38 @@ def test_distributed_neutrality():
     assert run(False) == run(True)
 
 
+def test_profiler_off_by_default_is_inert():
+    """An unstarted profiler is provably nothing: no thread, no samples."""
+    import threading
+
+    from repro.obs.perf.profiler import SamplingProfiler
+
+    before = set(threading.enumerate())
+    profiler = SamplingProfiler()
+    assert not profiler.running
+    assert set(threading.enumerate()) == before
+    assert profiler.folded() == {}
+    assert profiler.timeline() == []
+    assert profiler.snapshot()["samples"] == 0
+
+
+def test_profiler_neutrality_for_every_algorithm():
+    """Results and cost counters are identical with the sampler running.
+
+    The profiler only *reads* interpreter frames from its own thread;
+    it must never touch a page, a metric or an RNG of the measured
+    query — same bar as the tracer above.
+    """
+    from repro.obs.perf.profiler import SamplingProfiler
+
+    unprofiled, _ = _run(traced=False)
+    profiler = SamplingProfiler(interval=0.001)
+    with profiler:
+        profiled, _ = _run(traced=False)
+    assert profiled == unprofiled
+    assert not profiler.running
+
+
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_results_deterministic_under_tracer_reuse(algorithm):
     """One tracer across repeated queries must not perturb answers."""

@@ -11,6 +11,8 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help_text,
+    escape_label_value,
     sanitize_metric_name,
 )
 
@@ -158,6 +160,77 @@ class TestPrometheus:
         registry.register_collector("s", lambda: {"v": 'say "hi"\\'})
         text = registry.to_prometheus()
         assert '{value="say \\"hi\\"\\\\"} 1' in text
+
+
+class TestExpositionConformance:
+    """Text-format 0.0.4 escaping rules, checked character-for-character.
+
+    Label values escape backslash, double-quote and newline; HELP text
+    escapes backslash and newline only (quotes are legal there).  An
+    unescaped newline splits a sample line in two and breaks every
+    scraper, so these are conformance requirements, not cosmetics.
+    """
+
+    @pytest.mark.parametrize(
+        ("raw", "escaped"),
+        [
+            ("plain", "plain"),
+            ("back\\slash", "back\\\\slash"),
+            ('quo"te', 'quo\\"te'),
+            ("new\nline", "new\\nline"),
+            ('all\\"\n', 'all\\\\\\"\\n'),
+        ],
+    )
+    def test_escape_label_value(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+    @pytest.mark.parametrize(
+        ("raw", "escaped"),
+        [
+            ("plain help", "plain help"),
+            ("back\\slash", "back\\\\slash"),
+            ("new\nline", "new\\nline"),
+            ('quotes "stay"', 'quotes "stay"'),  # legal in HELP
+        ],
+    )
+    def test_escape_help_text(self, raw, escaped):
+        assert escape_help_text(raw) == escaped
+
+    def test_newline_in_label_value_keeps_exposition_line_based(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.register_collector("s", lambda: {"state": "a\nb"})
+        text = registry.to_prometheus()
+        assert 'repro_s_state{value="a\\nb"} 1' in text
+        # every physical line is a comment or a complete sample
+        for line in text.strip().split("\n"):
+            assert line.startswith("#") or line.count('"') % 2 == 0
+
+    def test_help_with_newline_and_backslash(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("c", help="line1\nline2 C:\\path").inc()
+        text = registry.to_prometheus()
+        assert "# HELP repro_c line1\\nline2 C:\\\\path" in text
+        assert "\nline2" not in text  # no raw newline leaked
+
+    def test_help_and_type_precede_samples(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("reqs", help="requests served").inc(2)
+        registry.gauge("depth", help="queue depth").set(1)
+        registry.histogram("lat", bounds=(0.5,), help="latency").observe(0.1)
+        lines = registry.to_prometheus().strip().split("\n")
+        for metric, kind in (
+            ("repro_reqs", "counter"),
+            ("repro_depth", "gauge"),
+            ("repro_lat", "histogram"),
+        ):
+            help_at = lines.index(
+                next(l for l in lines if l.startswith(f"# HELP {metric} "))
+            )
+            assert lines[help_at + 1] == f"# TYPE {metric} {kind}"
+            sample = lines[help_at + 2]
+            assert sample.startswith(metric)
+            # samples are "name[{labels}] value" — exactly 2 fields
+            assert len(sample.rsplit(" ", 1)) == 2
 
 
 @pytest.mark.parametrize(

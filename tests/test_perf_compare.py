@@ -1,0 +1,178 @@
+"""Comparator/gate tests (repro.obs.perf.compare).
+
+The acceptance bar from the issue: an injected 2x wall-time slowdown
+and a +1 distance-computation delta are both flagged, while identical
+runs pass the gate 3/3 times — the gate must be sensitive to real
+regressions and immune to its own repetition.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.obs.perf.compare import (
+    CompareOptions,
+    compare_runs,
+    mad,
+    median,
+)
+
+
+def make_run(
+    wall=(0.010, 0.011, 0.010),
+    dists=1234,
+    faults=56,
+    bench_id="UNI/pba2/m=5",
+    sha="abc123",
+):
+    return {
+        "schema": "repro-bench-run/1",
+        "suite": "core",
+        "profile": "smoke",
+        "created": 1.0,
+        "env": {"git_sha": sha, "python": "3.12.0"},
+        "benchmarks": [
+            {
+                "id": bench_id,
+                "wall_seconds": list(wall),
+                "counters": {
+                    "distance_computations": dists,
+                    "page_faults": faults,
+                },
+                "metrics": {"cpu_seconds": wall[0]},
+            }
+        ],
+    }
+
+
+class TestRobustStats:
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_is_robust_to_one_outlier(self):
+        assert mad([1.0, 1.0, 1.0, 100.0]) == 0.0
+
+
+class TestWallGate:
+    def test_identical_runs_pass_three_consecutive_times(self):
+        baseline = make_run()
+        for _ in range(3):
+            report = compare_runs(baseline, copy.deepcopy(baseline))
+            assert report.ok, [f.message for f in report.failures]
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        baseline = make_run(wall=(0.010, 0.011, 0.010))
+        slow = make_run(wall=(0.020, 0.022, 0.020))
+        report = compare_runs(baseline, slow)
+        assert not report.ok
+        (finding,) = report.failures
+        assert finding.kind == "wall"
+        assert "2.0" in finding.message
+
+    def test_jitter_within_threshold_passes(self):
+        baseline = make_run(wall=(0.010, 0.011, 0.010))
+        jittery = make_run(wall=(0.011, 0.012, 0.011))  # ~10% slower
+        assert compare_runs(baseline, jittery).ok
+
+    def test_submillisecond_ratio_blowup_is_noise(self):
+        # 3x ratio, but the absolute delta is far below the wall
+        # floor: timer jitter, not a regression.
+        baseline = make_run(wall=(0.0001, 0.0001, 0.0001))
+        current = make_run(wall=(0.0003, 0.0003, 0.0003))
+        assert compare_runs(baseline, current).ok
+
+    def test_counters_only_ignores_wall(self):
+        baseline = make_run(wall=(0.010,))
+        slow = make_run(wall=(10.0,))
+        options = CompareOptions(check_wall=False)
+        assert compare_runs(baseline, slow, options).ok
+
+    def test_advisory_mode_demotes_wall_to_warning(self):
+        # the gate CLI's default: slowdown is reported but non-fatal
+        # (shared machines shift load 1.5-2x between runs); counters
+        # stay enforced.
+        baseline = make_run(wall=(0.010, 0.011, 0.010))
+        slow = make_run(wall=(0.020, 0.022, 0.020))
+        options = CompareOptions(wall_advisory=True)
+        report = compare_runs(baseline, slow, options)
+        assert report.ok
+        (finding,) = report.findings
+        assert finding.kind == "wall" and finding.severity == "warn"
+        assert "[WARN]" in report.render()
+        bad = make_run(wall=(0.020, 0.022, 0.020), dists=9999)
+        assert not compare_runs(baseline, bad, options).ok
+
+    def test_large_improvement_is_informational(self):
+        baseline = make_run(wall=(0.020, 0.022, 0.020))
+        fast = make_run(wall=(0.010, 0.011, 0.010))
+        report = compare_runs(baseline, fast)
+        assert report.ok
+        assert any(
+            f.severity == "info" and f.kind == "wall"
+            for f in report.findings
+        )
+
+
+class TestCounterGate:
+    def test_plus_one_distance_computation_is_flagged(self):
+        baseline = make_run(dists=1234)
+        current = make_run(dists=1235)
+        report = compare_runs(baseline, current)
+        assert not report.ok
+        (finding,) = report.failures
+        assert finding.kind == "counter"
+        assert finding.metric == "distance_computations"
+        assert "+1" in finding.message
+
+    def test_counter_decrease_also_fails_with_rebaseline_hint(self):
+        baseline = make_run(faults=56)
+        current = make_run(faults=55)
+        report = compare_runs(baseline, current)
+        assert not report.ok
+        (finding,) = report.failures
+        assert "improvement" in finding.message
+        assert "rebaseline" in finding.message
+
+    def test_determinism_loss_fails(self):
+        baseline = make_run()
+        current = make_run()
+        bench = current["benchmarks"][0]
+        del bench["counters"]["distance_computations"]
+        bench["nondeterministic_counters"] = ["distance_computations"]
+        report = compare_runs(baseline, current)
+        assert not report.ok
+        assert report.failures[0].kind == "determinism"
+
+    def test_disappeared_counter_fails(self):
+        baseline = make_run()
+        current = make_run()
+        del current["benchmarks"][0]["counters"]["page_faults"]
+        report = compare_runs(baseline, current)
+        assert not report.ok
+        assert "disappeared" in report.failures[0].message
+
+
+class TestCoverage:
+    def test_missing_benchmark_fails(self):
+        baseline = make_run()
+        current = make_run(bench_id="UNI/pba2/m=2")
+        report = compare_runs(baseline, current)
+        kinds = {(f.kind, f.severity) for f in report.findings}
+        assert ("coverage", "fail") in kinds  # the missing one
+        assert ("coverage", "info") in kinds  # the new one
+
+    def test_render_mentions_verdict_and_shas(self):
+        baseline = make_run(sha="deadbeef00")
+        report = compare_runs(baseline, make_run(dists=9999))
+        text = report.render()
+        assert "gate: FAIL" in text
+        assert "deadbeef00" in text
+        report_ok = compare_runs(baseline, copy.deepcopy(baseline))
+        assert "gate: PASS" in report_ok.render()

@@ -1,0 +1,177 @@
+"""Sampling-profiler tests (repro.obs.perf.profiler).
+
+Most tests drive ``_sample_once`` directly from the test thread — the
+sampler thread is just a timer around it — so stack contents are
+deterministic.  One live test checks the thread lifecycle end to end.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.export import spans_to_chrome, validate_chrome_trace
+from repro.obs.perf.profiler import MAX_DEPTH, SamplingProfiler, frames_to_stack
+
+
+def current_stack():
+    return frames_to_stack(sys._getframe())
+
+
+class TestFramesToStack:
+    def test_root_first_and_labeled(self):
+        def inner():
+            return current_stack()
+
+        stack = inner()
+        # leaf is this helper chain; root is pytest's runner far above.
+        assert stack[-1] == "test_perf_profiler:current_stack"
+        assert stack[-2] == "test_perf_profiler:inner"
+        assert all(":" in frame for frame in stack)
+
+    def test_depth_cap(self):
+        def recurse(n):
+            if n == 0:
+                return frames_to_stack(sys._getframe(), max_depth=5)
+            return recurse(n - 1)
+
+        assert len(recurse(50)) == 5
+        assert MAX_DEPTH == 128
+
+    def test_none_frame(self):
+        assert frames_to_stack(None) == ()
+
+
+class TestSamplingSynchronous:
+    def test_sample_once_aggregates_current_thread(self):
+        profiler = SamplingProfiler(include_profiler_thread=True)
+        profiler._sample_once()
+        profiler._sample_once()
+        folded = profiler.folded()
+        me = threading.current_thread().name
+        mine = {k: v for k, v in folded.items() if k[0] == me}
+        assert mine
+        assert sum(mine.values()) == 2
+        assert profiler.tick_count == 2
+        assert profiler.sample_count >= 2
+
+    def test_collapsed_lines_format_and_determinism(self):
+        profiler = SamplingProfiler()
+        profiler._folded = {
+            ("MainThread", ("mod:main", "mod:work")): 7,
+            ("worker 1", ("mod:main",)): 2,
+        }
+        lines = profiler.collapsed_lines()
+        assert lines == [
+            "MainThread;mod:main;mod:work 7",
+            "worker_1;mod:main 2",  # spaces sanitised for the format
+        ]
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = SamplingProfiler()
+        profiler._folded = {("T", ("a:b",)): 1}
+        out = tmp_path / "profile.folded"
+        assert profiler.write_collapsed(str(out)) == 1
+        assert out.read_text() == "T;a:b 1\n"
+
+    def test_timeline_ring_is_bounded(self):
+        profiler = SamplingProfiler(
+            timeline_capacity=3, include_profiler_thread=True
+        )
+        for _ in range(10):
+            profiler._sample_once()
+        assert len(profiler.timeline()) == 3
+        assert profiler.dropped >= 7
+        snap = profiler.snapshot()
+        assert snap["timeline_dropped"] == profiler.dropped
+        assert snap["ticks"] == 10
+        assert snap["running"] is False
+
+    def test_timeline_uses_injected_clock(self):
+        ticks = iter([100.0, 101.0])
+        profiler = SamplingProfiler(
+            clock=lambda: next(ticks), include_profiler_thread=True
+        )
+        profiler._sample_once()
+        profiler._sample_once()
+        ts = {sample["ts"] for sample in profiler.timeline()}
+        assert ts == {100.0, 101.0}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(timeline_capacity=0)
+
+
+class TestChromeMerge:
+    def test_samples_become_instant_events(self):
+        profiler = SamplingProfiler(include_profiler_thread=True)
+        profiler._sample_once()
+        samples = profiler.timeline()
+        document = spans_to_chrome([], samples=samples)
+        validate_chrome_trace(document)
+        instants = [
+            ev for ev in document["traceEvents"] if ev.get("cat") == "sample"
+        ]
+        assert len(instants) == len(samples)
+        ev = instants[0]
+        assert ev["ph"] == "i" and ev["s"] == "t"
+        assert ev["name"].startswith("sample:")
+        assert ";" in ev["args"]["stack"]
+        assert ev["ts"] >= 0  # rebased to the common origin
+
+    def test_samples_share_thread_metadata_with_spans(self):
+        span = {
+            "trace_id": "t1",
+            "name": "query",
+            "cat": "span",
+            "start": 10.0,
+            "end": 11.0,
+            "thread": 111,
+            "thread_name": "MainThread",
+            "args": {},
+            "costs": {},
+        }
+        sample = {
+            "ts": 10.5,
+            "thread": 111,
+            "thread_name": "MainThread",
+            "stack": ("m:f",),
+        }
+        document = spans_to_chrome([span], samples=[sample])
+        tids = {
+            ev["tid"]
+            for ev in document["traceEvents"]
+            if ev.get("cat") in ("span", "sample")
+        }
+        assert len(tids) == 1  # same OS thread -> same remapped tid
+
+
+class TestLifecycle:
+    def test_start_stop_collects_samples(self):
+        profiler = SamplingProfiler(interval=0.001)
+        deadline = time.monotonic() + 5.0
+        with profiler:
+            assert profiler.running
+            while profiler.sample_count == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        assert not profiler.running
+        assert profiler.sample_count > 0
+        # the sampler never records its own wait loop by default
+        assert all(
+            name != "repro-profiler" for name, _stack in profiler.folded()
+        )
+
+    def test_start_is_idempotent_and_stop_without_start_is_safe(self):
+        profiler = SamplingProfiler(interval=0.001)
+        profiler.stop()  # no-op
+        profiler.start()
+        first = profiler._thread
+        profiler.start()
+        assert profiler._thread is first
+        profiler.stop()
+        assert not profiler.running
