@@ -16,7 +16,7 @@ import random
 
 import pytest
 
-from repro import TopKDominatingEngine
+from repro.api import TopKDominatingEngine, open_engine
 from repro.datasets import PAPER_DATASETS, select_query_objects
 
 #: benchmark-scale knobs (kept small: the suite must finish in minutes).
@@ -34,7 +34,7 @@ def engine_for(dataset: str) -> TopKDominatingEngine:
     engine = _ENGINES.get(dataset)
     if engine is None:
         space = PAPER_DATASETS[dataset](BENCH_N, seed=BENCH_SEED)
-        engine = TopKDominatingEngine(space, rng=random.Random(BENCH_SEED))
+        engine = open_engine(space, seed=BENCH_SEED)
         _ENGINES[dataset] = engine
     return engine
 

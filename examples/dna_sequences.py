@@ -19,7 +19,7 @@ Run::
 
 import random
 
-from repro import EditDistanceMetric, MetricSpace, TopKDominatingEngine
+from repro.api import EditDistanceMetric, MetricSpace, open_engine
 
 BASES = "ACGT"
 
@@ -64,7 +64,7 @@ def make_variant_pool(
 def main() -> None:
     pool, lineage = make_variant_pool()
     space = MetricSpace(pool, EditDistanceMetric(), name="DNA")
-    engine = TopKDominatingEngine(space, rng=random.Random(3))
+    engine = open_engine(space, seed=3)
     print(
         f"variant pool: {len(pool)} sequences, "
         f"mean length {sum(map(len, pool)) / len(pool):.0f} bp"

@@ -21,7 +21,7 @@ import random
 
 import numpy as np
 
-from repro import EuclideanMetric, MetricSpace, TopKDominatingEngine
+from repro.api import EuclideanMetric, MetricSpace, open_engine
 from repro.core.approximate import recall_against_exact, sample_size_for
 from repro.core.brute_force import brute_force_scores
 from repro.distributed import DistributedTopK
@@ -31,7 +31,7 @@ def main() -> None:
     rng = np.random.default_rng(17)
     points = list(rng.random((800, 3)))
     space = MetricSpace(points, EuclideanMetric(), name="tour")
-    engine = TopKDominatingEngine(space, rng=random.Random(0))
+    engine = open_engine(space, seed=0)
     queries = [11, 400, 777]
     truth = brute_force_scores(engine.space, queries)
     exact, exact_stats = engine.top_k_dominating(queries, 10)
@@ -91,9 +91,9 @@ def main() -> None:
 
     # --- 3. index agnosticism ---------------------------------------
     print("\nPBA on a VP-tree instead of the M-tree:")
-    vp_engine = TopKDominatingEngine(
+    vp_engine = open_engine(
         MetricSpace(points, EuclideanMetric(), name="tour-vp"),
-        rng=random.Random(3),
+        seed=3,
         index="vptree",
     )
     vp_results, vp_stats = vp_engine.top_k_dominating(

@@ -19,7 +19,7 @@ Run::
 
 import random
 
-from repro import Graph, MetricSpace, ShortestPathMetric, TopKDominatingEngine
+from repro.api import Graph, MetricSpace, ShortestPathMetric, open_engine
 
 
 def build_interaction_network(
@@ -55,7 +55,7 @@ def main() -> None:
     space = MetricSpace(
         list(range(graph.num_nodes)), metric, name="PPI"
     )
-    engine = TopKDominatingEngine(space, rng=random.Random(1))
+    engine = open_engine(space, seed=1)
 
     # two effector molecules of interest.
     effectors = [17, 231]

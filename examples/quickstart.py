@@ -11,11 +11,10 @@ Run::
     python examples/quickstart.py
 """
 
-import random
 
 import numpy as np
 
-from repro import EuclideanMetric, MetricSpace, TopKDominatingEngine
+from repro.api import EuclideanMetric, MetricSpace, open_engine
 
 
 def main() -> None:
@@ -28,7 +27,7 @@ def main() -> None:
     # 2. Build the engine: this constructs the M-tree index and the
     #    paper's buffer configuration.  The metric is wrapped in a
     #    counter so every distance evaluation is accounted.
-    engine = TopKDominatingEngine(space, rng=random.Random(0))
+    engine = open_engine(space, seed=0)
     print(
         f"indexed {len(space)} objects in an M-tree of "
         f"{engine.tree.num_pages} pages "

@@ -14,11 +14,10 @@ Run::
     python examples/real_estate.py
 """
 
-import random
 
 import numpy as np
 
-from repro import TopKDominatingEngine
+from repro.api import open_engine
 from repro.datasets import zillow
 
 ATTRS = ["bathrooms", "bedrooms", "living sqft", "price $", "lot sqft"]
@@ -35,7 +34,7 @@ def describe(space, object_id: int) -> str:
 
 def main() -> None:
     space = zillow(2000, seed=11)
-    engine = TopKDominatingEngine(space, rng=random.Random(2))
+    engine = open_engine(space, seed=2)
     print(f"market: {len(space)} listings, attributes: {ATTRS}")
 
     # the buyer's three reference listings.
@@ -67,11 +66,11 @@ def main() -> None:
     rescaled_payloads = [
         np.array(space.payload(i)) * 0.37 for i in space.object_ids
     ]
-    from repro import EuclideanMetric, MetricSpace
+    from repro.api import EuclideanMetric, MetricSpace
 
-    rescaled = TopKDominatingEngine(
+    rescaled = open_engine(
         MetricSpace(rescaled_payloads, EuclideanMetric(), name="ZIL-x"),
-        rng=random.Random(2),
+        seed=2,
     )
     rescaled_results, _ = rescaled.top_k_dominating(references, k=5)
     same = [r.score for r in results] == [

@@ -15,7 +15,7 @@ Run::
 
 import random
 
-from repro import TopKDominatingEngine
+from repro.api import open_engine
 from repro.datasets import road_network
 from repro.datasets.queries import select_query_objects
 
@@ -30,7 +30,7 @@ def main() -> None:
         f"{sum(w for *_ , w in graph.edges()) / graph.num_edges:.2f}"
     )
 
-    engine = TopKDominatingEngine(space, rng=random.Random(4))
+    engine = open_engine(space, seed=4)
 
     # three customer sites, moderately spread (coverage ~20 %, the
     # paper's default).

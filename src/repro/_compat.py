@@ -1,0 +1,88 @@
+"""Deprecation plumbing for the public-surface alias window.
+
+The ``repro.api`` consolidation (see docs/api.md, "Migration guide")
+settled one canonical spelling for each previously-inconsistent
+keyword; the old spellings keep working for one release and emit
+:class:`DeprecationWarning` through the helpers here, so every alias
+warns with the same wording and is trivially greppable for removal.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Dict, Type
+
+#: sentinel distinguishing "argument not passed" from an explicit None.
+MISSING: Any = object()
+
+
+def warn_deprecated(func: str, old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard one-release deprecation warning."""
+    warnings.warn(
+        f"{func}: {old} is deprecated and will be removed in the next "
+        f"release; use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )
+
+
+def resolve_alias(
+    func: str,
+    canonical: str,
+    canonical_value: Any,
+    deprecated: str,
+    deprecated_value: Any,
+) -> Any:
+    """Merge a deprecated keyword alias into its canonical parameter.
+
+    Both parameters use :data:`MISSING` as their declared default.
+    Passing the alias warns; passing both is an error; passing neither
+    raises the ``TypeError`` the canonical-only signature would have.
+    """
+    if deprecated_value is MISSING:
+        if canonical_value is MISSING:
+            raise TypeError(
+                f"{func}() missing required argument: {canonical!r}"
+            )
+        return canonical_value
+    warn_deprecated(
+        f"{func}()", f"the {deprecated!r} keyword", f"{canonical!r}"
+    )
+    if canonical_value is not MISSING:
+        raise TypeError(
+            f"{func}() got both {canonical!r} and its deprecated "
+            f"alias {deprecated!r}"
+        )
+    return deprecated_value
+
+
+def canonical_algorithm(
+    value: Any, registry: Dict[str, Type], func: str
+) -> str:
+    """Normalize an algorithm selector to its canonical registry name.
+
+    Canonical is the lower-case string key (``"pba2"``); passing the
+    algorithm *class* still works for one release with a
+    :class:`DeprecationWarning`.
+    """
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered not in registry:
+            raise ValueError(
+                f"{func}(): unknown algorithm {value!r}; choose from "
+                f"{sorted(registry)}"
+            )
+        return lowered
+    if isinstance(value, type):
+        for name, cls in registry.items():
+            if cls is value:
+                warn_deprecated(
+                    f"{func}()",
+                    f"passing the algorithm class {value.__name__}",
+                    f"the registry name {name!r}",
+                )
+                return name
+    raise ValueError(
+        f"{func}(): unknown algorithm {value!r}; choose from "
+        f"{sorted(registry)}"
+    )

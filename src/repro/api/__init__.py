@@ -1,0 +1,184 @@
+"""repro.api — the supported public surface.
+
+Everything an application needs lives here: build an engine with the
+paper's Section 5 cost-model defaults (:func:`open_engine`), describe a
+query (:class:`Query`), execute it (:func:`run` or the engine's
+``top_k_dominating``), and the metric toolbox re-exported from
+:mod:`repro.metric`.  Examples, benchmarks and :mod:`repro.service`
+import from this module instead of deep module paths; names listed in
+``__all__`` are covered by the API-surface snapshot check
+(``docs/api-surface.txt``, regenerated with
+``python -m repro.api.surface``) and deprecations go through one
+release of :class:`DeprecationWarning` aliases before removal.
+
+Canonical spellings (see docs/api.md for the migration table):
+
+* ``k`` — the result count (``top_k=`` is a deprecated alias);
+* ``algorithm`` — a lower-case registry name such as ``"pba2"``
+  (passing the algorithm class, or ``make_algorithm(name=...)``, is
+  deprecated);
+* ``seed`` — integer randomness seed for engine construction
+  (``rng=`` with a ``random.Random`` is deprecated).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro._compat import MISSING, canonical_algorithm, warn_deprecated
+from repro.core.brute_force import brute_force_scores
+from repro.core.engine import ALGORITHMS, TopKDominatingEngine
+from repro.core.progressive import ResultItem
+from repro.core.pruning import PruningConfig
+from repro.metric import (
+    ChebyshevMetric,
+    CountingMetric,
+    EditDistanceMetric,
+    EuclideanMetric,
+    Graph,
+    LpMetric,
+    ManhattanMetric,
+    Metric,
+    MetricSpace,
+    ShortestPathMetric,
+    WeightedEuclideanMetric,
+    check_metric_axioms,
+    pairwise_distances,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.stats import QueryStats
+
+__all__ = [
+    "ALGORITHMS",
+    "BufferPool",
+    "ChebyshevMetric",
+    "CountingMetric",
+    "EditDistanceMetric",
+    "EuclideanMetric",
+    "Graph",
+    "LpMetric",
+    "ManhattanMetric",
+    "Metric",
+    "MetricSpace",
+    "PruningConfig",
+    "Query",
+    "QueryStats",
+    "Result",
+    "ResultItem",
+    "ShortestPathMetric",
+    "TopKDominatingEngine",
+    "WeightedEuclideanMetric",
+    "brute_force_scores",
+    "check_metric_axioms",
+    "open_engine",
+    "pairwise_distances",
+    "run",
+]
+
+
+def open_engine(
+    space: MetricSpace,
+    *,
+    seed: Optional[int] = 0,
+    node_capacity: Optional[int] = None,
+    split_policy: str = "sampling",
+    index: str = "mtree",
+    bulk_load: bool = False,
+    buffers: Optional[BufferPool] = None,
+    rng=MISSING,
+) -> TopKDominatingEngine:
+    """Index a metric space with the paper's Section 5 configuration.
+
+    The returned engine wraps the space's metric in a
+    :class:`CountingMetric`, builds the index through the simulated
+    disk buffers (index buffer at 10 % of the tree, aux buffer at 20 %
+    of the data set, 8 ms per page fault) and answers ``MSD(Q, k)``
+    via ``top_k_dominating`` / ``stream`` — the one engine-construction
+    recipe every entry point (examples, benchmarks, the service)
+    shares.
+
+    ``seed`` (an int, default 0) is the canonical randomness control
+    for index construction; the former ``rng=`` keyword taking a
+    ``random.Random`` is a deprecated alias for one release.
+    """
+    if rng is not MISSING:
+        warn_deprecated("open_engine()", "the 'rng' keyword", "'seed'")
+        rng_obj = rng
+    else:
+        rng_obj = random.Random(seed)
+    return TopKDominatingEngine(
+        space,
+        node_capacity=node_capacity,
+        split_policy=split_policy,
+        rng=rng_obj,
+        buffers=buffers,
+        index=index,
+        bulk_load=bulk_load,
+    )
+
+
+@dataclass(frozen=True)
+class Query:
+    """One ``MSD(Q, k)`` request: query object ids, k, algorithm.
+
+    Immutable and normalised on construction (ids to a tuple, the
+    algorithm selector to its canonical lower-case registry name), so
+    a ``Query`` can be hashed, cached and logged as-is.
+    """
+
+    query_ids: Tuple[int, ...]
+    k: int
+    algorithm: str = "pba2"
+    pruning: Optional[PruningConfig] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "query_ids", tuple(self.query_ids))
+        object.__setattr__(
+            self,
+            "algorithm",
+            canonical_algorithm(self.algorithm, ALGORITHMS, "Query"),
+        )
+
+    @property
+    def m(self) -> int:
+        """The number of query objects ``|Q|``."""
+        return len(self.query_ids)
+
+
+@dataclass(frozen=True)
+class Result:
+    """An answered query: the ranked items plus the paper's costs."""
+
+    items: Tuple[ResultItem, ...]
+    stats: QueryStats
+
+    def __iter__(self) -> Iterator[ResultItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def object_ids(self) -> Tuple[int, ...]:
+        """The reported object ids, best first."""
+        return tuple(item.object_id for item in self.items)
+
+
+def run(
+    engine: TopKDominatingEngine,
+    query: Query,
+) -> Result:
+    """Execute a :class:`Query` on an engine; returns a :class:`Result`.
+
+    Thin sugar over ``engine.top_k_dominating`` for callers that keep
+    queries as values (request logs, caches, test tables).
+    """
+    items, stats = engine.top_k_dominating(
+        list(query.query_ids),
+        query.k,
+        algorithm=query.algorithm,
+        pruning=query.pruning,
+    )
+    return Result(items=tuple(items), stats=stats)

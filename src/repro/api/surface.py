@@ -1,0 +1,191 @@
+"""API-surface snapshot: generate and check ``docs/api-surface.txt``.
+
+The snapshot lists every ``__all__`` name of the supported modules with
+its kind and (for callables) its signature, in a deliberately stable
+format:
+
+* signatures are rendered **without annotations** — annotation
+  stringification differs across Python versions, the parameter names
+  and defaults are what compatibility is about;
+* defaults whose ``repr`` is not version-stable (sentinels, factory
+  objects, anything carrying a memory address) render as ``...``.
+
+CI regenerates the snapshot and fails when it differs from the
+committed file, so any surface change — a new export, a renamed
+kwarg, a removed default — must be made visible in the diff of
+``docs/api-surface.txt`` (regenerate with
+``python -m repro.api.surface``; verify with ``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+from pathlib import Path
+from typing import List
+
+#: the modules whose ``__all__`` constitutes the supported surface.
+SURFACE_MODULES = [
+    "repro",
+    "repro.api",
+    "repro.metric",
+    "repro.service",
+]
+
+#: default snapshot location, relative to the repository root.
+SNAPSHOT_PATH = Path("docs") / "api-surface.txt"
+
+_STABLE_DEFAULT_TYPES = (int, float, str, bool, bytes, frozenset, type(None))
+
+
+def _fmt_default(value: object) -> str:
+    """A version-stable rendering of a parameter default."""
+    if isinstance(value, _STABLE_DEFAULT_TYPES):
+        return repr(value)
+    if isinstance(value, (tuple, list, set, dict)) and not value:
+        return repr(value)
+    return "..."
+
+
+def _fmt_signature(obj: object) -> str:
+    """``(a, b=1, *, c=...)`` — names and stable defaults only."""
+    try:
+        sig = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return "(...)"
+    parts: List[str] = []
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            parts.append(f"*{param.name}")
+            continue
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            parts.append(f"**{param.name}")
+            continue
+        if param.kind is inspect.Parameter.KEYWORD_ONLY and not any(
+            p.startswith("*") for p in parts
+        ):
+            parts.append("*")
+        text = param.name
+        if param.default is not inspect.Parameter.empty:
+            text += f"={_fmt_default(param.default)}"
+        parts.append(text)
+    return "(" + ", ".join(parts) + ")"
+
+
+def _class_lines(name: str, cls: type) -> List[str]:
+    lines = [f"class {name}{_fmt_signature(cls)}"]
+    for attr_name in sorted(vars(cls)):
+        if attr_name.startswith("_"):
+            continue
+        attr = inspect.getattr_static(cls, attr_name)
+        if isinstance(attr, property):
+            lines.append(f"    {attr_name} [property]")
+        elif isinstance(attr, staticmethod):
+            lines.append(
+                f"    {attr_name}{_fmt_signature(attr.__func__)} "
+                "[staticmethod]"
+            )
+        elif isinstance(attr, classmethod):
+            lines.append(
+                f"    {attr_name}{_fmt_signature(attr.__func__)} "
+                "[classmethod]"
+            )
+        elif callable(attr):
+            lines.append(f"    {attr_name}{_fmt_signature(attr)}")
+    return lines
+
+
+def describe_module(module_name: str) -> List[str]:
+    """The snapshot section for one module."""
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        raise ValueError(f"{module_name} declares no __all__")
+    lines = [f"## {module_name}"]
+    for name in sorted(exported):
+        obj = getattr(module, name)
+        if inspect.isclass(obj):
+            lines.extend(_class_lines(name, obj))
+        elif callable(obj):
+            lines.append(f"def {name}{_fmt_signature(obj)}")
+        else:
+            lines.append(f"{name} [{type(obj).__name__}]")
+    return lines
+
+
+def render_surface() -> str:
+    """The full snapshot document."""
+    lines = [
+        "# Public API surface (generated — do not edit).",
+        "# Regenerate: python -m repro.api.surface",
+        "# Verify:     python -m repro.api.surface --check",
+    ]
+    for module_name in SURFACE_MODULES:
+        lines.append("")
+        lines.extend(describe_module(module_name))
+    return "\n".join(lines) + "\n"
+
+
+def check_surface(path: Path) -> List[str]:
+    """Differences between the committed snapshot and the live surface.
+
+    Returns a list of human-readable diff lines; empty means in sync.
+    """
+    expected = render_surface()
+    if not path.exists():
+        return [f"snapshot {path} is missing — regenerate it"]
+    actual = path.read_text()
+    if actual == expected:
+        return []
+    import difflib
+
+    return list(
+        difflib.unified_diff(
+            actual.splitlines(),
+            expected.splitlines(),
+            fromfile=str(path),
+            tofile="live surface",
+            lineterm="",
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate or check the public-API snapshot."
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed snapshot; exit 1 on drift",
+    )
+    parser.add_argument(
+        "--path",
+        type=Path,
+        default=SNAPSHOT_PATH,
+        help=f"snapshot location (default: {SNAPSHOT_PATH})",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        diff = check_surface(args.path)
+        if diff:
+            print(
+                "API surface drifted from the committed snapshot "
+                "(python -m repro.api.surface to regenerate):",
+                file=sys.stderr,
+            )
+            for line in diff:
+                print(line, file=sys.stderr)
+            return 1
+        print(f"API surface matches {args.path}")
+        return 0
+    args.path.parent.mkdir(parents=True, exist_ok=True)
+    args.path.write_text(render_surface())
+    print(f"wrote {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from repro.bench.config import (
     DEFAULT_M,
     BenchProfile,
 )
-from repro.core.engine import TopKDominatingEngine
+from repro.api import TopKDominatingEngine, open_engine
 from repro.datasets import PAPER_DATASETS, select_query_objects
 from repro.storage.stats import QueryStats
 
@@ -84,9 +84,7 @@ class BenchHarness:
             space = self.factories[dataset](
                 self.profile.n, seed=self.profile.seed
             )
-            engine = TopKDominatingEngine(
-                space, rng=random.Random(self.profile.seed)
-            )
+            engine = open_engine(space, seed=self.profile.seed)
             self._engines[dataset] = engine
             self._radius[dataset] = engine.space.approximate_radius(
                 rng=random.Random(self.profile.seed)

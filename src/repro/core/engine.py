@@ -33,6 +33,7 @@ from typing import (
     Type,
 )
 
+from repro._compat import MISSING, canonical_algorithm, resolve_alias
 from repro.core.aba import ABA
 from repro.core.approximate import ApproximateTopK
 from repro.core.brute_force import BruteForce
@@ -163,22 +164,35 @@ class TopKDominatingEngine:
 
     def make_algorithm(
         self,
-        name: str,
+        algorithm=MISSING,
         context: Optional[QueryContext] = None,
         pruning: Optional[PruningConfig] = None,
+        *,
+        name=MISSING,
     ) -> TopKAlgorithm:
-        """Instantiate an algorithm by registry name."""
+        """Instantiate an algorithm by registry name.
+
+        ``algorithm`` is the canonical lower-case registry name
+        (``"pba2"``); the former ``name=`` keyword and passing the
+        algorithm class are deprecated aliases for one release.
+        """
+        algorithm = resolve_alias(
+            "make_algorithm", "algorithm", algorithm, "name", name
+        )
+        algorithm = canonical_algorithm(
+            algorithm, ALGORITHMS, "make_algorithm"
+        )
         try:
-            cls = ALGORITHMS[name.lower()]
+            cls = ALGORITHMS[algorithm]
         except KeyError:
             raise ValueError(
-                f"unknown algorithm {name!r}; choose from "
+                f"unknown algorithm {algorithm!r}; choose from "
                 f"{sorted(ALGORITHMS)}"
             ) from None
-        if self.index_kind != "mtree" and name.lower() in ("sba", "aba"):
+        if self.index_kind != "mtree" and algorithm in ("sba", "aba"):
             raise ValueError(
-                f"{name} requires the M-tree (it uses metric-skyline / "
-                f"aggregate-NN node pruning); the {self.index_kind} "
+                f"{algorithm} requires the M-tree (it uses metric-skyline "
+                f"/ aggregate-NN node pruning); the {self.index_kind} "
                 "index supports brute, pba1, pba2 and apx"
             )
         ctx = context or self.make_context()
@@ -308,20 +322,29 @@ class TopKDominatingEngine:
     def stream(
         self,
         query_ids: Sequence[int],
-        k: int,
+        k=MISSING,
         algorithm: str = "pba2",
         pruning: Optional[PruningConfig] = None,
+        *,
+        top_k=MISSING,
     ) -> Iterator[ResultItem]:
-        """Progressive results, one at a time (stop whenever you like)."""
+        """Progressive results, one at a time (stop whenever you like).
+
+        ``k`` is canonical; ``top_k=`` is a deprecated alias for one
+        release.
+        """
+        k = resolve_alias("stream", "k", k, "top_k", top_k)
         algo = self.make_algorithm(algorithm, pruning=pruning)
         return algo.run(query_ids, k)
 
     def top_k_dominating(
         self,
         query_ids: Sequence[int],
-        k: int,
+        k=MISSING,
         algorithm: str = "pba2",
         pruning: Optional[PruningConfig] = None,
+        *,
+        top_k=MISSING,
     ) -> Tuple[List[ResultItem], QueryStats]:
         """Full answer plus the paper's three cost metrics.
 
@@ -332,7 +355,14 @@ class TopKDominatingEngine:
         own counters once :meth:`prepare_for_concurrency` has run, so
         per-query attribution stays exact under concurrent queries;
         single-threaded, the thread-local view *is* the global one.
+
+        ``k`` is canonical; ``top_k=`` is a deprecated alias for one
+        release.
         """
+        k = resolve_alias("top_k_dominating", "k", k, "top_k", top_k)
+        algorithm = canonical_algorithm(
+            algorithm, ALGORITHMS, "top_k_dominating"
+        )
         context = self.make_context()
         algo = self.make_algorithm(algorithm, context, pruning=pruning)
         probe = self.cost_probe(context) if trace.active() else None
@@ -341,13 +371,14 @@ class TopKDominatingEngine:
             category="engine",
             probe=probe,
             args={
-                "algorithm": algorithm.lower(),
+                "algorithm": algorithm,
                 "k": k,
                 "m": len(query_ids),
             },
         ):
             io_before = self.buffers.local_io()
             dist_before = self.counting_metric.local_count()
+            batches_before = self.counting_metric.local_batches()
             watch = Stopwatch()
             with watch:
                 results = list(algo.run(query_ids, k))
@@ -356,6 +387,9 @@ class TopKDominatingEngine:
             stats.io = self.buffers.local_io().delta_since(io_before)
             stats.distance_computations = (
                 self.counting_metric.local_count() - dist_before
+            )
+            stats.distance_batches = (
+                self.counting_metric.local_batches() - batches_before
             )
         return results, stats
 

@@ -50,12 +50,12 @@ from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.aux_index import AuxBPlusTree, AuxRecord
+from repro.core.dominance import DominatorSet
 from repro.core.progressive import QueryContext, ResultItem, TopKAlgorithm
 from repro.obs import trace
 from repro.core.pruning import (
     ExactScoreInfo,
     PruningConfig,
-    dominated_by_any,
     eph3_bound,
     eph4_bound,
     eph5_bound,
@@ -127,7 +127,8 @@ class _PBARun:
         self._exact_info: Dict[int, ExactScoreInfo] = {}
         self._top_exact: List[int] = []  # min-heap of the k best scores
         self.G: Optional[int] = None
-        self._dominator_vectors: List[Tuple[float, ...]] = []
+        # DH2/EPH1/EPH2 dominator vectors, tested set-at-a-time.
+        self._dominators = DominatorSet(self.m)
         self._discard_unseen = False
         self._reported: Set[int] = set()
         self._epoch = itertools.count()
@@ -188,9 +189,7 @@ class _PBARun:
 
         if rec.discarded:
             return False
-        if self.config.dh2 and dominated_by_any(
-            rec.vector(), self._dominator_vectors
-        ):
+        if self.config.dh2 and self._dominators.dominates(rec.vector()):
             self._discard(rec)
             return False
         # Lemma 5 estimate, tie-safe variant.  The paper's
@@ -257,7 +256,7 @@ class _PBARun:
         self.aux.update(rec)
         self.stats.objects_pruned += 1
         if rec.is_common and self.config.dh2:
-            self._dominator_vectors.append(rec.vector())
+            self._dominators.add(rec.vector())
 
     def _eph_prune(self, rec: AuxRecord) -> bool:
         """EPH1-EPH5 on a candidate about to be exactly scored."""
@@ -272,8 +271,8 @@ class _PBARun:
             if eph4_bound(self.n, len(self.aux), positions, rec.lpos) <= g:
                 self._discard(rec)
                 return True
-        if (self.config.eph1 or self.config.eph2) and dominated_by_any(
-            rec.vector(), self._dominator_vectors
+        if (self.config.eph1 or self.config.eph2) and self._dominators.dominates(
+            rec.vector()
         ):
             self._discard(rec)
             return True
@@ -332,7 +331,7 @@ class _PBARun:
             if score <= self.G + 1 and (
                 self.config.eph1 or self.config.eph2 or self.config.dh2
             ):
-                self._dominator_vectors.append(rec.vector())
+                self._dominators.add(rec.vector())
             # DH1: objects this computation proved dominated are out.
             if self.config.dh1 and score <= self.G + 1:
                 for other in outcome.dominated:

@@ -24,6 +24,7 @@ from repro.metric.base import (
     MetricAxiomError,
     MetricSpace,
     check_metric_axioms,
+    pairwise_distances,
 )
 from repro.metric.counting import CountingMetric
 from repro.metric.graph import Graph, ShortestPathMetric, dijkstra
@@ -52,4 +53,5 @@ __all__ = [
     "check_metric_axioms",
     "dijkstra",
     "levenshtein",
+    "pairwise_distances",
 ]

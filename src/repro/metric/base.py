@@ -5,6 +5,20 @@ Objects throughout the library are integer ids ``0..n-1``; a
 strings, ...) and a :class:`Metric` over the payloads.  Algorithms only
 ever call ``space.distance(a, b)`` on ids — mirroring the paper's
 premise that "we only have access to the distance between two objects".
+
+Batch evaluation
+----------------
+Distance computations dominate the paper's cost model (Section 5), and
+the hot paths — M-tree node scans, skyline and aggregate-NN bounds,
+score counting — all evaluate one query payload against *many*
+candidates at once.  :func:`pairwise_distances` is the set-at-a-time
+entry point: metrics that implement the optional ``pairwise`` hook
+(the Lp family evaluates it as one numpy broadcast) answer a whole
+candidate batch in a single call; every other metric falls back to a
+per-pair loop with unchanged semantics.  A batch of ``n`` candidates
+is **by definition** ``n`` distance computations — the batched and the
+per-pair paths produce bit-identical distances and identical
+:class:`~repro.metric.counting.CountingMetric` counts.
 """
 
 from __future__ import annotations
@@ -12,6 +26,8 @@ from __future__ import annotations
 import itertools
 import random
 from typing import Any, Iterable, List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 
 @runtime_checkable
@@ -21,6 +37,20 @@ class Metric(Protocol):
     Implementations must satisfy the metric axioms (positivity,
     symmetry, reflexivity, triangle inequality).  ``name`` is used in
     benchmark reports.
+
+    Implementations may additionally provide the **batch hook**
+
+    ``pairwise(query, candidates, reflect=False) -> np.ndarray``
+
+    returning ``d(query, c)`` for every candidate payload.  A
+    vectorized ``pairwise`` must produce **bit-identical** floats to
+    the per-pair ``__call__`` in either argument order (true for the
+    Lp family, where the only order-sensitive step is ``|a - b|``);
+    loop-based implementations honor ``reflect`` by calling
+    ``metric(c, query)`` instead of ``metric(query, c)`` so that
+    metrics with order-dependent evaluation (e.g. per-source caches)
+    reproduce the exact legacy call sequence.  Metrics without the
+    hook are batched by :func:`pairwise_distances`'s fallback loop.
     """
 
     name: str
@@ -28,6 +58,30 @@ class Metric(Protocol):
     def __call__(self, a: Any, b: Any) -> float:
         """Return the distance between two payloads."""
         ...  # pragma: no cover - protocol
+
+
+def pairwise_distances(
+    metric: Metric,
+    query: Any,
+    candidates: Sequence[Any],
+    reflect: bool = False,
+) -> np.ndarray:
+    """Distances from one query payload to a batch of candidates.
+
+    The batched equivalent of ``[metric(query, c) for c in candidates]``
+    (or ``[metric(c, query) ...]`` with ``reflect=True``): dispatches to
+    the metric's ``pairwise`` hook when present, else runs the loop.
+    Returns a float64 array of shape ``(len(candidates),)``; results
+    are bit-identical to the per-pair path either way.
+    """
+    fn = getattr(metric, "pairwise", None)
+    if fn is not None:
+        return fn(query, candidates, reflect=reflect)
+    if reflect:
+        values = [metric(c, query) for c in candidates]
+    else:
+        values = [metric(query, c) for c in candidates]
+    return np.asarray(values, dtype=float)
 
 
 class MetricAxiomError(AssertionError):
@@ -149,6 +203,51 @@ class MetricSpace:
     def distance_to_payload(self, object_id: int, payload: Any) -> float:
         """Distance between an object and a free-standing payload."""
         return self.metric(self._payloads[object_id], payload)
+
+    def pairwise(self, a: int, object_ids: Sequence[int]) -> np.ndarray:
+        """Batched ``[self.distance(a, i) for i in object_ids]``.
+
+        One metric-kernel call for the whole id batch; bit-identical
+        distances (and, through :class:`CountingMetric`, identical
+        counts) to the per-pair loop.
+        """
+        payloads = self._payloads
+        return pairwise_distances(
+            self.metric, payloads[a], [payloads[i] for i in object_ids]
+        )
+
+    def pairwise_reflected(self, a: int, object_ids: Sequence[int]) -> np.ndarray:
+        """Batched ``[self.distance(i, a) for i in object_ids]``.
+
+        Same distances as :meth:`pairwise` for true (symmetric)
+        metrics, but preserves the candidate-first argument order of
+        the legacy call sites for metrics whose evaluation is
+        order-sensitive (e.g. per-source shortest-path caches).
+        """
+        payloads = self._payloads
+        return pairwise_distances(
+            self.metric,
+            payloads[a],
+            [payloads[i] for i in object_ids],
+            reflect=True,
+        )
+
+    def pairwise_to_payload(
+        self, payload: Any, object_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Batched ``[self.distance_to_payload(i, payload) for i in ...]``.
+
+        Keeps ``distance_to_payload``'s object-payload-first argument
+        order (via ``reflect``) so loop-fallback metrics see the exact
+        legacy call sequence.
+        """
+        payloads = self._payloads
+        return pairwise_distances(
+            self.metric,
+            payload,
+            [payloads[i] for i in object_ids],
+            reflect=True,
+        )
 
     # ------------------------------------------------------------------
     # geometry helpers used by the query-workload generator

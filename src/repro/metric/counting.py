@@ -12,9 +12,11 @@ exhaustive — there is no side channel to the raw metric.
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
-from repro.metric.base import Metric
+import numpy as np
+
+from repro.metric.base import Metric, pairwise_distances
 
 
 class CountingMetric:
@@ -42,6 +44,7 @@ class CountingMetric:
         self.inner = inner
         self.name = getattr(inner, "name", "metric")
         self.count = 0
+        self.batches = 0
         self._lock: Optional[threading.Lock] = None
         self._local: Optional[threading.local] = None
 
@@ -60,6 +63,48 @@ class CountingMetric:
             except AttributeError:  # first evaluation on this thread
                 local.count = 1  # type: ignore[union-attr]
         return self.inner(a, b)
+
+    def pairwise(
+        self, a: Any, candidates: Sequence[Any], reflect: bool = False
+    ) -> "np.ndarray":
+        """Batched distances from ``a`` to every candidate payload.
+
+        Attribution is **by definition** one distance computation per
+        candidate, so counters after a batch are bit-identical to the
+        per-pair path — including the identity short-circuit: slots
+        whose payload *is* ``a`` come back as 0.0 without being counted
+        or evaluated, exactly as ``__call__`` would have skipped them.
+        ``batches`` (and the per-thread mirror behind
+        :meth:`local_batches`) tracks kernel invocations; it is not a
+        paper cost counter and is never gated.
+        """
+        n = len(candidates)
+        if n == 0:
+            return np.empty(0, dtype=float)
+        identity = [i for i, c in enumerate(candidates) if c is a]
+        charged = n - len(identity)
+        lock = self._lock
+        if lock is None:
+            self.count += charged
+            self.batches += 1
+        else:
+            with lock:
+                self.count += charged
+                self.batches += 1
+            local = self._local
+            local.count = getattr(local, "count", 0) + charged
+            local.batches = getattr(local, "batches", 0) + 1
+        if not identity:
+            return pairwise_distances(self.inner, a, candidates, reflect=reflect)
+        survivors = [c for c in candidates if c is not a]
+        out = np.zeros(n, dtype=float)
+        if survivors:
+            keep = np.ones(n, dtype=bool)
+            keep[identity] = False
+            out[keep] = pairwise_distances(
+                self.inner, a, survivors, reflect=reflect
+            )
+        return out
 
     def make_thread_safe(self) -> None:
         """Guard counter increments with a lock (idempotent).
@@ -85,9 +130,21 @@ class CountingMetric:
             return self.count
         return getattr(self._local, "count", 0)
 
+    def local_batches(self) -> int:
+        """The calling thread's own batch-kernel invocation count.
+
+        Mirrors :meth:`local_count`: global ``batches`` in
+        single-threaded mode, per-thread (grow-only) after
+        :meth:`make_thread_safe`.
+        """
+        if self._local is None:
+            return self.batches
+        return getattr(self._local, "batches", 0)
+
     def reset(self) -> None:
-        """Zero the evaluation counter."""
+        """Zero the evaluation and batch counters."""
         self.count = 0
+        self.batches = 0
 
     def snapshot(self) -> int:
         """Return the current evaluation count."""

@@ -52,8 +52,60 @@ class LpMetric:
             return float(np.sqrt(np.square(diff).sum()))
         return float(np.power(np.power(diff, self.p).sum(), 1.0 / self.p))
 
+    def pairwise(
+        self,
+        query: Sequence[float],
+        candidates: Sequence[Sequence[float]],
+        reflect: bool = False,
+    ) -> np.ndarray:
+        """Distances from ``query`` to every candidate, one broadcast.
+
+        Bit-identical to ``[self(query, c) for c in candidates]``: the
+        only argument-order-sensitive step is ``|a - b|``, which IEEE
+        negation makes exact, so ``reflect`` is accepted and ignored;
+        the axis reductions below run over the same contiguous
+        per-row elements, in the same order, as the 1-D reductions in
+        ``__call__``.  Ragged or non-numeric batches fall back to the
+        per-pair loop (preserving its error behaviour).
+        """
+        batch = _stack_batch(query, candidates)
+        if batch is None:
+            return np.asarray([self(query, c) for c in candidates], dtype=float)
+        av, stacked = batch
+        diff = np.abs(av - stacked)
+        if math.isinf(self.p):
+            if diff.shape[-1] == 0:
+                return np.zeros(len(stacked), dtype=float)
+            return np.ascontiguousarray(diff).max(axis=-1)
+        if self.p == 1.0:
+            return np.ascontiguousarray(diff).sum(axis=-1)
+        if self.p == 2.0:
+            return np.sqrt(np.ascontiguousarray(np.square(diff)).sum(axis=-1))
+        powered = np.ascontiguousarray(np.power(diff, self.p))
+        return np.power(powered.sum(axis=-1), 1.0 / self.p)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LpMetric(p={self.p})"
+
+
+def _stack_batch(query, candidates):
+    """Stack a candidate batch into ``(query_row, (n, d) matrix)``.
+
+    Returns ``None`` when the batch cannot be expressed as one dense
+    float matrix matching the query's shape — the caller then takes the
+    per-pair loop, which raises the same errors ``__call__`` would.
+    """
+    try:
+        av = np.asarray(query, dtype=float)
+        stacked = np.asarray(
+            candidates if isinstance(candidates, np.ndarray) else list(candidates),
+            dtype=float,
+        )
+    except (TypeError, ValueError):
+        return None
+    if av.ndim != 1 or stacked.ndim != 2 or stacked.shape[1:] != av.shape:
+        return None
+    return av, stacked
 
 
 class EuclideanMetric(LpMetric):
@@ -102,6 +154,26 @@ class WeightedEuclideanMetric:
             raise ValueError("payload dimensionality must match weights")
         diff = av - bv
         return float(np.sqrt((self.weights * diff * diff).sum()))
+
+    def pairwise(
+        self,
+        query: Sequence[float],
+        candidates: Sequence[Sequence[float]],
+        reflect: bool = False,
+    ) -> np.ndarray:
+        """Batched form of ``__call__``; see :meth:`LpMetric.pairwise`.
+
+        Order-insensitive bit-exactly: the signed difference is only
+        ever squared, and ``(-x) * (-x)`` equals ``x * x`` in IEEE
+        arithmetic, so ``reflect`` is accepted and ignored.
+        """
+        batch = _stack_batch(query, candidates)
+        if batch is None or batch[0].shape != self.weights.shape:
+            return np.asarray([self(query, c) for c in candidates], dtype=float)
+        av, stacked = batch
+        diff = av - stacked
+        weighted = np.ascontiguousarray(self.weights * diff * diff)
+        return np.sqrt(weighted.sum(axis=-1))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WeightedEuclideanMetric(dims={self.weights.size})"

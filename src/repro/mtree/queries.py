@@ -117,10 +117,16 @@ class IncrementalNNCursor:
 
     def _expand(self, page_id: int, d_router: Optional[float]) -> None:
         node: MTreeNode = self.tree.buffer.get(page_id).payload
-        for entry in node.entries:
-            if d_router is None:
-                # root entries: no parent bound available; compute.
-                d = self.tree.query_distance(self.query, entry.object_id)
+        if d_router is None:
+            # root entries: no parent bound available; every distance
+            # is needed, so compute the node as one batch (same pairs,
+            # same order, bit-identical distances and counts).
+            if not node.entries:
+                return
+            distances = self.tree.query_distance_batch(
+                self.query, [entry.object_id for entry in node.entries]
+            )
+            for entry, d in zip(node.entries, distances):
                 if isinstance(entry, RoutingEntry):
                     self._push(
                         safe_lower_bound(d - entry.covering_radius),
@@ -129,7 +135,8 @@ class IncrementalNNCursor:
                     )
                 else:
                     self._push(d, _KIND_OBJECT, (entry.object_id, d))
-                continue
+            return
+        for entry in node.entries:
             lower = safe_lower_bound(abs(d_router - entry.parent_distance))
             if isinstance(entry, RoutingEntry):
                 self._push(
@@ -161,6 +168,11 @@ def range_query(
     while stack:
         page_id, d_router = stack.pop()
         node: MTreeNode = tree.buffer.get(page_id).payload
+        # prune first on the stored parent distances (no distance
+        # computations), then evaluate the survivors as one batch.
+        # Same pruning decisions, same entry order, same page-access
+        # order — only the survivor distances move into one kernel call.
+        survivors: List = []
         for entry in node.entries:
             if d_router is not None:
                 lower = safe_lower_bound(
@@ -173,7 +185,13 @@ def range_query(
                 )
                 if safe_lower_bound(lower - slack) > radius:
                     continue  # pruned without a distance computation
-            d = tree.query_distance(query, entry.object_id)
+            survivors.append(entry)
+        if not survivors:
+            continue
+        distances = tree.query_distance_batch(
+            query, [entry.object_id for entry in survivors]
+        )
+        for entry, d in zip(survivors, distances):
             if isinstance(entry, RoutingEntry):
                 if d - entry.covering_radius <= radius:
                     stack.append((entry.child_page_id, d))

@@ -117,6 +117,19 @@ class MTree:
             return self.space.distance(query, object_id)
         return self.space.distance_to_payload(object_id, query)
 
+    def query_distance_batch(
+        self, query: Query, object_ids: List[int]
+    ) -> List[float]:
+        """Batched :meth:`query_distance` over many indexed objects.
+
+        One metric-kernel call for the whole batch; distances (and
+        metric counts) are bit-identical to a per-id loop, preserving
+        the same argument order per pair.
+        """
+        if isinstance(query, int):
+            return self.space.pairwise(query, object_ids).tolist()
+        return self.space.pairwise_to_payload(query, object_ids).tolist()
+
     def incremental_cursor(self, query: Query, skip=None):
         """Incremental-NN cursor — the index contract PBA requires.
 
@@ -208,8 +221,12 @@ class MTree:
         best_entry: Optional[RoutingEntry] = None
         best_key: Tuple[int, float] = (2, float("inf"))
         best_distance = 0.0
-        for entry in node.entries:
-            d = self.distance(object_id, entry.object_id)
+        # every routing entry needs its distance anyway (no pruning in
+        # the descent heuristic), so evaluate the node as one batch.
+        distances = self.space.pairwise(
+            object_id, [entry.object_id for entry in node.entries]
+        ).tolist()
+        for entry, d in zip(node.entries, distances):
             if d <= entry.covering_radius:
                 key = (0, d)
             else:
@@ -299,10 +316,15 @@ class MTree:
         self, node: MTreeNode, parent_object_id: int
     ) -> None:
         """Recompute entry parent distances after re-parenting."""
-        for entry in node.entries:
-            entry.parent_distance = self.distance(
-                entry.object_id, parent_object_id
-            )
+        if not node.entries:
+            return
+        # one batch for the whole node; reflected so each pair keeps
+        # the legacy entry-first argument order.
+        distances = self.space.pairwise_reflected(
+            parent_object_id, [entry.object_id for entry in node.entries]
+        ).tolist()
+        for entry, d in zip(node.entries, distances):
+            entry.parent_distance = d
 
     def _grow_root(
         self, split: Tuple[RoutingEntry, RoutingEntry]

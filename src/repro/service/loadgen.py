@@ -317,7 +317,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-serve`` console script."""
-    from repro.core.engine import TopKDominatingEngine
+    from repro.api import open_engine
     from repro.datasets.synthetic import uniform
 
     parser = _build_parser()
@@ -362,7 +362,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
     space = uniform(n=args.n, seed=args.seed, dims=args.dims)
-    engine = TopKDominatingEngine(space, rng=random.Random(args.seed))
+    engine = open_engine(space, seed=args.seed)
     chaos_note = (
         f", chaos={args.fault_profile}/seed={chaos.seed}" if chaos else ""
     )

@@ -64,9 +64,8 @@ from typing import (
     Tuple,
 )
 
-from repro.core.brute_force import brute_force_scores
-from repro.core.engine import TopKDominatingEngine
-from repro.core.progressive import ResultItem
+from repro._compat import MISSING, resolve_alias
+from repro.api import ResultItem, TopKDominatingEngine, brute_force_scores
 from repro.faults.chaos import ChaosConfig, FaultInjector
 from repro.faults.errors import FaultError
 from repro.obs import trace
@@ -359,16 +358,20 @@ class QueryService:
     async def query(
         self,
         query_ids: Sequence[int],
-        k: int,
+        k=MISSING,
         algorithm: str = "pba2",
         deadline: Optional[float] = None,
+        *,
+        top_k=MISSING,
     ) -> QueryResponse:
         """Serve one query: admission -> cache -> coalesce -> engine.
 
         Raises :class:`Overloaded` / :class:`DeadlineExceeded` on
         admission rejection; engine validation errors (unknown
-        algorithm, bad query ids) propagate as-is.
+        algorithm, bad query ids) propagate as-is.  ``k`` is canonical;
+        ``top_k=`` is a deprecated alias for one release.
         """
+        k = resolve_alias("query", "k", k, "top_k", top_k)
         request = QueryRequest.make(query_ids, k, algorithm)
         started = time.perf_counter()
         self.metrics.observe_request()
@@ -450,13 +453,18 @@ class QueryService:
     def query_sync(
         self,
         query_ids: Sequence[int],
-        k: int,
+        k=MISSING,
         algorithm: str = "pba2",
+        *,
+        top_k=MISSING,
     ) -> QueryResponse:
         """Serve one query synchronously (cache + coalesce + engine).
 
         No admission control — the caller owns its own backpressure.
+        ``k`` is canonical; ``top_k=`` is a deprecated alias for one
+        release.
         """
+        k = resolve_alias("query_sync", "k", k, "top_k", top_k)
         request = QueryRequest.make(query_ids, k, algorithm)
         started = time.perf_counter()
         self.metrics.observe_request()

@@ -26,7 +26,7 @@ import heapq
 import itertools
 from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.core.dominance import DistanceVectorSource, dominates_vectors
+from repro.core.dominance import DistanceVectorSource, DominatorSet
 from repro.metric.safety import safe_lower_bound
 from repro.mtree.node import MTreeNode, RoutingEntry
 from repro.mtree.tree import MTree
@@ -51,7 +51,11 @@ def _dominates_region(
 
     Requires ``<=`` everywhere and ``<`` somewhere against the region's
     *lower* bounds, which guarantees strict dominance of every actual
-    object inside the region.
+    object inside the region.  This is the same predicate as object
+    dominance (Definition 3), so the cursor evaluates it through its
+    :class:`~repro.core.dominance.DominatorSet`; this scalar form is
+    kept as the reference definition (exercised by the white-box
+    tests).
     """
     strict = False
     for sv, lb in zip(skyline_vector, bounds):
@@ -78,7 +82,12 @@ def metric_skyline_cursor(
     source = vectors or DistanceVectorSource(tree.space, query_ids)
     hidden = skip if skip is not None else set()
     counter = itertools.count()
-    skyline_vectors: List[Tuple[float, ...]] = []
+    # Found-skyline vectors, tested set-at-a-time.  The node-pruning
+    # test against a region's coordinate-wise *lower* bounds is the
+    # same predicate as object dominance (<= everywhere, < somewhere),
+    # which guarantees strict dominance of every actual object inside
+    # the region — so one DominatorSet serves both checks.
+    skyline = DominatorSet(len(query_ids))
     heap: List[tuple] = []
 
     def push_node(page_id: int) -> None:
@@ -106,17 +115,13 @@ def metric_skyline_cursor(
     while heap:
         _key, kind, _tie, ident, vec = heapq.heappop(heap)
         if kind == _KIND_OBJECT:
-            if any(
-                dominates_vectors(sv, vec) for sv in skyline_vectors
-            ):
+            if skyline.dominates(vec):
                 continue
-            skyline_vectors.append(vec)
+            skyline.add(vec)
             yield ident
             continue
         # node: prune if some skyline vector dominates its whole region.
-        if any(
-            _dominates_region(sv, vec) for sv in skyline_vectors
-        ):
+        if skyline.dominates(vec):
             continue
         push_node(ident)
 

@@ -117,6 +117,12 @@ class QueryStats:
     cpu_seconds: float = 0.0
     io: IOStats = field(default_factory=IOStats)
     distance_computations: int = 0
+    #: batched metric-kernel invocations behind the distance
+    #: computations above.  Diagnostic only (how well the hot paths
+    #: amortise Python-call overhead) — deliberately NOT one of the
+    #: paper's gated cost counters, whose values batching leaves
+    #: bit-identical.
+    distance_batches: int = 0
     exact_score_computations: int = 0
     objects_retrieved: int = 0
     objects_pruned: int = 0
@@ -138,6 +144,7 @@ class QueryStats:
         self.cpu_seconds += other.cpu_seconds
         self.io.merge(other.io)
         self.distance_computations += other.distance_computations
+        self.distance_batches += other.distance_batches
         self.exact_score_computations += other.exact_score_computations
         self.objects_retrieved += other.objects_retrieved
         self.objects_pruned += other.objects_pruned
@@ -162,6 +169,7 @@ class QueryStats:
             pages_allocated=round(self.io.pages_allocated / divisor),
         )
         out.distance_computations = round(self.distance_computations / divisor)
+        out.distance_batches = round(self.distance_batches / divisor)
         out.exact_score_computations = round(
             self.exact_score_computations / divisor
         )

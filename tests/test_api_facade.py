@@ -1,0 +1,166 @@
+"""repro.api: the facade, canonical kwargs and deprecation aliases."""
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import (
+    EuclideanMetric,
+    MetricSpace,
+    Query,
+    Result,
+    TopKDominatingEngine,
+    open_engine,
+    run,
+)
+from repro.core.pba import PBA2
+
+
+def _space(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    return MetricSpace(list(rng.random((n, 3))), EuclideanMetric())
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return open_engine(_space(), seed=0)
+
+
+class TestOpenEngine:
+    def test_matches_direct_construction_exactly(self):
+        """open_engine(seed=s) is the one canonical recipe: same tree,
+        same counters as the boilerplate it replaced."""
+        direct = TopKDominatingEngine(
+            _space(), rng=random.Random(7)
+        )
+        facade = open_engine(_space(), seed=7)
+        queries = [3, 17, 40]
+        a, a_stats = direct.top_k_dominating(queries, 5)
+        b, b_stats = facade.top_k_dominating(queries, 5)
+        assert [(r.object_id, r.score) for r in a] == [
+            (r.object_id, r.score) for r in b
+        ]
+        assert (
+            a_stats.distance_computations == b_stats.distance_computations
+        )
+        assert a_stats.io.page_faults == b_stats.io.page_faults
+
+    def test_rng_keyword_is_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="'rng'.*'seed'"):
+            engine = open_engine(_space(), rng=random.Random(7))
+        reference = open_engine(_space(), seed=7)
+        a, _ = engine.top_k_dominating([1, 2], 3)
+        b, _ = reference.top_k_dominating([1, 2], 3)
+        assert [r.object_id for r in a] == [r.object_id for r in b]
+
+    def test_forwards_index_kind(self):
+        engine = open_engine(_space(), seed=1, index="vptree")
+        assert engine.index_kind == "vptree"
+
+
+class TestQueryResult:
+    def test_query_normalises(self):
+        q = Query(query_ids=[4, 2], k=3, algorithm="PBA2")
+        assert q.query_ids == (4, 2)
+        assert q.algorithm == "pba2"
+        assert q.m == 2
+        hash(q)  # usable as a cache key
+
+    def test_query_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            Query(query_ids=(1,), k=1, algorithm="nope")
+
+    def test_run_equals_engine_call(self, engine):
+        result = run(engine, Query(query_ids=(3, 17), k=4))
+        direct, _stats = engine.top_k_dominating([3, 17], 4)
+        assert isinstance(result, Result)
+        assert list(result) == direct
+        assert len(result) == 4
+        assert result.object_ids == tuple(r.object_id for r in direct)
+        assert result.stats.distance_computations >= 0
+
+
+class TestDeprecatedAliases:
+    def test_top_k_alias_on_engine(self, engine):
+        canonical, _ = engine.top_k_dominating([1, 2], 4)
+        with pytest.warns(DeprecationWarning, match="'top_k'"):
+            aliased, _ = engine.top_k_dominating([1, 2], top_k=4)
+        assert [r.object_id for r in aliased] == [
+            r.object_id for r in canonical
+        ]
+
+    def test_top_k_alias_on_stream(self, engine):
+        with pytest.warns(DeprecationWarning, match="'top_k'"):
+            items = list(engine.stream([1, 2], top_k=2))
+        assert len(items) == 2
+
+    def test_both_spellings_is_an_error(self, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="both"):
+                engine.top_k_dominating([1, 2], 4, top_k=4)
+
+    def test_k_still_required(self, engine):
+        with pytest.raises(TypeError, match="missing required argument"):
+            engine.top_k_dominating([1, 2])
+
+    def test_make_algorithm_name_alias(self, engine):
+        with pytest.warns(DeprecationWarning, match="'name'"):
+            algo = engine.make_algorithm(name="pba2")
+        assert isinstance(algo, PBA2)
+
+    def test_algorithm_class_selector_deprecated(self, engine):
+        with pytest.warns(DeprecationWarning, match="registry name"):
+            results, _ = engine.top_k_dominating([1, 2], 3, algorithm=PBA2)
+        canonical, _ = engine.top_k_dominating([1, 2], 3, algorithm="pba2")
+        assert [r.object_id for r in results] == [
+            r.object_id for r in canonical
+        ]
+
+    def test_canonical_spellings_do_not_warn(self, engine):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.top_k_dominating([1, 2], 3, algorithm="pba2")
+            list(engine.stream([1, 2], 2))
+            engine.make_algorithm("sba")
+            open_engine(_space(20), seed=0)
+
+    def test_service_top_k_alias(self):
+        from repro.service import QueryService, ServiceConfig
+
+        service = QueryService(
+            open_engine(_space(40), seed=0),
+            ServiceConfig(workers=1),
+        )
+        try:
+            canonical = service.query_sync([1, 2], 3)
+            with pytest.warns(DeprecationWarning, match="'top_k'"):
+                aliased = service.query_sync([1, 2], top_k=3)
+            assert aliased.results == canonical.results
+        finally:
+            service.close()
+
+
+class TestSurfaceDeclaration:
+    def test_all_exports_exist_and_are_sorted(self):
+        assert api.__all__ == sorted(api.__all__)
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_covers_engine_workflow(self):
+        """The documented supported surface is importable from one place."""
+        for name in (
+            "open_engine",
+            "run",
+            "Query",
+            "Result",
+            "Metric",
+            "MetricSpace",
+            "TopKDominatingEngine",
+            "ALGORITHMS",
+            "pairwise_distances",
+        ):
+            assert name in api.__all__

@@ -1,0 +1,68 @@
+"""The API-surface snapshot stays in sync and catches drift."""
+
+from pathlib import Path
+
+from repro.api import surface
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "docs" / "api-surface.txt"
+
+
+class TestSnapshot:
+    def test_committed_snapshot_matches_live_surface(self):
+        """Mirrors the CI step: any public-surface change must come
+        with a regenerated docs/api-surface.txt."""
+        diff = surface.check_surface(SNAPSHOT)
+        assert not diff, "\n".join(
+            ["API surface drifted (python -m repro.api.surface):"] + diff
+        )
+
+    def test_check_flags_an_undocumented_export(self, tmp_path):
+        doctored = tmp_path / "api-surface.txt"
+        doctored.write_text(
+            SNAPSHOT.read_text().replace("def open_engine", "def open_motor")
+        )
+        assert surface.check_surface(doctored)
+
+    def test_check_flags_a_missing_snapshot(self, tmp_path):
+        assert surface.check_surface(tmp_path / "nope.txt")
+
+    def test_render_is_deterministic(self):
+        assert surface.render_surface() == surface.render_surface()
+
+    def test_signatures_carry_no_annotations(self):
+        text = SNAPSHOT.read_text()
+        assert ": int" not in text
+        assert "->" not in text
+
+    def test_unstable_defaults_are_elided(self):
+        # no memory addresses or sentinel reprs may leak into the
+        # snapshot — they would churn on every run.
+        text = SNAPSHOT.read_text()
+        assert "0x" not in text
+        assert "object object" not in text
+
+
+class TestFormatting:
+    def test_stable_defaults_render_literally(self):
+        def sample(a, b=1, c="x", d=None, *args, e=2.5, **kw):
+            return a, b, c, d, args, e, kw
+
+        assert (
+            surface._fmt_signature(sample)
+            == "(a, b=1, c='x', d=None, *args, e=2.5, **kw)"
+        )
+
+    def test_unstable_default_becomes_ellipsis(self):
+        sentinel = object()
+
+        def sample(a=sentinel):
+            return a
+
+        assert surface._fmt_signature(sample) == "(a=...)"
+
+    def test_keyword_only_marker(self):
+        def sample(a, *, b=1):
+            return a, b
+
+        assert surface._fmt_signature(sample) == "(a, *, b=1)"

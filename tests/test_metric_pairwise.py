@@ -1,0 +1,315 @@
+"""The batch kernel's contract: ``pairwise`` equals per-pair distance.
+
+The entire counter-bit-exactness argument of the batched hot paths
+rests on two properties pinned here:
+
+* for every registered metric, ``pairwise(q, cands)`` returns exactly
+  (``==`` on floats, not approx) what the per-pair ``__call__`` loop
+  returns, in either argument order and on edge cases (empty batches,
+  NaN payloads, ragged candidates);
+* :class:`CountingMetric` attributes exactly ``len(candidates)``
+  distance computations per batch, minus identity (``is``) pairs —
+  globally and per-thread (``local_count``).
+"""
+
+import random
+import threading
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.metric import (
+    ChebyshevMetric,
+    CountingMetric,
+    EditDistanceMetric,
+    EuclideanMetric,
+    Graph,
+    LpMetric,
+    ManhattanMetric,
+    MetricSpace,
+    ShortestPathMetric,
+    WeightedEuclideanMetric,
+    pairwise_distances,
+)
+
+#: every metric the library registers, with a payload generator.
+def _vector_payloads(rng, n, dims):
+    return [
+        np.array([rng.uniform(-10, 10) for _ in range(dims)])
+        for _ in range(n)
+    ]
+
+
+def _string_payloads(rng, n, _dims):
+    alphabet = "ACGT"
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randrange(0, 12)))
+        for _ in range(n)
+    ]
+
+
+def _graph_metric_and_payloads(rng, n):
+    graph = Graph(num_nodes=n)
+    for u in range(1, n):
+        graph.add_edge(u, rng.randrange(u), weight=rng.uniform(0.5, 3.0))
+    for _ in range(n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v, weight=rng.uniform(0.5, 3.0))
+    return ShortestPathMetric(graph), list(range(n))
+
+
+VECTOR_METRICS = [
+    ManhattanMetric(),
+    EuclideanMetric(),
+    ChebyshevMetric(),
+    LpMetric(p=3.0),
+    WeightedEuclideanMetric([0.1, 2.0, 0.0, 1.0]),
+]
+
+
+class TestVectorMetricsBitExact:
+    @pytest.mark.parametrize(
+        "metric", VECTOR_METRICS, ids=lambda m: m.name
+    )
+    def test_pairwise_equals_per_pair_exactly(self, metric):
+        rng = random.Random(1234)
+        query = np.array([rng.uniform(-10, 10) for _ in range(4)])
+        candidates = _vector_payloads(rng, 97, 4)
+        per_pair = [metric(query, c) for c in candidates]
+        batch = metric.pairwise(query, candidates)
+        assert batch.shape == (97,)
+        assert batch.dtype == np.float64
+        # bit-identical, not approximately equal: pruning decisions
+        # (and hence the gated counters) depend on exact floats.
+        assert per_pair == batch.tolist()
+
+    @pytest.mark.parametrize(
+        "metric", VECTOR_METRICS, ids=lambda m: m.name
+    )
+    def test_reflected_order_is_bit_identical(self, metric):
+        rng = random.Random(99)
+        query = np.array([rng.uniform(-10, 10) for _ in range(4)])
+        candidates = _vector_payloads(rng, 31, 4)
+        reflected = [metric(c, query) for c in candidates]
+        assert reflected == metric.pairwise(
+            query, candidates, reflect=True
+        ).tolist()
+
+    @pytest.mark.parametrize(
+        "metric", VECTOR_METRICS, ids=lambda m: m.name
+    )
+    def test_empty_candidates(self, metric):
+        query = np.array([1.0, 2.0, 3.0, 4.0])
+        out = metric.pairwise(query, [])
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+
+    def test_nan_payloads_propagate_like_per_pair(self):
+        metric = EuclideanMetric()
+        query = np.array([0.0, float("nan")])
+        candidates = [np.array([1.0, 1.0]), np.array([0.0, 0.0])]
+        per_pair = [metric(query, c) for c in candidates]
+        batch = metric.pairwise(query, candidates)
+        assert all(np.isnan(v) for v in per_pair)
+        assert np.isnan(batch).all()
+
+    def test_ragged_batch_raises_like_per_pair(self):
+        metric = EuclideanMetric()
+        query = np.array([0.0, 0.0])
+        bad = [np.array([1.0, 1.0]), np.array([1.0, 1.0, 1.0])]
+        with pytest.raises(ValueError):
+            [metric(query, c) for c in bad]
+        with pytest.raises(ValueError):
+            metric.pairwise(query, bad)
+
+    def test_weighted_dimension_mismatch_raises(self):
+        metric = WeightedEuclideanMetric([1.0, 1.0])
+        with pytest.raises(ValueError):
+            metric.pairwise(np.zeros(3), [np.zeros(3)])
+
+
+class TestLoopFallbackMetrics:
+    def test_edit_distance_matches_per_pair(self):
+        metric = EditDistanceMetric()
+        rng = random.Random(7)
+        words = _string_payloads(rng, 40, None)
+        query = "GATTACA"
+        per_pair = [float(metric(query, w)) for w in words]
+        assert pairwise_distances(metric, query, words).tolist() == per_pair
+
+    def test_shortest_path_matches_and_preserves_call_order(self):
+        rng = random.Random(11)
+        metric, nodes = _graph_metric_and_payloads(rng, 30)
+        query = 0
+        candidates = nodes[1:]
+        per_pair = [metric(query, c) for c in candidates]
+        # fresh metric: the batched evaluation must replay the same
+        # per-pair call sequence (same cache behaviour included).
+        metric2, _ = _graph_metric_and_payloads(random.Random(11), 30)
+        batch = pairwise_distances(metric2, query, candidates)
+        assert batch.tolist() == per_pair
+        assert metric2.dijkstra_runs == metric.dijkstra_runs
+
+    def test_reflect_flips_argument_order(self):
+        calls = []
+
+        class Spy:
+            name = "spy"
+
+            def __call__(self, a, b):
+                calls.append((a, b))
+                return 0.0
+
+        pairwise_distances(Spy(), "q", ["x", "y"], reflect=True)
+        assert calls == [("x", "q"), ("y", "q")]
+        calls.clear()
+        pairwise_distances(Spy(), "q", ["x", "y"])
+        assert calls == [("q", "x"), ("q", "y")]
+
+
+@st.composite
+def batches(draw):
+    dims = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=0, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    metric = draw(
+        st.sampled_from(["l1", "l2", "linf", "l3", "weighted", "edit"])
+    )
+    return dims, n, seed, metric
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=batches())
+def test_property_pairwise_equals_per_pair(batch):
+    """For every registered metric family: batched == per-pair, bitwise."""
+    dims, n, seed, metric_name = batch
+    rng = random.Random(seed)
+    if metric_name == "edit":
+        metric = EditDistanceMetric()
+        query = _string_payloads(rng, 1, None)[0]
+        candidates = _string_payloads(rng, n, None)
+        per_pair = [float(metric(query, c)) for c in candidates]
+        assert (
+            pairwise_distances(metric, query, candidates).tolist()
+            == per_pair
+        )
+        return
+    metric = {
+        "l1": ManhattanMetric(),
+        "l2": EuclideanMetric(),
+        "linf": ChebyshevMetric(),
+        "l3": LpMetric(p=3.0),
+        "weighted": WeightedEuclideanMetric(
+            [rng.uniform(0, 2) for _ in range(dims)]
+        ),
+    }[metric_name]
+    query = np.array([rng.uniform(-10, 10) for _ in range(dims)])
+    candidates = _vector_payloads(rng, n, dims)
+    per_pair = [metric(query, c) for c in candidates]
+    assert metric.pairwise(query, candidates).tolist() == per_pair
+    assert (
+        metric.pairwise(query, candidates, reflect=True).tolist()
+        == [metric(c, query) for c in candidates]
+    )
+
+
+class TestCountingAttribution:
+    def test_batch_counts_exactly_len_candidates(self):
+        counting = CountingMetric(EuclideanMetric())
+        rng = random.Random(3)
+        query = np.array([0.0, 0.0])
+        candidates = _vector_payloads(rng, 23, 2)
+        counting.pairwise(query, candidates)
+        assert counting.count == 23
+        assert counting.batches == 1
+        counting.pairwise(query, candidates[:5])
+        assert counting.count == 28
+        assert counting.batches == 2
+
+    def test_identity_pairs_uncounted_and_zero(self):
+        counting = CountingMetric(EuclideanMetric())
+        query = np.array([1.0, float("nan")])
+        other = np.array([2.0, 2.0])
+        out = counting.pairwise(query, [other, query, other, query])
+        # the two identity slots: 0.0 without evaluation (per-pair
+        # short-circuit semantics), even though the payload has a NaN.
+        assert out[1] == 0.0 and out[3] == 0.0
+        assert counting.count == 2
+
+    def test_batch_matches_per_pair_counts(self):
+        per_pair = CountingMetric(ManhattanMetric())
+        batched = CountingMetric(ManhattanMetric())
+        rng = random.Random(5)
+        query = np.array([0.5, 0.5, 0.5])
+        candidates = _vector_payloads(rng, 17, 3) + [query]
+        loop = [per_pair(query, c) for c in candidates]
+        batch = batched.pairwise(query, candidates)
+        assert loop == batch.tolist()
+        assert per_pair.count == batched.count == 17
+
+    def test_empty_batch_counts_nothing(self):
+        counting = CountingMetric(EuclideanMetric())
+        out = counting.pairwise(np.zeros(2), [])
+        assert out.shape == (0,)
+        assert counting.count == 0
+        assert counting.batches == 0
+
+    def test_reset_zeroes_batches(self):
+        counting = CountingMetric(EuclideanMetric())
+        counting.pairwise(np.zeros(2), [np.ones(2)])
+        counting.reset()
+        assert counting.count == 0
+        assert counting.batches == 0
+
+    def test_thread_local_attribution(self):
+        counting = CountingMetric(EuclideanMetric())
+        counting.make_thread_safe()
+        query = np.zeros(2)
+        candidates = [np.ones(2)] * 7
+        counting.pairwise(query, candidates)
+        assert counting.local_count() == 7
+        assert counting.local_batches() == 1
+
+        seen = {}
+
+        def worker():
+            counting.pairwise(query, candidates[:3])
+            counting.pairwise(query, candidates[:2])
+            seen["count"] = counting.local_count()
+            seen["batches"] = counting.local_batches()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        # the worker thread sees only its own 5 evaluations / 2 batches;
+        # this thread still sees its 7 / 1; the global sees all.
+        assert seen == {"count": 5, "batches": 2}
+        assert counting.local_count() == 7
+        assert counting.local_batches() == 1
+        assert counting.count == 12
+        assert counting.batches == 3
+
+    def test_space_pairwise_counts_through_counting_metric(self):
+        rng = random.Random(8)
+        payloads = _vector_payloads(rng, 20, 3)
+        space = MetricSpace(payloads, CountingMetric(EuclideanMetric()))
+        ids = list(range(1, 11))
+        vec = space.pairwise(0, ids)
+        assert vec.tolist() == [space.metric.inner(
+            payloads[0], payloads[i]
+        ) for i in ids]
+        assert space.metric.count == 10
+        # reflected and payload variants preserve counts too.
+        space.metric.reset()
+        space.pairwise_reflected(0, ids)
+        assert space.metric.count == 10
+        space.metric.reset()
+        space.pairwise_to_payload(np.zeros(3), ids)
+        assert space.metric.count == 10
+        # identity ids are free, exactly like space.distance(i, i).
+        space.metric.reset()
+        space.pairwise(0, [0, 1, 2])
+        assert space.metric.count == 2
