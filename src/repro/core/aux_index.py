@@ -174,6 +174,19 @@ class AuxBPlusTree:
         """Persist a mutated record (charged as a B+-tree write)."""
         self.tree.update(rec.object_id, rec)
 
+    def remove(self, object_id: int) -> bool:
+        """Drop one record; returns True if it existed.
+
+        Used by the standing-query maintainers
+        (:mod:`repro.streaming.continuous`), whose aux state is
+        long-lived and must shrink as window members expire — unlike
+        the batch algorithms, which only ever :meth:`drop` wholesale.
+        """
+        removed = self.tree.delete(object_id)
+        if removed:
+            self._unique -= 1
+        return removed
+
     def records(self) -> Iterator[AuxRecord]:
         """All records in object-id order (Procedure 3's full scan)."""
         for _key, rec in self.tree.items():

@@ -33,6 +33,8 @@ from typing import (
     Type,
 )
 
+from dataclasses import dataclass
+
 from repro._compat import MISSING, canonical_algorithm, resolve_alias
 from repro.core.aba import ABA
 from repro.core.approximate import ApproximateTopK
@@ -61,6 +63,24 @@ ALGORITHMS: Dict[str, Type[TopKAlgorithm]] = {
 #: rough bytes per data-set record, used to size the aux buffer the way
 #: the paper sizes it ("20% of db size").
 _RECORD_BYTES_ESTIMATE = 64
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One committed data-set mutation, as seen by change listeners.
+
+    ``epoch`` is the write epoch *after* the mutation; ``op`` is
+    ``"insert"`` or ``"delete"``; ``object_id`` names the object.  The
+    epoch-only write listeners (:meth:`TopKDominatingEngine.
+    subscribe_writes`) tell a cache *that* the world moved; change
+    listeners tell an incremental maintainer *what* moved — which is
+    the difference between flushing a result and repairing it (see
+    :mod:`repro.streaming.continuous`).
+    """
+
+    epoch: int
+    op: str
+    object_id: int
 
 
 class TopKDominatingEngine:
@@ -145,6 +165,7 @@ class TopKDominatingEngine:
         self.build_distance_computations = self.counting_metric.count
         self._epoch = 0
         self._write_listeners: List[Callable[[int], None]] = []
+        self._change_listeners: List[Callable[[ChangeEvent], None]] = []
         self.fault_injector = None
 
     # ------------------------------------------------------------------
@@ -234,10 +255,39 @@ class TopKDominatingEngine:
 
         return unsubscribe
 
-    def _notify_write(self) -> None:
+    def subscribe_changes(
+        self, listener: Callable[[ChangeEvent], None]
+    ) -> Callable[[], None]:
+        """Call ``listener(ChangeEvent)`` after every successful write.
+
+        Like :meth:`subscribe_writes` but typed: the listener learns
+        *which* object moved, not just that the epoch advanced.  Change
+        listeners run synchronously after all epoch-only write
+        listeners — so a cache that flushes on the write channel is
+        already clean by the time an incremental maintainer repairs and
+        re-primes it from the change channel.  Returns an unsubscribe
+        callable.
+        """
+        self._change_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._change_listeners.remove(listener)
+            except ValueError:  # already unsubscribed
+                pass
+
+        return unsubscribe
+
+    def _notify_write(self, op: str, object_id: int) -> None:
         self._epoch += 1
         for listener in list(self._write_listeners):
             listener(self._epoch)
+        if self._change_listeners:
+            event = ChangeEvent(
+                epoch=self._epoch, op=op, object_id=object_id
+            )
+            for listener in list(self._change_listeners):
+                listener(event)
 
     def prepare_for_concurrency(self) -> None:
         """Make the shared mutable internals safe for parallel queries.
@@ -294,14 +344,14 @@ class TopKDominatingEngine:
             )
         object_id = self.space.append(payload)
         self.tree.insert(object_id)
-        self._notify_write()
+        self._notify_write("insert", object_id)
         return object_id
 
     def delete_object(self, object_id: int) -> bool:
         """Remove an object from the index (id stays allocated)."""
         removed = self.tree.delete(object_id)
         if removed:
-            self._notify_write()
+            self._notify_write("delete", object_id)
         return removed
 
     def register_query_payload(self, payload) -> int:

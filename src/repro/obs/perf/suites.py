@@ -20,6 +20,11 @@ suites ship:
 * ``chaos`` — the serving workload under seeded fault profiles
   (``flaky-disk``, ``bad-sectors``), recording degraded throughput and
   fault counts.
+* ``streaming`` — per-update cost of a standing ``MSD(Q, k)`` over an
+  arrival-rate × window-size grid, incremental repair
+  (:class:`repro.streaming.continuous.ContinuousTopK`) against
+  recompute-per-update.  Single-threaded and fully seeded, so its
+  distance/page counters are gate-exact like ``core``'s.
 
 Case query sets are seeded through :func:`stable_seed` (CRC32, not
 ``hash``) because ``PYTHONHASHSEED`` randomises string hashing per
@@ -285,6 +290,110 @@ def _chaos_cases(
     ]
 
 
+# ----------------------------------------------------------------------
+# streaming: incremental repair vs recompute-per-update
+# ----------------------------------------------------------------------
+#: (window sizes, updates-per-measurement rates) per profile name.
+_STREAMING_SCALE: Dict[str, Dict[str, Tuple[int, ...]]] = {
+    "smoke": dict(windows=(300, 600), rates=(4, 8)),
+    "quick": dict(windows=(1000, 2000), rates=(8, 16)),
+    "full": dict(windows=(4000, 10000), rates=(8, 16)),
+}
+
+
+def _streaming_case(
+    mode: str,
+    window: int,
+    rate: int,
+    profile: BenchProfile,
+    clock: Callable[[], float],
+) -> BenchCase:
+    from repro.bench.config import DEFAULT_K, DEFAULT_M
+
+    def run() -> CaseSample:
+        import numpy as np
+
+        from repro.core.engine import TopKDominatingEngine
+        from repro.datasets.synthetic import uniform
+        from repro.streaming import ContinuousTopK
+
+        space = uniform(n=window, seed=profile.seed, dims=4)
+        engine = TopKDominatingEngine(
+            space, rng=random.Random(profile.seed)
+        )
+        rng = random.Random(
+            stable_seed("streaming", profile.seed, window, rate)
+        )
+        query_ids = sorted(rng.sample(range(window), DEFAULT_M))
+        arrivals = [
+            np.array([rng.random() for _ in range(4)])
+            for _ in range(rate)
+        ]
+        # oldest-first expiry order, sparing the query objects (they
+        # are the standing query's pinned reference points).
+        victims = [
+            obj for obj in range(window) if obj not in set(query_ids)
+        ][:rate]
+        maintainer = None
+        if mode == "incremental":
+            maintainer = ContinuousTopK(engine, query_ids, DEFAULT_K)
+            maintainer.attach()
+        engine.buffers.clear()
+        metric = engine.counting_metric
+        distances_before = metric.count
+        io_before = engine.buffers.combined_io()
+        started = clock()
+        for arrival, victim in zip(arrivals, victims):
+            engine.insert_object(arrival)
+            engine.delete_object(victim)
+            if mode == "recompute":
+                engine.top_k_dominating(query_ids, DEFAULT_K)
+        wall = clock() - started
+        distances = metric.count - distances_before
+        io = engine.buffers.combined_io().delta_since(io_before)
+        metrics: Dict[str, Any] = {
+            "per_update_wall_ms": wall / rate * 1e3,
+            "per_update_distances": distances / rate,
+        }
+        if maintainer is not None:
+            metrics["repairs"] = maintainer.counters["repairs"]
+            metrics["recomputes"] = maintainer.counters["recomputes"]
+            maintainer.close()
+        return CaseSample(
+            wall_seconds=wall,
+            counters={
+                "distance_computations": distances,
+                "page_faults": io.page_faults,
+                "buffer_hits": io.buffer_hits,
+            },
+            metrics=metrics,
+        )
+
+    return BenchCase(
+        id=f"window/{mode}/w={window}/rate={rate}",
+        run=run,
+        meta={
+            "mode": mode,
+            "window": window,
+            "updates": rate,
+            "m": DEFAULT_M,
+            "k": DEFAULT_K,
+        },
+    )
+
+
+def _streaming_cases(
+    profile: BenchProfile, clock: Callable[[], float]
+) -> List[BenchCase]:
+    scale = _STREAMING_SCALE.get(profile.name, _STREAMING_SCALE["smoke"])
+    return [
+        _streaming_case(mode, window, rate, profile, clock)
+        for window in scale["windows"]
+        for rate in scale["rates"]
+        for mode in ("incremental", "recompute")
+    ]
+
+
 #: suite name -> builder(profile, clock) -> cases
 SUITES: Dict[
     str, Callable[[BenchProfile, Callable[[], float]], List[BenchCase]]
@@ -292,6 +401,7 @@ SUITES: Dict[
     "core": _core_cases,
     "serving": _serving_cases,
     "chaos": _chaos_cases,
+    "streaming": _streaming_cases,
 }
 
 

@@ -19,7 +19,14 @@ measurable code.  It wraps one shared
 * **result cache** — an LRU keyed the same way, validated against the
   engine's write epoch and flushed on every ``insert_object`` /
   ``delete_object`` so a dynamic data set can never be served stale
-  scores (``cache.py``);
+  scores; keys of subscribed standing queries are *pinned* and
+  refreshed in place instead of flushed (``cache.py``);
+* **standing-query subscriptions** — ``subscribe``/``unsubscribe``
+  register a continuous ``MSD(Q, k)`` maintained incrementally by
+  :class:`~repro.streaming.continuous.ContinuousTopK`; result deltas
+  stream through bounded per-subscription queues with
+  overflow→resync semantics (``subscriptions.py``, see
+  ``docs/streaming.md``);
 * **metrics** — latency histograms, queue gauges, cache/coalescer
   effectiveness and per-algorithm engine-cost aggregates, exported as
   one ``snapshot()`` dict (``metrics.py``) through the unified
@@ -63,6 +70,7 @@ from repro.service.server import (
     ReadWriteLock,
     ServiceConfig,
 )
+from repro.service.subscriptions import Subscription, SubscriptionManager
 
 __all__ = [
     "AdmissionController",
@@ -84,6 +92,8 @@ __all__ = [
     "ServiceMetrics",
     "SingleFlight",
     "StaleResultError",
+    "Subscription",
+    "SubscriptionManager",
     "TransientFault",
     "run_load",
 ]

@@ -15,13 +15,16 @@ that guarantee; epochs can:
   (:meth:`attach`) and flushes eagerly, so stale entries do not even
   occupy frames.
 
-Flushing everything on every write is the deliberately conservative
-v1 — correctness first.  The refinement path (documented in
-``docs/serving.md``) is selective invalidation: a write at distance
-vector ``v`` can only change scores of entries whose query ball
-intersects the dominance region of ``v``, so entries could be indexed
-by query-set ball and invalidated per-region.  The epoch check makes
-such refinements safe to get wrong in the conservative direction only.
+Flushing everything on every write is the conservative default.  For
+**standing queries** (see :mod:`repro.streaming.continuous` and the
+service's ``subscribe``) the cache refines to per-key invalidation: a
+subscribed key is :meth:`pin`-ned, the write-time flush spares it, and
+the subscription's maintainer :meth:`refresh`-es it with the repaired
+answer at the new epoch immediately after the write — so the hot
+standing query keeps hitting across writes instead of being recomputed
+from scratch.  The per-get epoch check makes this refinement safe to
+get wrong in the conservative direction only: a pinned entry whose
+refresh did not happen simply misses (and is evicted), never served.
 
 The double guard (subscription flush *and* per-get epoch check) means
 correctness never rests on the subscription being wired: a detached
@@ -65,6 +68,8 @@ class ResultCache:
         self.misses = 0
         self.stale_evictions = 0
         self.flushes = 0
+        self.refreshes = 0
+        self._pinned: set = set()
         self._detach: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
@@ -99,14 +104,77 @@ class ResultCache:
         with self._lock:
             self._entries[key] = CacheEntry(value=value, epoch=epoch)
             self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        """LRU eviction that walks past pinned keys.
+
+        Pinned entries are maintained externally and must not fall out
+        under unrelated cache pressure; when everything is pinned the
+        cache is allowed to exceed capacity rather than evict one.
+        """
+        excess = len(self._entries) - self.capacity
+        if excess <= 0:
+            return
+        for key in list(self._entries):
+            if excess <= 0:
+                break
+            if key in self._pinned:
+                continue
+            del self._entries[key]
+            excess -= 1
 
     def flush(self) -> None:
-        """Drop every entry (called on each engine write, v1 policy)."""
+        """Drop every *unpinned* entry (called on each engine write).
+
+        Pinned standing-query keys survive: their maintainers refresh
+        them right after the write, and the per-get epoch check guards
+        the gap in between.
+        """
         with self._lock:
-            self._entries.clear()
+            if self._pinned:
+                survivors = OrderedDict(
+                    (key, entry)
+                    for key, entry in self._entries.items()
+                    if key in self._pinned
+                )
+                self._entries = survivors
+            else:
+                self._entries.clear()
             self.flushes += 1
+
+    # ------------------------------------------------------------------
+    # standing-query pinning (per-key invalidation)
+    # ------------------------------------------------------------------
+    def pin(self, key: Hashable) -> None:
+        """Mark ``key`` as maintained: spared by flush, never LRU'd."""
+        with self._lock:
+            self._pinned.add(key)
+
+    def unpin(self, key: Hashable) -> None:
+        """Return ``key`` to normal epoch-flush lifecycle (idempotent).
+
+        The entry itself is dropped: without a maintainer refreshing
+        it, the next write would strand it stale-but-resident.
+        """
+        with self._lock:
+            self._pinned.discard(key)
+            self._entries.pop(key, None)
+
+    def refresh(self, key: Hashable, epoch: int, value: Any) -> None:
+        """Re-prime a pinned key with its maintained answer.
+
+        Same write as :meth:`put` but counted separately — refreshes
+        measure the standing-query maintenance path, puts measure cold
+        query executions.
+        """
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = CacheEntry(value=value, epoch=epoch)
+            self._entries.move_to_end(key)
+            self.refreshes += 1
+            self._evict_over_capacity()
 
     # ------------------------------------------------------------------
     # engine wiring
@@ -160,4 +228,6 @@ class ResultCache:
                 "hit_rate": self._hit_rate_locked(),
                 "stale_evictions": self.stale_evictions,
                 "flushes": self.flushes,
+                "refreshes": self.refreshes,
+                "pinned": len(self._pinned),
             }

@@ -15,6 +15,7 @@ epoch-invalidation path under load.
 
     repro-serve --n 400 --clients 8 --workers 4 --requests 200
     repro-serve --write-fraction 0.2 --verify   # audit vs brute force
+    repro-serve --subscribers 4 --write-mix 0.3  # standing-query deltas
     repro-serve --stats                          # dump metrics JSON
     repro-serve --stats --metrics-format prometheus   # text exposition
     repro-serve --fault-profile flaky-disk --fault-seed 3   # chaos run
@@ -39,11 +40,13 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.brute_force import brute_force_scores
 from repro.faults.chaos import PROFILES, ChaosConfig
 from repro.service.admission import (
     DeadlineExceeded,
     FatalFault,
     Overloaded,
+    StaleResultError,
     TransientFault,
 )
 from repro.service.server import QueryService, ServiceConfig
@@ -64,6 +67,11 @@ class LoadConfig:
     deadline: Optional[float] = None
     seed: int = 7
     verify: bool = False
+    #: standing-query subscribers polling deltas alongside the one-shot
+    #: clients (the ``repro-serve --subscribers --write-mix`` mode).
+    subscribers: int = 0
+    #: seconds a subscriber sleeps between polls.
+    poll_interval: float = 0.005
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -72,6 +80,10 @@ class LoadConfig:
             raise ValueError("write_fraction must be in [0, 1]")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if self.subscribers < 0:
+            raise ValueError("subscribers must be >= 0")
+        if self.poll_interval <= 0.0:
+            raise ValueError("poll_interval must be > 0")
 
 
 @dataclass
@@ -90,6 +102,13 @@ class LoadReport:
     verified: int = 0
     unverifiable: int = 0
     latencies: List[float] = field(default_factory=list)
+    subscriptions: int = 0
+    deltas_received: int = 0
+    delta_resyncs: int = 0
+    #: delta lag quantiles in seconds (enqueue -> poll, measured
+    #: server-side by the subscription manager's histogram).
+    delta_lag_p50: float = 0.0
+    delta_lag_p99: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -126,6 +145,16 @@ class LoadReport:
             lines.append(
                 f"verified         {self.verified:8d}"
                 f"  (+{self.unverifiable} unverifiable: epoch moved)"
+            )
+        if self.subscriptions:
+            lines.extend(
+                [
+                    f"subscriptions    {self.subscriptions:8d}",
+                    f"deltas received  {self.deltas_received:8d}"
+                    f"  ({self.delta_resyncs} resyncs)",
+                    f"delta lag p50    {self.delta_lag_p50 * 1e3:8.2f} ms",
+                    f"delta lag p99    {self.delta_lag_p99 * 1e3:8.2f} ms",
+                ]
             )
         return "\n".join(lines)
 
@@ -231,9 +260,81 @@ async def run_load(
             else:
                 await one_query(rng)
 
+    clients_done = asyncio.Event()
+
+    async def drain(subscription) -> None:
+        deltas = await service.poll(subscription)
+        report.deltas_received += len(deltas)
+        report.delta_resyncs += sum(
+            1 for delta in deltas if delta.kind == "resync"
+        )
+
+    def verify_subscription(subscription) -> None:
+        # runs after clients_done with the final drain applied, so the
+        # universe is quiescent and brute force is an exact oracle for
+        # the maintained standing result.
+        engine = service.engine
+        query_ids, k, _ = subscription.key
+        truth = brute_force_scores(
+            engine.space,
+            list(query_ids),
+            universe=sorted(engine.tree.object_ids()),
+        )
+        ranked = sorted(truth.items(), key=lambda kv: (-kv[1], kv[0]))
+        expected = ranked[:k]
+        served = [
+            (item.object_id, item.score) for item in subscription.result
+        ]
+        if served != expected:
+            raise StaleResultError(
+                f"standing result {served} diverged from the "
+                f"brute-force top-{k} {expected}"
+            )
+
+    async def subscriber(subscriber_id: int) -> None:
+        # standing queries draw from the same Zipf pool as the one-shot
+        # clients, so subscribed keys are exactly the hot keys the
+        # cache pins and refreshes.
+        rng = random.Random(config.seed * 7919 + subscriber_id + 1)
+        query_ids = rng.choices(pool, weights=weights)[0]
+        subscription = await service.subscribe(
+            list(query_ids), config.k, algorithm=config.algorithm
+        )
+        report.subscriptions += 1
+        try:
+            while not clients_done.is_set():
+                await asyncio.sleep(config.poll_interval)
+                await drain(subscription)
+            await drain(subscription)  # final drain: no delta left behind
+            if config.verify:
+                await loop.run_in_executor(
+                    None, verify_subscription, subscription
+                )
+                report.verified += 1
+        finally:
+            await service.unsubscribe(subscription)
+
+    async def drive_clients() -> None:
+        try:
+            await asyncio.gather(
+                *(client(i) for i in range(config.clients))
+            )
+        finally:
+            clients_done.set()
+
     started = time.perf_counter()
-    await asyncio.gather(*(client(i) for i in range(config.clients)))
+    if config.subscribers:
+        await asyncio.gather(
+            drive_clients(),
+            *(subscriber(i) for i in range(config.subscribers)),
+        )
+    else:
+        await drive_clients()
     report.wall_seconds = time.perf_counter() - started
+    if config.subscribers:
+        histogram = service.subscriptions.delta_lag
+        report.delta_lag_p50 = histogram.quantile(0.50)
+        report.delta_lag_p99 = histogram.quantile(0.99)
     return report
 
 
@@ -261,6 +362,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="total operations to issue (default 200)")
     parser.add_argument("--write-fraction", type=float, default=0.0,
                         help="fraction of ops that are writes (default 0)")
+    parser.add_argument("--subscribers", type=int, default=0,
+                        help="standing-query subscribers polling result "
+                             "deltas alongside the one-shot clients "
+                             "(default 0)")
+    parser.add_argument("--write-mix", type=float, default=None,
+                        metavar="FRACTION",
+                        help="shorthand for --write-fraction in the "
+                             "subscription mode: mixes writes into the "
+                             "one-shot stream so standing queries have "
+                             "deltas to deliver")
+    parser.add_argument("--poll-interval", type=float, default=0.005,
+                        help="subscriber poll period in seconds "
+                             "(default 0.005)")
     parser.add_argument("--zipf", type=float, default=1.1,
                         help="Zipf skew of the query mix (default 1.1)")
     parser.add_argument("--pool", type=int, default=32,
@@ -283,7 +397,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--io-scale", type=float, default=1.0,
                         help="scale factor on simulated I/O sleeps")
     parser.add_argument("--verify", action="store_true",
-                        help="audit every response against brute force")
+                        help="audit every response against brute force "
+                             "(with --subscribers, also audits each "
+                             "final standing result)")
     parser.add_argument("--fault-profile", default="none",
                         choices=sorted(PROFILES),
                         help="seeded chaos profile injected into the "
@@ -346,10 +462,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             chaos=chaos,
             tracer=tracer,
         )
+        write_fraction = (
+            args.write_mix
+            if args.write_mix is not None
+            else args.write_fraction
+        )
         load_config = LoadConfig(
             clients=args.clients,
             requests=args.requests,
-            write_fraction=args.write_fraction,
+            write_fraction=write_fraction,
             zipf_s=args.zipf,
             pool_size=args.pool,
             m=args.m,
@@ -358,6 +479,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             deadline=args.deadline,
             seed=args.seed,
             verify=args.verify,
+            subscribers=args.subscribers,
+            poll_interval=args.poll_interval,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -366,11 +489,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     chaos_note = (
         f", chaos={args.fault_profile}/seed={chaos.seed}" if chaos else ""
     )
+    subscriber_note = (
+        f", {args.subscribers} subscribers" if args.subscribers else ""
+    )
     print(
         f"serving UNI n={args.n} dims={args.dims} with "
         f"{args.workers} workers, {args.clients} clients, "
-        f"{args.requests} ops ({args.write_fraction:.0%} writes), "
-        f"algorithm={args.algorithm}{chaos_note}"
+        f"{args.requests} ops ({load_config.write_fraction:.0%} writes)"
+        f"{subscriber_note}, algorithm={args.algorithm}{chaos_note}"
     )
     try:
         service = QueryService(engine, service_config)

@@ -84,6 +84,7 @@ from repro.service.admission import (
 from repro.service.cache import CacheKey, ResultCache
 from repro.service.coalesce import SingleFlight
 from repro.service.metrics import ServiceMetrics
+from repro.service.subscriptions import Subscription, SubscriptionManager
 from repro.storage.stats import QueryStats
 
 #: shared stand-in for "no root trace": yields the falsy no-op span, so
@@ -213,6 +214,10 @@ class ServiceConfig:
     io_model: bool = False
     io_cost_scale: float = 1.0
     verify: bool = False
+    #: default per-subscription delta-queue capacity; an overflowing
+    #: queue drops its backlog and forces a resync on the next poll
+    #: (see repro.service.subscriptions).
+    subscription_queue: int = 64
     #: optional seeded fault injection on the engine's simulated disks
     #: (see repro.faults); typed failures surface as TransientFault /
     #: FatalFault instead of crashing workers.
@@ -266,6 +271,11 @@ class QueryService:
         self._engine_lock = ReadWriteLock()
         self.cache = ResultCache(self.config.cache_capacity)
         self.cache.attach(engine)
+        self.subscriptions = SubscriptionManager(
+            engine,
+            self.cache,
+            default_queue_capacity=self.config.subscription_queue,
+        )
         self.coalescer = SingleFlight()
         self.admission = AdmissionController(
             max_inflight=self.config.resolved_max_inflight(),
@@ -306,6 +316,9 @@ class QueryService:
         registry.register_collector("engine", self._engine_snapshot)
         registry.register_collector("admission", self.admission.snapshot)
         registry.register_collector("cache", self.cache.snapshot)
+        registry.register_collector(
+            "subscriptions", self.subscriptions.snapshot
+        )
         registry.register_collector("coalescer", self.coalescer.snapshot)
         registry.register_collector(
             "faults",
@@ -559,6 +572,91 @@ class QueryService:
         )
 
     # ------------------------------------------------------------------
+    # standing-query subscriptions
+    # ------------------------------------------------------------------
+    def subscribe_sync(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str = "pba2",
+        **kwargs: Any,
+    ) -> Subscription:
+        """Register a standing query; returns its delta channel.
+
+        The standing result is bootstrapped under the engine write lock
+        (a consistent snapshot), then repaired incrementally inside
+        every subsequent write.  The query's cache key is pinned and
+        kept refreshed, so one-shot :meth:`query` calls for the same
+        ``(Q, k, algorithm)`` hit the cache across writes.  Keyword
+        arguments reach the maintainer (``queue_capacity``,
+        ``recompute_threshold``, ``aux_mirror``).
+        """
+        with self._trace_write("subscribe"):
+            with trace.span(
+                "service.write_lock_wait", category="service"
+            ):
+                self._engine_lock.acquire_write()
+            try:
+                return self.subscriptions.subscribe(
+                    query_ids, k, algorithm, **kwargs
+                )
+            finally:
+                self._engine_lock.release_write()
+
+    def unsubscribe_sync(self, subscription: Subscription) -> None:
+        """Tear down a subscription (idempotent)."""
+        with self._engine_lock.write():
+            self.subscriptions.unsubscribe(subscription)
+
+    def poll_sync(
+        self,
+        subscription: Subscription,
+        max_deltas: Optional[int] = None,
+    ) -> List[Any]:
+        """Drain a subscription's queued deltas.
+
+        The common drain is lock-free; a poll that must resync (after
+        a queue overflow) rebuilds the standing result under the write
+        lock so the snapshot cannot interleave with a mutation.
+        """
+        if subscription.resync_pending:
+            with self._engine_lock.write():
+                return subscription.poll(max_deltas)
+        return subscription.poll(max_deltas)
+
+    async def subscribe(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str = "pba2",
+        **kwargs: Any,
+    ) -> Subscription:
+        """Async :meth:`subscribe_sync` (runs on the worker pool)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool,
+            lambda: self.subscribe_sync(query_ids, k, algorithm, **kwargs),
+        )
+
+    async def unsubscribe(self, subscription: Subscription) -> None:
+        """Async :meth:`unsubscribe_sync`."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._pool, self.unsubscribe_sync, subscription
+        )
+
+    async def poll(
+        self,
+        subscription: Subscription,
+        max_deltas: Optional[int] = None,
+    ) -> List[Any]:
+        """Async :meth:`poll_sync`."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self.poll_sync, subscription, max_deltas
+        )
+
+    # ------------------------------------------------------------------
     # verification
     # ------------------------------------------------------------------
     def verify_response(
@@ -740,6 +838,7 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        self.subscriptions.close()
         self.cache.detach()
         self._pool.shutdown(wait=True)
 

@@ -1,15 +1,36 @@
-"""Continuous top-k dominating queries over a sliding window.
+"""Continuous top-k dominating queries over streams.
 
 The paper's related-work section points at continuous monitoring of
 top-k dominating results over sliding windows as an established
 companion problem; combined with the M-tree's insert/delete support
-(the reason the paper picks it, Section 4.1), this module provides a
-window-maintenance layer: objects arrive with timestamps, expire after
-``window_size`` arrivals, and the current ``MSD(Q, k)`` can be asked
-at any time — answered by any of the repository's algorithms over the
-live window.
+(the reason the paper picks it, Section 4.1), this package provides
+the streaming layer:
+
+* :class:`~repro.streaming.continuous.ContinuousTopK` — a standing
+  query ``(Q, k)`` whose result is *repaired* incrementally on every
+  insert/delete (the comparable-ball maintenance of dynamic top-k
+  dominating queries) and streamed out as typed
+  :class:`~repro.streaming.continuous.ResultDelta` values;
+* :class:`~repro.streaming.window.SlidingWindowTopK` — count- and
+  time-based sliding windows driving the maintainers, with pinned
+  reference objects excluded from scoring arithmetically (never by
+  churning the index).
+
+See ``docs/streaming.md`` for the maintenance algorithm and the
+subscription wire semantics layered on top by ``repro.service``.
 """
 
+from repro.streaming.continuous import (
+    ContinuousTopK,
+    ResultDelta,
+    StandingQuery,
+)
 from repro.streaming.window import SlidingWindowTopK, WindowEvent
 
-__all__ = ["SlidingWindowTopK", "WindowEvent"]
+__all__ = [
+    "ContinuousTopK",
+    "ResultDelta",
+    "SlidingWindowTopK",
+    "StandingQuery",
+    "WindowEvent",
+]

@@ -1,38 +1,72 @@
 """Sliding-window maintenance over the dominating-query engine.
 
-A count-based sliding window: each :meth:`SlidingWindowTopK.append`
-admits one new object and, once the window is full, expires the
-oldest.  The live window is exactly the set of objects indexed in the
-engine's M-tree (insertions and leaf-entry deletions), so any query
-algorithm runs unmodified on the current contents.
+Two window shapes over one mechanism:
 
-Query objects are *pinned*: an expired object that is currently used
+* **count-based** (``window_size=w``): each
+  :meth:`SlidingWindowTopK.append` admits one new object and, once the
+  window is full, expires the oldest;
+* **time-based** (``horizon=h``): an append stamps the arrival and
+  expires everything older than ``now - h`` (possibly several objects,
+  possibly none).
+
+The live window is exactly the set of objects indexed in the engine's
+M-tree *minus* pinned ghosts: an expired object that is currently used
 as a query object stays physically present (queries must reference
-live ids) but is excluded from the result candidates — mirroring how a
-monitoring deployment would keep its reference objects alive.
+live ids) but is excluded from result candidates at scoring time —
+the index is never churned to answer a query.
+
+Standing queries (:meth:`register`) are delegated to
+:class:`~repro.streaming.continuous.ContinuousTopK`, which repairs the
+result incrementally on every append/expire instead of recomputing;
+:meth:`top_k` answers through the maintainer whenever the requested
+query matches a registered one, making the window a thin driver over
+the continuous subsystem.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Deque, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.dominance import DistanceVectorSource, dominates_vectors
 from repro.core.engine import TopKDominatingEngine
 from repro.core.progressive import ResultItem
 from repro.storage.stats import QueryStats
+from repro.streaming.continuous import ContinuousTopK
 
 
 @dataclass(frozen=True)
 class WindowEvent:
-    """One admission: the new object's id and the expired id (if any)."""
+    """One admission: the new object's id and the expired id(s).
+
+    ``expired`` is the first expired id (or ``None``) — the count-based
+    window expires at most one object per append, so this is the whole
+    story there; time-based windows can expire several, all listed in
+    ``expired_ids`` (oldest first).
+    """
 
     arrived: int
     expired: Optional[int]
+    expired_ids: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.expired_ids and self.expired is not None:
+            object.__setattr__(self, "expired_ids", (self.expired,))
 
 
 class SlidingWindowTopK:
-    """Continuous ``MSD(Q, k)`` over the last ``window_size`` arrivals.
+    """Continuous ``MSD(Q, k)`` over a sliding window of arrivals.
 
     Parameters
     ----------
@@ -41,23 +75,49 @@ class SlidingWindowTopK:
         initial contents of the engine form the initial window (oldest
         first by object id).
     window_size:
-        Maximum number of live (non-pinned) objects.
+        Count-based capacity: maximum number of live objects.
+    horizon:
+        Time-based capacity: seconds an arrival stays live.  Exactly
+        one of ``window_size``/``horizon`` must be given.
+    clock:
+        Time source for the time-based window (default
+        ``time.monotonic``); appends may also pass explicit
+        ``timestamp`` values for deterministic replay.
     """
 
     def __init__(
-        self, engine: TopKDominatingEngine, window_size: int
+        self,
+        engine: TopKDominatingEngine,
+        window_size: Optional[int] = None,
+        *,
+        horizon: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
-        if window_size < 1:
+        if (window_size is None) == (horizon is None):
+            raise ValueError(
+                "give exactly one of window_size (count-based) or "
+                "horizon (time-based)"
+            )
+        if window_size is not None and window_size < 1:
             raise ValueError("window_size must be >= 1")
+        if horizon is not None and horizon <= 0:
+            raise ValueError("horizon must be > 0 seconds")
         initial = sorted(engine.tree.object_ids())
-        if len(initial) > window_size:
+        if window_size is not None and len(initial) > window_size:
             raise ValueError(
                 "engine holds more objects than the window admits"
             )
         self.engine = engine
         self.window_size = window_size
+        self.horizon = horizon
+        self._clock = clock or time.monotonic
         self._window: Deque[int] = deque(initial)
+        now = self._clock() if horizon is not None else 0.0
+        self._arrival_time: Dict[int, float] = {
+            obj: now for obj in initial
+        }
         self._pinned: set = set()
+        self._maintainers: List[ContinuousTopK] = []
 
     # ------------------------------------------------------------------
     # stream maintenance
@@ -70,20 +130,44 @@ class SlidingWindowTopK:
         """Ids currently inside the window, oldest first."""
         return list(self._window)
 
-    def append(self, payload: Any) -> WindowEvent:
-        """Admit one arrival; expire the oldest when over capacity."""
+    def append(
+        self, payload: Any, timestamp: Optional[float] = None
+    ) -> WindowEvent:
+        """Admit one arrival; expire whatever the window shape evicts."""
+        now = (
+            timestamp
+            if timestamp is not None
+            else (self._clock() if self.horizon is not None else 0.0)
+        )
         new_id = self.engine.insert_object(payload)
         self._window.append(new_id)
-        expired: Optional[int] = None
-        if len(self._window) > self.window_size:
-            expired = self._expire_oldest()
-        return WindowEvent(arrived=new_id, expired=expired)
+        self._arrival_time[new_id] = now
+        expired: List[int] = []
+        if self.window_size is not None:
+            if len(self._window) > self.window_size:
+                expired.append(self._expire_oldest())
+        else:
+            deadline = now - self.horizon
+            while (
+                len(self._window) > 1
+                and self._arrival_time[self._window[0]] <= deadline
+            ):
+                expired.append(self._expire_oldest())
+        return WindowEvent(
+            arrived=new_id,
+            expired=expired[0] if expired else None,
+            expired_ids=tuple(expired),
+        )
 
     def _expire_oldest(self) -> int:
         victim = self._window.popleft()
+        self._arrival_time.pop(victim, None)
         if victim in self._pinned:
-            # pinned query objects stay indexed; they are excluded
-            # from candidates at query time instead.
+            # pinned query objects stay indexed; the engine never sees
+            # a delete, so standing maintainers must be told the
+            # object left the *logical* window.
+            for maintainer in self._maintainers:
+                maintainer.remove_object(victim)
             return victim
         self.engine.delete_object(victim)
         return victim
@@ -93,11 +177,58 @@ class SlidingWindowTopK:
         self._pinned.add(object_id)
 
     def unpin(self, object_id: int) -> None:
-        """Release a pin; the object expires normally afterwards if it
-        has already left the window."""
+        """Release a pin; a departed ghost is deleted on release.
+
+        No-ops cleanly when the object was never pinned, was already
+        unpinned, or its ghost has already been deleted — double-unpin
+        is a natural race in a monitoring deployment rotating its
+        reference objects and must not raise.
+        """
+        if object_id not in self._pinned:
+            return
         self._pinned.discard(object_id)
         if object_id not in self._window and object_id in self.engine.tree:
             self.engine.delete_object(object_id)
+
+    # ------------------------------------------------------------------
+    # standing queries (the continuous path)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str = "pba2",
+        **kwargs: Any,
+    ) -> ContinuousTopK:
+        """Register a standing ``MSD(Q, k)`` maintained incrementally.
+
+        The returned :class:`ContinuousTopK` follows every append and
+        expiry (including pinned-ghost logical expiries); subsequent
+        :meth:`top_k` calls matching ``(Q, k)`` are answered from it
+        without touching the tree.  Extra keyword arguments are
+        forwarded to the maintainer (e.g. ``recompute_threshold``).
+        """
+        maintainer = ContinuousTopK(
+            self.engine,
+            query_ids,
+            k,
+            algorithm,
+            universe=list(self._window),
+            **kwargs,
+        )
+        maintainer.attach()
+        self._maintainers.append(maintainer)
+        return maintainer
+
+    def unregister(self, maintainer: ContinuousTopK) -> None:
+        """Detach a standing query and release its aux state."""
+        if maintainer in self._maintainers:
+            self._maintainers.remove(maintainer)
+        maintainer.close()
+
+    @property
+    def standing_queries(self) -> List[ContinuousTopK]:
+        return list(self._maintainers)
 
     # ------------------------------------------------------------------
     # querying the current window
@@ -111,8 +242,10 @@ class SlidingWindowTopK:
         """``MSD(Q, k)`` over the live window contents.
 
         Query objects must be alive (inside the window or pinned).
-        Results only contain window members: pinned-but-expired query
-        objects are filtered out.
+        Results only contain window members.  A registered standing
+        query matching ``(Q, k)`` answers from its maintained state;
+        otherwise the query runs batch on the engine with ghost
+        scores corrected arithmetically — the index is never mutated.
         """
         for query_id in query_ids:
             if query_id not in self.engine.tree:
@@ -120,28 +253,76 @@ class SlidingWindowTopK:
                     f"query object {query_id} is not alive; pin it "
                     "before it expires"
                 )
+        wanted = set(query_ids)
+        for maintainer in self._maintainers:
+            if (
+                set(maintainer.query.query_ids) == wanted
+                and maintainer.query.k == k
+            ):
+                return maintainer.result, maintainer.last_stats
         live = set(self._window)
-        # pinned-but-expired objects are reference points, not window
-        # members: take them out of the index for the duration of the
-        # query so domination scores count window members only.
-        ghosts = [
+        ghosts = sorted(
             obj
             for obj in self._pinned
             if obj not in live and obj in self.engine.tree
-        ]
-        # a ghost cannot be a query object's payload carrier problem:
-        # queries are ids whose payloads stay in the space either way.
-        for ghost in ghosts:
-            if ghost in query_ids:
-                # distances to a ghost query object remain computable
-                # from the space; removal from the index is still fine.
-                pass
-            self.engine.delete_object(ghost)
-        try:
-            results, stats = self.engine.top_k_dominating(
+        )
+        if not ghosts:
+            return self.engine.top_k_dominating(
                 query_ids, k, algorithm=algorithm
             )
-        finally:
-            for ghost in ghosts:
-                self.engine.tree.insert(ghost)
-        return results, stats
+        return self._ghost_corrected(query_ids, k, algorithm, ghosts)
+
+    def _ghost_corrected(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str,
+        ghosts: List[int],
+    ) -> Tuple[List[ResultItem], QueryStats]:
+        """Batch query with ghost domination subtracted arithmetically.
+
+        A ghost inflates ``dom(p)`` by one for every live ``p`` that
+        dominates it (and may itself be reported).  Instead of deleting
+        ghosts around the query — which churns tree pages — we run the
+        engine's progressive algorithm for a slightly deeper prefix and
+        correct: ``dom_window(p) = dom_tree(p) - |{g : p dominates g}|``.
+        Since corrected scores only ever shrink, the prefix is deep
+        enough as soon as the k-th corrected score is >= the raw score
+        of the last retrieved item (no unretrieved object can beat it).
+        The deepening loop doubles the prefix; each round reruns the
+        batch algorithm, which is acceptable because ghosts are rare
+        (only pinned reference objects that expired).
+        """
+        ghost_set = set(ghosts)
+        source = DistanceVectorSource(self.engine.space, query_ids)
+        ghost_vecs = [source.vector(g) for g in ghosts]
+        total = len(self.engine.tree)
+        fetch = min(total, k + len(ghosts))
+        merged = QueryStats()
+        while True:
+            raw, stats = self.engine.top_k_dominating(
+                query_ids, fetch, algorithm=algorithm
+            )
+            merged.merge(stats)
+            corrected = []
+            for item in raw:
+                if item.object_id in ghost_set:
+                    continue
+                vec = source.vector(item.object_id)
+                penalty = sum(
+                    1
+                    for gvec in ghost_vecs
+                    if dominates_vectors(vec, gvec)
+                )
+                corrected.append(
+                    ResultItem(item.object_id, item.score - penalty)
+                )
+            corrected.sort(key=lambda it: (-it.score, it.object_id))
+            top = corrected[: min(k, len(self._window))]
+            if len(raw) >= total:
+                return top, merged
+            if len(top) >= min(k, len(self._window)):
+                floor = top[-1].score
+                if floor >= raw[-1].score:
+                    return top, merged
+            fetch = min(total, max(fetch + 1, 2 * fetch))

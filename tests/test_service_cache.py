@@ -100,3 +100,68 @@ class TestEpochValidation:
         assert snap["hits"] == 1
         assert snap["misses"] == 1
         assert snap["hit_rate"] == pytest.approx(0.5)
+
+
+class TestPinning:
+    def test_pinned_key_survives_flush(self):
+        cache = ResultCache(capacity=4)
+        cache.pin(KEY_A)
+        cache.put(KEY_A, 0, "standing")
+        cache.put(KEY_B, 0, "one-shot")
+        cache.flush()
+        assert cache.get(KEY_A, 0).value == "standing"
+        assert cache.get(KEY_B, 0) is None
+
+    def test_unpin_drops_the_entry(self):
+        cache = ResultCache(capacity=4)
+        cache.pin(KEY_A)
+        cache.put(KEY_A, 0, "standing")
+        cache.unpin(KEY_A)
+        # without a maintainer refreshing it, keeping the entry would
+        # strand it stale-but-resident after the next write.
+        assert cache.get(KEY_A, 0) is None
+        cache.unpin(KEY_A)  # idempotent
+
+    def test_refresh_counts_separately_from_put(self):
+        cache = ResultCache(capacity=4)
+        cache.pin(KEY_A)
+        cache.refresh(KEY_A, 1, "epoch1")
+        cache.refresh(KEY_A, 2, "epoch2")
+        assert cache.get(KEY_A, 2).value == "epoch2"
+        snap = cache.snapshot()
+        assert snap["refreshes"] == 2
+        assert snap["pinned"] == 1
+
+    def test_refresh_respects_capacity_zero(self):
+        cache = ResultCache(capacity=0)
+        cache.pin(KEY_A)
+        cache.refresh(KEY_A, 0, "a")
+        assert cache.get(KEY_A, 0) is None
+
+    def test_eviction_walks_past_pinned_keys(self):
+        cache = ResultCache(capacity=2)
+        cache.pin(KEY_A)
+        cache.put(KEY_A, 0, "pinned")  # oldest, but protected
+        cache.put(KEY_B, 0, "b")
+        cache.put(KEY_C, 0, "c")  # evicts B (the LRU unpinned key)
+        assert cache.get(KEY_A, 0).value == "pinned"
+        assert cache.get(KEY_B, 0) is None
+        assert cache.get(KEY_C, 0).value == "c"
+
+    def test_all_pinned_may_exceed_capacity(self):
+        cache = ResultCache(capacity=1)
+        cache.pin(KEY_A)
+        cache.pin(KEY_B)
+        cache.put(KEY_A, 0, "a")
+        cache.put(KEY_B, 0, "b")
+        assert len(cache) == 2  # pinned entries are never sacrificed
+        assert cache.get(KEY_A, 0).value == "a"
+        assert cache.get(KEY_B, 0).value == "b"
+
+    def test_stale_pinned_entry_still_misses(self):
+        cache = ResultCache(capacity=4)
+        cache.pin(KEY_A)
+        cache.refresh(KEY_A, 3, "old world")
+        # a missed refresh degrades to a miss, never a stale answer.
+        assert cache.get(KEY_A, 4) is None
+        assert cache.stale_evictions == 1

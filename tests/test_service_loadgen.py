@@ -102,3 +102,73 @@ class TestConsoleScript:
         )
         assert exit_code == 0
         assert "verified" in capsys.readouterr().out
+
+
+class TestSubscriberMode:
+    def test_subscribers_receive_deltas_and_report_lag(self, small_engine):
+        config = LoadConfig(
+            clients=3,
+            requests=30,
+            write_fraction=0.4,
+            pool_size=4,
+            m=3,
+            k=5,
+            seed=17,
+            subscribers=2,
+            poll_interval=0.002,
+        )
+        with QueryService(small_engine, ServiceConfig(workers=2)) as service:
+            report = asyncio.run(run_load(service, config))
+        assert report.subscriptions == 2
+        assert report.writes > 0
+        assert report.deltas_received > 0
+        assert report.delta_lag_p99 >= report.delta_lag_p50 >= 0.0
+        # all subscriptions unwound cleanly at the end of the run.
+        assert service.subscriptions.active == 0
+        text = report.render()
+        assert "deltas received" in text and "delta lag p99" in text
+
+    def test_verify_audits_final_standing_results(self, small_engine):
+        config = LoadConfig(
+            clients=2,
+            requests=20,
+            write_fraction=0.4,
+            pool_size=4,
+            m=3,
+            k=5,
+            seed=17,
+            subscribers=2,
+            poll_interval=0.002,
+            verify=True,
+        )
+        with QueryService(small_engine, ServiceConfig(workers=2)) as service:
+            report = asyncio.run(run_load(service, config))
+        assert report.subscriptions == 2
+        # two of the verified counts are the subscriber final-state
+        # audits; a StaleResultError would have propagated out of
+        # asyncio.gather and failed this test.
+        assert report.verified >= 2
+
+    def test_subscriber_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(subscribers=-1)
+        with pytest.raises(ValueError):
+            LoadConfig(poll_interval=0.0)
+
+    def test_main_subscriber_write_mix(self, capsys):
+        exit_code = main(
+            [
+                "--n", "60",
+                "--requests", "16",
+                "--clients", "2",
+                "--workers", "2",
+                "--subscribers", "2",
+                "--write-mix", "0.4",
+                "--no-io-model",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2 subscribers" in out
+        assert "40% writes" in out
+        assert "delta lag p50" in out

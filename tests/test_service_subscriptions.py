@@ -1,0 +1,193 @@
+"""Standing-query subscriptions through :class:`QueryService`."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import brute_force_scores
+from repro.service import QueryService, ServiceConfig
+
+from tests.conftest import make_engine
+
+QUERY = [2, 7]
+K = 4
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def service(small_engine):
+    with QueryService(small_engine, ServiceConfig(workers=2)) as svc:
+        yield svc
+
+
+def oracle_pairs(engine, query_ids, k):
+    truth = brute_force_scores(
+        engine.space, query_ids, universe=sorted(engine.tree.object_ids())
+    )
+    ranked = sorted(truth.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [(oid, score) for oid, score in ranked[:k]]
+
+
+class TestLifecycle:
+    def test_subscribe_returns_bootstrap_result(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        assert [
+            (r.object_id, r.score) for r in sub.result
+        ] == oracle_pairs(service.engine, QUERY, K)
+        assert service.subscriptions.active == 1
+        service.unsubscribe_sync(sub)
+        assert service.subscriptions.active == 0
+
+    def test_unsubscribe_is_idempotent(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        service.unsubscribe_sync(sub)
+        service.unsubscribe_sync(sub)
+        assert service.subscriptions.snapshot()["closed"] == 1
+
+    def test_poll_after_unsubscribe_raises(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        service.unsubscribe_sync(sub)
+        with pytest.raises(ValueError):
+            service.poll_sync(sub)
+
+    def test_close_tears_down_subscriptions(self, small_engine):
+        svc = QueryService(small_engine, ServiceConfig(workers=1))
+        sub = svc.subscribe_sync(QUERY, K)
+        svc.close()
+        assert sub.closed
+        assert svc.subscriptions.active == 0
+
+    def test_queue_capacity_validation(self, service):
+        with pytest.raises(ValueError):
+            service.subscribe_sync(QUERY, K, queue_capacity=0)
+
+
+class TestDeltaFlow:
+    def test_writes_stream_deltas_and_track_oracle(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        rng = np.random.default_rng(40)
+        # a burst of random arrivals reshuffles the dense top of a
+        # 120-object window (seed-pinned, hence deterministic).
+        for i in range(4):
+            service.insert_sync(rng.random(3))
+        deltas = service.poll_sync(sub)
+        assert deltas, "displacing writes must produce deltas"
+        assert all(d.kind in ("repair", "recompute") for d in deltas)
+        assert [
+            (r.object_id, r.score) for r in sub.result
+        ] == oracle_pairs(service.engine, QUERY, K)
+        # the last delta's full-state result equals the live result.
+        assert list(deltas[-1].result) == sub.result
+        service.unsubscribe_sync(sub)
+
+    def test_max_deltas_bounds_the_drain(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        rng = np.random.default_rng(40)
+        for _ in range(4):
+            service.insert_sync(rng.random(3))
+        pending = sub.pending
+        assert pending >= 2  # seed-pinned: several displacing writes
+        first = service.poll_sync(sub, max_deltas=1)
+        rest = service.poll_sync(sub)
+        assert len(first) == 1
+        assert len(first) + len(rest) == pending
+        assert sub.delivered == pending
+        service.unsubscribe_sync(sub)
+
+    def test_overflow_resyncs_with_fresh_state(self, small_engine):
+        config = ServiceConfig(workers=1, subscription_queue=2)
+        with QueryService(small_engine, config) as svc:
+            sub = svc.subscribe_sync(QUERY, K)
+            rng = np.random.default_rng(40)
+            for _ in range(8):
+                svc.insert_sync(rng.random(3))
+            assert sub.resync_pending
+            deltas = svc.poll_sync(sub)
+            assert deltas[0].kind == "resync"
+            assert sub.overflows >= 1
+            # no stale state after recovery: matches the oracle.
+            assert [
+                (r.object_id, r.score) for r in sub.result
+            ] == oracle_pairs(svc.engine, QUERY, K)
+            assert svc.subscriptions.snapshot()["overflows"] >= 1
+            svc.unsubscribe_sync(sub)
+
+    def test_delta_lag_recorded(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        rng = np.random.default_rng(40)
+        while sub.pending == 0:
+            service.insert_sync(rng.random(3))
+        service.poll_sync(sub)
+        snap = service.subscriptions.snapshot()
+        assert snap["delta_lag"]["count"] >= 1
+        service.unsubscribe_sync(sub)
+
+
+class TestCacheIntegration:
+    def test_standing_query_hits_cache_across_writes(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        r1 = service.query_sync(QUERY, K)
+        assert r1.cached  # primed by the subscription bootstrap
+        service.insert_sync(service.engine.space.payload(QUERY[0]))
+        r2 = service.query_sync(QUERY, K)
+        assert r2.cached  # refreshed, not flushed
+        assert r2.epoch == service.engine.epoch
+        assert [
+            (r.object_id, r.score) for r in r2.results
+        ] == oracle_pairs(service.engine, QUERY, K)
+        service.unsubscribe_sync(sub)
+
+    def test_unrelated_queries_still_flushed(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        other = [1, 5]
+        service.query_sync(other, K)
+        service.insert_sync(service.engine.space.payload(QUERY[0]))
+        r = service.query_sync(other, K)
+        assert not r.cached  # non-subscribed keys keep epoch semantics
+        service.unsubscribe_sync(sub)
+
+    def test_unsubscribed_key_returns_to_flush_lifecycle(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        service.unsubscribe_sync(sub)
+        r1 = service.query_sync(QUERY, K)
+        assert not r1.cached  # unpin dropped the entry
+        service.insert_sync(service.engine.space.payload(QUERY[0]))
+        r2 = service.query_sync(QUERY, K)
+        assert not r2.cached
+
+    def test_key_normalized_like_one_shot_queries(self, service):
+        sub = service.subscribe_sync([7, 2], K)  # unsorted on purpose
+        r = service.query_sync([2, 7], K)
+        assert r.cached
+        assert sub.key == ((2, 7), K, "pba2")
+        service.unsubscribe_sync(sub)
+
+
+class TestAsyncFrontend:
+    def test_async_subscribe_poll_unsubscribe(self, service):
+        async def scenario():
+            sub = await service.subscribe(QUERY, K)
+            rng = np.random.default_rng(40)
+            while sub.pending == 0:
+                await service.insert(rng.random(3))
+            deltas = await service.poll(sub)
+            await service.unsubscribe(sub)
+            return sub, deltas
+
+        sub, deltas = run(scenario())
+        assert deltas and deltas[-1].op == "insert"
+        assert sub.closed
+
+    def test_metrics_snapshot_exposes_subscriptions(self, service):
+        sub = service.subscribe_sync(QUERY, K)
+        snap = service.registry.collect()
+        assert snap["subscriptions"]["active"] == 1
+        per = snap["subscriptions"]["per_subscription"]
+        assert per[0]["query_ids"] == sorted(QUERY)
+        service.unsubscribe_sync(sub)
