@@ -79,7 +79,7 @@ __all__ = [
 
 
 def open_engine(
-    space: MetricSpace,
+    space: Optional[MetricSpace] = None,
     *,
     seed: Optional[int] = 0,
     node_capacity: Optional[int] = None,
@@ -87,6 +87,9 @@ def open_engine(
     index: str = "mtree",
     bulk_load: bool = False,
     buffers: Optional[BufferPool] = None,
+    durability: Optional[str] = None,
+    recover_from: Optional[str] = None,
+    fsync_policy: str = "commit",
     rng=MISSING,
 ) -> TopKDominatingEngine:
     """Index a metric space with the paper's Section 5 configuration.
@@ -102,13 +105,48 @@ def open_engine(
     ``seed`` (an int, default 0) is the canonical randomness control
     for index construction; the former ``rng=`` keyword taking a
     ``random.Random`` is a deprecated alias for one release.
+
+    Durability (see ``docs/robustness.md``):
+
+    * ``durability=<dir>`` binds the fresh engine to a
+      :class:`~repro.recovery.DurabilityController` rooted at ``dir``
+      — every mutation is WAL-logged there and ``engine.checkpoint()``
+      snapshots into it.  The directory must not already hold durable
+      state (recover instead).
+    * ``recover_from=<dir>`` rebuilds an engine from that directory's
+      checkpoint + WAL tail instead of building from ``space`` (which
+      must then be omitted).  The recovered engine is durable in the
+      same directory and carries an ``engine.last_recovery`` report.
+    * ``fsync_policy`` tunes WAL sync cadence for either mode
+      (``"always"``, ``"commit"``, ``"batch"``, ``"never"``).
     """
     if rng is not MISSING:
         warn_deprecated("open_engine()", "the 'rng' keyword", "'seed'")
         rng_obj = rng
     else:
         rng_obj = random.Random(seed)
-    return TopKDominatingEngine(
+    if recover_from is not None:
+        if space is not None:
+            raise ValueError(
+                "open_engine: pass either space or recover_from, not both "
+                "(recovery rebuilds the space from the checkpoint)"
+            )
+        if durability is not None:
+            raise ValueError(
+                "open_engine: recover_from already re-enables durability "
+                "in the same directory; do not pass durability too"
+            )
+        from repro.recovery import recover_engine
+
+        return recover_engine(
+            recover_from, fsync_policy=fsync_policy, buffers=buffers
+        )
+    if space is None:
+        raise TypeError(
+            "open_engine: a MetricSpace is required unless recovering "
+            "(recover_from=<dir>)"
+        )
+    engine = TopKDominatingEngine(
         space,
         node_capacity=node_capacity,
         split_policy=split_policy,
@@ -117,6 +155,11 @@ def open_engine(
         index=index,
         bulk_load=bulk_load,
     )
+    if durability is not None:
+        from repro.recovery import enable_durability
+
+        enable_durability(engine, durability, fsync_policy=fsync_policy)
+    return engine
 
 
 @dataclass(frozen=True)

@@ -192,6 +192,25 @@ class AuxBPlusTree:
         for _key, rec in self.tree.items():
             yield rec
 
+    def snapshot_records(self) -> List[Tuple[int, int, int, Tuple]]:
+        """Plain-type image of every record, in object-id order.
+
+        Checkpoints (:mod:`repro.recovery`) embed this so a recovered
+        standing query's recomputed mirror can be verified against the
+        exact counters that were durable at snapshot time.
+        """
+        return [
+            (
+                rec.object_id,
+                rec.q_counter,
+                rec.qc_counter,
+                tuple(
+                    None if d is None else float(d) for d in rec.dists
+                ),
+            )
+            for rec in self.records()
+        ]
+
     # ------------------------------------------------------------------
     # retrieval bookkeeping
     # ------------------------------------------------------------------

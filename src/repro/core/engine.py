@@ -36,6 +36,7 @@ from typing import (
 from dataclasses import dataclass
 
 from repro._compat import MISSING, canonical_algorithm, resolve_alias
+from repro.faults.crashpoints import crashpoint
 from repro.core.aba import ABA
 from repro.core.approximate import ApproximateTopK
 from repro.core.brute_force import BruteForce
@@ -167,6 +168,10 @@ class TopKDominatingEngine:
         self._write_listeners: List[Callable[[int], None]] = []
         self._change_listeners: List[Callable[[ChangeEvent], None]] = []
         self.fault_injector = None
+        #: durability controller (repro.recovery), None = volatile.
+        self.durability = None
+        #: RecoveryReport when this engine came out of recover_engine.
+        self.last_recovery = None
 
     # ------------------------------------------------------------------
     # plumbing
@@ -332,6 +337,34 @@ class TopKDominatingEngine:
         self.buffers.index_manager.attach_injector(injector)
         self.buffers.aux_manager.attach_injector(injector)
 
+    def attach_durability(self, controller) -> None:
+        """Bind a :class:`repro.recovery.DurabilityController`.
+
+        From here on every ``insert_object``/``delete_object`` runs
+        inside a WAL transaction and is sealed by a commit record;
+        queries are untouched (capture is transaction-gated), so the
+        paper's cost counters stay bit-identical.  Most callers go
+        through ``open_engine(durability=...)`` /
+        ``repro.recovery.enable_durability`` instead, which also write
+        the base checkpoint.
+        """
+        controller.bind(self)
+
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Snapshot pages + aux records + epoch atomically.
+
+        Requires durability.  With ``path=None`` the controller's own
+        checkpoint is rewritten and the WAL truncated (log
+        compaction); an explicit ``path`` writes an out-of-band
+        snapshot and leaves the WAL alone.  Returns the path written.
+        """
+        if self.durability is None:
+            raise RuntimeError(
+                "engine has no durability attached; build it with "
+                "open_engine(durability=...) first"
+            )
+        return self.durability.checkpoint(self, path)
+
     # ------------------------------------------------------------------
     # dynamic data (the M-tree's insert/delete support, Section 4.1)
     # ------------------------------------------------------------------
@@ -342,14 +375,41 @@ class TopKDominatingEngine:
                 f"the {self.index_kind} index is static; rebuild the "
                 "engine to add objects"
             )
-        object_id = self.space.append(payload)
-        self.tree.insert(object_id)
+        durability = self.durability
+        if durability is None:
+            object_id = self.space.append(payload)
+            self.tree.insert(object_id)
+        else:
+            # WAL transaction: page mutations during the insert are
+            # captured; the commit record is the durability boundary.
+            # Listeners (caches, standing queries) are only notified
+            # after commit, so no observer ever sees an un-durable
+            # state as current.
+            with durability.transaction():
+                object_id = self.space.append(payload)
+                self.tree.insert(object_id)
+                crashpoint("engine.insert.pre_commit")
+                durability.commit_mutation(
+                    self, "insert", object_id, payload
+                )
+                crashpoint("engine.insert.post_commit")
         self._notify_write("insert", object_id)
         return object_id
 
     def delete_object(self, object_id: int) -> bool:
         """Remove an object from the index (id stays allocated)."""
-        removed = self.tree.delete(object_id)
+        durability = self.durability
+        if durability is None:
+            removed = self.tree.delete(object_id)
+        else:
+            with durability.transaction():
+                removed = self.tree.delete(object_id)
+                if removed:
+                    crashpoint("engine.delete.pre_commit")
+                    durability.commit_mutation(
+                        self, "delete", object_id, None
+                    )
+                    crashpoint("engine.delete.post_commit")
         if removed:
             self._notify_write("delete", object_id)
         return removed
@@ -364,7 +424,10 @@ class TopKDominatingEngine:
         toward domination scores.  Use the returned id inside
         ``query_ids`` like any other.
         """
-        return self.space.append(payload)
+        object_id = self.space.append(payload)
+        if self.durability is not None:
+            self.durability.record_query_payload(object_id, payload)
+        return object_id
 
     # ------------------------------------------------------------------
     # querying

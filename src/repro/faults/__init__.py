@@ -35,6 +35,15 @@ from repro.faults.chaos import (
     FaultRecord,
 )
 from repro.faults.checksum import payload_checksum
+from repro.faults.crashpoints import (
+    CRASH_POINTS,
+    CrashPlan,
+    SimulatedCrash,
+    clear_plan,
+    crashpoint,
+    install_plan,
+    sample_crash_points,
+)
 from repro.faults.errors import (
     CircuitOpen,
     FaultError,
@@ -50,12 +59,14 @@ from repro.faults.retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "CLOSED",
+    "CRASH_POINTS",
     "HALF_OPEN",
     "OPEN",
     "PROFILES",
     "ChaosConfig",
     "CircuitBreaker",
     "CircuitOpen",
+    "CrashPlan",
     "FaultError",
     "FaultInjector",
     "FaultRecord",
@@ -63,10 +74,15 @@ __all__ = [
     "RetryPolicy",
     "RpcFault",
     "RpcTimeout",
+    "SimulatedCrash",
     "SiteUnavailable",
     "StorageCorruption",
     "StorageFault",
     "TransientPageError",
     "call_with_retry",
+    "clear_plan",
+    "crashpoint",
+    "install_plan",
     "payload_checksum",
+    "sample_crash_points",
 ]

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.faults.breaker import CircuitBreaker
 from repro.faults.checksum import CORRUPTION_MASK
+from repro.faults.crashpoints import CrashPlan, install_plan
 from repro.faults.errors import (
     PermanentPageError,
     RpcTimeout,
@@ -70,6 +71,15 @@ class ChaosConfig:
     retry_base_delay: float = 0.001
     retry_max_delay: float = 0.050
     retry_jitter: float = 0.5
+    #: cap on cumulative backoff per retry loop (None = the curve's
+    #: own jitter-free sum; see RetryPolicy.worst_case_total).
+    retry_max_total_delay: Optional[float] = None
+
+    # crash injection (repro.faults.crashpoints): die at the
+    # ``crash_hit``-th arrival at the named site.  ``None`` disables.
+    crash_point: Optional[str] = None
+    crash_hit: int = 1
+    crash_mode: str = "kill"
 
     # per-site circuit breaker
     breaker_failure_threshold: int = 3
@@ -93,6 +103,18 @@ class ChaosConfig:
             base_delay=self.retry_base_delay,
             max_delay=self.retry_max_delay,
             jitter=self.retry_jitter,
+            max_total_delay=self.retry_max_total_delay,
+        )
+
+    @property
+    def crash_plan(self) -> Optional["CrashPlan"]:
+        """The crash schedule this config prescribes (None = none)."""
+        if self.crash_point is None:
+            return None
+        return CrashPlan(
+            site=self.crash_point,
+            hit=self.crash_hit,
+            mode=self.crash_mode,
         )
 
     @classmethod
@@ -175,6 +197,11 @@ class FaultInjector:
         self.config = config or ChaosConfig()
         self._sleep = sleep
         self.clock = clock
+        plan = self.config.crash_plan
+        if plan is not None:
+            # arming is process-global: a crash is a property of the
+            # process, not of one storage manager.
+            install_plan(plan)
         root = random.Random(self.config.seed)
         self._storage_rng = random.Random(root.randrange(1 << 62))
         self._rpc_rng = random.Random(root.randrange(1 << 62))

@@ -33,6 +33,13 @@ class RetryPolicy:
     #: jitter fraction: the delay is scaled by a uniform draw from
     #: ``[1 - jitter, 1]`` (so the cap is never exceeded).
     jitter: float = 0.5
+    #: hard bound on the *cumulative* backoff slept by one retry loop.
+    #: ``None`` derives the bound from the curve itself
+    #: (:meth:`worst_case_total`), so even a policy with many attempts
+    #: or a pathological multiplier cannot stall a caller beyond the
+    #: sum its own shape advertises.  Set explicitly to trade recovery
+    #: probability for tail latency.
+    max_total_delay: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -41,6 +48,8 @@ class RetryPolicy:
             raise ValueError("delays must be >= 0")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.max_total_delay is not None and self.max_total_delay < 0:
+            raise ValueError("max_total_delay must be >= 0")
 
     def backoff(self, attempt: int, rng: random.Random) -> float:
         """Delay before retry number ``attempt`` (0-based), in seconds."""
@@ -50,6 +59,23 @@ class RetryPolicy:
         if self.jitter:
             raw *= 1.0 - self.jitter * rng.random()
         return raw
+
+    def worst_case_total(self) -> float:
+        """Upper bound on total backoff one loop can sleep.
+
+        The jitter-free sum of every possible backoff (jitter only
+        shrinks delays), clipped by ``max_total_delay`` when set.
+        Pinned for the default policy by
+        ``tests/test_faults_retry.py`` — the regression guard that a
+        retry storm can never stall a write path longer than this.
+        """
+        total = sum(
+            min(self.max_delay, self.base_delay * self.multiplier ** a)
+            for a in range(self.max_attempts - 1)
+        )
+        if self.max_total_delay is not None:
+            total = min(total, self.max_total_delay)
+        return total
 
 
 def default_retryable(exc: BaseException) -> bool:
@@ -70,17 +96,27 @@ def call_with_retry(
     ``on_retry(exc, attempt, delay)`` fires before each backoff sleep
     (used by the fault injector to count and log retries).  The final
     failure propagates unchanged so callers see the typed fault.
+
+    Cumulative backoff is bounded by ``policy.worst_case_total()``:
+    each sleep is clipped to the budget remaining, so no retry loop —
+    whatever its attempt count or multiplier — can stall its caller
+    longer than the policy's advertised total.
     """
     attempt = 0
+    budget = policy.worst_case_total()
+    slept = 0.0
     while True:
         try:
             return fn()
         except Exception as exc:
             if not retryable(exc) or attempt >= policy.max_attempts - 1:
                 raise
-            delay = policy.backoff(attempt, rng)
+            delay = min(policy.backoff(attempt, rng), budget - slept)
+            if delay < 0:
+                delay = 0.0
             if on_retry is not None:
                 on_retry(exc, attempt, delay)
             if delay > 0:
                 sleep(delay)
+                slept += delay
             attempt += 1

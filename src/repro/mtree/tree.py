@@ -162,6 +162,63 @@ class MTree:
             tree.insert(object_id)
         return tree
 
+    @classmethod
+    def restore(
+        cls,
+        space: MetricSpace,
+        buffer: LRUBuffer,
+        *,
+        node_capacity: int,
+        split_policy: str,
+        rng: random.Random,
+        root_id: int,
+        size: int,
+        height: int,
+        page_ids: set,
+    ) -> "MTree":
+        """Re-adopt node pages already present in the buffer's manager.
+
+        The recovery path (:mod:`repro.recovery`): the page manager has
+        been restored from a checkpoint + WAL replay, so no node is
+        rebuilt and no distance is computed — only the in-memory meta
+        (root/size/height, the object→leaf directory) is reattached.
+        """
+        tree = cls.__new__(cls)
+        tree.space = space
+        tree.buffer = buffer
+        tree.node_capacity = node_capacity
+        tree.split_policy = split_policy
+        tree.rng = rng
+        tree.file = PagedFile(
+            manager=buffer.manager, name="mtree", page_ids=set(page_ids)
+        )
+        tree._root_id = root_id
+        tree._size = size
+        tree._height = height
+        tree._leaf_of = {}
+        tree._rebuild_directory()
+        return tree
+
+    def _rebuild_directory(self) -> None:
+        """Re-derive the object-id → leaf-page directory from the pages.
+
+        Reads bypass the buffer (``manager.peek``) so recovery charges
+        no page faults to the paper's counters.
+        """
+        self._leaf_of.clear()
+        manager = self.buffer.manager
+        stack = [self._root_id]
+        while stack:
+            page_id = stack.pop()
+            node: MTreeNode = manager.peek(page_id).payload
+            if node.is_leaf:
+                for entry in node.entries:
+                    self._leaf_of[entry.object_id] = page_id
+            else:
+                stack.extend(
+                    entry.child_page_id for entry in node.entries
+                )
+
     def insert(self, object_id: int) -> None:
         """Insert one object id."""
         if object_id in self._leaf_of:

@@ -1,0 +1,52 @@
+"""repro.recovery — durability: WAL, checkpoints, verified recovery.
+
+The paper's cost model *simulates* disks; this subsystem gives them a
+failure contract.  Three pieces:
+
+* **WAL** (``wal.py``) — a redo-only write-ahead log with CRC-framed
+  records, group-commit batching and injectable fsync policies; a torn
+  tail (crash mid-write) is detected by the framing and truncated.
+* **Controller** (``controller.py``) — binds to one engine: captures
+  page mutations inside engine write transactions, seals each mutation
+  with a commit record, writes atomic temp-then-rename checkpoints
+  (pages + aux-index records + write epoch + standing-query manifest),
+  and rebuilds engines via :func:`recover_engine` (checkpoint load +
+  idempotent WAL replay + tree-directory rebuild).
+* **Crash harness** (``harness.py``) — a subprocess driver that
+  SIGKILLs a durable worker at any registered
+  :mod:`~repro.faults.crashpoints` site and verifies the recovered
+  engine against brute force over the committed prefix.
+
+Entry points: ``open_engine(space, durability=dir)`` to make a new
+engine durable, ``open_engine(recover_from=dir)`` to resurrect one,
+``engine.checkpoint()`` to compact the log.  See
+``docs/robustness.md`` ("Durability & Recovery").
+"""
+
+from repro.recovery.controller import (
+    DurabilityController,
+    RecoveryError,
+    RecoveryReport,
+    enable_durability,
+    recover_engine,
+)
+from repro.recovery.wal import (
+    FSYNC_POLICIES,
+    WalError,
+    WriteAheadLog,
+    read_wal,
+    truncate_wal,
+)
+
+__all__ = [
+    "DurabilityController",
+    "FSYNC_POLICIES",
+    "RecoveryError",
+    "RecoveryReport",
+    "WalError",
+    "WriteAheadLog",
+    "enable_durability",
+    "read_wal",
+    "recover_engine",
+    "truncate_wal",
+]

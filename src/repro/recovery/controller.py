@@ -1,0 +1,628 @@
+"""Durability controller: WAL capture, checkpoints, recovery.
+
+One :class:`DurabilityController` binds to one
+:class:`~repro.core.engine.TopKDominatingEngine` and owns its
+durability directory::
+
+    <dir>/wal.log         redo-only write-ahead log (repro.recovery.wal)
+    <dir>/checkpoint.bin  latest atomic snapshot (temp + os.replace)
+
+**WAL capture is transaction-gated.**  The controller registers itself
+as the index :class:`~repro.storage.pages.PageManager`'s WAL sink, but
+page events are captured only while an engine-level transaction is
+open — and only the engine's write paths (``insert_object`` /
+``delete_object``) open one.  Queries therefore never append a WAL
+record, never flush, never fsync: recovery stays off the query hot
+path and the paper's gated cost counters are bit-identical with
+durability enabled (pinned by ``tests/test_recovery_neutrality.py``).
+
+**Commit records are the atomicity boundary.**  A mutation's page
+events reach the log when the engine flushes the index buffer at
+commit time (dirty frames → ``manager.write_page`` → captured), then a
+``commit`` record carrying the logical op, its payload, the post-op
+epoch and the tree meta is appended with ``commit=True`` (the group
+-commit sync point).  Replay buffers page events and applies them only
+when their trailing commit record is seen — an uncommitted tail is
+discarded wholesale.
+
+**Replay is idempotent over epochs.**  The engine epoch counts
+committed mutations; replay skips any commit whose epoch is ≤ the
+checkpoint's.  That makes the crash window between a checkpoint's
+atomic rename and its WAL truncate safe: a recovery that sees both the
+new checkpoint and the old WAL replays nothing twice.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import pickle
+import random
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.faults.crashpoints import crashpoint
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.obs import trace
+from repro.recovery.wal import (
+    FRAME,
+    WriteAheadLog,
+    read_wal,
+    truncate_wal,
+)
+
+CHECKPOINT_MAGIC = b"RPROCKPT1\n"
+
+#: format version stamped into every checkpoint.
+CHECKPOINT_VERSION = 1
+
+
+class RecoveryError(Exception):
+    """Raised on unusable durability directories or corrupt snapshots."""
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery did — surfaced via metrics and ``repro-serve``."""
+
+    directory: str
+    checkpoint_epoch: int
+    recovered_epoch: int
+    replayed_commits: int
+    replayed_page_records: int
+    replayed_records: int
+    torn_bytes_truncated: int
+    standing_queries: Dict[int, dict] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "directory": self.directory,
+            "checkpoint_epoch": self.checkpoint_epoch,
+            "recovered_epoch": self.recovered_epoch,
+            "replayed_commits": self.replayed_commits,
+            "replayed_page_records": self.replayed_page_records,
+            "replayed_records": self.replayed_records,
+            "torn_bytes_truncated": self.torn_bytes_truncated,
+            "standing_queries": len(self.standing_queries),
+            "seconds": self.seconds,
+        }
+
+
+class DurabilityController:
+    """Owns one engine's WAL + checkpoint pair (see module docstring)."""
+
+    def __init__(
+        self,
+        directory: str,
+        fsync_policy: str = "commit",
+        group_size: int = 8,
+        fsync=None,
+    ) -> None:
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.wal_path = os.path.join(directory, "wal.log")
+        self.checkpoint_path = os.path.join(directory, "checkpoint.bin")
+        self._fsync = fsync if fsync is not None else os.fsync
+        self.wal = WriteAheadLog(
+            self.wal_path,
+            fsync_policy=fsync_policy,
+            group_size=group_size,
+            fsync=self._fsync,
+        )
+        self.engine = None
+        self._txn_depth = 0
+        self._standing: Dict[int, dict] = {}
+        self._maintainers: Dict[int, Any] = {}
+        self._next_sid = 0
+        self.last_report: Optional[RecoveryReport] = None
+        self.counters: Dict[str, int] = {
+            "commits": 0,
+            "page_records": 0,
+            "standing_records": 0,
+            "checkpoints": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # binding & transactions
+    # ------------------------------------------------------------------
+    def bind(self, engine) -> None:
+        """Attach to an engine: become its ``durability`` + WAL sink."""
+        self.engine = engine
+        engine.durability = self
+        engine.buffers.index_manager.attach_wal(self)
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Open the page-event capture window (engine write paths only)."""
+        self._txn_depth += 1
+        try:
+            yield
+        finally:
+            self._txn_depth -= 1
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_depth > 0
+
+    # ------------------------------------------------------------------
+    # WAL sink protocol (called by PageManager before each mutation)
+    # ------------------------------------------------------------------
+    def accepts_page_events(self) -> bool:
+        return self._txn_depth > 0
+
+    def page_event(
+        self, disk: str, op: str, page_id: int, payload: Any
+    ) -> None:
+        """Log one physical page mutation (write / alloc / free).
+
+        The payload is pickled *now* — page payloads are live objects
+        that keep mutating in place, and the log must capture the
+        state being written.
+        """
+        blob = (
+            None if payload is None
+            else pickle.dumps(payload, protocol=4)
+        )
+        self.wal.append(("page", disk, op, page_id, blob))
+        self.counters["page_records"] += 1
+
+    # ------------------------------------------------------------------
+    # logical records
+    # ------------------------------------------------------------------
+    def commit_mutation(
+        self, engine, op: str, object_id: int, payload: Any
+    ) -> None:
+        """Materialize a mutation's page events, then seal them.
+
+        Flushing the index buffer drives every dirty page through
+        ``manager.write_page`` (stats-free by design — the paper
+        charges faults, not write-backs), which the capture window
+        turns into WAL page records; the trailing commit record is the
+        atomicity boundary *and* the group-commit sync point.
+        """
+        engine.buffers.index_buffer.flush()
+        tree = engine.tree
+        meta = {
+            "op": op,
+            "object_id": object_id,
+            "payload": payload,
+            "epoch": engine.epoch + 1,
+            "root_id": tree.root_page_id,
+            "size": len(tree),
+            "height": tree.height,
+        }
+        self.wal.append(("commit", meta), commit=True)
+        self.counters["commits"] += 1
+
+    def record_query_payload(self, object_id: int, payload: Any) -> None:
+        """Log an external query payload admitted into the space."""
+        self.wal.append(
+            ("query_payload", object_id, payload), commit=True
+        )
+
+    def record_standing(self, maintainer) -> int:
+        """Register a standing query in the durable manifest.
+
+        Returns the standing id (``sid``) under which the registration
+        is replayed; :meth:`forget_standing` drops it.  Keeping the
+        maintainer itself lets checkpoints embed its aux-index records.
+        """
+        q = maintainer.query
+        entry = {
+            "query_ids": list(q.query_ids),
+            "k": q.k,
+            "algorithm": q.algorithm,
+        }
+        sid = self._next_sid
+        self._next_sid += 1
+        crashpoint("streaming.register.pre_commit")
+        self.wal.append(("standing", "register", sid, entry), commit=True)
+        self.counters["standing_records"] += 1
+        self._standing[sid] = entry
+        self._maintainers[sid] = maintainer
+        return sid
+
+    def forget_standing(self, sid: int) -> None:
+        """Drop a standing registration (idempotent)."""
+        if sid not in self._standing:
+            return
+        del self._standing[sid]
+        self._maintainers.pop(sid, None)
+        self.wal.append(("standing", "drop", sid, None), commit=True)
+        self.counters["standing_records"] += 1
+
+    def standing_manifest(self) -> Dict[int, dict]:
+        """The live standing-query manifest (sid → entry)."""
+        return dict(self._standing)
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self, engine, path: Optional[str] = None) -> str:
+        """Snapshot pages + aux records + epoch atomically.
+
+        Default (``path=None``): write the controller's own
+        ``checkpoint.bin`` and truncate the WAL — the steady-state
+        log-compaction step.  With an explicit ``path`` an out-of-band
+        snapshot is written there and the WAL is left untouched.
+        """
+        if self.in_transaction:
+            raise RecoveryError("cannot checkpoint inside a transaction")
+        with trace.span(
+            "recovery.checkpoint",
+            category="recovery",
+            args={"epoch": engine.epoch},
+        ):
+            self.wal.flush()
+            # any dirty frames are materialized outside a capture
+            # window: their state lands in the snapshot, not the log.
+            engine.buffers.index_buffer.flush()
+            manager = engine.buffers.index_manager
+            pages = {
+                page_id: pickle.dumps(
+                    manager.peek(page_id).payload, protocol=4
+                )
+                for page_id in manager.iter_page_ids()
+            }
+            metric = engine.space.metric
+            if isinstance(metric, CountingMetric):
+                metric = metric.inner
+            standing_aux: Dict[int, Any] = {}
+            for sid, maintainer in self._maintainers.items():
+                snap = getattr(maintainer, "aux_snapshot", None)
+                standing_aux[sid] = snap() if snap is not None else None
+            tree = engine.tree
+            state = {
+                "version": CHECKPOINT_VERSION,
+                "space_name": engine.space.name,
+                "metric": metric,
+                "payloads": list(engine.space._payloads),
+                "pages": pages,
+                "free_ids": list(manager._free_ids),
+                "freed": sorted(manager._freed),
+                "next_id": manager._next_id,
+                "tree": {
+                    "root_id": tree.root_page_id,
+                    "size": len(tree),
+                    "height": tree.height,
+                    "node_capacity": tree.node_capacity,
+                    "split_policy": tree.split_policy,
+                    "rng_state": tree.rng.getstate(),
+                },
+                "epoch": engine.epoch,
+                "standing": dict(self._standing),
+                "standing_aux": standing_aux,
+                "next_sid": self._next_sid,
+            }
+            blob = pickle.dumps(state, protocol=4)
+            target = path if path is not None else self.checkpoint_path
+            tmp = target + ".tmp"
+            crashpoint("checkpoint.pre_write")
+            with open(tmp, "wb") as handle:
+                handle.write(CHECKPOINT_MAGIC)
+                handle.write(
+                    FRAME.pack(len(blob), zlib.crc32(blob))
+                )
+                handle.write(blob)
+                handle.flush()
+                self._fsync(handle.fileno())
+            crashpoint("checkpoint.pre_rename")
+            os.replace(tmp, target)
+            _fsync_directory(os.path.dirname(target) or ".")
+            crashpoint("checkpoint.post_rename")
+            if path is None:
+                self.wal.reset()
+                crashpoint("checkpoint.post_truncate")
+            self.counters["checkpoints"] += 1
+            return target
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Durability + last-recovery counters for the registry."""
+        return {
+            "directory": self.directory,
+            "counters": dict(self.counters),
+            "wal": self.wal.snapshot(),
+            "standing_queries": len(self._standing),
+            "last_recovery": (
+                self.last_report.snapshot()
+                if self.last_report is not None
+                else None
+            ),
+        }
+
+    def close(self) -> None:
+        self.wal.close()
+
+
+def _fsync_directory(path: str) -> None:
+    """Make a rename durable (best-effort on exotic filesystems)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _has_durable_state(directory: str) -> bool:
+    checkpoint = os.path.join(directory, "checkpoint.bin")
+    wal = os.path.join(directory, "wal.log")
+    if os.path.exists(checkpoint):
+        return True
+    from repro.recovery.wal import MAGIC
+
+    return os.path.exists(wal) and os.path.getsize(wal) > len(MAGIC)
+
+
+def enable_durability(
+    engine,
+    directory: str,
+    *,
+    fsync_policy: str = "commit",
+    group_size: int = 8,
+    fsync=None,
+) -> DurabilityController:
+    """Make a freshly built engine durable in ``directory``.
+
+    Binds a controller and writes the base checkpoint (the initial
+    index build is snapshotted, not logged).  Refuses a directory that
+    already holds durable state — that state belongs to some other
+    engine's history; recover it with ``open_engine(recover_from=...)``
+    instead of silently overwriting it.
+    """
+    if _has_durable_state(directory):
+        raise RecoveryError(
+            f"durability directory {directory!r} already contains a "
+            "checkpoint or WAL records; use open_engine("
+            "recover_from=...) to recover it, or point durability at "
+            "an empty directory"
+        )
+    controller = DurabilityController(
+        directory,
+        fsync_policy=fsync_policy,
+        group_size=group_size,
+        fsync=fsync,
+    )
+    controller.bind(engine)
+    controller.checkpoint(engine)
+    return controller
+
+
+def _load_checkpoint(path: str) -> dict:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(CHECKPOINT_MAGIC):
+        raise RecoveryError(f"{path} is not a checkpoint file")
+    offset = len(CHECKPOINT_MAGIC)
+    if offset + FRAME.size > len(data):
+        raise RecoveryError(f"checkpoint {path} is truncated")
+    length, crc = FRAME.unpack_from(data, offset)
+    blob = data[offset + FRAME.size : offset + FRAME.size + length]
+    if len(blob) != length or zlib.crc32(blob) != crc:
+        raise RecoveryError(
+            f"checkpoint {path} fails its checksum (torn write?)"
+        )
+    state = pickle.loads(blob)
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise RecoveryError(
+            f"checkpoint version {state.get('version')!r} not supported"
+        )
+    return state
+
+
+def recover_engine(
+    directory: str,
+    *,
+    fsync_policy: str = "commit",
+    group_size: int = 8,
+    fsync=None,
+    buffers=None,
+):
+    """Rebuild an engine from ``directory``'s checkpoint + WAL tail.
+
+    Loads the newest checkpoint, truncates any torn WAL record,
+    replays committed mutations on top (skipping epochs the checkpoint
+    already covers), verifies the rebuilt tree directory, and returns
+    an engine with a fresh :class:`DurabilityController` bound and a
+    :class:`RecoveryReport` on ``engine.last_recovery``.  All recovery
+    I/O bypasses the LRU buffers, so the paper's counters start at
+    zero — recovery cost lives in ``recovery.*`` spans and the report,
+    never in query stats.
+    """
+    from repro.core import engine as engine_mod
+    from repro.mtree.tree import MTree
+    from repro.storage.buffer import BufferPool
+
+    started = time.perf_counter()
+    with trace.span(
+        "recovery.open", category="recovery", args={"directory": directory}
+    ):
+        checkpoint_path = os.path.join(directory, "checkpoint.bin")
+        if not os.path.exists(checkpoint_path):
+            raise RecoveryError(
+                f"no checkpoint found in {directory!r}; nothing durable "
+                "was ever acknowledged from this directory"
+            )
+        with trace.span("recovery.checkpoint_load", category="recovery"):
+            state = _load_checkpoint(checkpoint_path)
+        wal_path = os.path.join(directory, "wal.log")
+        records, good_offset, torn_bytes = read_wal(wal_path)
+        if torn_bytes:
+            truncate_wal(wal_path, good_offset)
+
+        pages: Dict[int, bytes] = dict(state["pages"])
+        free_ids: List[int] = list(state["free_ids"])
+        freed = set(state["freed"])
+        next_id: int = state["next_id"]
+        payloads: List[Any] = list(state["payloads"])
+        epoch: int = state["epoch"]
+        checkpoint_epoch = epoch
+        tree_meta = dict(state["tree"])
+        standing: Dict[int, dict] = dict(state["standing"])
+        next_sid: int = state.get("next_sid", 0)
+
+        replayed_commits = 0
+        replayed_pages = 0
+        pending: List[Tuple[Any, ...]] = []
+        with trace.span(
+            "recovery.replay",
+            category="recovery",
+            args={"records": len(records)},
+        ):
+            for record in records:
+                kind = record[0]
+                if kind == "page":
+                    pending.append(record)
+                elif kind == "commit":
+                    meta = record[1]
+                    if meta["epoch"] > epoch:
+                        for _kind, _disk, op, page_id, blob in pending:
+                            _apply_page(
+                                pages, free_ids, freed,
+                                op, page_id, blob,
+                            )
+                            next_id = max(next_id, page_id + 1)
+                            replayed_pages += 1
+                        if (
+                            meta["op"] == "insert"
+                            and meta["object_id"] == len(payloads)
+                        ):
+                            payloads.append(meta["payload"])
+                        tree_meta["root_id"] = meta["root_id"]
+                        tree_meta["size"] = meta["size"]
+                        tree_meta["height"] = meta["height"]
+                        epoch = meta["epoch"]
+                        replayed_commits += 1
+                    pending = []
+                elif kind == "standing":
+                    _action, sid, entry = record[1], record[2], record[3]
+                    if _action == "register":
+                        standing[sid] = entry
+                    else:
+                        standing.pop(sid, None)
+                    next_sid = max(next_sid, sid + 1)
+                elif kind == "query_payload":
+                    object_id, payload = record[1], record[2]
+                    if object_id == len(payloads):
+                        payloads.append(payload)
+            # page records after the last commit belong to a mutation
+            # that never committed: discarded by falling off the loop.
+
+        space = MetricSpace(
+            payloads,
+            CountingMetric(state["metric"]),
+            name=state["space_name"],
+        )
+        pool = buffers or BufferPool()
+        pool.index_manager.restore_state(
+            pages={
+                page_id: pickle.loads(blob)
+                for page_id, blob in pages.items()
+            },
+            free_ids=free_ids,
+            freed=freed,
+            next_id=next_id,
+        )
+        rng = random.Random(0)
+        if tree_meta.get("rng_state") is not None:
+            rng.setstate(tree_meta["rng_state"])
+        tree = MTree.restore(
+            space,
+            pool.index_buffer,
+            node_capacity=tree_meta["node_capacity"],
+            split_policy=tree_meta["split_policy"],
+            rng=rng,
+            root_id=tree_meta["root_id"],
+            size=tree_meta["size"],
+            height=tree_meta["height"],
+            page_ids=set(pages),
+        )
+        if len(tree._leaf_of) != tree_meta["size"]:
+            raise RecoveryError(
+                f"recovered tree holds {len(tree._leaf_of)} objects, "
+                f"commit meta says {tree_meta['size']} — page state "
+                "and log disagree"
+            )
+
+        engine = engine_mod.TopKDominatingEngine.__new__(
+            engine_mod.TopKDominatingEngine
+        )
+        engine.space = space
+        engine.buffers = pool
+        engine.index_kind = "mtree"
+        engine.tree = tree
+        dataset_pages = max(
+            1,
+            math.ceil(
+                len(space)
+                * engine_mod._RECORD_BYTES_ESTIMATE
+                / pool.aux_manager.page_size
+            ),
+        )
+        pool.size_for(tree.num_pages, dataset_pages)
+        engine.build_distance_computations = 0
+        engine._epoch = epoch
+        engine._write_listeners = []
+        engine._change_listeners = []
+        engine.fault_injector = None
+        engine.durability = None
+        engine.last_recovery = None
+        engine.reset_cost_counters()
+
+        controller = DurabilityController(
+            directory,
+            fsync_policy=fsync_policy,
+            group_size=group_size,
+            fsync=fsync,
+        )
+        controller._standing = dict(standing)
+        controller._next_sid = next_sid
+        controller.bind(engine)
+        report = RecoveryReport(
+            directory=directory,
+            checkpoint_epoch=checkpoint_epoch,
+            recovered_epoch=epoch,
+            replayed_commits=replayed_commits,
+            replayed_page_records=replayed_pages,
+            replayed_records=len(records),
+            torn_bytes_truncated=torn_bytes,
+            standing_queries=dict(standing),
+            seconds=time.perf_counter() - started,
+        )
+        controller.last_report = report
+        engine.last_recovery = report
+        return engine
+
+
+def _apply_page(
+    pages: Dict[int, bytes],
+    free_ids: List[int],
+    freed: set,
+    op: str,
+    page_id: int,
+    blob: Optional[bytes],
+) -> None:
+    if op == "free":
+        pages.pop(page_id, None)
+        freed.add(page_id)
+        if page_id not in free_ids:
+            free_ids.append(page_id)
+        return
+    # "alloc" and "write" both install the logged image.
+    pages[page_id] = blob if blob is not None else pickle.dumps(None)
+    freed.discard(page_id)
+    if page_id in free_ids:
+        free_ids.remove(page_id)

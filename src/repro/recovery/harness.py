@@ -1,0 +1,400 @@
+"""Crash-recovery harness: really kill a worker, then prove recovery.
+
+``python -m repro.recovery.harness`` drives the end-to-end durability
+contract the unit tests cannot: a **separate worker process** builds a
+durable engine over the paper's UNI data set, registers a standing
+query, applies a deterministic op stream with periodic checkpoints —
+and dies mid-write via ``SIGKILL`` at a named
+:mod:`repro.faults.crashpoints` site.  The harness then recovers the
+engine from the survivor files and verifies, against brute force, that
+the recovered state equals the **committed prefix** of the op stream:
+
+* ``worker``  — run the durable workload, optionally armed to crash;
+* ``verify``  — recover a directory and audit it against the oracle;
+* ``sweep``   — worker + kill + verify for every (or a seeded sample
+  of) registered crash points; CI's crash-chaos smoke
+  (``--sample 3``) and the tier-1 crash matrix (``--all``) both call
+  this.
+
+The op stream is a pure function of ``(n, seed, ops)`` — both the
+worker and the verifier regenerate it independently, so the only state
+crossing the crash is the durability directory itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple
+
+DIMS = 4
+STANDING_M = 3
+STANDING_K = 5
+VERIFY_M = 4
+VERIFY_K = 5
+
+
+# ----------------------------------------------------------------------
+# the deterministic workload (shared by worker and verifier)
+# ----------------------------------------------------------------------
+def standing_query(n: int, seed: int) -> Tuple[List[int], int]:
+    """The standing query the worker registers (protected from deletes)."""
+    rng = random.Random(seed ^ 0x5EED)
+    return sorted(rng.sample(range(n), STANDING_M)), STANDING_K
+
+
+def op_stream(
+    n: int, seed: int, ops: int
+) -> List[Tuple[str, Any]]:
+    """The worker's op sequence: ``("insert", payload-list)`` /
+    ``("delete", object_id)``.
+
+    Every 4th op deletes an rng-chosen live object (never a standing
+    query object — the maintained query must stay well-defined at
+    every prefix); the rest insert fresh uniform payloads.  Entirely
+    derived from the arguments, so the verifier can replay any
+    committed prefix without talking to the dead worker.
+    """
+    protected = frozenset(standing_query(n, seed)[0])
+    rng = random.Random(seed * 1_000_003 + 17)
+    live = set(range(n))
+    next_id = n
+    stream: List[Tuple[str, Any]] = []
+    for i in range(ops):
+        deletable = sorted(live - protected)
+        if i % 4 == 3 and deletable:
+            victim = deletable[rng.randrange(len(deletable))]
+            stream.append(("delete", victim))
+            live.discard(victim)
+        else:
+            stream.append(
+                ("insert", [rng.random() for _ in range(DIMS)])
+            )
+            live.add(next_id)
+            next_id += 1
+    return stream
+
+
+def committed_state(
+    n: int, seed: int, ops: int, epoch: int
+) -> Tuple[List[Any], List[int]]:
+    """(inserted payloads, live ids) after the first ``epoch`` ops."""
+    stream = op_stream(n, seed, ops)
+    if epoch > len(stream):
+        raise ValueError(
+            f"recovered epoch {epoch} exceeds the {len(stream)}-op stream"
+        )
+    inserted: List[Any] = []
+    live = set(range(n))
+    next_id = n
+    for op, arg in stream[:epoch]:
+        if op == "insert":
+            inserted.append(arg)
+            live.add(next_id)
+            next_id += 1
+        else:
+            live.discard(arg)
+    return inserted, sorted(live)
+
+
+# ----------------------------------------------------------------------
+# worker: the process that gets killed
+# ----------------------------------------------------------------------
+def run_worker(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.api import open_engine
+    from repro.datasets.synthetic import uniform
+    from repro.faults.crashpoints import CrashPlan, install_plan
+    from repro.streaming.continuous import ContinuousTopK
+
+    space = uniform(n=args.n, seed=args.seed, dims=DIMS)
+    engine = open_engine(
+        space,
+        seed=args.seed,
+        durability=args.dir,
+        fsync_policy=args.fsync_policy,
+    )
+    # arm only after the base checkpoint: a directory with no durable
+    # state at all is an install problem, not a recovery scenario.
+    if args.crash_at is not None:
+        install_plan(
+            CrashPlan(site=args.crash_at, hit=args.crash_hit, mode="kill")
+        )
+    query_ids, k = standing_query(args.n, args.seed)
+    maintainer = ContinuousTopK(engine, query_ids, k, "pba2")
+    maintainer.attach()
+    for i, (op, arg) in enumerate(op_stream(args.n, args.seed, args.ops)):
+        if op == "insert":
+            engine.insert_object(np.asarray(arg, dtype=float))
+        else:
+            engine.delete_object(arg)
+        if (i + 1) % args.checkpoint_every == 0:
+            engine.checkpoint()
+    print(
+        f"worker: completed ops={args.ops} epoch={engine.epoch} "
+        f"(crash point never fired)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# verify: recover and audit against brute force
+# ----------------------------------------------------------------------
+def verify_directory(
+    directory: str, n: int, seed: int, ops: int
+) -> dict:
+    """Recover ``directory`` and assert it equals the committed prefix.
+
+    Raises ``AssertionError`` (with a diagnostic message) on any
+    divergence; returns a small report dict on success.
+    """
+    import numpy as np
+
+    from repro.api import open_engine
+    from repro.core.brute_force import brute_force_scores
+
+    engine = open_engine(recover_from=directory)
+    report = engine.last_recovery
+    epoch = report.recovered_epoch
+    inserted, live = committed_state(n, seed, ops, epoch)
+
+    # 1. payload log: the initial data set plus every committed insert.
+    expected_payloads = n + len(inserted)
+    actual_payloads = len(list(engine.space.object_ids))
+    assert actual_payloads == expected_payloads, (
+        f"{directory}: recovered {actual_payloads} payloads, committed "
+        f"prefix has {expected_payloads}"
+    )
+    for offset, payload in enumerate(inserted):
+        got = np.asarray(engine.space.payload(n + offset), dtype=float)
+        assert np.array_equal(got, np.asarray(payload, dtype=float)), (
+            f"{directory}: payload {n + offset} diverged after recovery"
+        )
+
+    # 2. live set: exactly the ids the committed prefix leaves indexed.
+    recovered_live = sorted(engine.tree.object_ids())
+    assert recovered_live == live, (
+        f"{directory}: recovered live set {recovered_live[:10]}... "
+        f"(|{len(recovered_live)}|) != committed {live[:10]}... "
+        f"(|{len(live)}|)"
+    )
+
+    def audit(query_ids: Sequence[int], k: int, what: str) -> None:
+        items, _stats = engine.top_k_dominating(list(query_ids), k)
+        served = [(item.object_id, item.score) for item in items]
+        truth = brute_force_scores(
+            engine.space, list(query_ids), universe=live
+        )
+        expected_scores = sorted(truth.values(), reverse=True)[:k]
+        # ties make the id sequence ambiguous; the exact contract is
+        # (a) the served score vector is the true top-k score vector
+        # and (b) every served id really has its reported score.
+        assert [score for _id, score in served] == expected_scores, (
+            f"{directory}: {what} served scores "
+            f"{[s for _i, s in served]} != brute-force top-{k} scores "
+            f"{expected_scores}"
+        )
+        for object_id, score in served:
+            assert truth.get(object_id) == score, (
+                f"{directory}: {what} reported dom({object_id}) = "
+                f"{score}, brute force says {truth.get(object_id)}"
+            )
+
+    # 3. query answers over the recovered index vs exhaustive truth.
+    rng = random.Random(seed * 31 + epoch)
+    probe = sorted(rng.sample(live, min(VERIFY_M, len(live))))
+    audit(probe, VERIFY_K, f"probe query {probe}")
+
+    # 4. every standing query the manifest carried across the crash.
+    for sid, entry in sorted(report.standing_queries.items()):
+        audit(
+            entry["query_ids"],
+            entry["k"],
+            f"standing query sid={sid} {tuple(entry['query_ids'])}",
+        )
+
+    return {
+        "directory": directory,
+        "epoch": epoch,
+        "replayed_commits": report.replayed_commits,
+        "replayed_records": report.replayed_records,
+        "torn_bytes_truncated": report.torn_bytes_truncated,
+        "standing_queries": len(report.standing_queries),
+        "live": len(live),
+        "seconds": report.seconds,
+    }
+
+
+def run_verify(args: argparse.Namespace) -> int:
+    report = verify_directory(args.dir, args.n, args.seed, args.ops)
+    print(
+        f"verify ok: epoch={report['epoch']} live={report['live']} "
+        f"commits_replayed={report['replayed_commits']} "
+        f"torn_bytes={report['torn_bytes_truncated']} "
+        f"standing={report['standing_queries']} "
+        f"recovery={report['seconds']:.3f}s"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# sweep: kill at each crash point, verify each survivor
+# ----------------------------------------------------------------------
+def _spawn_worker(
+    directory: Path, site: str, args: argparse.Namespace
+) -> subprocess.CompletedProcess:
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.recovery.harness",
+        "worker",
+        "--dir", str(directory),
+        "--crash-at", site,
+        "--crash-hit", str(args.crash_hit),
+        "--n", str(args.n),
+        "--seed", str(args.seed),
+        "--ops", str(args.ops),
+        "--checkpoint-every", str(args.checkpoint_every),
+        "--fsync-policy", args.fsync_policy,
+    ]
+    return subprocess.run(
+        command,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=args.timeout,
+    )
+
+
+def run_sweep(args: argparse.Namespace) -> int:
+    from repro.faults.crashpoints import CRASH_POINTS, sample_crash_points
+
+    if args.all:
+        sites: Tuple[str, ...] = CRASH_POINTS
+    else:
+        sites = sample_crash_points(args.sample_seed, args.sample)
+    workdir = Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    failures: List[str] = []
+    started = time.perf_counter()
+    for site in sites:
+        directory = workdir / site.replace(".", "_")
+        proc = _spawn_worker(directory, site, args)
+        if proc.returncode != -signal.SIGKILL:
+            failures.append(
+                f"{site}: worker exited {proc.returncode}, expected "
+                f"SIGKILL ({-signal.SIGKILL})\n"
+                f"--- stdout ---\n{proc.stdout}"
+                f"--- stderr ---\n{proc.stderr}"
+                f"artifacts: {directory}"
+            )
+            print(f"FAIL {site}: not killed (rc={proc.returncode})")
+            continue
+        try:
+            report = verify_directory(
+                str(directory), args.n, args.seed, args.ops
+            )
+        except Exception as exc:  # keep sweeping; report all at the end
+            failures.append(f"{site}: {exc}\nartifacts: {directory}")
+            print(f"FAIL {site}: {exc}")
+            continue
+        print(
+            f"ok   {site}: killed, recovered epoch="
+            f"{report['epoch']} live={report['live']} "
+            f"commits={report['replayed_commits']} "
+            f"torn_bytes={report['torn_bytes_truncated']} "
+            f"standing={report['standing_queries']}"
+        )
+    elapsed = time.perf_counter() - started
+    print(
+        f"sweep: {len(sites) - len(failures)}/{len(sites)} crash points "
+        f"recovered in {elapsed:.1f}s (artifacts under {workdir})"
+    )
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=48,
+                        help="initial UNI cardinality (default 48)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="workload seed (default 11)")
+    parser.add_argument("--ops", type=int, default=20,
+                        help="ops in the stream (default 20)")
+    parser.add_argument("--checkpoint-every", type=int, default=6,
+                        help="checkpoint cadence in ops (default 6)")
+    parser.add_argument("--fsync-policy", default="commit",
+                        choices=("always", "commit", "batch", "never"))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.recovery.harness",
+        description="Kill a durable worker at a crash point; verify "
+                    "recovery against brute force.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    worker = sub.add_parser("worker", help="run the durable workload")
+    worker.add_argument("--dir", required=True,
+                        help="durability directory (WAL + checkpoints)")
+    worker.add_argument("--crash-at", default=None,
+                        help="crash-point site to SIGKILL at (default: "
+                             "run to completion)")
+    worker.add_argument("--crash-hit", type=int, default=1,
+                        help="die at this arrival at the site (default 1)")
+    _add_workload_args(worker)
+    worker.set_defaults(func=run_worker)
+
+    verify = sub.add_parser("verify", help="recover a directory and "
+                                           "audit it against brute force")
+    verify.add_argument("--dir", required=True)
+    _add_workload_args(verify)
+    verify.set_defaults(func=run_verify)
+
+    sweep = sub.add_parser("sweep", help="worker+kill+verify per site")
+    sweep.add_argument("--workdir", required=True,
+                       help="parent directory for per-site artifacts")
+    group = sweep.add_mutually_exclusive_group(required=True)
+    group.add_argument("--all", action="store_true",
+                       help="sweep every registered crash point")
+    group.add_argument("--sample", type=int, default=None,
+                       help="sweep a seeded sample of N crash points")
+    sweep.add_argument("--sample-seed", type=int, default=0,
+                       help="seed for --sample (default 0)")
+    sweep.add_argument("--crash-hit", type=int, default=1)
+    sweep.add_argument("--timeout", type=float, default=120.0,
+                       help="per-worker subprocess timeout in seconds")
+    _add_workload_args(sweep)
+    sweep.set_defaults(func=run_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,8 @@ epoch-invalidation path under load.
     repro-serve --stats                          # dump metrics JSON
     repro-serve --stats --metrics-format prometheus   # text exposition
     repro-serve --fault-profile flaky-disk --fault-seed 3   # chaos run
+    repro-serve --durability state/ --write-fraction 0.2  # WAL+checkpoints
+    repro-serve --recover-from state/            # warm restart + resync
     repro-serve --trace run.trace.json --trace-chrome run.chrome.json
     repro-serve --profile-collapsed run.folded       # sampling profiler
 
@@ -401,12 +403,26 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(with --subscribers, also audits each "
                              "final standing result)")
     parser.add_argument("--fault-profile", default="none",
-                        choices=sorted(PROFILES),
                         help="seeded chaos profile injected into the "
-                             "engine's simulated disks (default none)")
+                             "engine's simulated disks; one of "
+                             f"{', '.join(sorted(PROFILES))} "
+                             "(default none)")
     parser.add_argument("--fault-seed", type=int, default=None,
                         help="chaos seed (default: --seed); equal seeds "
                              "replay identical fault sequences")
+    parser.add_argument("--durability", metavar="DIR", default=None,
+                        help="WAL + checkpoint the engine into DIR so a "
+                             "killed run can be resumed with "
+                             "--recover-from DIR")
+    parser.add_argument("--recover-from", metavar="DIR", default=None,
+                        help="warm-restart: rebuild the engine from DIR's "
+                             "checkpoint + WAL tail instead of building "
+                             "from scratch, re-register its standing "
+                             "queries, and print the recovery report")
+    parser.add_argument("--fsync-policy", default="commit",
+                        choices=("always", "commit", "batch", "never"),
+                        help="WAL sync cadence for --durability / "
+                             "--recover-from (default commit)")
     parser.add_argument("--stats", action="store_true",
                         help="dump the service metrics snapshot")
     parser.add_argument("--metrics-format", default="json",
@@ -484,8 +500,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
-    space = uniform(n=args.n, seed=args.seed, dims=args.dims)
-    engine = open_engine(space, seed=args.seed)
+    if args.recover_from is not None and args.durability is not None:
+        parser.error("--recover-from and --durability are mutually "
+                     "exclusive (recovery re-enables durability in the "
+                     "same directory)")
+    if args.recover_from is not None:
+        try:
+            engine = open_engine(
+                recover_from=args.recover_from,
+                fsync_policy=args.fsync_policy,
+            )
+        except Exception as exc:
+            parser.error(f"recovery from {args.recover_from!r} failed: {exc}")
+        recovery = engine.last_recovery
+        print(
+            f"recovered engine from {args.recover_from} in "
+            f"{recovery.seconds:.3f} s: epoch {recovery.recovered_epoch} "
+            f"({recovery.replayed_commits} commits / "
+            f"{recovery.replayed_records} WAL records replayed, "
+            f"{recovery.torn_bytes_truncated} torn bytes truncated, "
+            f"{len(recovery.standing_queries)} standing queries)"
+        )
+    else:
+        space = uniform(n=args.n, seed=args.seed, dims=args.dims)
+        engine = open_engine(
+            space,
+            seed=args.seed,
+            durability=args.durability,
+            fsync_policy=args.fsync_policy,
+        )
     chaos_note = (
         f", chaos={args.fault_profile}/seed={chaos.seed}" if chaos else ""
     )
@@ -508,6 +551,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         profiler = SamplingProfiler(interval=args.profile_interval)
     with service:
+        if args.recover_from is not None:
+            restored = service.restore_subscriptions()
+            if restored:
+                print(
+                    f"re-registered {len(restored)} standing "
+                    f"quer{'y' if len(restored) == 1 else 'ies'} from the "
+                    "recovery manifest (resync deltas queued)"
+                )
         if profiler is not None:
             profiler.start()
         try:

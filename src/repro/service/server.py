@@ -331,6 +331,7 @@ class QueryService:
         registry.register_collector(
             "storage", self.engine.buffers.snapshot
         )
+        registry.register_collector("recovery", self._recovery_snapshot)
         registry.register_collector(
             "observability",
             lambda: (
@@ -364,6 +365,37 @@ class QueryService:
             "objects": len(self.engine.tree),
             "index": self.engine.index_kind,
         }
+
+    def _recovery_snapshot(self) -> Optional[dict]:
+        """Durability/recovery section: WAL counters + last recovery.
+
+        ``None`` (section omitted) for volatile engines; for durable
+        ones the controller reports its commit/page-record/checkpoint
+        counters plus — after ``--recover-from`` — the recovery time
+        and replayed-record metrics of the warm restart.
+        """
+        durability = getattr(self.engine, "durability", None)
+        if durability is None:
+            return None
+        return durability.snapshot()
+
+    def restore_subscriptions(self) -> List[Subscription]:
+        """Re-register standing queries after a warm restart.
+
+        For an engine opened with ``recover_from=...`` whose manifest
+        lists standing queries: re-subscribes each under the write
+        lock and queues one full-state ``resync`` delta per
+        subscription.  No-op (empty list) otherwise.
+        """
+        with self._trace_write("restore"):
+            with trace.span(
+                "service.write_lock_wait", category="service"
+            ):
+                self._engine_lock.acquire_write()
+            try:
+                return self.subscriptions.restore_from_recovery()
+            finally:
+                self._engine_lock.release_write()
 
     # ------------------------------------------------------------------
     # async API

@@ -258,12 +258,50 @@ class SubscriptionManager:
             self.created += 1
         return subscription
 
-    def unsubscribe(self, subscription: Subscription) -> None:
+    def restore_from_recovery(self) -> List[Subscription]:
+        """Re-register every standing query the recovered engine lists.
+
+        Caller must hold the engine write lock (the service wrapper
+        does).  For each manifest entry a fresh subscription is
+        created (re-registering under a new durable sid), the
+        recovered sid is dropped from the manifest, and one full-state
+        ``resync`` delta is queued so the first poll hands consumers
+        the complete post-restart result — the same wire contract as
+        an overflow resync.
+        """
+        report = getattr(self.engine, "last_recovery", None)
+        durability = getattr(self.engine, "durability", None)
+        if report is None or not report.standing_queries:
+            return []
+        restored: List[Subscription] = []
+        for sid, entry in sorted(report.standing_queries.items()):
+            subscription = self.subscribe(
+                entry["query_ids"], entry["k"], entry["algorithm"]
+            )
+            if durability is not None:
+                # the re-registration above wrote a fresh sid; retire
+                # the recovered one so the manifest stays 1:1 with
+                # live maintainers.
+                durability.forget_standing(sid)
+            subscription.maintainer.emit_resync_snapshot()
+            restored.append(subscription)
+        return restored
+
+    def unsubscribe(
+        self,
+        subscription: Subscription,
+        *,
+        retain_standing: bool = False,
+    ) -> None:
         """Tear down a subscription (idempotent).
 
         Caller must hold the engine write lock (the service wrapper
         does): teardown detaches engine listeners and drops the
         maintainer's aux pages, which must not race in-flight writes.
+        ``retain_standing=True`` (the :meth:`close` shutdown path)
+        keeps the durable-manifest registration, so the standing query
+        is re-registered by the next warm restart; an explicit client
+        unsubscribe drops it for good.
         """
         with self._lock:
             live = self._subscriptions.pop(subscription.id, None)
@@ -280,14 +318,15 @@ class SubscriptionManager:
         if detach_refresher is not None:
             detach_refresher()
         self.cache.unpin(subscription.key)
-        subscription.maintainer.close()
+        subscription.maintainer.close(forget=not retain_standing)
 
     def close(self) -> None:
-        """Tear down every live subscription."""
+        """Tear down every live subscription (keeping durable manifest
+        entries, so a warm restart can re-register them)."""
         with self._lock:
             live = list(self._subscriptions.values())
         for subscription in live:
-            self.unsubscribe(subscription)
+            self.unsubscribe(subscription, retain_standing=True)
 
     # ------------------------------------------------------------------
     # internals used by Subscription

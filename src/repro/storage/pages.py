@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Set
 
 from repro.faults.checksum import payload_checksum
+from repro.faults.crashpoints import crashpoint
 from repro.faults.errors import StorageCorruption
 from repro.storage.stats import IOStats
 
@@ -79,6 +80,10 @@ class PageManager:
         self._next_id = 0
         self.stats = IOStats()
         self.injector: Optional["FaultInjector"] = None
+        #: optional WAL sink (a ``repro.recovery`` DurabilityController);
+        #: like ``injector``, ``None`` keeps the default path at one
+        #: attribute test per operation.
+        self.wal: Optional[Any] = None
         if injector is not None:
             self.attach_injector(injector)
 
@@ -99,6 +104,58 @@ class PageManager:
     def _stamp(self, page: Page) -> None:
         if self.injector is not None:
             page.crc = payload_checksum(page.payload)
+
+    # ------------------------------------------------------------------
+    # durability (WAL capture; see repro.recovery)
+    # ------------------------------------------------------------------
+    def attach_wal(self, sink: Any) -> None:
+        """Route page mutations through a write-ahead-log sink.
+
+        The sink decides per call whether to capture (it only accepts
+        events inside an engine write transaction, keeping queries off
+        the log entirely).
+        """
+        self.wal = sink
+
+    def detach_wal(self) -> None:
+        self.wal = None
+
+    def _wal_event(self, op: str, page_id: int, payload: Any) -> None:
+        """Append a redo record *before* the mutation is applied."""
+        wal = self.wal
+        if wal is not None and wal.accepts_page_events():
+            crashpoint("storage.page.pre_mutate")
+            wal.page_event(self.name, op, page_id, payload)
+
+    def peek(self, page_id: int) -> Page:
+        """Read a page with no fault injection and no accounting.
+
+        Recovery/checkpoint traffic only: snapshots and replays must
+        not perturb the paper's counters or consume injector RNG.
+        """
+        page = self._pages.get(page_id)
+        if page is None:
+            raise PageError(f"peek of unknown page {page_id}")
+        return page
+
+    def restore_state(
+        self,
+        pages: Dict[int, Any],
+        free_ids: list,
+        freed: Set[int],
+        next_id: int,
+    ) -> None:
+        """Replace the disk image wholesale (recovery only)."""
+        self._pages = {
+            page_id: Page(page_id=page_id, payload=payload)
+            for page_id, payload in pages.items()
+        }
+        self._free_ids = list(free_ids)
+        self._freed = set(freed)
+        self._next_id = next_id
+        if self.injector is not None:
+            for page in self._pages.values():
+                page.crc = payload_checksum(page.payload)
 
     def _verify(self, page: Page) -> None:
         if (
@@ -123,11 +180,14 @@ class PageManager:
         buffer pools use this to install newborn pages without paying
         (or risking) a disk access.
         """
+        page_id = self._free_ids[-1] if self._free_ids else self._next_id
+        # WAL-before-mutate: the redo record is durable (or at least
+        # buffered for the commit sync point) before any state moves.
+        self._wal_event("alloc", page_id, payload)
         if self._free_ids:
-            page_id = self._free_ids.pop()
+            self._free_ids.pop()
             self._freed.discard(page_id)
         else:
-            page_id = self._next_id
             self._next_id += 1
         page = Page(page_id=page_id, payload=payload)
         self._stamp(page)
@@ -141,6 +201,9 @@ class PageManager:
             if page_id in self._freed:
                 raise PageError(f"double free of page {page_id}")
             raise PageError(f"free of unknown page {page_id}")
+        # validation precedes logging: a rejected free (double free,
+        # unknown id) must leave no trace in the WAL.
+        self._wal_event("free", page_id, None)
         del self._pages[page_id]
         self._free_ids.append(page_id)
         self._freed.add(page_id)
@@ -173,6 +236,7 @@ class PageManager:
             if page.page_id in self._freed:
                 raise PageError(f"write of freed page {page.page_id}")
             raise PageError(f"write of unknown page {page.page_id}")
+        self._wal_event("write", page.page_id, page.payload)
         page.dirty = False
         self._stamp(page)
         self._pages[page.page_id] = page

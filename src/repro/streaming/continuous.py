@@ -162,6 +162,8 @@ class ContinuousTopK:
         self.recompute_threshold = recompute_threshold
         self._listeners: List[Callable[[ResultDelta], None]] = []
         self._detach: Optional[Callable[[], None]] = None
+        #: durability-manifest id while attached to a durable engine.
+        self._standing_sid: Optional[int] = None
         self.counters: Dict[str, int] = {
             "updates": 0,
             "repairs": 0,
@@ -235,23 +237,72 @@ class ContinuousTopK:
         )
         return delta
 
+    def emit_resync_snapshot(self) -> ResultDelta:
+        """Emit a full-state ``resync`` delta *without* recomputing.
+
+        The warm-restart path: a maintainer freshly bootstrapped after
+        recovery already holds the correct state, so subscribers just
+        need one delta saying "replace your state with this".  An
+        empty ``old`` makes every current item ``entered``.
+        """
+        self.counters["resyncs"] += 1
+        self.counters["updates"] += 1
+        self.epoch = self.engine.epoch
+        delta = self._make_delta(
+            "resync", "resync", None, [], self.last_stats, 0, force=True
+        )
+        assert delta is not None  # force=True always emits
+        return delta
+
+    def aux_snapshot(self):
+        """The aux mirror's records as plain types (None if disabled).
+
+        Embedded into checkpoints so a recovery can verify the
+        re-bootstrapped mirror against the durable counters.
+        """
+        if self.aux is None:
+            return None
+        return self.aux.snapshot_records()
+
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
     def attach(self) -> None:
-        """Follow the engine's change feed (idempotent)."""
+        """Follow the engine's change feed (idempotent).
+
+        On a durable engine the standing query is also registered in
+        the durability manifest, so it survives process death: after
+        ``open_engine(recover_from=...)`` the recovered manifest lists
+        it and the service layer re-subscribes it (emitting a
+        ``resync`` delta) — see ``QueryService.restore_subscriptions``.
+        """
         if self._detach is None:
             self._detach = self.engine.subscribe_changes(self._on_change)
+            durability = getattr(self.engine, "durability", None)
+            if durability is not None:
+                self._standing_sid = durability.record_standing(self)
 
-    def detach(self) -> None:
-        """Stop following engine changes (idempotent)."""
+    def detach(self, *, forget: bool = True) -> None:
+        """Stop following engine changes (idempotent).
+
+        ``forget=False`` keeps the durable-manifest registration alive:
+        the shutdown path uses it so a standing query survives a clean
+        process stop exactly like a crash — either way the next
+        ``recover_from`` restart re-registers and resyncs it.
+        """
         if self._detach is not None:
             self._detach()
             self._detach = None
+        if self._standing_sid is not None:
+            if forget:
+                durability = getattr(self.engine, "durability", None)
+                if durability is not None:
+                    durability.forget_standing(self._standing_sid)
+            self._standing_sid = None
 
-    def close(self) -> None:
+    def close(self, *, forget: bool = True) -> None:
         """Detach and release the aux-index mirror's pages."""
-        self.detach()
+        self.detach(forget=forget)
         if self.aux is not None:
             self.aux.drop()
 

@@ -1,0 +1,118 @@
+"""Unit tests for the named crash-point registry and plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.crashpoints import (
+    CRASH_POINTS,
+    CrashPlan,
+    SimulatedCrash,
+    active_plan,
+    clear_plan,
+    crashpoint,
+    crashpoint_due,
+    install_plan,
+    sample_crash_points,
+)
+
+SITE = "engine.insert.pre_commit"
+OTHER = "engine.delete.pre_commit"
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestCrashPlan:
+    def test_unknown_site_rejected_with_catalog(self):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            CrashPlan(site="engine.insert.no_such_site")
+
+    def test_hit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrashPlan(site=SITE, hit=0)
+
+    def test_mode_must_be_kill_or_raise(self):
+        with pytest.raises(ValueError):
+            CrashPlan(site=SITE, mode="explode")
+
+    def test_registry_is_nonempty_and_namespaced(self):
+        assert len(CRASH_POINTS) >= 10
+        assert len(set(CRASH_POINTS)) == len(CRASH_POINTS)
+        for site in CRASH_POINTS:
+            layer = site.split(".")[0]
+            assert layer in {
+                "storage", "wal", "engine", "streaming", "checkpoint"
+            }
+
+
+class TestArming:
+    def test_no_plan_means_no_op(self):
+        crashpoint(SITE)  # must not raise
+
+    def test_raise_mode_fires_at_the_armed_site(self):
+        install_plan(CrashPlan(site=SITE, mode="raise"))
+        with pytest.raises(SimulatedCrash) as excinfo:
+            crashpoint(SITE)
+        assert excinfo.value.site == SITE
+
+    def test_other_sites_do_not_fire_or_advance_the_count(self):
+        install_plan(CrashPlan(site=SITE, hit=1, mode="raise"))
+        crashpoint(OTHER)
+        assert active_plan().count == 0
+
+    def test_hit_count_selects_the_nth_arrival(self):
+        install_plan(CrashPlan(site=SITE, hit=3, mode="raise"))
+        crashpoint(SITE)
+        crashpoint(SITE)
+        with pytest.raises(SimulatedCrash):
+            crashpoint(SITE)
+
+    def test_install_resets_the_arrival_count(self):
+        plan = CrashPlan(site=SITE, hit=2, mode="raise")
+        install_plan(plan)
+        crashpoint(SITE)
+        install_plan(plan)
+        crashpoint(SITE)  # count restarted: 1 < 2, no crash
+        assert active_plan().count == 1
+
+    def test_clear_plan_disarms(self):
+        install_plan(CrashPlan(site=SITE, mode="raise"))
+        clear_plan()
+        crashpoint(SITE)
+        assert active_plan() is None
+
+    def test_crashpoint_due_decides_without_firing(self):
+        install_plan(CrashPlan(site=SITE, hit=2, mode="raise"))
+        assert crashpoint_due(SITE) is False
+        assert crashpoint_due(SITE) is True  # due, but nothing raised
+        assert crashpoint_due(OTHER) is False
+
+    def test_simulated_crash_evades_except_exception(self):
+        # the whole point of BaseException: a write path's cleanup
+        # handler must not be able to absorb a "crash".
+        install_plan(CrashPlan(site=SITE, mode="raise"))
+        with pytest.raises(SimulatedCrash):
+            try:
+                crashpoint(SITE)
+            except Exception:  # noqa: BLE001 - the pattern under test
+                pytest.fail("SimulatedCrash was swallowed")
+
+
+class TestSampling:
+    def test_sample_is_deterministic_per_seed(self):
+        assert sample_crash_points(3, 4) == sample_crash_points(3, 4)
+        assert sample_crash_points(3, 4) != sample_crash_points(4, 4)
+
+    def test_sample_draws_registered_sites_without_repeats(self):
+        sample = sample_crash_points(0, 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+        assert set(sample) <= set(CRASH_POINTS)
+
+    def test_oversized_sample_returns_the_whole_catalog(self):
+        assert sample_crash_points(0, 10_000) == list(CRASH_POINTS)

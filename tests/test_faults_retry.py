@@ -63,6 +63,38 @@ class TestRetryPolicy:
         delays = {policy.backoff(0, rng) for _ in range(10)}
         assert len(delays) > 1
 
+    def test_negative_max_total_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_total_delay=-0.001)
+
+
+class TestWorstCaseTotal:
+    def test_default_policy_bound_is_pinned(self):
+        # REGRESSION PIN: the default policy (4 attempts, 1ms base,
+        # 2x multiplier) can sleep at most 1+2+4 ms in total.  Every
+        # retry loop in the storage and RPC layers inherits this
+        # bound; changing it is a latency-contract change and must be
+        # deliberate.
+        assert RetryPolicy().worst_case_total() == pytest.approx(0.007)
+
+    def test_bound_is_jitter_free_sum_of_backoffs(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.001, max_delay=0.004,
+            multiplier=2.0, jitter=0.5,
+        )
+        # 1 + 2 + 4 + 4(capped) ms — jitter only shrinks delays.
+        assert policy.worst_case_total() == pytest.approx(0.011)
+
+    def test_explicit_max_total_delay_clips_the_curve(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.010, max_delay=1.0,
+            jitter=0.0, max_total_delay=0.015,
+        )
+        assert policy.worst_case_total() == pytest.approx(0.015)
+
+    def test_single_attempt_policy_never_sleeps(self):
+        assert RetryPolicy(max_attempts=1).worst_case_total() == 0.0
+
 
 class TestDefaultRetryable:
     def test_transient_fault_is_retryable(self):
@@ -180,6 +212,34 @@ class TestCallWithRetry:
         assert [s[0] for s in seen] == ["TransientPageError"] * 2
         assert [s[1] for s in seen] == [0, 1]
         assert all(s[2] >= 0 for s in seen)
+
+    def test_cumulative_sleep_never_exceeds_worst_case_total(self):
+        # a retry storm must not stall its caller beyond the policy's
+        # advertised bound, whatever the attempt count or multiplier.
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=0.010,
+            max_delay=10.0,
+            multiplier=3.0,
+            jitter=0.0,
+            max_total_delay=0.025,
+        )
+        sleeps = []
+
+        def always_fails():
+            raise TransientPageError("disk", 5)
+
+        with pytest.raises(TransientPageError):
+            call_with_retry(
+                always_fails,
+                policy=policy,
+                rng=random.Random(0),
+                sleep=sleeps.append,
+            )
+        assert sum(sleeps) <= policy.worst_case_total() + 1e-12
+        assert sum(sleeps) <= 0.025 + 1e-12
+        # the budget clips, it does not cancel: early sleeps run whole.
+        assert sleeps[0] == pytest.approx(0.010)
 
     def test_custom_retryable_predicate(self):
         calls = {"n": 0}

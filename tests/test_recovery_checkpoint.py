@@ -1,0 +1,201 @@
+"""Checkpoint + recovery round trips (no crashes: the happy paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import open_engine
+from repro.core.brute_force import brute_force_scores
+from repro.recovery import RecoveryError, enable_durability, recover_engine
+from repro.recovery.controller import _load_checkpoint
+from repro.streaming.continuous import ContinuousTopK
+
+from tests.conftest import make_vector_space
+
+N = 60
+DIMS = 3
+
+
+def durable_engine(tmp_path, seed=5, n=N):
+    space = make_vector_space(n=n, dims=DIMS, seed=seed)
+    return open_engine(space, seed=seed, durability=str(tmp_path / "state"))
+
+
+def apply_ops(engine, ops=12, seed=9):
+    """A deterministic insert/delete mix; returns the rng payload seed."""
+    rng = np.random.default_rng(seed)
+    inserted = []
+    for i in range(ops):
+        if i % 4 == 3 and inserted:
+            engine.delete_object(inserted.pop(0))
+        else:
+            inserted.append(engine.insert_object(rng.random(DIMS)))
+    return inserted
+
+
+def assert_matches_brute_force(engine, query_ids, k=5):
+    live = sorted(engine.tree.object_ids())
+    items, _stats = engine.top_k_dominating(list(query_ids), k)
+    truth = brute_force_scores(engine.space, list(query_ids), universe=live)
+    expected_scores = sorted(truth.values(), reverse=True)[:k]
+    assert [item.score for item in items] == expected_scores
+    for item in items:
+        assert truth[item.object_id] == item.score
+
+
+class TestRoundTrip:
+    def test_wal_replay_without_periodic_checkpoint(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        apply_ops(engine)
+        expected_live = sorted(engine.tree.object_ids())
+        expected_epoch = engine.epoch
+        engine.durability.close()
+
+        recovered = open_engine(recover_from=str(tmp_path / "state"))
+        report = recovered.last_recovery
+        assert report.checkpoint_epoch == 0  # only the base checkpoint
+        assert report.recovered_epoch == expected_epoch
+        assert report.replayed_commits == expected_epoch
+        assert report.torn_bytes_truncated == 0
+        assert sorted(recovered.tree.object_ids()) == expected_live
+        assert_matches_brute_force(recovered, expected_live[:4])
+
+    def test_checkpoint_truncates_wal_and_bounds_replay(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        apply_ops(engine, ops=8)
+        checkpoint_epoch = engine.epoch
+        engine.checkpoint()
+        apply_ops(engine, ops=5, seed=10)
+        expected_epoch = engine.epoch
+        expected_live = sorted(engine.tree.object_ids())
+        engine.durability.close()
+
+        recovered = recover_engine(str(tmp_path / "state"))
+        report = recovered.last_recovery
+        assert report.checkpoint_epoch == checkpoint_epoch
+        assert report.recovered_epoch == expected_epoch
+        # only the post-checkpoint tail is replayed.
+        assert report.replayed_commits == expected_epoch - checkpoint_epoch
+        assert sorted(recovered.tree.object_ids()) == expected_live
+        assert_matches_brute_force(recovered, expected_live[:4])
+
+    def test_recovered_engine_is_durable_and_recoverable_again(
+        self, tmp_path
+    ):
+        engine = durable_engine(tmp_path)
+        apply_ops(engine, ops=6)
+        engine.durability.close()
+        recovered = recover_engine(str(tmp_path / "state"))
+        # the second generation keeps writing into the same history...
+        apply_ops(recovered, ops=6, seed=21)
+        recovered.checkpoint()
+        expected_live = sorted(recovered.tree.object_ids())
+        expected_epoch = recovered.epoch
+        recovered.durability.close()
+        # ...and a third generation recovers the union of both.
+        third = recover_engine(str(tmp_path / "state"))
+        assert third.epoch == expected_epoch
+        assert sorted(third.tree.object_ids()) == expected_live
+        assert_matches_brute_force(third, expected_live[:4])
+
+    def test_out_of_band_checkpoint_leaves_the_wal_alone(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        apply_ops(engine, ops=5)
+        before = engine.durability.wal.snapshot()["records_appended"]
+        target = engine.checkpoint(str(tmp_path / "oob.bin"))
+        assert target == str(tmp_path / "oob.bin")
+        state = _load_checkpoint(target)
+        assert state["epoch"] == engine.epoch
+        # in-place checkpoints reset the WAL; explicit-path ones must not.
+        assert (
+            engine.durability.wal.snapshot()["records_appended"] == before
+        )
+
+
+class TestStandingManifest:
+    def test_standing_queries_survive_recovery(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        maintainer = ContinuousTopK(engine, [3, 11], 4, "pba2")
+        maintainer.attach()
+        apply_ops(engine, ops=5)
+        engine.durability.close()
+        recovered = recover_engine(str(tmp_path / "state"))
+        manifest = recovered.last_recovery.standing_queries
+        assert len(manifest) == 1
+        (entry,) = manifest.values()
+        assert entry == {
+            "query_ids": [3, 11], "k": 4, "algorithm": "pba2"
+        }
+
+    def test_detach_drops_the_manifest_entry(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        maintainer = ContinuousTopK(engine, [3, 11], 4, "pba2")
+        maintainer.attach()
+        maintainer.detach()
+        engine.durability.close()
+        recovered = recover_engine(str(tmp_path / "state"))
+        assert recovered.last_recovery.standing_queries == {}
+
+    def test_checkpoint_embeds_aux_index_records(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        maintainer = ContinuousTopK(engine, [3, 11], 4, "pba2")
+        maintainer.attach()
+        sid = maintainer._standing_sid
+        target = engine.checkpoint(str(tmp_path / "aux.bin"))
+        state = _load_checkpoint(target)
+        assert state["standing_aux"][sid] == maintainer.aux_snapshot()
+        assert state["standing_aux"][sid]  # the mirror is non-trivial
+
+
+class TestGuards:
+    def test_enable_durability_refuses_a_dirty_directory(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        engine.insert_object(np.zeros(DIMS))
+        engine.durability.close()
+        space = make_vector_space(n=10, dims=DIMS, seed=1)
+        fresh = open_engine(space)
+        with pytest.raises(RecoveryError, match="already contains"):
+            enable_durability(fresh, str(tmp_path / "state"))
+
+    def test_open_engine_rejects_space_plus_recover_from(self, tmp_path):
+        space = make_vector_space(n=10, dims=DIMS, seed=1)
+        with pytest.raises(ValueError, match="not both"):
+            open_engine(space, recover_from=str(tmp_path / "state"))
+
+    def test_open_engine_rejects_recover_plus_durability(self, tmp_path):
+        with pytest.raises(ValueError, match="do not pass durability"):
+            open_engine(
+                recover_from=str(tmp_path / "a"),
+                durability=str(tmp_path / "b"),
+            )
+
+    def test_open_engine_requires_space_or_recover_from(self):
+        with pytest.raises(TypeError, match="MetricSpace is required"):
+            open_engine()
+
+    def test_recover_from_empty_directory_is_a_typed_error(self, tmp_path):
+        with pytest.raises(RecoveryError, match="no checkpoint"):
+            recover_engine(str(tmp_path / "void"))
+
+    def test_corrupt_checkpoint_is_a_typed_error(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        engine.durability.close()
+        path = tmp_path / "state" / "checkpoint.bin"
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(RecoveryError, match="checksum"):
+            recover_engine(str(tmp_path / "state"))
+
+    def test_checkpoint_inside_a_transaction_is_refused(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        with engine.durability.transaction():
+            with pytest.raises(RecoveryError, match="inside a transaction"):
+                engine.checkpoint()
+
+    def test_volatile_engine_has_no_checkpoint(self):
+        space = make_vector_space(n=10, dims=DIMS, seed=1)
+        engine = open_engine(space)
+        with pytest.raises(RuntimeError, match="durability"):
+            engine.checkpoint()

@@ -1,0 +1,140 @@
+"""Serving-layer recovery: warm restart, resync deltas, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import open_engine
+from repro.core.brute_force import brute_force_scores
+from repro.service import QueryService, ServiceConfig
+
+from tests.conftest import make_vector_space
+
+DIMS = 3
+QUERY = [2, 7, 13]
+K = 4
+
+
+def durable_service(tmp_path):
+    space = make_vector_space(n=60, dims=DIMS, seed=5)
+    engine = open_engine(
+        space, seed=5, durability=str(tmp_path / "state")
+    )
+    return QueryService(engine, ServiceConfig(workers=2))
+
+
+def oracle_pairs(engine, query_ids, k):
+    truth = brute_force_scores(
+        engine.space, query_ids, universe=sorted(engine.tree.object_ids())
+    )
+    ranked = sorted(truth.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:k]
+
+
+def restart(tmp_path):
+    """Recover the engine and stand up a fresh service over it."""
+    engine = open_engine(recover_from=str(tmp_path / "state"))
+    return QueryService(engine, ServiceConfig(workers=2))
+
+
+class TestWarmRestart:
+    def test_restore_reregisters_and_emits_resync(self, tmp_path):
+        with durable_service(tmp_path) as service:
+            service.subscribe_sync(QUERY, K)
+            rng = np.random.default_rng(8)
+            for _ in range(5):
+                service.insert_sync(rng.random(DIMS))
+            service.engine.checkpoint()
+
+        with restart(tmp_path) as revived:
+            restored = revived.restore_subscriptions()
+            assert len(restored) == 1
+            (subscription,) = restored
+            q = subscription.maintainer.query
+            assert (list(q.query_ids), q.k) == (sorted(QUERY), K)
+            deltas = revived.poll_sync(subscription)
+            assert len(deltas) == 1
+            assert deltas[0].kind == "resync"
+            served = [
+                (item.object_id, item.score)
+                for item in deltas[0].result
+            ]
+            assert served == oracle_pairs(revived.engine, QUERY, K)
+            # post-restart writes keep flowing through the restored
+            # standing query like any live subscription.
+            revived.insert_sync(np.zeros(DIMS))
+            revived.poll_sync(subscription)
+            assert [
+                (item.object_id, item.score)
+                for item in subscription.result
+            ] == oracle_pairs(revived.engine, QUERY, K)
+
+    def test_restore_is_a_noop_for_volatile_engines(self, small_engine):
+        with QueryService(small_engine, ServiceConfig(workers=1)) as svc:
+            assert svc.restore_subscriptions() == []
+
+    def test_restored_manifest_stays_one_to_one(self, tmp_path):
+        # restore retires the recovered sid and registers a fresh one:
+        # a second crash/recover cycle must still see exactly one entry.
+        with durable_service(tmp_path) as service:
+            service.subscribe_sync(QUERY, K)
+            service.engine.checkpoint()
+        with restart(tmp_path) as revived:
+            revived.restore_subscriptions()
+            assert len(
+                revived.engine.durability.standing_manifest()
+            ) == 1
+            revived.engine.checkpoint()
+        with restart(tmp_path) as again:
+            assert len(again.engine.last_recovery.standing_queries) == 1
+            assert len(again.restore_subscriptions()) == 1
+
+
+class TestMetrics:
+    def test_snapshot_carries_the_recovery_section(self, tmp_path):
+        with durable_service(tmp_path) as service:
+            rng = np.random.default_rng(9)
+            for _ in range(3):
+                service.insert_sync(rng.random(DIMS))
+        with restart(tmp_path) as revived:
+            snap = revived.snapshot()
+            recovery = snap["recovery"]
+            assert recovery["directory"] == str(tmp_path / "state")
+            last = recovery["last_recovery"]
+            assert last["recovered_epoch"] == 3
+            assert last["replayed_commits"] == 3
+            assert last["seconds"] >= 0
+            assert recovery["wal"]["fsync_policy"] == "commit"
+
+    def test_volatile_engines_omit_the_recovery_section(self, small_engine):
+        with QueryService(small_engine, ServiceConfig(workers=1)) as svc:
+            assert svc.snapshot()["recovery"] is None
+
+    def test_recovery_spans_are_traced(self, tmp_path):
+        from repro.obs.trace import Tracer
+
+        with durable_service(tmp_path) as service:
+            service.insert_sync(np.zeros(DIMS))
+        tracer = Tracer()
+        with tracer.trace("restart"):
+            open_engine(recover_from=str(tmp_path / "state"))
+        names = {span.name for span in tracer.spans()}
+        assert {"recovery.open", "recovery.replay"} <= names
+
+
+class TestWriteDurability:
+    def test_service_writes_survive_a_restart(self, tmp_path):
+        with durable_service(tmp_path) as service:
+            rng = np.random.default_rng(10)
+            inserted = [
+                service.insert_sync(rng.random(DIMS)) for _ in range(4)
+            ]
+            service.delete_sync(inserted[0])
+            expected = sorted(service.engine.tree.object_ids())
+        with restart(tmp_path) as revived:
+            assert sorted(revived.engine.tree.object_ids()) == expected
+            response = revived.query_sync(QUERY, K)
+            assert [
+                (item.object_id, item.score) for item in response.results
+            ] == oracle_pairs(revived.engine, QUERY, K)

@@ -1,0 +1,204 @@
+"""Unit tests for the redo-only WAL: framing, torn tails, fsync policy."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.recovery.wal import (
+    FRAME,
+    MAGIC,
+    WalError,
+    WriteAheadLog,
+    read_wal,
+    truncate_wal,
+)
+
+
+def make_wal(tmp_path, **kwargs):
+    return WriteAheadLog(str(tmp_path / "wal.log"), **kwargs)
+
+
+class CountingFsync:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, fd):
+        self.calls += 1
+        os.fsync(fd)
+
+
+class TestFraming:
+    def test_records_round_trip_in_order(self, tmp_path):
+        wal = make_wal(tmp_path)
+        records = [("commit", {"epoch": i, "op": "insert"}) for i in range(5)]
+        for record in records:
+            wal.append(record, commit=True)
+        wal.close()
+        read, good, torn = read_wal(wal.path)
+        assert read == records
+        assert torn == 0
+        assert good == os.path.getsize(wal.path)
+
+    def test_fresh_file_starts_with_magic(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.close()
+        with open(wal.path, "rb") as handle:
+            assert handle.read() == MAGIC
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, good, torn = read_wal(str(tmp_path / "nope.log"))
+        assert (records, good, torn) == ([], 0, 0)
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        wal.close()
+        wal = make_wal(tmp_path)
+        wal.append(("commit", {"epoch": 2}), commit=True)
+        wal.close()
+        records, _good, _torn = read_wal(wal.path)
+        assert [r[1]["epoch"] for r in records] == [1, 2]
+
+
+class TestTornTails:
+    def _write_then_tear(self, tmp_path, tear_bytes):
+        wal = make_wal(tmp_path)
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        wal.append(("commit", {"epoch": 2}), commit=True)
+        wal.close()
+        good_size = os.path.getsize(wal.path)
+        with open(wal.path, "ab") as handle:
+            handle.write(tear_bytes)
+        return wal.path, good_size
+
+    def test_trailing_garbage_is_detected_and_measured(self, tmp_path):
+        path, good_size = self._write_then_tear(tmp_path, b"\x07" * 11)
+        records, good, torn = read_wal(path)
+        assert len(records) == 2
+        assert good == good_size
+        assert torn == 11
+
+    def test_short_frame_header_stops_the_scan(self, tmp_path):
+        path, good_size = self._write_then_tear(tmp_path, b"\x01")
+        _records, good, torn = read_wal(path)
+        assert good == good_size and torn == 1
+
+    def test_corrupt_crc_stops_at_the_bad_record(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        wal.append(("commit", {"epoch": 2}), commit=True)
+        wal.close()
+        # flip one byte inside the LAST record's payload.
+        size = os.path.getsize(wal.path)
+        with open(wal.path, "r+b") as handle:
+            handle.seek(size - 1)
+            last = handle.read(1)
+            handle.seek(size - 1)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        records, _good, torn = read_wal(wal.path)
+        assert [r[1]["epoch"] for r in records] == [1]
+        assert torn > 0
+
+    def test_truncate_wal_leaves_a_clean_log(self, tmp_path):
+        path, _good_size = self._write_then_tear(tmp_path, b"junk")
+        _records, good, torn = read_wal(path)
+        assert torn == 4
+        truncate_wal(path, good)
+        records, _good, torn = read_wal(path)
+        assert torn == 0
+        assert [r[1]["epoch"] for r in records] == [1, 2]
+        # and the truncated log accepts appends again.
+        wal = WriteAheadLog(path)
+        wal.append(("commit", {"epoch": 3}), commit=True)
+        wal.close()
+        records, _good, _torn = read_wal(path)
+        assert [r[1]["epoch"] for r in records] == [1, 2, 3]
+
+    def test_torn_magic_reads_as_all_torn_and_rewrites_clean(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with open(path, "wb") as handle:
+            handle.write(MAGIC[:4])  # the file creation itself tore
+        records, good, torn = read_wal(path)
+        assert records == [] and good == 0 and torn == 4
+        truncate_wal(path, good)
+        with open(path, "rb") as handle:
+            assert handle.read() == MAGIC
+
+
+class TestFsyncPolicies:
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync policy"):
+            make_wal(tmp_path, fsync_policy="yolo")
+
+    def test_group_size_must_be_positive(self, tmp_path):
+        with pytest.raises(WalError):
+            make_wal(tmp_path, group_size=0)
+
+    def test_always_syncs_every_append(self, tmp_path):
+        fsync = CountingFsync()
+        wal = make_wal(tmp_path, fsync_policy="always", fsync=fsync)
+        for i in range(3):
+            wal.append(("page", "idx", "write", i, b""))
+        assert wal.syncs == 3
+        assert fsync.calls == 3
+
+    def test_commit_syncs_only_at_commit_records(self, tmp_path):
+        fsync = CountingFsync()
+        wal = make_wal(tmp_path, fsync_policy="commit", fsync=fsync)
+        wal.append(("page", "idx", "write", 1, b""))
+        wal.append(("page", "idx", "write", 2, b""))
+        assert fsync.calls == 0  # still buffered: group commit
+        assert read_wal(wal.path)[0] == []
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        assert fsync.calls == 1
+        # the whole batch became durable at the commit boundary.
+        assert len(read_wal(wal.path)[0]) == 3
+
+    def test_batch_syncs_every_group_size_commits(self, tmp_path):
+        fsync = CountingFsync()
+        wal = make_wal(
+            tmp_path, fsync_policy="batch", group_size=3, fsync=fsync
+        )
+        for i in range(7):
+            wal.append(("commit", {"epoch": i}), commit=True)
+        assert fsync.calls == 2  # after commits 3 and 6
+        wal.flush()
+        assert fsync.calls == 3
+
+    def test_never_writes_but_never_syncs(self, tmp_path):
+        fsync = CountingFsync()
+        wal = make_wal(tmp_path, fsync_policy="never", fsync=fsync)
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        assert fsync.calls == 0
+        # the record still reached the OS (visible to a reader).
+        assert len(read_wal(wal.path)[0]) == 1
+        wal.flush()
+        assert fsync.calls == 0
+
+    def test_reset_truncates_to_empty_log(self, tmp_path):
+        wal = make_wal(tmp_path)
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        wal.reset()
+        assert read_wal(wal.path) == ([], len(MAGIC), 0)
+        wal.append(("commit", {"epoch": 2}), commit=True)
+        wal.close()
+        records, _good, _torn = read_wal(wal.path)
+        assert [r[1]["epoch"] for r in records] == [2]
+
+    def test_snapshot_reports_counters(self, tmp_path):
+        wal = make_wal(tmp_path, fsync_policy="commit")
+        wal.append(("page", "idx", "write", 1, b""))
+        wal.append(("commit", {"epoch": 1}), commit=True)
+        snap = wal.snapshot()
+        assert snap["records_appended"] == 2
+        assert snap["commits_appended"] == 1
+        assert snap["syncs"] == 1
+        assert snap["fsync_policy"] == "commit"
+        assert snap["pending_bytes"] == 0
+
+
+def test_frame_is_fixed_width_length_plus_crc():
+    # the on-disk contract the torn-tail scanner depends on.
+    assert FRAME.size == 8

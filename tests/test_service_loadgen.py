@@ -172,3 +172,74 @@ class TestSubscriberMode:
         assert "2 subscribers" in out
         assert "40% writes" in out
         assert "delta lag p50" in out
+
+
+class TestFaultProfileValidation:
+    def test_unknown_profile_exits_with_usage_error(self, capsys):
+        # satellite contract: a typo'd profile is a clean argparse
+        # error naming the alternatives, never a stack trace.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--fault-profile", "flaky-dsik"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown fault profile 'flaky-dsik'" in err
+        assert "flaky-disk" in err and "bad-sectors" in err
+
+    def test_known_profile_still_accepted(self, capsys):
+        exit_code = main(
+            [
+                "--n", "60", "--requests", "8", "--clients", "2",
+                "--workers", "2", "--no-io-model",
+                "--fault-profile", "low", "--fault-seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        assert "chaos=low" in capsys.readouterr().out
+
+
+class TestDurabilityFlags:
+    def test_durable_run_then_warm_restart(self, capsys, tmp_path):
+        state = tmp_path / "state"
+        exit_code = main(
+            [
+                "--n", "60", "--requests", "10", "--clients", "2",
+                "--workers", "2", "--write-fraction", "0.4",
+                "--no-io-model", "--durability", str(state),
+            ]
+        )
+        assert exit_code == 0
+        first = capsys.readouterr().out
+        assert "completed" in first
+        exit_code = main(
+            [
+                "--requests", "6", "--clients", "2", "--workers", "2",
+                "--no-io-model", "--recover-from", str(state),
+                "--stats",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "recovered engine from" in out
+        assert "commits / " in out
+        snapshot = json.loads(out[out.index("{"):])
+        recovery = snapshot["recovery"]
+        assert recovery["last_recovery"]["recovered_epoch"] > 0
+
+    def test_recover_plus_durability_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "--recover-from", str(tmp_path / "a"),
+                    "--durability", str(tmp_path / "b"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "mutually" in capsys.readouterr().err
+
+    def test_recover_from_empty_directory_is_a_clean_error(
+        self, capsys, tmp_path
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--recover-from", str(tmp_path / "void")])
+        assert excinfo.value.code == 2
+        assert "recovery" in capsys.readouterr().err

@@ -160,3 +160,102 @@ class TestPagedFile:
         file.drop()
         assert len(file) == 0
         assert all(page_id not in mgr for page_id in ids)
+
+
+class RecordingWalSink:
+    """Test double for the durability controller's WAL-sink protocol."""
+
+    def __init__(self, accept=True):
+        self.accept = accept
+        self.events = []
+
+    def accepts_page_events(self):
+        return self.accept
+
+    def page_event(self, disk, op, page_id, payload):
+        self.events.append((op, page_id))
+
+
+class TestWalCapture:
+    def test_mutations_emit_wal_events_in_order(self):
+        mgr = PageManager(name="idx")
+        sink = RecordingWalSink()
+        mgr.attach_wal(sink)
+        page_id = mgr.allocate(payload={"a": 1})
+        mgr.write_page(mgr.read_page(page_id))
+        mgr.free(page_id)
+        assert sink.events == [
+            ("alloc", page_id), ("write", page_id), ("free", page_id)
+        ]
+
+    def test_capture_respects_the_transaction_gate(self):
+        mgr = PageManager(name="idx")
+        sink = RecordingWalSink(accept=False)
+        mgr.attach_wal(sink)
+        page_id = mgr.allocate()
+        mgr.free(page_id)
+        assert sink.events == []
+
+    def test_rejected_free_appends_no_wal_record(self):
+        # a free that raises PageError must leave the log untouched:
+        # replaying the WAL would otherwise free a page that is still
+        # live in the checkpoint image.
+        mgr = PageManager(name="idx")
+        sink = RecordingWalSink()
+        mgr.attach_wal(sink)
+        page_id = mgr.allocate()
+        mgr.free(page_id)
+        sink.events.clear()
+        with pytest.raises(PageError):
+            mgr.free(page_id)  # double free
+        with pytest.raises(PageError):
+            mgr.free(page_id + 999)  # never allocated
+        assert sink.events == []
+
+    def test_rejected_write_appends_no_wal_record(self):
+        mgr = PageManager(name="idx")
+        sink = RecordingWalSink()
+        mgr.attach_wal(sink)
+        page_id = mgr.allocate()
+        page = mgr.read_page(page_id)
+        mgr.free(page_id)
+        sink.events.clear()
+        with pytest.raises(PageError):
+            mgr.write_page(page)
+        assert sink.events == []
+
+    def test_detach_stops_capture(self):
+        mgr = PageManager(name="idx")
+        sink = RecordingWalSink()
+        mgr.attach_wal(sink)
+        mgr.detach_wal()
+        mgr.allocate()
+        assert sink.events == []
+
+    def test_peek_does_no_accounting_and_no_capture(self):
+        mgr = PageManager(name="idx")
+        sink = RecordingWalSink()
+        mgr.attach_wal(sink)
+        page_id = mgr.allocate(payload={"a": 1})
+        sink.events.clear()
+        reads_before = mgr.stats.logical_reads
+        assert mgr.peek(page_id).payload == {"a": 1}
+        assert mgr.stats.logical_reads == reads_before
+        assert sink.events == []
+        with pytest.raises(PageError):
+            mgr.peek(page_id + 1)
+
+    def test_restore_state_rebuilds_pages_and_free_list(self):
+        mgr = PageManager(name="idx")
+        mgr.restore_state(
+            pages={0: {"a": 1}, 2: {"b": 2}},
+            free_ids=[1],
+            freed={1},
+            next_id=3,
+        )
+        assert mgr.read_page(0).payload == {"a": 1}
+        assert mgr.read_page(2).payload == {"b": 2}
+        with pytest.raises(PageError):
+            mgr.read_page(1)
+        # the freed id is recycled first, exactly as before the crash.
+        assert mgr.allocate() == 1
