@@ -47,6 +47,7 @@ from repro.metric import (
     check_metric_axioms,
     pairwise_distances,
 )
+from repro.obs.explain import QueryPlan
 from repro.storage.buffer import BufferPool
 from repro.storage.stats import QueryStats
 
@@ -64,6 +65,7 @@ __all__ = [
     "MetricSpace",
     "PruningConfig",
     "Query",
+    "QueryPlan",
     "QueryStats",
     "Result",
     "ResultItem",
@@ -175,6 +177,9 @@ class Query:
     k: int
     algorithm: str = "pba2"
     pruning: Optional[PruningConfig] = None
+    #: when True, :func:`run` executes through ``engine.explain`` and
+    #: the returned :class:`Result` carries a :class:`QueryPlan`.
+    explain: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "query_ids", tuple(self.query_ids))
@@ -196,6 +201,8 @@ class Result:
 
     items: Tuple[ResultItem, ...]
     stats: QueryStats
+    #: the explain artifact; ``None`` unless the query was explained.
+    plan: Optional[QueryPlan] = None
 
     def __iter__(self) -> Iterator[ResultItem]:
         return iter(self.items)
@@ -212,12 +219,26 @@ class Result:
 def run(
     engine: TopKDominatingEngine,
     query: Query,
+    *,
+    explain: bool = False,
 ) -> Result:
     """Execute a :class:`Query` on an engine; returns a :class:`Result`.
 
     Thin sugar over ``engine.top_k_dominating`` for callers that keep
-    queries as values (request logs, caches, test tables).
+    queries as values (request logs, caches, test tables).  With
+    ``explain=True`` (or ``query.explain``) the call routes through
+    ``engine.explain`` and ``Result.plan`` carries the
+    :class:`QueryPlan` — results and deterministic cost counters are
+    bit-identical either way.
     """
+    if explain or query.explain:
+        items, stats, plan = engine.explain(
+            list(query.query_ids),
+            query.k,
+            algorithm=query.algorithm,
+            pruning=query.pruning,
+        )
+        return Result(items=tuple(items), stats=stats, plan=plan)
     items, stats = engine.top_k_dominating(
         list(query.query_ids),
         query.k,

@@ -44,6 +44,7 @@ class ABA(TopKAlgorithm):
     ) -> Iterator[ResultItem]:
         self._validate(query_ids, k)
         ctx = self.context
+        ex = self._explain()
         vectors = DistanceVectorSource(ctx.space, query_ids)
         removed: Set[int] = set()
         universe: List[int] = list(ctx.tree.object_ids())
@@ -68,6 +69,12 @@ class ABA(TopKAlgorithm):
                         return
 
                 # lines 3-6: candidate collection by range queries.
+                remaining = len(universe) - len(removed)
+                stage = (
+                    ex.stage("aba.candidates", remaining, round=_round)
+                    if ex is not None
+                    else None
+                )
                 with trace.span("aba.candidates", category="algo"):
                     p_vector = vectors.vector(p)
                     candidates: Set[int] = {p}
@@ -78,6 +85,16 @@ class ABA(TopKAlgorithm):
                                 continue
                             candidates.add(object_id)
                     ctx.stats.objects_retrieved += len(candidates)
+                if stage is not None:
+                    stage.close(
+                        survivors=len(candidates),
+                        discards={
+                            "outside every candidate ball (Lemma 3)": (
+                                remaining - len(candidates)
+                            )
+                        },
+                        note=f"ANN p={p}",
+                    )
                 round_span.set("candidates", len(candidates))
 
                 # lines 8-17: exact scoring of every candidate.
@@ -85,6 +102,11 @@ class ABA(TopKAlgorithm):
                     matrix = DominanceMatrix(vectors, universe)
                 best_id = -1
                 best_score = -1
+                stage = (
+                    ex.stage("aba.score", len(candidates), round=_round)
+                    if ex is not None
+                    else None
+                )
                 with trace.span("aba.score", category="algo"):
                     for object_id in sorted(candidates):
                         score = matrix.score(object_id)
@@ -92,6 +114,23 @@ class ABA(TopKAlgorithm):
                         if score > best_score:
                             best_score = score
                             best_id = object_id
+                if stage is not None:
+                    stage.close(
+                        survivors=1,
+                        discards={
+                            "lower exact score than the round winner": (
+                                len(candidates) - 1
+                            )
+                        },
+                    )
+                    ex.snapshot(
+                        "aba.round",
+                        round=_round,
+                        ann=p,
+                        candidates=len(candidates),
+                        best_id=best_id,
+                        best_score=best_score,
+                    )
                 removed.add(best_id)
                 matrix.deactivate(best_id)
                 if self.remove_physically:

@@ -47,6 +47,7 @@ from repro.core.sba import SBA
 from repro.metric.base import MetricSpace
 from repro.metric.counting import CountingMetric
 from repro.mtree.tree import MTree
+from repro.obs import explain as explain_mod
 from repro.obs import trace
 from repro.storage.buffer import BufferPool
 from repro.storage.stats import QueryStats, Stopwatch
@@ -476,7 +477,19 @@ class TopKDominatingEngine:
         algorithm = canonical_algorithm(
             algorithm, ALGORITHMS, "top_k_dominating"
         )
-        context = self.make_context()
+        return self._measured_run(
+            query_ids, k, algorithm, pruning, self.make_context()
+        )
+
+    def _measured_run(
+        self,
+        query_ids: Sequence[int],
+        k: int,
+        algorithm: str,
+        pruning: Optional[PruningConfig],
+        context: QueryContext,
+    ) -> Tuple[List[ResultItem], QueryStats]:
+        """Run one canonicalized query with exact cost accounting."""
         algo = self.make_algorithm(algorithm, context, pruning=pruning)
         probe = self.cost_probe(context) if trace.active() else None
         with trace.span(
@@ -505,6 +518,66 @@ class TopKDominatingEngine:
                 self.counting_metric.local_batches() - batches_before
             )
         return results, stats
+
+    def explain(
+        self,
+        query_ids: Sequence[int],
+        k=MISSING,
+        algorithm: str = "pba2",
+        pruning: Optional[PruningConfig] = None,
+        *,
+        top_k=MISSING,
+    ) -> Tuple[List[ResultItem], QueryStats, "explain_mod.QueryPlan"]:
+        """Run the query and return ``(results, stats, QueryPlan)``.
+
+        Identical execution to :meth:`top_k_dominating` — the explain
+        collector is a strict observer, so results and every
+        deterministic cost counter are bit-identical to an unexplained
+        run (pinned by ``tests/test_explain_neutrality.py``).  On top
+        of the stats, the returned :class:`repro.obs.explain.QueryPlan`
+        carries the pruning funnel, the per-level index visit profile,
+        heap/threshold snapshots and per-phase self-attributed cost
+        deltas.
+
+        When a trace is already ambient (e.g. under the service's
+        tracer) the execution's spans land in that tracer and the plan
+        slices out its own subtree; otherwise a private tracer is used
+        and discarded afterwards.
+        """
+        k = resolve_alias("explain", "k", k, "top_k", top_k)
+        algorithm = canonical_algorithm(algorithm, ALGORITHMS, "explain")
+        context = self.make_context()
+        probe = self.cost_probe(context)
+        collector = explain_mod.ExplainCollector(probe=probe)
+        scope = trace.capture()
+        own_tracer = None
+        if scope is None:
+            own_tracer = trace.Tracer()
+            root_context = own_tracer.trace(
+                "engine.explain", category="engine", probe=probe
+            )
+        else:
+            root_context = trace.span(
+                "engine.explain", category="engine", probe=probe
+            )
+        with explain_mod.attach(collector):
+            with root_context as root_span:
+                results, stats = self._measured_run(
+                    query_ids, k, algorithm, pruning, context
+                )
+                root_id = root_span.span_id
+        tracer = own_tracer if own_tracer is not None else scope.tracer
+        plan = explain_mod.build_plan(
+            algorithm=algorithm,
+            query_ids=query_ids,
+            k=k,
+            n=context.n,
+            stats=stats,
+            collector=collector,
+            spans=tracer.export(),
+            root_id=root_id,
+        )
+        return results, stats, plan
 
     def cost_probe(self, context: QueryContext) -> "trace.CostProbe":
         """A tracing probe over this thread's paper-cost counters.

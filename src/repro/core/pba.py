@@ -52,6 +52,7 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.core.aux_index import AuxBPlusTree, AuxRecord
 from repro.core.dominance import DominatorSet
 from repro.core.progressive import QueryContext, ResultItem, TopKAlgorithm
+from repro.obs import explain as explain_mod
 from repro.obs import trace
 from repro.core.pruning import (
     ExactScoreInfo,
@@ -132,6 +133,20 @@ class _PBARun:
         self._discard_unseen = False
         self._reported: Set[int] = set()
         self._epoch = itertools.count()
+        # explain funnel accounting — pure in-memory counters, only
+        # maintained when an explain collector is ambient; every hook
+        # below is guarded by ``self.explain is not None`` so the
+        # unexplained path pays nothing.
+        self.explain = explain_mod.active()
+        if self.explain is not None:
+            self._ex_seen = 0  # objects with >= 1 retrieval
+            self._ex_common = 0  # objects seen in all m streams
+            self._ex_register: Dict[str, int] = {}  # candidacy discards
+            self._ex_candidates = 0  # enheaped candidates
+            self._ex_candidate_ids: Set[int] = set()
+            self._ex_confirm: Dict[str, int] = {}  # candidate discards
+            self._ex_scored = 0  # exact scores computed
+            self._ex_scored_ids: Set[int] = set()
 
     # ------------------------------------------------------------------
     # retrieval (Procedure 1)
@@ -142,12 +157,16 @@ class _PBARun:
         self.stats.objects_retrieved += 1
         self._strict[query_index] = rec.lpos[query_index] - 1  # type: ignore
         if rec.q_counter == 1:
+            if self.explain is not None:
+                self._ex_seen += 1
             if self._discard_unseen:
                 rec.discarded = True  # DH1 / DH3
                 self.aux.update(rec)
             else:
                 self._incomplete.add(object_id)
         if rec.is_common:
+            if self.explain is not None:
+                self._ex_common += 1
             self._incomplete.discard(object_id)
             self._newly_common.append(rec)
 
@@ -188,9 +207,19 @@ class _PBARun:
         self.aux.update(rec)
 
         if rec.discarded:
+            if self.explain is not None:
+                self._ex_bucket(
+                    self._ex_register,
+                    "DH1/DH3: discarded before all streams completed",
+                )
             return False
         if self.config.dh2 and self._dominators.dominates(rec.vector()):
             self._discard(rec)
+            if self.explain is not None:
+                self._ex_bucket(
+                    self._ex_register,
+                    "DH2: dominated by a result-class vector",
+                )
             return False
         # Lemma 5 estimate, tie-safe variant.  The paper's
         # ``n - max_j rank(o,qj) + eq(o)`` can *understate* dom(o) when
@@ -204,6 +233,9 @@ class _PBARun:
         heapq.heappush(
             self._heap, (-estdom, next(self._seq), rec.object_id, False)
         )
+        if self.explain is not None:
+            self._ex_candidates += 1
+            self._ex_candidate_ids.add(rec.object_id)
         return True
 
     def _retrieve_one(self) -> bool:
@@ -258,6 +290,10 @@ class _PBARun:
         if rec.is_common and self.config.dh2:
             self._dominators.add(rec.vector())
 
+    def _ex_bucket(self, buckets: Dict[str, int], rule: str) -> None:
+        """Count one explain discard under ``rule`` (explain on only)."""
+        buckets[rule] = buckets.get(rule, 0) + 1
+
     def _eph_prune(self, rec: AuxRecord) -> bool:
         """EPH1-EPH5 on a candidate about to be exactly scored."""
         if self.G is None:
@@ -265,21 +301,37 @@ class _PBARun:
         g = self.G
         if self.config.eph3 and eph3_bound(self.n, rec.lpos) <= g:
             self._discard(rec)
+            if self.explain is not None:
+                self._ex_bucket(self._ex_confirm, "EPH3: rank bound <= G")
             return True
         if self.config.eph4:
             positions = [len(log) for log in self.aux.logs]
             if eph4_bound(self.n, len(self.aux), positions, rec.lpos) <= g:
                 self._discard(rec)
+                if self.explain is not None:
+                    self._ex_bucket(
+                        self._ex_confirm, "EPH4: retrieval bound <= G"
+                    )
                 return True
         if (self.config.eph1 or self.config.eph2) and self._dominators.dominates(
             rec.vector()
         ):
             self._discard(rec)
+            if self.explain is not None:
+                self._ex_bucket(
+                    self._ex_confirm,
+                    "EPH1/EPH2: dominated by a result-class vector",
+                )
             return True
         if self.config.eph5:
             for info in self._exact_info.values():
                 if eph5_bound(info, rec.lpos) <= g:
                     self._discard(rec)
+                    if self.explain is not None:
+                        self._ex_bucket(
+                            self._ex_confirm,
+                            "EPH5: bound from an exact score <= G",
+                        )
                     return True
         return False
 
@@ -301,8 +353,15 @@ class _PBARun:
         if outcome.score is None:
             # IPH abort: the object is prunable.
             self._discard(rec)
+            if self.explain is not None:
+                self._ex_bucket(
+                    self._ex_confirm, "IPH: incremental scoring abort"
+                )
             return None
         self.stats.exact_score_computations += 1
+        if self.explain is not None:
+            self._ex_scored += 1
+            self._ex_scored_ids.add(rec.object_id)
         self._record_exact(rec, outcome)
         return outcome.score
 
@@ -323,6 +382,12 @@ class _PBARun:
             new_g = self._top_exact[0] - 1
             if self.G is None or new_g > self.G:
                 self.G = new_g
+                if self.explain is not None:
+                    self.explain.snapshot(
+                        "pba.G",
+                        G=self.G,
+                        exact_scores=len(self._exact_info),
+                    )
             if self.config.dh3 or self.config.dh1:
                 self._discard_unseen = True  # DH3 (and DH1's unseen part)
         if self.G is not None:
@@ -342,6 +407,14 @@ class _PBARun:
                         self.aux.update(other)
                         self._incomplete.discard(other.object_id)
                         self.stats.objects_pruned += 1
+                        if self.explain is not None and (
+                            other.object_id in self._ex_candidate_ids
+                            and other.object_id not in self._ex_scored_ids
+                        ):
+                            self._ex_bucket(
+                                self._ex_confirm,
+                                "DH1: proved dominated by an exact score",
+                            )
 
     # ------------------------------------------------------------------
     # heap maintenance
@@ -430,12 +503,79 @@ class _PBARun:
                 (b for b in (next_best, future) if b is not None),
                 default=None,
             )
-            if threshold is None or score >= threshold:
+            confirmed = threshold is None or score >= threshold
+            if self.explain is not None:
+                self.explain.snapshot(
+                    "pba.confirm",
+                    object_id=object_id,
+                    score=score,
+                    heap_size=len(self._heap),
+                    next_best=next_best,
+                    future_bound=future,
+                    confirmed=confirmed,
+                )
+            if confirmed:
                 return object_id, score  # Lemma 6: confirmed
             heapq.heappush(
                 self._heap,
                 (-score, next(self._seq), object_id, True),
             )
+
+    def finalize_explain(self) -> None:
+        """Record the run-level funnel stages on the ambient collector.
+
+        Every stage conserves by construction: each of the ``n``
+        objects lands in exactly one bucket per stage (see the
+        counters' maintenance sites above).  Stage costs are not
+        attached here — per-phase distance deltas live in the plan's
+        span-attributed ``phases`` section.
+        """
+        ex = self.explain
+        if ex is None:
+            return
+        ex.add_stage(
+            "pba.retrieval",
+            entering=self.n,
+            survivors=self._ex_common,
+            discards={
+                "never retrieved (streams stopped early)": (
+                    self.n - self._ex_seen
+                ),
+                "partially retrieved, never common": (
+                    self._ex_seen - self._ex_common
+                ),
+            },
+        )
+        ex.add_stage(
+            "pba.candidacy",
+            entering=self._ex_common,
+            survivors=self._ex_candidates,
+            discards=self._ex_register,
+        )
+        confirm = dict(self._ex_confirm)
+        leftover = (
+            self._ex_candidates
+            - self._ex_scored
+            - sum(confirm.values())
+        )
+        if leftover:
+            confirm["unconfirmed at termination (work avoided)"] = leftover
+        ex.add_stage(
+            "pba.confirmation",
+            entering=self._ex_candidates,
+            survivors=self._ex_scored,
+            discards=confirm,
+        )
+        ex.add_stage(
+            "pba.report",
+            entering=self._ex_scored,
+            survivors=len(self._reported),
+            discards={
+                "exactly scored but outside the final top-k": (
+                    self._ex_scored - len(self._reported)
+                )
+            },
+        )
 
     def close(self) -> None:
         self.aux.drop()
@@ -468,6 +608,7 @@ class _PBABase(TopKAlgorithm):
         try:
             yield from run.execute()
         finally:
+            run.finalize_explain()
             run.close()
 
 

@@ -43,6 +43,7 @@ class SBA(TopKAlgorithm):
     ) -> Iterator[ResultItem]:
         self._validate(query_ids, k)
         ctx = self.context
+        ex = self._explain()
         vectors = DistanceVectorSource(ctx.space, query_ids)
         removed: Set[int] = set()
         universe: List[int] = list(ctx.tree.object_ids())
@@ -57,9 +58,24 @@ class SBA(TopKAlgorithm):
             with trace.span(
                 "sba.round", category="algo", args={"round": _round}
             ) as round_span:
+                remaining = len(universe) - len(removed)
+                stage = (
+                    ex.stage("sba.skyline", remaining, round=_round)
+                    if ex is not None
+                    else None
+                )
                 with trace.span("sba.skyline", category="algo"):
                     skyline = metric_skyline(
                         ctx.tree, query_ids, vectors=vectors, skip=removed
+                    )
+                if stage is not None:
+                    stage.close(
+                        survivors=len(skyline),
+                        discards={
+                            "dominated by a skyline object (Lemma 1)": (
+                                remaining - len(skyline)
+                            )
+                        },
                     )
                 if not skyline:
                     return
@@ -68,6 +84,11 @@ class SBA(TopKAlgorithm):
                     matrix = DominanceMatrix(vectors, universe)
                 best_id = -1
                 best_score = -1
+                stage = (
+                    ex.stage("sba.score", len(skyline), round=_round)
+                    if ex is not None
+                    else None
+                )
                 with trace.span("sba.score", category="algo"):
                     for object_id in skyline:
                         score = matrix.score(object_id)
@@ -77,6 +98,22 @@ class SBA(TopKAlgorithm):
                         ):
                             best_score = score
                             best_id = object_id
+                if stage is not None:
+                    stage.close(
+                        survivors=1,
+                        discards={
+                            "lower exact score than the round winner": (
+                                len(skyline) - 1
+                            )
+                        },
+                    )
+                    ex.snapshot(
+                        "sba.round",
+                        round=_round,
+                        skyline_size=len(skyline),
+                        best_id=best_id,
+                        best_score=best_score,
+                    )
                 removed.add(best_id)
                 matrix.deactivate(best_id)
                 if self.remove_physically:

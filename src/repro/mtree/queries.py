@@ -24,8 +24,9 @@ import itertools
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.metric.safety import safe_lower_bound
-from repro.mtree.node import LeafEntry, MTreeNode, RoutingEntry
+from repro.mtree.node import MTreeNode, RoutingEntry
 from repro.mtree.tree import MTree, Query
+from repro.obs import explain as explain_mod
 
 # heap item kinds, also used as coarse tie-breakers: exact objects
 # first so equal-key approximations are refined after exact items of
@@ -63,6 +64,9 @@ class IncrementalNNCursor:
         self.yielded = 0
         self._counter = itertools.count()
         self._heap: List[Tuple[float, int, int, tuple]] = []
+        # resolved once per cursor; every explain hook below is guarded
+        # with ``is not None`` so the unexplained path stays free.
+        self._explain = explain_mod.active()
         self._push_node_exact(tree.root_page_id, query_router_distance=None)
 
     # ------------------------------------------------------------------
@@ -83,24 +87,28 @@ class IncrementalNNCursor:
                 self.yielded += 1
                 return object_id, distance
             if kind == _KIND_OBJECT_APPROX:
-                (object_id,) = data
+                object_id, level = data
                 if object_id in self.skip:
                     continue
                 distance = tree.query_distance(self.query, object_id)
+                if self._explain is not None:
+                    self._explain.refinement(level)
                 self._push(distance, _KIND_OBJECT, (object_id, distance))
                 continue
             if kind == _KIND_NODE_APPROX:
-                page_id, router_id, covering_radius = data
+                page_id, router_id, covering_radius, level = data
                 d = tree.query_distance(self.query, router_id)
+                if self._explain is not None:
+                    self._explain.refinement(level)
                 self._push(
                     safe_lower_bound(d - covering_radius),
                     _KIND_NODE,
-                    (page_id, d),
+                    (page_id, d, level),
                 )
                 continue
             # _KIND_NODE: expand the node.
-            page_id, d_router = data
-            self._expand(page_id, d_router)
+            page_id, d_router, level = data
+            self._expand(page_id, d_router, level)
         raise StopIteration
 
     # ------------------------------------------------------------------
@@ -113,15 +121,25 @@ class IncrementalNNCursor:
         self, page_id: int, query_router_distance: Optional[float]
     ) -> None:
         # the root has no router: key 0 forces immediate expansion.
-        self._push(0.0, _KIND_NODE, (page_id, query_router_distance))
+        self._push(0.0, _KIND_NODE, (page_id, query_router_distance, 0))
 
-    def _expand(self, page_id: int, d_router: Optional[float]) -> None:
-        node: MTreeNode = self.tree.buffer.get(page_id).payload
+    def _expand(
+        self, page_id: int, d_router: Optional[float], level: int
+    ) -> None:
+        ex = self._explain
+        if ex is not None:
+            node: MTreeNode = ex.get_page(
+                self.tree.buffer, page_id, level
+            ).payload
+        else:
+            node = self.tree.buffer.get(page_id).payload
         if d_router is None:
             # root entries: no parent bound available; every distance
             # is needed, so compute the node as one batch (same pairs,
             # same order, bit-identical distances and counts).
             if not node.entries:
+                if ex is not None:
+                    ex.node_visit("incremental_nn", level)
                 return
             distances = self.tree.query_distance_batch(
                 self.query, [entry.object_id for entry in node.entries]
@@ -131,10 +149,18 @@ class IncrementalNNCursor:
                     self._push(
                         safe_lower_bound(d - entry.covering_radius),
                         _KIND_NODE,
-                        (entry.child_page_id, d),
+                        (entry.child_page_id, d, level + 1),
                     )
                 else:
                     self._push(d, _KIND_OBJECT, (entry.object_id, d))
+            if ex is not None:
+                ex.node_visit(
+                    "incremental_nn",
+                    level,
+                    entries=len(node.entries),
+                    batches=1,
+                    batched_distances=len(node.entries),
+                )
             return
         for entry in node.entries:
             lower = safe_lower_bound(abs(d_router - entry.parent_distance))
@@ -143,14 +169,27 @@ class IncrementalNNCursor:
                     safe_lower_bound(lower - entry.covering_radius),
                     _KIND_NODE_APPROX,
                     (entry.child_page_id, entry.object_id,
-                     entry.covering_radius),
+                     entry.covering_radius, level + 1),
                 )
             else:
                 if entry.object_id in self.skip:
                     continue
                 self._push(
-                    lower, _KIND_OBJECT_APPROX, (entry.object_id,)
+                    lower, _KIND_OBJECT_APPROX, (entry.object_id, level)
                 )
+        if ex is not None:
+            deferred = sum(
+                1
+                for entry in node.entries
+                if isinstance(entry, RoutingEntry)
+                or entry.object_id not in self.skip
+            )
+            ex.node_visit(
+                "incremental_nn",
+                level,
+                entries=len(node.entries),
+                deferred_refinements=deferred,
+            )
 
 
 def range_query(
@@ -163,11 +202,19 @@ def range_query(
     queries with radii taken from exact object distances (ABA line 5).
     """
     results: List[Tuple[int, float]] = []
-    # stack of (page_id, d(query, router) or None for the root).
-    stack: List[Tuple[int, Optional[float]]] = [(tree.root_page_id, None)]
+    ex = explain_mod.active()
+    # stack of (page_id, d(query, router) or None for the root, level).
+    stack: List[Tuple[int, Optional[float], int]] = [
+        (tree.root_page_id, None, 0)
+    ]
     while stack:
-        page_id, d_router = stack.pop()
-        node: MTreeNode = tree.buffer.get(page_id).payload
+        page_id, d_router, level = stack.pop()
+        if ex is not None:
+            node: MTreeNode = ex.get_page(
+                tree.buffer, page_id, level
+            ).payload
+        else:
+            node = tree.buffer.get(page_id).payload
         # prune first on the stored parent distances (no distance
         # computations), then evaluate the survivors as one batch.
         # Same pruning decisions, same entry order, same page-access
@@ -186,6 +233,32 @@ def range_query(
                 if safe_lower_bound(lower - slack) > radius:
                     continue  # pruned without a distance computation
             survivors.append(entry)
+        if ex is not None:
+            parent_prunes = covering_prunes = 0
+            if d_router is not None:
+                for entry in node.entries:
+                    lower = safe_lower_bound(
+                        abs(d_router - entry.parent_distance)
+                    )
+                    if isinstance(entry, RoutingEntry):
+                        if (
+                            safe_lower_bound(
+                                lower - entry.covering_radius
+                            )
+                            > radius
+                        ):
+                            covering_prunes += 1
+                    elif lower > radius:
+                        parent_prunes += 1
+            ex.node_visit(
+                "range_query",
+                level,
+                entries=len(node.entries),
+                parent_distance_prunes=parent_prunes,
+                covering_radius_prunes=covering_prunes,
+                batches=1 if survivors else 0,
+                batched_distances=len(survivors),
+            )
         if not survivors:
             continue
         distances = tree.query_distance_batch(
@@ -194,7 +267,7 @@ def range_query(
         for entry, d in zip(survivors, distances):
             if isinstance(entry, RoutingEntry):
                 if d - entry.covering_radius <= radius:
-                    stack.append((entry.child_page_id, d))
+                    stack.append((entry.child_page_id, d, level + 1))
             elif d <= radius:
                 results.append((entry.object_id, d))
     results.sort(key=lambda pair: (pair[1], pair[0]))

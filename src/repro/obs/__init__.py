@@ -8,6 +8,12 @@
 * :mod:`repro.obs.export` — native trace files and Chrome trace-event
   JSON (Perfetto-loadable), with schema validation.
 * :mod:`repro.obs.summary` — per-phase cost shares and top-N analysis.
+* :mod:`repro.obs.explain` — structured ``QueryPlan`` explain
+  artifacts: pruning funnels, index visit profiles, heap/threshold
+  timelines; strictly observational (explain off is a no-op, explain
+  on changes no result or deterministic counter).
+* :mod:`repro.obs.logging` — stdlib-``logging`` JSON formatter that
+  stamps records with the active trace/span id.
 * :mod:`repro.obs.cli` — the ``repro-trace`` console script.
 * :mod:`repro.obs.perf` — the performance observatory: benchmark
   suites, ``BENCH_<suite>.json`` trajectories, the regression gate and
@@ -15,6 +21,14 @@
   ``import repro.obs`` stays light).
 """
 
+from repro.obs.explain import (
+    ExplainCollector,
+    QueryPlan,
+    build_plan,
+    format_plan,
+    load_plan,
+    validate_plan,
+)
 from repro.obs.export import (
     TRACE_EVENT_SCHEMA,
     load_trace,
@@ -24,6 +38,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_trace,
 )
+from repro.obs.logging import JsonLogFormatter, configure_json_logging
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     CostSnapshot,
@@ -40,22 +55,30 @@ from repro.obs.trace import (
 __all__ = [
     "CostSnapshot",
     "Counter",
+    "ExplainCollector",
     "Gauge",
     "Histogram",
+    "JsonLogFormatter",
     "MetricsRegistry",
+    "QueryPlan",
     "Span",
     "TRACE_EVENT_SCHEMA",
     "TraceScope",
     "Tracer",
     "active",
     "attach",
+    "build_plan",
     "capture",
+    "configure_json_logging",
     "event",
+    "format_plan",
+    "load_plan",
     "load_trace",
     "span",
     "spans_to_chrome",
     "trace_document",
     "validate_chrome_trace",
+    "validate_plan",
     "write_chrome_trace",
     "write_trace",
 ]

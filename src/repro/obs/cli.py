@@ -93,6 +93,15 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("--chrome", required=True, metavar="PATH",
                         help="Chrome trace-event JSON file to write")
 
+    explain = sub.add_parser(
+        "explain", help="render a saved query plan as an ASCII funnel"
+    )
+    explain.add_argument("plan", metavar="PLAN",
+                         help="plan JSON file (QueryPlan.to_json)")
+    explain.add_argument("--chrome", metavar="PATH", default=None,
+                         help="also export the plan's phase spans as "
+                              "Chrome trace-event JSON")
+
     return parser
 
 
@@ -191,23 +200,49 @@ def _export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain(args: argparse.Namespace) -> int:
+    from repro.obs.explain import format_plan, load_plan, validate_plan
+
+    document = load_plan(args.plan)
+    validate_plan(document)
+    print(format_plan(document))
+    if args.chrome:
+        chrome = spans_to_chrome(document["spans"])
+        validate_chrome_trace(chrome)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(chrome, handle)
+            handle.write("\n")
+        print(
+            f"wrote {len(chrome['traceEvents'])} trace events to "
+            f"{args.chrome} (load in https://ui.perfetto.dev)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "record": _record,
     "summarize": _summarize,
     "top": _top,
     "export": _export,
+    "explain": _explain,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro-trace`` console script."""
+    """Entry point of the ``repro-trace`` console script.
+
+    Bad input files (empty, truncated, wrong format) print a one-line
+    ``repro-trace: error: ...`` diagnostic to stderr and exit 2 — never
+    a traceback, and never argparse's usage dump (the file content is
+    not a usage problem).
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
     except (ValueError, OSError) as exc:
-        parser.error(str(exc))
-        return 2  # pragma: no cover - parser.error raises SystemExit
+        print(f"repro-trace: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console

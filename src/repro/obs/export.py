@@ -66,13 +66,36 @@ def write_trace(
 
 
 def load_trace(path: str) -> Dict[str, Any]:
-    """Read a native trace document, checking the format marker."""
+    """Read a native trace document, checking the format marker.
+
+    Every failure mode of a real operator session — empty file
+    (recording died before the first flush), truncated JSON (disk
+    filled mid-write), wrong format, missing span list — raises
+    :class:`ValueError` with a one-line diagnostic naming the file,
+    so the CLI can print it and exit instead of dumping a traceback.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
+        text = handle.read()
+    if not text.strip():
+        raise ValueError(
+            f"{path}: empty trace file (recording wrote no document)"
+        )
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: truncated or corrupt trace file "
+            f"({exc.msg} at line {exc.lineno} column {exc.colno})"
+        ) from exc
     if not isinstance(document, dict) or document.get("format") != NATIVE_FORMAT:
         raise ValueError(
             f"{path}: not a {NATIVE_FORMAT} trace file "
             f"(format={document.get('format') if isinstance(document, dict) else None!r})"
+        )
+    if not isinstance(document.get("spans"), list):
+        raise ValueError(
+            f"{path}: trace file has no 'spans' list "
+            "(was it written by repro-trace record?)"
         )
     return document
 

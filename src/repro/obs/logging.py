@@ -1,0 +1,103 @@
+"""Structured JSON logging, correlated with the active trace.
+
+:class:`JsonLogFormatter` turns stdlib ``logging`` records into
+one-line JSON objects; a record emitted while a span is ambient on the
+calling thread (see :mod:`repro.obs.trace`) is stamped with that
+span's ``trace_id`` and ``span_id``, so a log line and the trace file
+of the same request join on those ids — grep the log for an error,
+open exactly the trace that produced it.
+
+No new dependency and no new logging framework: plug the formatter
+into any ``logging.Handler`` (``repro-serve --log-json`` wires it to
+stderr via :func:`configure_json_logging`), and every library that
+logs through stdlib ``logging`` inherits the format.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional, TextIO
+
+from repro.obs import trace
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]
+
+#: LogRecord attributes that are plumbing, not user payload; anything
+#: else on the record (``extra=...`` keys) is exported verbatim.
+_RESERVED = frozenset(
+    (
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "module",
+        "msecs",
+        "msg",
+        "message",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    )
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one JSON object per line.
+
+    Keys: ``ts`` (epoch seconds), ``level``, ``logger``, ``message``,
+    plus ``trace_id``/``span_id`` when a span is ambient, ``exc_info``
+    when an exception is attached, and any ``extra=`` keys the caller
+    provided.  Values that are not JSON-serialisable fall back to
+    ``str``; the formatter never raises out of a logging call.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        scope = trace.capture()
+        if scope is not None:
+            payload["trace_id"] = scope.trace_id
+            if scope.span is not None:
+                payload["span_id"] = scope.span.span_id
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and key not in payload:
+                payload[key] = value
+        return json.dumps(payload, default=str)
+
+
+def configure_json_logging(
+    stream: Optional[TextIO] = None,
+    level: int = logging.INFO,
+    logger: Optional[logging.Logger] = None,
+) -> logging.Handler:
+    """Attach a JSON-formatting stream handler (default: ``repro``).
+
+    Returns the handler so callers (and tests) can detach it with
+    ``logger.removeHandler(handler)``.  ``stream=None`` logs to
+    stderr, the ``StreamHandler`` default.
+    """
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter())
+    target = logger if logger is not None else logging.getLogger("repro")
+    target.addHandler(handler)
+    target.setLevel(level)
+    return handler

@@ -256,6 +256,7 @@ class Tracer:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._spans: List[Span] = []
+        self._listeners: List[Callable[[Span], None]] = []
         self.dropped = 0
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
@@ -286,6 +287,29 @@ class Tracer:
             probe=probe,
         )
 
+    def add_listener(
+        self, listener: Callable[[Span], None]
+    ) -> Callable[[], None]:
+        """Call ``listener(span)`` for every span as it finishes.
+
+        Listeners observe spans the capacity bound would drop, too —
+        they are for live aggregation (e.g. the service's phase-latency
+        histograms), not storage.  A listener that raises is dropped
+        from the list rather than poisoning the traced request.
+        Returns an unsubscribe callable.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._listeners.remove(listener)
+                except ValueError:
+                    pass
+
+        return unsubscribe
+
     def record(self, span_obj: Span) -> None:
         """Store one finished span (bounded; drops are counted)."""
         with self._lock:
@@ -293,6 +317,17 @@ class Tracer:
                 self._spans.append(span_obj)
             else:
                 self.dropped += 1
+            listeners = list(self._listeners) if self._listeners else None
+        if listeners is not None:
+            for listener in listeners:
+                try:
+                    listener(span_obj)
+                except Exception:
+                    with self._lock:
+                        try:
+                            self._listeners.remove(listener)
+                        except ValueError:
+                            pass
 
     # ------------------------------------------------------------------
     # introspection / export

@@ -423,6 +423,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("always", "commit", "batch", "never"),
                         help="WAL sync cadence for --durability / "
                              "--recover-from (default commit)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured JSON log lines on stderr "
+                             "(each stamped with the active trace/span "
+                             "id when --trace is on)")
     parser.add_argument("--stats", action="store_true",
                         help="dump the service metrics snapshot")
     parser.add_argument("--metrics-format", default="json",
@@ -454,6 +458,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = _build_parser()
     args = parser.parse_args(argv)
+    log = None
+    if args.log_json:
+        import logging
+
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging()
+        log = logging.getLogger("repro.serve")
     try:
         chaos = None
         if args.fault_profile != "none":
@@ -561,11 +573,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
         if profiler is not None:
             profiler.start()
+        if log is not None:
+            log.info(
+                "load starting",
+                extra={
+                    "n": args.n,
+                    "clients": args.clients,
+                    "requests": args.requests,
+                    "algorithm": args.algorithm,
+                },
+            )
         try:
             report = asyncio.run(run_load(service, load_config))
         finally:
             if profiler is not None:
                 profiler.stop()
+        if log is not None:
+            log.info(
+                "load complete",
+                extra={
+                    "completed": report.completed,
+                    "throughput": report.throughput,
+                },
+            )
         print(report.render())
         snapshot = service.snapshot()
         prometheus = (

@@ -53,7 +53,7 @@ import contextvars
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     ContextManager,
@@ -65,13 +65,18 @@ from typing import (
 )
 
 from repro._compat import MISSING, resolve_alias
-from repro.api import ResultItem, TopKDominatingEngine, brute_force_scores
+from repro.api import (
+    QueryPlan,
+    ResultItem,
+    TopKDominatingEngine,
+    brute_force_scores,
+)
 from repro.faults.chaos import ChaosConfig, FaultInjector
 from repro.faults.errors import FaultError
 from repro.obs import trace
 from repro.obs.perf.env import environment_fingerprint
-from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import NOOP_SPAN, Tracer
+from repro.obs.registry import MetricsRegistry, sanitize_metric_name
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
 from repro.service.admission import (
     AdmissionController,
     DeadlineExceeded,
@@ -200,6 +205,8 @@ class QueryResponse:
     cached: bool = False
     coalesced: bool = False
     latency_seconds: float = 0.0
+    #: the explain artifact; ``None`` unless served with ``explain=True``.
+    plan: Optional[QueryPlan] = None
 
 
 @dataclass(frozen=True)
@@ -297,7 +304,14 @@ class QueryService:
             }
         )
         self.registry = MetricsRegistry()
+        self._explain_requests = 0
+        self._last_plan_summary: Optional[dict] = None
         self._register_collectors()
+        self._detach_phase_listener: Optional[Any] = None
+        if self.tracer is not None:
+            self._detach_phase_listener = self.tracer.add_listener(
+                self._observe_phase_span
+            )
         self._closed = False
 
     def _register_collectors(self) -> None:
@@ -338,6 +352,36 @@ class QueryService:
                 self.tracer.snapshot() if self.tracer is not None else None
             ),
         )
+        registry.register_collector("explain", self._explain_snapshot)
+
+    #: finer-than-default bounds for per-phase spans, which sit well
+    #: below request latencies (10 us up to ~167 s, x4 per bucket).
+    PHASE_BOUNDS = tuple(1e-05 * 4**i for i in range(12))
+
+    def _observe_phase_span(self, span_obj: Span) -> None:
+        """Tracer listener: algorithm phase durations into histograms.
+
+        Every finished ``category="algo"`` span (``sba.round``,
+        ``pba.confirm``, ``aba.candidates``, ...) lands in a
+        per-phase-name histogram, so the Prometheus exposition covers
+        phase timings (``repro_phase_<name>_seconds_bucket``) next to
+        the request-level latency histograms.
+        """
+        if span_obj.phase != "X" or span_obj.category != "algo":
+            return
+        name = sanitize_metric_name(span_obj.name)
+        self.registry.histogram(
+            f"phase_{name}_seconds",
+            help=f"wall seconds of the {span_obj.name} algorithm phase",
+            bounds=self.PHASE_BOUNDS,
+        ).observe(span_obj.duration)
+
+    def _explain_snapshot(self) -> dict:
+        """Explain-path counters plus a digest of the last plan built."""
+        return {
+            "requests": self._explain_requests,
+            "last_plan": self._last_plan_summary,
+        }
 
     def _build_snapshot(self) -> dict:
         """Who produced these numbers: build + run-mode attribution.
@@ -407,6 +451,7 @@ class QueryService:
         algorithm: str = "pba2",
         deadline: Optional[float] = None,
         *,
+        explain: bool = False,
         top_k=MISSING,
     ) -> QueryResponse:
         """Serve one query: admission -> cache -> coalesce -> engine.
@@ -415,6 +460,14 @@ class QueryService:
         admission rejection; engine validation errors (unknown
         algorithm, bad query ids) propagate as-is.  ``k`` is canonical;
         ``top_k=`` is a deprecated alias for one release.
+
+        ``explain=True`` executes on the engine's explain path and
+        attaches the :class:`~repro.api.QueryPlan` to the response.
+        An explained request bypasses the cache lookup and coalescing
+        — the plan describes one concrete execution, so serving a
+        cached answer or joining another request's flight would have
+        no plan to attach — but it still lands its (bit-identical)
+        answer in the cache for later un-explained requests.
         """
         k = resolve_alias("query", "k", k, "top_k", top_k)
         request = QueryRequest.make(query_ids, k, algorithm)
@@ -423,6 +476,32 @@ class QueryService:
         try:
             with self._trace_request(request) as root:
                 async with self.admission.admit(deadline):
+                    if explain:
+                        loop = asyncio.get_running_loop()
+                        if root:
+                            ctx = contextvars.copy_context()
+                            outcome = await loop.run_in_executor(
+                                self._pool,
+                                ctx.run,
+                                self._execute_explained,
+                                request,
+                            )
+                        else:
+                            outcome = await loop.run_in_executor(
+                                self._pool,
+                                self._execute_explained,
+                                request,
+                            )
+                        results, stats, epoch, plan = outcome
+                        return self._respond(
+                            request,
+                            results,
+                            stats,
+                            epoch,
+                            started,
+                            root=root,
+                            plan=plan,
+                        )
                     entry = self._cache_lookup(request)
                     if entry is not None:
                         results, stats, epoch = entry.value
@@ -501,13 +580,15 @@ class QueryService:
         k=MISSING,
         algorithm: str = "pba2",
         *,
+        explain: bool = False,
         top_k=MISSING,
     ) -> QueryResponse:
         """Serve one query synchronously (cache + coalesce + engine).
 
         No admission control — the caller owns its own backpressure.
         ``k`` is canonical; ``top_k=`` is a deprecated alias for one
-        release.
+        release.  ``explain=True`` behaves as in :meth:`query`:
+        bypasses cache and coalescing, attaches ``response.plan``.
         """
         k = resolve_alias("query_sync", "k", k, "top_k", top_k)
         request = QueryRequest.make(query_ids, k, algorithm)
@@ -515,6 +596,19 @@ class QueryService:
         self.metrics.observe_request()
         try:
             with self._trace_request(request) as root:
+                if explain:
+                    results, stats, epoch, plan = (
+                        self._execute_explained(request)
+                    )
+                    return self._respond(
+                        request,
+                        results,
+                        stats,
+                        epoch,
+                        started,
+                        root=root,
+                        plan=plan,
+                    )
                 entry = self._cache_lookup(request)
                 if entry is not None:
                     results, stats, epoch = entry.value
@@ -820,6 +914,37 @@ class QueryService:
                 flight.set_exception(exc)
             raise
 
+    def _execute_explained(
+        self, request: QueryRequest
+    ) -> Tuple[List[ResultItem], QueryStats, int, QueryPlan]:
+        """Explained execution: no flight to lead, no cache to consult.
+
+        Runs under the same read lock and verify policy as
+        :meth:`_execute`; the answer (identical to the un-explained one
+        by the explain-neutrality guarantee) still lands in the cache
+        so subsequent plain requests hit.
+        """
+        with trace.span("service.lock_wait", category="service"):
+            self._engine_lock.acquire_read()
+        try:
+            epoch = self.engine.epoch
+            results, stats, plan = self.engine.explain(
+                list(request.query_ids),
+                request.k,
+                algorithm=request.algorithm,
+            )
+            if self.config.verify and request.algorithm != "apx":
+                with trace.span("service.verify", category="service"):
+                    self._verify_locked(request, results)
+            self.cache.put(request.key, epoch, (results, stats, epoch))
+        finally:
+            self._engine_lock.release_read()
+        self.metrics.observe_execution(request.algorithm, stats)
+        self._explain_requests += 1
+        self._last_plan_summary = plan.summary()
+        self._io_stall(stats)
+        return results, stats, epoch, plan
+
     def _io_stall(self, stats: QueryStats) -> None:
         """Enact the paper's simulated disk outside the read lock.
 
@@ -845,6 +970,7 @@ class QueryService:
         cached: bool = False,
         coalesced: bool = False,
         root: Any = NOOP_SPAN,
+        plan: Optional[QueryPlan] = None,
     ) -> QueryResponse:
         latency = time.perf_counter() - started
         self.metrics.observe_response(latency, cached, coalesced)
@@ -860,6 +986,7 @@ class QueryService:
             cached=cached,
             coalesced=coalesced,
             latency_seconds=latency,
+            plan=plan,
         )
 
     # ------------------------------------------------------------------
@@ -870,6 +997,9 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._detach_phase_listener is not None:
+            self._detach_phase_listener()
+            self._detach_phase_listener = None
         self.subscriptions.close()
         self.cache.detach()
         self._pool.shutdown(wait=True)

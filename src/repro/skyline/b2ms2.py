@@ -30,6 +30,7 @@ from repro.core.dominance import DistanceVectorSource, DominatorSet
 from repro.metric.safety import safe_lower_bound
 from repro.mtree.node import MTreeNode, RoutingEntry
 from repro.mtree.tree import MTree
+from repro.obs import explain as explain_mod
 
 _KIND_OBJECT = 0
 _KIND_NODE = 1
@@ -82,6 +83,8 @@ def metric_skyline_cursor(
     source = vectors or DistanceVectorSource(tree.space, query_ids)
     hidden = skip if skip is not None else set()
     counter = itertools.count()
+    ex = explain_mod.active()
+    obj_popped = obj_kept = obj_dominated = regions_pruned = 0
     # Found-skyline vectors, tested set-at-a-time.  The node-pruning
     # test against a region's coordinate-wise *lower* bounds is the
     # same predicate as object dominance (<= everywhere, < somewhere),
@@ -90,8 +93,13 @@ def metric_skyline_cursor(
     skyline = DominatorSet(len(query_ids))
     heap: List[tuple] = []
 
-    def push_node(page_id: int) -> None:
-        node: MTreeNode = tree.buffer.get(page_id).payload
+    def push_node(page_id: int, level: int) -> None:
+        if ex is not None:
+            node: MTreeNode = ex.get_page(
+                tree.buffer, page_id, level
+            ).payload
+        else:
+            node = tree.buffer.get(page_id).payload
         for entry in node.entries:
             if isinstance(entry, RoutingEntry):
                 rvec = source.vector(entry.object_id)
@@ -99,7 +107,7 @@ def metric_skyline_cursor(
                 heapq.heappush(
                     heap,
                     (sum(bounds), _KIND_NODE, next(counter),
-                     entry.child_page_id, bounds),
+                     entry.child_page_id, bounds, level + 1),
                 )
             else:
                 if entry.object_id in hidden:
@@ -108,22 +116,46 @@ def metric_skyline_cursor(
                 heapq.heappush(
                     heap,
                     (sum(ovec), _KIND_OBJECT, next(counter),
-                     entry.object_id, ovec),
+                     entry.object_id, ovec, level),
                 )
+        if ex is not None:
+            ex.node_visit("skyline", level, entries=len(node.entries))
 
-    push_node(tree.root_page_id)
+    push_node(tree.root_page_id, 0)
     while heap:
-        _key, kind, _tie, ident, vec = heapq.heappop(heap)
+        _key, kind, _tie, ident, vec, level = heapq.heappop(heap)
         if kind == _KIND_OBJECT:
             if skyline.dominates(vec):
+                if ex is not None:
+                    obj_popped += 1
+                    obj_dominated += 1
                 continue
             skyline.add(vec)
+            if ex is not None:
+                obj_popped += 1
+                obj_kept += 1
             yield ident
             continue
         # node: prune if some skyline vector dominates its whole region.
         if skyline.dominates(vec):
+            if ex is not None:
+                regions_pruned += 1
+                ex.node_pruned("skyline", level, covering_radius=1)
             continue
-        push_node(ident)
+        push_node(ident, level)
+
+    if ex is not None:
+        ex.add_stage(
+            "b2ms2.skyline",
+            entering=obj_popped,
+            survivors=obj_kept,
+            discards={
+                "dominated by a found skyline object (Def. 3)": (
+                    obj_dominated
+                )
+            },
+            note=f"regions pruned={regions_pruned}",
+        )
 
 
 def metric_skyline(

@@ -44,6 +44,7 @@ import numpy as np
 from repro.core.aux_index import AuxBPlusTree
 from repro.core.engine import ChangeEvent, TopKDominatingEngine
 from repro.core.progressive import ResultItem
+from repro.obs import explain as explain_mod
 from repro.obs import trace
 from repro.storage.stats import QueryStats, Stopwatch
 
@@ -404,10 +405,96 @@ class ContinuousTopK:
             kind, "delete", object_id, old, stats, repair, epoch
         )
 
+    def explain_update(
+        self, op: str, object_id: int
+    ) -> Tuple[Optional[ResultDelta], "explain_mod.QueryPlan"]:
+        """Apply one update and return ``(delta, plan)``.
+
+        Runs :meth:`add_object` / :meth:`remove_object` under an
+        explain collector (and a private tracer when none is ambient),
+        so the plan carries the repair funnel — comparable ball vs
+        incomparable remainder — plus the per-update cost counters.
+        The update itself is applied exactly as without explain.
+        """
+        if op not in ("insert", "delete"):
+            raise ValueError("op must be 'insert' or 'delete'")
+        buffers = self.engine.buffers
+        metric = self.engine.counting_metric
+
+        def probe() -> trace.CostSnapshot:
+            io = buffers.local_io()
+            return trace.CostSnapshot(
+                page_faults=io.page_faults,
+                buffer_hits=io.buffer_hits,
+                distance_computations=metric.local_count(),
+                exact_score_computations=self._exact_total,
+            )
+
+        collector = explain_mod.ExplainCollector(probe=probe)
+        scope = trace.capture()
+        own_tracer = None
+        if scope is None:
+            own_tracer = trace.Tracer()
+            root_context = own_tracer.trace(
+                "stream.explain", category="stream", probe=probe
+            )
+        else:
+            root_context = trace.span(
+                "stream.explain", category="stream", probe=probe
+            )
+        with explain_mod.attach(collector):
+            with root_context as root_span:
+                if op == "insert":
+                    delta = self.add_object(object_id)
+                else:
+                    delta = self.remove_object(object_id)
+                root_id = root_span.span_id
+        tracer = own_tracer if own_tracer is not None else scope.tracer
+        stats = self.last_stats if delta is not None else QueryStats()
+        plan = explain_mod.build_plan(
+            algorithm=f"stream.{op}",
+            query_ids=self.query.query_ids,
+            k=self.query.k,
+            n=self._n,
+            stats=stats,
+            collector=collector,
+            spans=tracer.export(),
+            root_id=root_id,
+        )
+        return delta, plan
+
     # ------------------------------------------------------------------
     # repair internals
     # ------------------------------------------------------------------
+    def _explain_repair(
+        self, ex, op: str, kind: str, n_before: int, repair: int
+    ) -> None:
+        """One conserving funnel stage per update when explain is on.
+
+        The universe entering the repair splits exactly into the
+        comparable ball (whose counters are touched) and the
+        incomparable remainder (untouched by Definition 3's pairwise
+        locality) — the stage's conservation law checks that split.
+        """
+        ex.add_stage(
+            f"stream.{op}",
+            entering=n_before,
+            survivors=repair,
+            discards={
+                "incomparable with the update": n_before - repair
+            },
+            note="recompute fallback" if kind == "recompute" else None,
+        )
+        ex.snapshot(
+            "stream.update",
+            op=op,
+            kind=kind,
+            repair=repair,
+            universe=self._n,
+        )
+
     def _apply_insert(self, object_id: int) -> Tuple[str, int]:
+        ex = explain_mod.active()
         n = self._n
         vec = np.asarray(
             self.space.pairwise(object_id, self.query.query_ids),
@@ -435,6 +522,8 @@ class ContinuousTopK:
             self._rescore_all()
             if self.aux is not None:
                 self._mirror_rows(range(self._n))
+            if ex is not None:
+                self._explain_repair(ex, "insert", "recompute", n, repair)
             return "recompute", repair
         self._scores[:n][dominators] += 1
         self._dominated_by[:n][dominated] += 1
@@ -445,9 +534,12 @@ class ContinuousTopK:
             touched = np.nonzero(dominators | dominated)[0]
             self._mirror_rows(touched)
             self._mirror_rows([row])
+        if ex is not None:
+            self._explain_repair(ex, "insert", "repair", n, repair)
         return "repair", repair
 
     def _apply_delete(self, object_id: int) -> Tuple[str, int]:
+        ex = explain_mod.active()
         n = self._n
         row = self._row_of.pop(object_id)
         vec = self._matrix[row].copy()
@@ -480,6 +572,8 @@ class ContinuousTopK:
             self._rescore_all()
             if self.aux is not None:
                 self._mirror_rows(range(self._n))
+            if ex is not None:
+                self._explain_repair(ex, "delete", "recompute", n, repair)
             return "recompute", repair
         for obj in touched_ids:
             r = self._row_of[obj]
@@ -492,6 +586,8 @@ class ContinuousTopK:
         self._exact_total += repair
         if self.aux is not None:
             self._mirror_rows([self._row_of[obj] for obj in touched_ids])
+        if ex is not None:
+            self._explain_repair(ex, "delete", "repair", n, repair)
         return "repair", repair
 
     def _rescore_all(self) -> None:

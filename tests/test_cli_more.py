@@ -77,3 +77,45 @@ class TestCliOverrides:
         cells = json.loads(out_path.read_text())
         algorithms = {cell["algorithm"] for cell in cells}
         assert {"pba1", "pba2"} <= algorithms
+
+
+class TestTraceCliDiagnostics:
+    """repro-trace must answer a bad trace file with one diagnostic
+    line and exit code 2, never a traceback (regression: an empty or
+    truncated recording used to raise json.JSONDecodeError)."""
+
+    @pytest.fixture(params=["summarize", "top"])
+    def command(self, request):
+        return request.param
+
+    def _check(self, capsys, command, path, needle):
+        from repro.obs.cli import main as trace_main
+
+        assert trace_main([command, str(path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro-trace: error:")
+        assert needle in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_empty_trace_file(self, tmp_path, capsys, command):
+        path = tmp_path / "empty.trace.json"
+        path.write_text("")
+        self._check(capsys, command, path, "empty trace file")
+
+    def test_truncated_trace_file(self, tmp_path, capsys, command):
+        path = tmp_path / "trunc.trace.json"
+        path.write_text('{"format": "repro-trace/1", "spans": [{"na')
+        self._check(capsys, command, path, "truncated or corrupt")
+
+    def test_spans_missing(self, tmp_path, capsys, command):
+        path = tmp_path / "nospans.trace.json"
+        path.write_text(json.dumps({"format": "repro-trace/1"}))
+        self._check(capsys, command, path, "no 'spans' list")
+
+    def test_missing_file(self, tmp_path, capsys, command):
+        from repro.obs.cli import main as trace_main
+
+        assert trace_main([command, str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-trace: error:")

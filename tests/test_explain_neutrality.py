@@ -1,0 +1,131 @@
+"""Explain must be a strict observer.
+
+Two bars, mirroring ``tests/test_obs_neutrality.py``:
+
+* **off ⇒ free** — with explain off nothing is collected and the only
+  residue is one ``ContextVar.get`` per hook site (pinned indirectly:
+  the unexplained path's counters cannot move, below);
+* **on ⇒ invisible** — an explained run of the same fresh engine must
+  produce byte-identical results and *identical* deterministic cost
+  counters (distance computations, page faults, buffer hits, exact
+  scores) to the plain run.  The collector reads in-memory ints and
+  routes page gets through the very same buffer call the algorithm
+  would have made; it never touches a page, a metric or an RNG of its
+  own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import Tracer
+from tests.conftest import make_engine
+
+ALGORITHMS = ["sba", "aba", "pba1", "pba2"]
+QUERY = [3, 17, 42]
+K = 8
+
+
+def _run(explained: bool):
+    """One cold query per algorithm on a freshly built engine."""
+    engine = make_engine(n=140, dims=3, seed=9)
+    outcomes = {}
+    plans = {}
+    for algorithm in ALGORITHMS:
+        engine.buffers.clear()  # identical cold-cache start per algorithm
+        if explained:
+            results, stats, plan = engine.explain(
+                QUERY, K, algorithm=algorithm
+            )
+            plans[algorithm] = plan
+        else:
+            results, stats = engine.top_k_dominating(
+                QUERY, K, algorithm=algorithm
+            )
+        outcomes[algorithm] = {
+            "results": [(r.object_id, r.score) for r in results],
+            "distance_computations": stats.distance_computations,
+            "distance_batches": stats.distance_batches,
+            "page_faults": stats.io.page_faults,
+            "buffer_hits": stats.io.buffer_hits,
+            "exact_score_computations": stats.exact_score_computations,
+            "objects_retrieved": stats.objects_retrieved,
+            "objects_pruned": stats.objects_pruned,
+            "results_reported": stats.results_reported,
+        }
+    return outcomes, plans
+
+
+def test_explained_equals_plain_for_every_algorithm():
+    plain, _ = _run(explained=False)
+    explained, plans = _run(explained=True)
+    assert explained == plain
+    for algorithm, plan in plans.items():
+        assert plan.funnel, f"{algorithm}: explained run built no funnel"
+
+
+def test_explain_neutral_under_an_ambient_tracer():
+    """explain() inside an existing trace joins it without perturbing
+    counters — the service's traced request path does exactly this."""
+    plain, _ = _run(explained=False)
+
+    engine = make_engine(n=140, dims=3, seed=9)
+    tracer = Tracer()
+    outcomes = {}
+    for algorithm in ALGORITHMS:
+        engine.buffers.clear()
+        with tracer.trace("request"):
+            results, stats, plan = engine.explain(
+                QUERY, K, algorithm=algorithm
+            )
+        outcomes[algorithm] = {
+            "results": [(r.object_id, r.score) for r in results],
+            "distance_computations": stats.distance_computations,
+            "distance_batches": stats.distance_batches,
+            "page_faults": stats.io.page_faults,
+            "buffer_hits": stats.io.buffer_hits,
+            "exact_score_computations": stats.exact_score_computations,
+            "objects_retrieved": stats.objects_retrieved,
+            "objects_pruned": stats.objects_pruned,
+            "results_reported": stats.results_reported,
+        }
+        assert plan.spans, "plan must carry the ambient tracer's spans"
+    assert outcomes == plain
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plain_run_after_explained_run_is_undisturbed(algorithm):
+    """No explain state leaks across calls on a shared engine."""
+    engine = make_engine(n=100, dims=3, seed=2)
+    baseline, _ = engine.top_k_dominating(QUERY, K, algorithm=algorithm)
+    engine.explain(QUERY, K, algorithm=algorithm)
+    again, _ = engine.top_k_dominating(QUERY, K, algorithm=algorithm)
+    assert [(r.object_id, r.score) for r in again] == [
+        (r.object_id, r.score) for r in baseline
+    ]
+
+
+def test_streaming_explain_is_neutral():
+    """explain_update applies the exact same repair as a plain update."""
+    from repro.streaming.continuous import ContinuousTopK
+
+    def run(explained: bool):
+        engine = make_engine(n=120, dims=3, seed=4)
+        maintainer = ContinuousTopK(
+            engine, [0, 1, 2], 6, aux_mirror=False
+        )
+        transitions = []
+        for object_id in (10, 55, 99):
+            if explained:
+                delta, plan = maintainer.explain_update(
+                    "delete", object_id
+                )
+                assert plan.funnel
+            else:
+                delta = maintainer.remove_object(object_id)
+            transitions.append(
+                [(i.object_id, i.score) for i in maintainer.result]
+            )
+        return transitions, dict(maintainer.counters)
+
+    assert run(False) == run(True)

@@ -1,0 +1,110 @@
+"""JSON log lines and their trace correlation.
+
+The one law that matters: a record emitted *inside* a traced span
+carries that span's ``trace_id``/``span_id`` so logs and trace exports
+join on the same identifiers; outside any span the keys are absent,
+not null-padded.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.obs.logging import JsonLogFormatter, configure_json_logging
+from repro.obs.trace import Tracer
+
+
+def _fresh_logger(name: str) -> logging.Logger:
+    logger = logging.getLogger(name)
+    logger.handlers.clear()
+    logger.propagate = False
+    return logger
+
+
+class TestCorrelation:
+    def test_record_inside_span_carries_trace_ids(self):
+        stream = io.StringIO()
+        logger = _fresh_logger("repro.test.correlated")
+        handler = configure_json_logging(stream=stream, logger=logger)
+        tracer = Tracer()
+        try:
+            with tracer.trace("request") as span:
+                logger.info("inside")
+            logger.info("outside")
+        finally:
+            logger.removeHandler(handler)
+        inside, outside = [
+            json.loads(line)
+            for line in stream.getvalue().strip().splitlines()
+        ]
+        assert inside["message"] == "inside"
+        assert inside["trace_id"] == span.trace_id
+        assert inside["span_id"] == span.span_id
+        assert "trace_id" not in outside
+        assert "span_id" not in outside
+
+    def test_log_lines_join_against_the_exported_trace(self):
+        stream = io.StringIO()
+        logger = _fresh_logger("repro.test.join")
+        handler = configure_json_logging(stream=stream, logger=logger)
+        tracer = Tracer()
+        try:
+            with tracer.trace("outer"):
+                with tracer.trace("inner"):
+                    logger.info("deep")
+        finally:
+            logger.removeHandler(handler)
+        record = json.loads(stream.getvalue().strip())
+        spans = {span.span_id: span for span in tracer.spans()}
+        assert record["span_id"] in spans
+        assert spans[record["span_id"]].name == "inner"
+        assert record["trace_id"] == spans[record["span_id"]].trace_id
+
+
+class TestFormatter:
+    def test_payload_shape_and_extras(self):
+        formatter = JsonLogFormatter()
+        logger = _fresh_logger("repro.test.extras")
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(formatter)
+        logger.addHandler(handler)
+        logger.warning(
+            "slow repair", extra={"object_id": 42, "repair": 7}
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["level"] == "WARNING"
+        assert payload["logger"] == "repro.test.extras"
+        assert payload["message"] == "slow repair"
+        assert payload["object_id"] == 42
+        assert payload["repair"] == 7
+        assert isinstance(payload["ts"], float)
+
+    def test_exception_and_unserialisable_extra(self):
+        formatter = JsonLogFormatter()
+        logger = _fresh_logger("repro.test.exc")
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(formatter)
+        logger.addHandler(handler)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("failed", extra={"payload": {1, 2}})
+        record = json.loads(stream.getvalue())
+        assert "RuntimeError: boom" in record["exc_info"]
+        # sets are not JSON types; default=str keeps the line emittable
+        assert "payload" in record
+
+    def test_configure_targets_repro_root_by_default(self):
+        stream = io.StringIO()
+        handler = configure_json_logging(stream=stream)
+        root = logging.getLogger("repro")
+        try:
+            assert handler in root.handlers
+            logging.getLogger("repro.child").info("hello")
+            assert json.loads(stream.getvalue())["message"] == "hello"
+        finally:
+            root.removeHandler(handler)

@@ -90,6 +90,7 @@ def test_export_roundtrip(recorded, tmp_path, capsys):
 def test_bad_trace_file_is_a_clean_cli_error(tmp_path, capsys):
     bad = tmp_path / "bad.json"
     bad.write_text('{"format": "other/1", "spans": []}')
-    with pytest.raises(SystemExit) as excinfo:
-        main(["summarize", str(bad)])
-    assert excinfo.value.code == 2
+    assert main(["summarize", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro-trace: error:")
+    assert "not a repro-trace/1 trace file" in err
