@@ -349,3 +349,43 @@ class DistributedTopK:
                 self.injector.snapshot() if self.injector else None
             ),
         }
+
+    #: breaker state → gauge value (monotone in "how broken").
+    BREAKER_STATE_VALUES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+
+    def attach_metrics(self, registry) -> None:
+        """Export per-site breaker state and trip counts as gauges.
+
+        One labeled callback gauge per site and family —
+        ``site_breaker_state{site="0"}`` (0 closed, 1 half-open,
+        2 open), ``site_breaker_opens{site="0"}`` and
+        ``site_breaker_rejections{site="0"}`` — so alert rules and the
+        health report can watch partitions go dark live, instead of
+        waiting for a query's :class:`Coverage` report.  Callback
+        gauges only read; coordinator behavior is unchanged.
+        """
+        for client in self.clients:
+            labels = {"site": str(client.site_id)}
+            breaker = client.breaker
+            registry.gauge(
+                "site_breaker_state",
+                help="circuit state: 0 closed, 1 half-open, 2 open",
+                labels=labels,
+                callback=(
+                    lambda b=breaker: self.BREAKER_STATE_VALUES.get(
+                        b.state, 2.0
+                    )
+                ),
+            )
+            registry.gauge(
+                "site_breaker_opens",
+                help="lifetime closed/half-open -> open transitions",
+                labels=labels,
+                callback=lambda b=breaker: float(b.opens),
+            )
+            registry.gauge(
+                "site_breaker_rejections",
+                help="calls rejected while the breaker was open",
+                labels=labels,
+                callback=lambda b=breaker: float(b.rejections),
+            )

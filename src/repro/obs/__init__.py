@@ -14,6 +14,15 @@
   on changes no result or deterministic counter).
 * :mod:`repro.obs.logging` — stdlib-``logging`` JSON formatter that
   stamps records with the active trace/span id.
+* :mod:`repro.obs.monitor` — self-monitoring: the ring-buffer
+  :class:`TimeSeriesStore` scraped from the registry, the
+  :class:`Monitor` scrape loop, and the ``ok/degraded/unhealthy``
+  health verdict.
+* :mod:`repro.obs.slo` — declarative :class:`SLO` objects,
+  multi-window burn-rate / threshold / cost-drift alert rules, and the
+  :class:`AlertManager` with pluggable sinks.
+* :mod:`repro.obs.dashboard` — the ``repro-top`` live terminal
+  dashboard over published monitor documents.
 * :mod:`repro.obs.cli` — the ``repro-trace`` console script.
 * :mod:`repro.obs.perf` — the performance observatory: benchmark
   suites, ``BENCH_<suite>.json`` trajectories, the regression gate and
@@ -39,7 +48,25 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.logging import JsonLogFormatter, configure_json_logging
+from repro.obs.monitor import (
+    HealthLimits,
+    Monitor,
+    TimeSeriesStore,
+    compute_health,
+    load_monitor_document,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    AlertManager,
+    BurnRateRule,
+    CounterRatioSource,
+    DriftRule,
+    LatencySource,
+    ThresholdRule,
+    default_rules,
+    load_slo_config,
+)
 from repro.obs.trace import (
     CostSnapshot,
     Span,
@@ -53,26 +80,40 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertManager",
+    "BurnRateRule",
     "CostSnapshot",
     "Counter",
+    "CounterRatioSource",
+    "DriftRule",
     "ExplainCollector",
     "Gauge",
+    "HealthLimits",
     "Histogram",
     "JsonLogFormatter",
+    "LatencySource",
     "MetricsRegistry",
+    "Monitor",
     "QueryPlan",
+    "SLO",
     "Span",
     "TRACE_EVENT_SCHEMA",
+    "ThresholdRule",
+    "TimeSeriesStore",
     "TraceScope",
     "Tracer",
     "active",
     "attach",
     "build_plan",
     "capture",
+    "compute_health",
     "configure_json_logging",
+    "default_rules",
     "event",
     "format_plan",
+    "load_monitor_document",
     "load_plan",
+    "load_slo_config",
     "load_trace",
     "span",
     "spans_to_chrome",

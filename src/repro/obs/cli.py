@@ -102,6 +102,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also export the plan's phase spans as "
                               "Chrome trace-event JSON")
 
+    dash = sub.add_parser(
+        "dash", help="render a recorded monitor document as a dashboard"
+    )
+    dash.add_argument("monitor", metavar="MONITOR",
+                      help="monitor JSON document (repro-serve "
+                           "--monitor-out, or Monitor.write)")
+    dash.add_argument("--width", type=int, default=80,
+                      help="page width in columns (default 80)")
+
     return parser
 
 
@@ -219,12 +228,22 @@ def _explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dash(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import render
+    from repro.obs.monitor import load_monitor_document
+
+    document = load_monitor_document(args.monitor)
+    print(render(document, width=args.width))
+    return 0
+
+
 _COMMANDS = {
     "record": _record,
     "summarize": _summarize,
     "top": _top,
     "export": _export,
     "explain": _explain,
+    "dash": _dash,
 }
 
 

@@ -1,0 +1,375 @@
+"""``repro-top`` — a live terminal dashboard over monitor documents.
+
+The :class:`~repro.obs.monitor.Monitor` atomically republishes its
+exported ``repro-monitor/1`` JSON document every tick
+(``repro-serve --monitor --monitor-out FILE``); this module renders
+that document as a terminal page — request/error rates, sparkline
+trends, rolling latency, the paper's per-algorithm cost counters,
+active alerts and the health verdict — and ``repro-top`` tails the
+file live the way ``top`` tails the process table.
+
+Everything here is a pure function of one document (``render`` takes
+a dict, returns a string), so tests render fixed documents without
+a terminal and ``repro-trace dash FILE`` reuses the exact same
+renderer for recorded sessions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.obs.monitor import load_monitor_document
+
+__all__ = [
+    "main",
+    "render",
+    "sparkline",
+]
+
+#: eight-level block characters, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ANSI clear-screen + cursor-home, used between live refreshes.
+CLEAR = "\x1b[2J\x1b[H"
+
+_Point = Tuple[float, float]
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Render values as a fixed-width block-character sparkline.
+
+    The last ``width`` values are shown, scaled to the visible range;
+    a flat series renders as a low bar (so "no traffic" and "maxed
+    out" look different).  Empty input yields an empty string.
+    """
+    tail = [float(v) for v in values][-width:]
+    if not tail:
+        return ""
+    low = min(tail)
+    high = max(tail)
+    if high <= low:
+        return SPARK_CHARS[0] * len(tail)
+    span = high - low
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - low) / span * top + 0.5))]
+        for v in tail
+    )
+
+
+def _points(document: dict, path: str) -> List[_Point]:
+    raw = document.get("series", {}).get(path, [])
+    return [(float(t), float(v)) for t, v in raw]
+
+
+def _latest(document: dict, path: str) -> Optional[float]:
+    points = _points(document, path)
+    return points[-1][1] if points else None
+
+
+def _deltas(points: Sequence[_Point]) -> List[float]:
+    """Per-sample increases of a counter series (clamped at zero)."""
+    return [
+        max(0.0, points[i][1] - points[i - 1][1])
+        for i in range(1, len(points))
+    ]
+
+
+def _rate(points: Sequence[_Point]) -> Optional[float]:
+    """Per-second increase across the retained span of a series."""
+    if len(points) < 2:
+        return None
+    (t0, v0), (t1, v1) = points[0], points[-1]
+    if t1 <= t0:
+        return None
+    return (v1 - v0) / (t1 - t0)
+
+
+def _fmt(value: Optional[float], unit: str = "", digits: int = 1) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}{unit}"
+
+
+_STATUS_MARK = {"ok": "✓", "degraded": "▲", "unhealthy": "✗"}
+
+
+def _header_lines(document: dict, width: int) -> List[str]:
+    meta = document.get("meta", {})
+    parts = [
+        "repro-top",
+        f"tick {document.get('ticks', 0)}",
+        f"every {document.get('interval', '?')}s",
+    ]
+    workload = meta.get("workload")
+    if isinstance(workload, dict):
+        parts.append(
+            " ".join(f"{key}={workload[key]}" for key in sorted(workload))
+        )
+    lines = [" · ".join(str(p) for p in parts)[:width]]
+    health = document.get("health")
+    if isinstance(health, dict):
+        status = health.get("status", "ok")
+        mark = _STATUS_MARK.get(status, "?")
+        bad = [
+            f"{name}: {check.get('detail', '')}"
+            for name, check in sorted(health.get("checks", {}).items())
+            if check.get("status") != "ok"
+        ]
+        line = f"health {mark} {status.upper()}"
+        if bad:
+            line += " — " + "; ".join(bad)
+        lines.append(line[:width])
+    lines.append("─" * width)
+    return lines
+
+
+def _request_lines(document: dict, width: int) -> List[str]:
+    rows = [
+        ("requests", "requests.received"),
+        ("completed", "requests.completed"),
+        ("cache hits", "requests.cache_hits"),
+        ("failures", "requests.failures"),
+        ("writes", "requests.writes"),
+    ]
+    lines = []
+    spark_width = max(8, width - 46)
+    for label, path in rows:
+        points = _points(document, path)
+        if not points:
+            continue
+        lines.append(
+            f"  {label:<11} {_fmt(points[-1][1], digits=0):>8} total "
+            f"{_fmt(_rate(points), '/s'):>9}  "
+            f"{sparkline(_deltas(points), spark_width)}"
+        )
+    p50 = _latest(document, "latency.all.p50_seconds")
+    p99 = _latest(document, "latency.all.p99_seconds")
+    if p50 is not None or p99 is not None:
+        trend = sparkline(
+            [v for _, v in _points(document, "latency.all.p99_seconds")],
+            spark_width,
+        )
+        lines.append(
+            f"  {'latency':<11} p50 {_fmt(p50, 's', 4):>9} "
+            f"p99 {_fmt(p99, 's', 4):>9}  {trend}"
+        )
+    if lines:
+        lines.insert(0, "requests")
+    return lines
+
+
+def _cost_lines(document: dict, width: int) -> List[str]:
+    """The paper's deterministic cost axes, per algorithm."""
+    prefix = "per_algorithm."
+    algorithms = sorted(
+        {
+            path[len(prefix):].split(".")[0]
+            for path in document.get("series", {})
+            if path.startswith(prefix)
+        }
+    )
+    if not algorithms:
+        return []
+    lines = ["engine cost (per algorithm)"]
+    spark_width = max(8, width - 58)
+    for algorithm in algorithms:
+        executions = _latest(document, f"{prefix}{algorithm}.executions")
+        distance = _points(
+            document, f"{prefix}{algorithm}.distance_computations"
+        )
+        faults = _latest(document, f"{prefix}{algorithm}.page_faults")
+        if executions is None or not distance:
+            continue
+        per_query = (
+            distance[-1][1] / executions if executions else 0.0
+        )
+        lines.append(
+            f"  {algorithm:<8} {_fmt(executions, digits=0):>6} exec  "
+            f"{_fmt(distance[-1][1], digits=0):>9} dist "
+            f"({_fmt(per_query, digits=1)}/q)  "
+            f"{_fmt(faults, digits=0):>7} faults  "
+            f"{sparkline(_deltas(distance), spark_width)}"
+        )
+    return lines if len(lines) > 1 else []
+
+
+def _funnel_lines(document: dict, width: int) -> List[str]:
+    """Pruning-funnel digest of the last explain plan, when one ran."""
+    prefix = "explain.last_plan."
+    series = document.get("series", {})
+    rules = {
+        path[len(prefix) + len("discard_rules."):]: _latest(document, path)
+        for path in series
+        if path.startswith(prefix + "discard_rules.")
+    }
+    if not rules:
+        return []
+    n = _latest(document, prefix + "n")
+    k = _latest(document, prefix + "k")
+    dist = _latest(document, prefix + "distance_computations")
+    head = "pruning funnel (last explain plan"
+    if n is not None and k is not None:
+        head += f": n={n:.0f} k={k:.0f}"
+    if dist is not None:
+        head += f", {dist:.0f} dist"
+    head += ")"
+    lines = [head[:width]]
+    total = sum(v for v in rules.values() if v) or 1.0
+    bar_width = max(8, width - 40)
+    for rule, count in sorted(
+        rules.items(), key=lambda kv: -(kv[1] or 0)
+    ):
+        if not count:
+            continue
+        bar = "█" * max(1, int(count / total * bar_width))
+        lines.append(f"  {rule:<24} {count:>8.0f} {bar}")
+    return lines if len(lines) > 1 else []
+
+
+def _alert_lines(document: dict, width: int) -> List[str]:
+    alerts = document.get("alerts", {})
+    active = alerts.get("active", [])
+    lines = [
+        f"alerts · {alerts.get('fired', 0)} fired, "
+        f"{alerts.get('resolved', 0)} resolved, "
+        f"{alerts.get('evaluations', 0)} evaluations"
+    ]
+    if not active:
+        lines.append("  no active alerts")
+    for alert in active:
+        mark = "!" if alert.get("state") == "firing" else "…"
+        line = (
+            f"  {mark} [{alert.get('severity', '?'):<8}] "
+            f"{alert.get('state', '?'):<7} {alert.get('rule', '?')}"
+        )
+        detail = alert.get("detail")
+        if detail:
+            line += f" — {detail}"
+        lines.append(line[:width])
+    rules = alerts.get("rules", [])
+    if rules:
+        inactive = [r for r in rules if r.get("state") == "inactive"]
+        lines.append(
+            f"  rules: {len(rules)} defined, "
+            f"{len(rules) - len(inactive)} active"
+        )
+    return lines
+
+
+def render(document: dict, width: int = 80) -> str:
+    """One monitor document as a complete terminal page."""
+    sections = [
+        _header_lines(document, width),
+        _request_lines(document, width),
+        _cost_lines(document, width),
+        _funnel_lines(document, width),
+        _alert_lines(document, width),
+    ]
+    lines: List[str] = []
+    for section in sections:
+        if section:
+            if lines:
+                lines.append("")
+            lines.extend(section)
+    return "\n".join(lines)
+
+
+def follow(
+    path: str,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    width: int = 80,
+    clear: bool = True,
+    out: TextIO = sys.stdout,
+    sleep: Any = time.sleep,
+) -> int:
+    """Tail a monitor document file, re-rendering on each refresh.
+
+    Missing-file reads are tolerated while waiting for the publisher
+    (``repro-serve`` may not have taken its first tick yet); the loop
+    ends after ``iterations`` refreshes (``None`` = until ^C).
+    """
+    shown_waiting = False
+    rendered = 0
+    while iterations is None or rendered < iterations:
+        try:
+            document = load_monitor_document(path)
+        except FileNotFoundError:
+            if not shown_waiting:
+                out.write(f"repro-top: waiting for {path} ...\n")
+                out.flush()
+                shown_waiting = True
+            sleep(interval)
+            continue
+        except ValueError as exc:
+            out.write(f"repro-top: {exc}\n")
+            return 2
+        page = render(document, width=width)
+        out.write((CLEAR if clear else "") + page + "\n")
+        out.flush()
+        rendered += 1
+        if iterations is not None and rendered >= iterations:
+            break
+        sleep(interval)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description=(
+            "Live terminal dashboard over a repro-monitor document "
+            "(written by repro-serve --monitor --monitor-out FILE)."
+        ),
+    )
+    parser.add_argument(
+        "path", metavar="FILE",
+        help="monitor JSON document to tail",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render the current document once and exit",
+    )
+    parser.add_argument(
+        "--width", type=int, default=80,
+        help="page width in columns (default 80)",
+    )
+    parser.add_argument(
+        "--no-clear", action="store_true",
+        help="do not clear the screen between refreshes",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-top`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.once:
+        try:
+            document = load_monitor_document(args.path)
+        except (ValueError, OSError) as exc:
+            print(f"repro-top: error: {exc}", file=sys.stderr)
+            return 2
+        print(render(document, width=args.width))
+        return 0
+    try:
+        return follow(
+            args.path,
+            interval=args.interval,
+            width=args.width,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console
+    sys.exit(main())

@@ -33,6 +33,8 @@ __all__ = [
     "MetricsRegistry",
     "escape_help_text",
     "escape_label_value",
+    "render_labels",
+    "sanitize_metric_name",
 ]
 
 _ROOT = ""  # section name under which a collector merges into the top level
@@ -96,30 +98,54 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down.
+
+    A gauge may instead be *callback-backed* (``callback=...``): its
+    value is read from the callable at export time, which is how live
+    state owned elsewhere (a circuit breaker's state, a WAL's byte
+    size) becomes a scrapeable sample without double bookkeeping.  A
+    callback that raises is isolated by the registry — the sample is
+    skipped and counted in ``collector_errors``, never letting one bad
+    source abort a whole exposition.
+    """
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        callback: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.name = name
         self.help = help
+        self.callback = callback
         self._lock = threading.Lock()
         self._value = 0.0
 
     def set(self, value: float) -> None:
+        if self.callback is not None:
+            raise TypeError(
+                f"gauge {self.name!r} is callback-backed; it cannot be set"
+            )
         with self._lock:
             self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        if self.callback is not None:
+            raise TypeError(
+                f"gauge {self.name!r} is callback-backed; it cannot be set"
+            )
         with self._lock:
             self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        with self._lock:
-            self._value -= amount
+        self.inc(-amount)
 
     @property
     def value(self) -> float:
+        if self.callback is not None:
+            return float(self.callback())
         with self._lock:
             return self._value
 
@@ -192,8 +218,33 @@ class Histogram:
         return lines
 
 
+def render_labels(labels: Optional[Dict[str, str]]) -> str:
+    """Render a label set as the Prometheus sample suffix.
+
+    ``{"site": "0"}`` becomes ``{site="0"}``; an empty/absent set
+    renders as ``""``.  Keys are sorted so the same label set always
+    produces the same instrument identity.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(key)}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
 class MetricsRegistry:
-    """Named instruments plus pull collectors, exported as one surface."""
+    """Named instruments plus pull collectors, exported as one surface.
+
+    Fault isolation: a collector or callback-backed gauge that raises
+    at scrape time is *skipped* — its section/sample is omitted from
+    that scrape and the failure is counted in the ``collector_errors``
+    counter (created lazily on the first failure, so clean registries
+    keep their historical snapshot shape).  One misbehaving source can
+    therefore never abort :meth:`collect` or the Prometheus exposition
+    for everyone else.
+    """
 
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = namespace
@@ -202,27 +253,49 @@ class MetricsRegistry:
         self._collectors: "OrderedDict[str, Callable[[], Any]]" = OrderedDict()
 
     # ------------------------------------------------------------------
-    # instruments (get-or-create by name)
+    # instruments (get-or-create by name + labels)
     # ------------------------------------------------------------------
-    def _instrument(self, cls, name: str, help: str, **kwargs):
+    def _instrument(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labels: Optional[Dict[str, str]] = None,
+        **kwargs,
+    ):
+        key = name + render_labels(labels)
         with self._lock:
-            existing = self._instruments.get(name)
+            existing = self._instruments.get(key)
             if existing is not None:
                 if not isinstance(existing, cls):
                     raise TypeError(
-                        f"metric {name!r} already registered as "
+                        f"metric {key!r} already registered as "
                         f"{existing.kind}, not {cls.kind}"
                     )
                 return existing
             instrument = cls(name, help, **kwargs)
-            self._instruments[name] = instrument
+            instrument.labels = dict(labels) if labels else None
+            self._instruments[key] = instrument
             return instrument
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._instrument(Counter, name, help)
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Counter:
+        return self._instrument(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._instrument(Gauge, name, help)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        callback: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        return self._instrument(
+            Gauge, name, help, labels=labels, callback=callback
+        )
 
     def histogram(
         self,
@@ -231,6 +304,20 @@ class MetricsRegistry:
         bounds: Sequence[float] = DEFAULT_BOUNDS,
     ) -> Histogram:
         return self._instrument(Histogram, name, help, bounds=bounds)
+
+    @property
+    def collector_errors(self) -> int:
+        """Total collector / gauge-callback failures isolated so far."""
+        with self._lock:
+            counter = self._instruments.get("collector_errors")
+        return int(counter.value) if counter is not None else 0
+
+    def _count_collector_error(self) -> None:
+        self.counter(
+            "collector_errors",
+            help="collector or gauge-callback failures isolated at "
+            "scrape time (the failing source was skipped)",
+        ).inc()
 
     # ------------------------------------------------------------------
     # collectors
@@ -260,50 +347,92 @@ class MetricsRegistry:
     # exposition
     # ------------------------------------------------------------------
     def collect(self) -> Dict[str, Any]:
-        """One nested plain-type document covering every source."""
+        """One nested plain-type document covering every source.
+
+        A collector (or callback gauge) that raises is skipped for
+        this scrape and counted in ``collector_errors``; every other
+        section still lands in the document.
+        """
         with self._lock:
             collectors = list(self._collectors.items())
             instruments = list(self._instruments.items())
         document: Dict[str, Any] = {}
+        errors = 0
         for section, fn in collectors:
-            value = fn()
+            try:
+                value = fn()
+            except Exception:
+                errors += 1
+                continue
             if section == _ROOT:
                 if value:
                     document.update(value)
             else:
                 document[section] = value
         if instruments:
-            document["instruments"] = {
-                name: inst.export() for name, inst in instruments
-            }
+            exported: Dict[str, Any] = {}
+            for key, inst in instruments:
+                try:
+                    exported[key] = inst.export()
+                except Exception:
+                    errors += 1
+            document["instruments"] = exported
+        for _ in range(errors):
+            self._count_collector_error()
+        if errors:
+            # the increments above may have *created* the counter; make
+            # this scrape's document reflect them instead of lagging one.
+            document.setdefault("instruments", {})["collector_errors"] = (
+                float(self.collector_errors)
+            )
         return document
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition 0.0.4 of the full document."""
+        """Prometheus text exposition 0.0.4 of the full document.
+
+        Mirrors :meth:`collect`'s fault isolation: a raising collector
+        or gauge callback loses only its own samples.
+        """
         with self._lock:
             instruments = list(self._instruments.items())
         lines: List[str] = []
-        for name, inst in instruments:
-            full = sanitize_metric_name(f"{self.namespace}_{name}")
-            if inst.help:
-                lines.append(
-                    f"# HELP {full} {escape_help_text(inst.help)}"
-                )
-            lines.append(f"# TYPE {full} {inst.kind}")
+        errors = 0
+        families_seen = set()
+        for _key, inst in instruments:
+            full = sanitize_metric_name(f"{self.namespace}_{inst.name}")
+            suffix = render_labels(getattr(inst, "labels", None))
+            try:
+                value = inst.export()
+            except Exception:
+                errors += 1
+                continue
+            if full not in families_seen:
+                families_seen.add(full)
+                if inst.help:
+                    lines.append(
+                        f"# HELP {full} {escape_help_text(inst.help)}"
+                    )
+                lines.append(f"# TYPE {full} {inst.kind}")
             if isinstance(inst, Histogram):
                 lines.extend(inst.prometheus_lines(full))
             else:
-                lines.append(f"{full} {inst.export()}")
+                lines.append(f"{full}{suffix} {value}")
         with self._lock:
             collectors = list(self._collectors.items())
         for section, fn in collectors:
-            value = fn()
+            try:
+                value = fn()
+            except Exception:
+                errors += 1
+                continue
             if value is None:
                 continue
             prefix = self.namespace if section == _ROOT else (
                 f"{self.namespace}_{section}"
             )
             self._flatten(prefix, value, lines)
+        for _ in range(errors):
+            self._count_collector_error()
         return "\n".join(lines) + "\n"
 
     def _flatten(self, prefix: str, value: Any, lines: List[str]) -> None:

@@ -103,6 +103,7 @@ class DurabilityController:
         fsync_policy: str = "commit",
         group_size: int = 8,
         fsync=None,
+        clock=time.monotonic,
     ) -> None:
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
@@ -121,6 +122,8 @@ class DurabilityController:
         self._maintainers: Dict[int, Any] = {}
         self._next_sid = 0
         self.last_report: Optional[RecoveryReport] = None
+        self.clock = clock
+        self._last_checkpoint_at: Optional[float] = None
         self.counters: Dict[str, int] = {
             "commits": 0,
             "page_records": 0,
@@ -319,18 +322,56 @@ class DurabilityController:
             if path is None:
                 self.wal.reset()
                 crashpoint("checkpoint.post_truncate")
+                self._last_checkpoint_at = self.clock()
             self.counters["checkpoints"] += 1
             return target
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def seconds_since_checkpoint(self) -> Optional[float]:
+        """Age of the newest checkpoint, or ``None`` if none exists.
+
+        An in-process checkpoint is aged by the controller's own
+        (injectable) clock; a checkpoint inherited from a previous
+        process falls back to the file's wall-clock mtime, so a
+        freshly recovered service still reports a meaningful age.
+        """
+        if self._last_checkpoint_at is not None:
+            return max(0.0, self.clock() - self._last_checkpoint_at)
+        try:
+            mtime = os.path.getmtime(self.checkpoint_path)
+        except OSError:
+            return None
+        return max(0.0, time.time() - mtime)
+
+    def gauges(self) -> dict:
+        """Durability gauges for the health report / time-series store.
+
+        ``wal_bytes`` grows between checkpoints and snaps back after
+        log truncation; ``seconds_since_checkpoint`` is the staleness
+        of the last durable snapshot; ``replayed_commits`` carries the
+        last recovery's replay size forward (0 for a clean start).
+        """
+        age = self.seconds_since_checkpoint()
+        return {
+            "wal_bytes": float(self.wal.size_bytes),
+            "seconds_since_checkpoint": age,
+            "checkpoints": float(self.counters["checkpoints"]),
+            "replayed_commits": float(
+                self.last_report.replayed_commits
+                if self.last_report is not None
+                else 0
+            ),
+        }
+
     def snapshot(self) -> dict:
         """Durability + last-recovery counters for the registry."""
         return {
             "directory": self.directory,
             "counters": dict(self.counters),
             "wal": self.wal.snapshot(),
+            "gauges": self.gauges(),
             "standing_queries": len(self._standing),
             "last_recovery": (
                 self.last_report.snapshot()

@@ -159,6 +159,21 @@ class WriteAheadLog:
         self.flush()
         self._handle.close()
 
+    @property
+    def size_bytes(self) -> int:
+        """Current log size: flushed file bytes + the pending batch.
+
+        ``_flush_pending`` always flushes to the OS, so the file size
+        is accurate; the pending batch is what a crash right now would
+        lose, so it still counts toward the growth the health report
+        watches.
+        """
+        try:
+            flushed = os.path.getsize(self.path)
+        except OSError:
+            flushed = 0
+        return flushed + len(self._pending)
+
     def snapshot(self) -> dict:
         """Counters for the metrics registry (plain types)."""
         return {
@@ -168,6 +183,7 @@ class WriteAheadLog:
             "commits_appended": self.commits_appended,
             "syncs": self.syncs,
             "pending_bytes": len(self._pending),
+            "size_bytes": self.size_bytes,
         }
 
 

@@ -423,6 +423,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=("always", "commit", "batch", "never"),
                         help="WAL sync cadence for --durability / "
                              "--recover-from (default commit)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="self-monitor: scrape the metrics registry "
+                             "into a retained time-series store, "
+                             "evaluate SLO burn-rate/threshold/drift "
+                             "rules, and print the health verdict")
+    parser.add_argument("--monitor-interval", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="monitor scrape/evaluate period "
+                             "(default 0.25)")
+    parser.add_argument("--slo-config", metavar="PATH", default=None,
+                        help="JSON SLO/rule config for --monitor "
+                             "(default: the stock rule set, windows "
+                             "scaled to the run); implies --monitor")
+    parser.add_argument("--monitor-out", metavar="PATH", default=None,
+                        help="atomically republish the live monitor "
+                             "document here every tick; tail it with "
+                             "repro-top PATH (implies --monitor)")
     parser.add_argument("--log-json", action="store_true",
                         help="emit structured JSON log lines on stderr "
                              "(each stamped with the active trace/span "
@@ -478,6 +495,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.obs.trace import Tracer
 
             tracer = Tracer()
+        monitor_on = bool(
+            args.monitor or args.slo_config or args.monitor_out
+        )
+        monitor_rules = None
+        if args.slo_config is not None:
+            from repro.obs.slo import load_slo_config
+
+            monitor_rules = load_slo_config(args.slo_config)
+        elif monitor_on:
+            from repro.obs.slo import default_rules
+
+            # scale the stock minute-class windows down to interactive
+            # runs: the short window spans one scrape, the long one a
+            # few seconds of traffic.
+            monitor_rules = default_rules(
+                algorithm=args.algorithm,
+                scale=max(args.monitor_interval / 5.0, 0.005),
+            )
         service_config = ServiceConfig(
             workers=args.workers,
             max_inflight=args.max_inflight,
@@ -489,6 +524,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             verify=args.verify,
             chaos=chaos,
             tracer=tracer,
+            monitor=monitor_on,
+            monitor_interval=args.monitor_interval,
+            monitor_rules=monitor_rules,
+            monitor_out=args.monitor_out,
         )
         write_fraction = (
             args.write_mix
@@ -597,6 +636,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 },
             )
         print(report.render())
+        if service.monitor is not None:
+            # one synchronous tick so even sub-interval runs retain a
+            # final sample, evaluate every rule, and publish the
+            # closing monitor document before the service closes.
+            service.monitor.tick()
+            health = service.health()
+            alerts = service.monitor.alerts
+            print(
+                f"health: {health['status']} | monitor: "
+                f"{service.monitor.ticks} ticks, "
+                f"{alerts.evaluations} rule evaluations, "
+                f"{alerts.fired} fired, {alerts.resolved} resolved"
+            )
+            for name, check in sorted(health["checks"].items()):
+                if check["status"] != "ok":
+                    print(f"  {check['status']}: {name} — "
+                          f"{check['detail']}")
+            for alert in alerts.active():
+                print(
+                    f"  alert {alert['state']} [{alert['severity']}] "
+                    f"{alert['rule']}: {alert['detail']}"
+                )
+            if args.monitor_out:
+                print(f"monitor document: {args.monitor_out} "
+                      "(tail with: repro-top "
+                      f"{args.monitor_out})")
         snapshot = service.snapshot()
         prometheus = (
             service.metrics_prometheus()

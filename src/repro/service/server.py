@@ -74,6 +74,7 @@ from repro.api import (
 from repro.faults.chaos import ChaosConfig, FaultInjector
 from repro.faults.errors import FaultError
 from repro.obs import trace
+from repro.obs.monitor import HealthLimits, compute_health
 from repro.obs.perf.env import environment_fingerprint
 from repro.obs.registry import MetricsRegistry, sanitize_metric_name
 from repro.obs.trace import NOOP_SPAN, Span, Tracer
@@ -234,6 +235,21 @@ class ServiceConfig:
     #: path; the service then never copies contextvars into workers,
     #: so the untraced request path is unchanged.
     tracer: Optional[Tracer] = None
+    #: self-monitoring (see repro.obs.monitor): scrape the registry
+    #: into a retained time-series store, evaluate SLO/burn-rate
+    #: rules, and feed the health verdict.  Off by default — the
+    #: standing invariant is that monitor-off means zero behavior
+    #: change and bit-identical deterministic cost counters.
+    monitor: bool = False
+    #: scrape/evaluate period of the monitor thread, in seconds.
+    monitor_interval: float = 1.0
+    #: retained points per series in the monitor's ring buffers.
+    monitor_capacity: int = 512
+    #: alert rules; ``None`` uses :func:`repro.obs.slo.default_rules`.
+    monitor_rules: Optional[Sequence[Any]] = None
+    #: atomically republish the live monitor document to this path on
+    #: every tick (``repro-top FILE`` tails it).
+    monitor_out: Optional[str] = None
 
     def resolved_max_inflight(self) -> int:
         """Admission slots: default one per worker thread.
@@ -312,7 +328,46 @@ class QueryService:
             self._detach_phase_listener = self.tracer.add_listener(
                 self._observe_phase_span
             )
+        self._coordinator: Optional[Any] = None
+        self.health_limits = HealthLimits()
+        self.monitor: Optional[Any] = None
+        self._request_latency: Optional[Any] = None
+        if self.config.monitor:
+            self._start_monitor()
         self._closed = False
+
+    def _start_monitor(self) -> None:
+        """Construct and start the self-monitoring pipeline.
+
+        Everything monitor-specific lives behind ``config.monitor`` —
+        imports, the wall-clock request-latency histogram, the extra
+        registry sections — so a monitor-off service carries no trace
+        of it (the neutrality invariant).
+        """
+        from repro.obs.monitor import Monitor
+        from repro.obs.slo import counter_sink, default_rules, logging_sink
+
+        rules = self.config.monitor_rules
+        if rules is None:
+            rules = default_rules()
+        self._request_latency = self.registry.histogram(
+            "request_latency_seconds",
+            help="wall seconds from request admission to response",
+            bounds=self.REQUEST_BOUNDS,
+        )
+        self.monitor = Monitor(
+            self.registry,
+            rules=rules,
+            interval=self.config.monitor_interval,
+            capacity=self.config.monitor_capacity,
+            sinks=(logging_sink(), counter_sink(self.registry)),
+            out_path=self.config.monitor_out,
+            meta={"service": "repro", "interval": self.config.monitor_interval},
+        )
+        self.monitor.health_source = self.health
+        self.registry.register_collector("monitor", self.monitor.snapshot)
+        self.registry.register_collector("health", self.health)
+        self.monitor.start()
 
     def _register_collectors(self) -> None:
         """Plug every subsystem's snapshot into the unified registry.
@@ -357,6 +412,14 @@ class QueryService:
     #: finer-than-default bounds for per-phase spans, which sit well
     #: below request latencies (10 us up to ~167 s, x4 per bucket).
     PHASE_BOUNDS = tuple(1e-05 * 4**i for i in range(12))
+
+    #: request-latency bounds for the monitor-gated histogram; the
+    #: default latency SLO threshold (0.25 s) is a bucket boundary, so
+    #: its burn-rate accounting is exact.
+    REQUEST_BOUNDS = (
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+        0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    )
 
     def _observe_phase_span(self, span_obj: Span) -> None:
         """Tracer listener: algorithm phase durations into histograms.
@@ -974,6 +1037,11 @@ class QueryService:
     ) -> QueryResponse:
         latency = time.perf_counter() - started
         self.metrics.observe_response(latency, cached, coalesced)
+        if self._request_latency is not None:
+            # monitor-gated: this histogram exists only when
+            # config.monitor is on, so the monitor-off request path is
+            # untouched (neutrality invariant).
+            self._request_latency.observe(latency)
         if root:
             root.set("cached", cached)
             root.set("coalesced", coalesced)
@@ -997,6 +1065,8 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self.monitor is not None:
+            self.monitor.stop()
         if self._detach_phase_listener is not None:
             self._detach_phase_listener()
             self._detach_phase_listener = None
@@ -1026,9 +1096,52 @@ class QueryService:
         ``latency`` / ``per_algorithm``) are unchanged;
         ``storage`` (buffer pools), ``observability`` (tracer) and
         ``build`` (environment fingerprint + trace/fault attribution)
-        ride along.
+        ride along.  With ``config.monitor`` on, ``monitor`` (scrape /
+        alert state) and ``health`` (the verdict) join them.
         """
         return self.registry.collect()
+
+    def health(self) -> dict:
+        """The service's ``ok/degraded/unhealthy`` verdict, with checks.
+
+        Folds alert state (when the monitor is attached), WAL size and
+        checkpoint age, per-site breaker state (when a coordinator is
+        attached), subscription backlog, and the fatal-fault budget —
+        see :func:`repro.obs.monitor.compute_health` for the rules.
+        Works monitor-off too: the alert check then reports "monitor
+        not attached" and judges everything else.
+        """
+        durability = getattr(self.engine, "durability", None)
+        return compute_health(
+            alerts=(
+                self.monitor.alerts.active()
+                if self.monitor is not None
+                else None
+            ),
+            recovery=(
+                durability.snapshot() if durability is not None else None
+            ),
+            subscriptions=self.subscriptions.snapshot(),
+            distributed=(
+                self._coordinator.snapshot()
+                if self._coordinator is not None
+                else None
+            ),
+            requests=self.metrics.snapshot()["requests"],
+            limits=self.health_limits,
+        )
+
+    def attach_coordinator(self, coordinator: Any) -> None:
+        """Bind a :class:`~repro.distributed.DistributedTopK`.
+
+        Its per-site breaker state and trip counts become labeled
+        gauges in this service's registry, the coordinator snapshot
+        becomes the ``distributed`` section, and the health verdict
+        starts judging site coverage.
+        """
+        self._coordinator = coordinator
+        coordinator.attach_metrics(self.registry)
+        self.registry.register_collector("distributed", coordinator.snapshot)
 
     def metrics_prometheus(self) -> str:
         """The same document in Prometheus text exposition 0.0.4."""

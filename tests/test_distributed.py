@@ -122,3 +122,45 @@ class TestProtocolCosts:
         many = DistributedTopK(space, num_sites=6, rng=random.Random(99))
         _r, stats_many = many.top_k([0, 45], 5)
         assert stats_many.total_messages > stats_few.total_messages
+
+
+class TestBreakerGauges:
+    """Per-site breaker state/trips as labeled gauges (satellite task)."""
+
+    def make_system(self):
+        space = make_vector_space(n=60, dims=3, seed=7)
+        return DistributedTopK(space, num_sites=3, rng=random.Random(7))
+
+    def test_attach_exports_labeled_state_gauges(self):
+        from repro.obs.registry import MetricsRegistry
+
+        system = self.make_system()
+        registry = MetricsRegistry(namespace="repro")
+        system.attach_metrics(registry)
+        instruments = registry.collect()["instruments"]
+        for site in range(3):
+            assert instruments[f'site_breaker_state{{site="{site}"}}'] == 0.0
+            assert instruments[f'site_breaker_opens{{site="{site}"}}'] == 0.0
+
+    def test_state_gauge_tracks_breaker_live(self):
+        from repro.obs.registry import MetricsRegistry
+
+        system = self.make_system()
+        registry = MetricsRegistry(namespace="repro")
+        system.attach_metrics(registry)
+        system.clients[1].breaker.force_open()
+        instruments = registry.collect()["instruments"]
+        assert instruments['site_breaker_state{site="1"}'] == 2.0
+        assert instruments['site_breaker_opens{site="1"}'] == 1.0
+        assert instruments['site_breaker_state{site="0"}'] == 0.0
+
+    def test_prometheus_exposition_labels(self):
+        from repro.obs.registry import MetricsRegistry
+
+        system = self.make_system()
+        registry = MetricsRegistry(namespace="repro")
+        system.attach_metrics(registry)
+        system.clients[2].breaker.force_open()
+        text = registry.to_prometheus()
+        assert 'repro_site_breaker_state{site="2"} 2.0' in text
+        assert text.count("# HELP repro_site_breaker_state ") == 1

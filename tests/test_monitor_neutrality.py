@@ -1,0 +1,112 @@
+"""Monitor neutrality: monitoring on vs off changes nothing that counts.
+
+The standing invariant of repro.obs.monitor is that it only ever
+*reads* — with the monitor attached, query results are identical and
+the paper's deterministic cost counters (distance computations,
+exact-score computations, page faults, buffer hits) are bit-identical
+to a monitor-less run.  The only additions are new registry sections
+(``monitor`` / ``health``) and the wall-clock ``request_latency_seconds``
+histogram, none of which feed back into execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import open_engine
+from repro.service.server import QueryService, ServiceConfig
+
+from tests.conftest import make_vector_space
+
+N = 80
+DIMS = 3
+QUERIES = [[0, 10, 20], [5, 15], [0, 10, 20], [33, 44, 55], [5, 15]]
+
+
+def run_workload(monitor: bool):
+    """One deterministic serve run; returns (results, cost counters)."""
+    space = make_vector_space(n=N, dims=DIMS, seed=41)
+    engine = open_engine(space, seed=41)
+    config = ServiceConfig(
+        workers=2,
+        monitor=monitor,
+        # a slow interval keeps the scheduler thread from ticking
+        # mid-run; determinism must not depend on that, but the final
+        # counters we compare shouldn't race the scrape either.
+        monitor_interval=60.0,
+    )
+    results = []
+    with QueryService(engine, config) as service:
+        for query in QUERIES:
+            response = service.query_sync(list(query), k=6)
+            results.append(
+                [(item.object_id, item.score) for item in response.results]
+            )
+        if monitor:
+            service.monitor.tick()  # prove a scrape happened mid-flight
+        for query in QUERIES:
+            response = service.query_sync(list(query), k=6)
+            results.append(
+                [(item.object_id, item.score) for item in response.results]
+            )
+        snapshot = service.snapshot()
+    per_algorithm = snapshot["per_algorithm"]
+    costs = {
+        algorithm: {
+            key: aggregate[key]
+            for key in aggregate
+            if key in (
+                "executions",
+                "distance_computations",
+                "exact_score_computations",
+                "page_faults",
+                "buffer_hits",
+                "results_reported",
+            )
+        }
+        for algorithm, aggregate in per_algorithm.items()
+    }
+    return results, costs, snapshot
+
+
+class TestMonitorNeutrality:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        off = run_workload(monitor=False)
+        on = run_workload(monitor=True)
+        return off, on
+
+    def test_results_identical(self, runs):
+        (results_off, _, _), (results_on, _, _) = runs
+        assert results_on == results_off
+
+    def test_cost_counters_bit_identical(self, runs):
+        (_, costs_off, _), (_, costs_on, _) = runs
+        assert costs_on == costs_off
+
+    def test_monitor_off_has_no_monitor_surface(self, runs):
+        (_, _, snap_off), (_, _, snap_on) = runs
+        assert "monitor" not in snap_off
+        assert "health" not in snap_off
+        assert "request_latency_seconds" not in snap_off.get(
+            "instruments", {}
+        )
+        # and on: the monitor sections exist and saw real traffic
+        assert snap_on["monitor"]["ticks"] >= 1
+        assert snap_on["health"]["status"] in ("ok", "degraded", "unhealthy")
+        assert (
+            snap_on["instruments"]["request_latency_seconds"]["count"]
+            == 2 * len(QUERIES)
+        )
+
+    def test_monitor_off_service_has_no_monitor(self):
+        space = make_vector_space(n=20, dims=DIMS, seed=1)
+        engine = open_engine(space, seed=1)
+        with QueryService(engine, ServiceConfig(workers=1)) as service:
+            assert service.monitor is None
+            # health still answers without a monitor
+            health = service.health()
+            assert health["status"] == "ok"
+            assert (
+                health["checks"]["alerts"]["detail"] == "monitor not attached"
+            )

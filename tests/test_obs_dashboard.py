@@ -1,0 +1,199 @@
+"""Dashboard tests: sparklines, page rendering, repro-top, dash CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.cli import main as trace_main
+from repro.obs.dashboard import (
+    SPARK_CHARS,
+    follow,
+    main as top_main,
+    render,
+    sparkline,
+)
+from repro.obs.monitor import MONITOR_FORMAT, Monitor
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import ThresholdRule
+
+
+def make_document(**overrides):
+    """A small but fully-populated monitor document."""
+    document = {
+        "format": MONITOR_FORMAT,
+        "interval": 1.0,
+        "ticks": 3,
+        "time": 3.0,
+        "meta": {"workload": {"n": 100, "algorithm": "pba2"}},
+        "store": {"scrapes": 3, "series": 5, "histograms": 1,
+                  "capacity": 512},
+        "alerts": {"evaluations": 9, "fired": 0, "resolved": 0,
+                   "active": [], "rules": [
+                       {"name": "r1", "severity": "warn",
+                        "for_seconds": 0.0, "evaluations": 3,
+                        "breaches": 0, "state": "inactive",
+                        "value": None, "detail": ""}]},
+        "series": {
+            "requests.received": [[1.0, 5.0], [2.0, 12.0], [3.0, 30.0]],
+            "requests.completed": [[1.0, 5.0], [2.0, 12.0], [3.0, 30.0]],
+            "requests.failures": [[1.0, 0.0], [2.0, 0.0], [3.0, 0.0]],
+            "latency.all.p50_seconds": [[1.0, 0.01], [2.0, 0.01],
+                                        [3.0, 0.02]],
+            "latency.all.p99_seconds": [[1.0, 0.05], [2.0, 0.06],
+                                        [3.0, 0.2]],
+            "per_algorithm.pba2.executions": [[1.0, 2.0], [3.0, 10.0]],
+            "per_algorithm.pba2.distance_computations": [[1.0, 300.0],
+                                                         [3.0, 1500.0]],
+            "per_algorithm.pba2.page_faults": [[1.0, 10.0], [3.0, 50.0]],
+        },
+    }
+    document.update(overrides)
+    return document
+
+
+class TestSparkline:
+    def test_scales_to_range(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == SPARK_CHARS[0]
+        assert line[-1] == SPARK_CHARS[-1]
+        assert len(line) == 4
+
+    def test_flat_series_is_low_bar(self):
+        assert sparkline([5, 5, 5]) == SPARK_CHARS[0] * 3
+
+    def test_width_truncates_to_tail(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestRender:
+    def test_sections_present(self):
+        page = render(make_document())
+        assert "repro-top" in page
+        assert "requests" in page
+        assert "engine cost" in page
+        assert "pba2" in page
+        assert "no active alerts" in page
+
+    def test_rates_and_totals(self):
+        page = render(make_document())
+        # 30 total over (3-1)=2 s -> 12.5/s
+        assert "30 total" in page
+        assert "12.5/s" in page
+
+    def test_health_line(self):
+        document = make_document(health={
+            "status": "degraded",
+            "checks": {"alerts": {"status": "ok",
+                                  "detail": "quiet-check-detail"},
+                       "durability": {"status": "degraded",
+                                      "detail": "WAL large"}},
+        })
+        page = render(document)
+        assert "DEGRADED" in page
+        assert "WAL large" in page
+        assert "quiet-check-detail" not in page  # ok checks stay quiet
+
+    def test_active_alert_rendered(self):
+        document = make_document()
+        document["alerts"]["active"] = [
+            {"rule": "latency-burn-rate", "severity": "critical",
+             "state": "firing", "since": 1.0, "fired_at": 2.0,
+             "resolved_at": None, "value": 8.0, "detail": "burn 8x"}
+        ]
+        document["alerts"]["fired"] = 1
+        page = render(document)
+        assert "latency-burn-rate" in page
+        assert "firing" in page
+        assert "burn 8x" in page
+
+    def test_funnel_from_explain_series(self):
+        document = make_document()
+        document["series"].update({
+            "explain.last_plan.n": [[3.0, 100.0]],
+            "explain.last_plan.k": [[3.0, 5.0]],
+            "explain.last_plan.distance_computations": [[3.0, 800.0]],
+            "explain.last_plan.discard_rules.upper_bound": [[3.0, 60.0]],
+            "explain.last_plan.discard_rules.heap": [[3.0, 20.0]],
+        })
+        page = render(document)
+        assert "pruning funnel" in page
+        assert "upper_bound" in page
+
+    def test_empty_document_renders(self):
+        page = render({"format": MONITOR_FORMAT, "ticks": 0,
+                       "interval": 1.0, "series": {}, "alerts": {}})
+        assert "repro-top" in page
+
+
+class TestLiveDocument:
+    """Render an actually-exported Monitor document, not a synthetic one."""
+
+    def make_live_file(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        monitor = Monitor(
+            registry,
+            rules=[ThresholdRule("instruments.events", ">", 1.0)],
+            clock=lambda: 0.0,
+        )
+        counter.inc(5)
+        monitor.tick(now=1.0)
+        path = tmp_path / "mon.json"
+        monitor.write(str(path))
+        return path
+
+    def test_round_trip_renders(self, tmp_path):
+        path = self.make_live_file(tmp_path)
+        out = io.StringIO()
+        code = follow(str(path), iterations=1, clear=False, out=out)
+        assert code == 0
+        assert "repro-top" in out.getvalue()
+
+    def test_follow_waits_for_missing_file(self, tmp_path):
+        path = tmp_path / "late.json"
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            # the publisher shows up during the first wait
+            if len(sleeps) == 1:
+                self.make_live_file(tmp_path).rename(path)
+
+        out = io.StringIO()
+        code = follow(str(path), iterations=1, clear=False, out=out,
+                      sleep=sleep)
+        assert code == 0
+        assert "waiting for" in out.getvalue()
+        assert sleeps  # it did wait
+
+    def test_follow_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        out = io.StringIO()
+        assert follow(str(path), iterations=1, out=out) == 2
+
+    def test_repro_top_once(self, tmp_path, capsys):
+        path = self.make_live_file(tmp_path)
+        assert top_main([str(path), "--once"]) == 0
+        assert "repro-top" in capsys.readouterr().out
+
+    def test_repro_top_once_missing_file_errors(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert top_main([str(missing), "--once"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_repro_trace_dash(self, tmp_path, capsys):
+        path = self.make_live_file(tmp_path)
+        assert trace_main(["dash", str(path)]) == 0
+        assert "repro-top" in capsys.readouterr().out
+
+    def test_repro_trace_dash_rejects_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"format": "repro-trace/1"}))
+        assert trace_main(["dash", str(path)]) == 2
+        assert "error" in capsys.readouterr().err

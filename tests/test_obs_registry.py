@@ -245,3 +245,125 @@ class TestExpositionConformance:
 )
 def test_sanitize_metric_name(raw, expected):
     assert sanitize_metric_name(raw) == expected
+
+
+class TestCollectorHardening:
+    """A broken collector or gauge callback must not abort a scrape."""
+
+    def make_registry(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("good", help="healthy instrument").inc(3)
+        registry.register_collector("healthy", lambda: {"value": 7})
+        return registry
+
+    def test_raising_collector_skipped_in_collect(self):
+        registry = self.make_registry()
+
+        def broken():
+            raise RuntimeError("collector down")
+
+        registry.register_collector("broken", broken)
+        document = registry.collect()
+        assert document["healthy"]["value"] == 7
+        assert document["instruments"]["good"] == 3.0
+        assert "broken" not in document
+        assert registry.collector_errors == 1
+
+    def test_raising_collector_skipped_in_prometheus(self):
+        registry = self.make_registry()
+        registry.register_collector(
+            "broken", lambda: (_ for _ in ()).throw(RuntimeError("x"))
+        )
+        text = registry.to_prometheus()
+        assert "repro_healthy_value 7" in text
+        assert "repro_good 3.0" in text
+        assert registry.collector_errors == 1
+
+    def test_errors_accumulate_per_scrape(self):
+        registry = self.make_registry()
+        registry.register_collector(
+            "broken", lambda: (_ for _ in ()).throw(RuntimeError("x"))
+        )
+        registry.collect()
+        registry.collect()
+        registry.to_prometheus()
+        assert registry.collector_errors == 3
+
+    def test_error_counter_visible_in_same_scrape(self):
+        registry = self.make_registry()
+        registry.register_collector(
+            "broken", lambda: (_ for _ in ()).throw(RuntimeError("x"))
+        )
+        document = registry.collect()
+        # the failing scrape itself reports the error count
+        assert document["instruments"]["collector_errors"] == 1.0
+
+    def test_clean_registry_reports_no_error_counter(self):
+        registry = self.make_registry()
+        document = registry.collect()
+        assert "collector_errors" not in document.get("instruments", {})
+        assert registry.collector_errors == 0
+
+    def test_raising_gauge_callback_skipped(self):
+        registry = self.make_registry()
+
+        def broken_callback():
+            raise RuntimeError("gauge down")
+
+        registry.gauge("bad_gauge", callback=broken_callback)
+        document = registry.collect()
+        assert "bad_gauge" not in document["instruments"]
+        assert document["instruments"]["good"] == 3.0
+        text = registry.to_prometheus()
+        assert "repro_good 3.0" in text
+        assert "bad_gauge" not in text
+        assert registry.collector_errors == 2  # one per exposition
+
+
+class TestCallbackGauges:
+    def test_callback_backs_value(self):
+        state = {"v": 1.5}
+        gauge = Gauge("g", callback=lambda: state["v"])
+        assert gauge.value == 1.5
+        state["v"] = 2.5
+        assert gauge.value == 2.5
+
+    def test_callback_gauge_rejects_set(self):
+        gauge = Gauge("g", callback=lambda: 1.0)
+        with pytest.raises(TypeError):
+            gauge.set(3)
+
+    def test_gauge_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.dec(2)
+        assert gauge.value == 3.0
+
+
+class TestLabeledInstruments:
+    def test_labels_render_sorted_and_escaped(self):
+        from repro.obs.registry import render_labels
+
+        assert render_labels({"b": "2", "a": "1"}) == '{a="1",b="2"}'
+        assert render_labels(None) == ""
+        assert render_labels({"s": 'say "hi"\n'}) == '{s="say \\"hi\\"\\n"}'
+
+    def test_labeled_counters_are_distinct_instruments(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("hits", labels={"site": "0"}).inc()
+        registry.counter("hits", labels={"site": "1"}).inc(2)
+        instruments = registry.collect()["instruments"]
+        assert instruments['hits{site="0"}'] == 1.0
+        assert instruments['hits{site="1"}'] == 2.0
+
+    def test_labeled_family_help_and_type_emitted_once(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("hits", help="per-site hits",
+                         labels={"site": "0"}).inc()
+        registry.counter("hits", help="per-site hits",
+                         labels={"site": "1"}).inc()
+        text = registry.to_prometheus()
+        assert text.count("# HELP repro_hits ") == 1
+        assert text.count("# TYPE repro_hits counter") == 1
+        assert 'repro_hits{site="0"} 1.0' in text
+        assert 'repro_hits{site="1"} 1.0' in text

@@ -1,0 +1,481 @@
+"""SLO engine tests: rules, burn rates, and the full alert lifecycle.
+
+Everything here runs under an injectable clock — the synthetic latency
+series is driven through a burn-rate threshold tick by tick, and the
+alert's pending → firing → resolved transitions are pinned at exact
+timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.monitor import TimeSeriesStore
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    Alert,
+    AlertManager,
+    BurnRateRule,
+    CounterRatioSource,
+    DriftRule,
+    LatencySource,
+    ThresholdRule,
+    counter_sink,
+    default_rules,
+    load_slo_config,
+    logging_sink,
+)
+
+BOUNDS = (0.01, 0.1, 1.0)
+
+
+class Harness:
+    """A registry + store + one synthetic workload under a fake clock."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.latency = self.registry.histogram(
+            "request_latency_seconds", bounds=BOUNDS
+        )
+        self.received = self.registry.counter("received")
+        self.failures = self.registry.counter("failures")
+        self.t = 0.0
+        self.store = TimeSeriesStore(self.registry, clock=lambda: self.t)
+
+    def tick(self, good=0, bad=0, failures=0, dt=1.0):
+        """Advance one second of traffic, then scrape."""
+        self.t += dt
+        for _ in range(good):
+            self.latency.observe(0.005)
+            self.received.inc()
+        for _ in range(bad):
+            self.latency.observe(0.5)
+            self.received.inc()
+        for _ in range(failures):
+            self.failures.inc()
+            self.received.inc()
+        self.store.scrape(now=self.t)
+        return self.t
+
+
+class TestSLO:
+    def test_error_budget(self):
+        assert SLO("x", 0.99).error_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.5, 2.0])
+    def test_objective_bounds(self, objective):
+        with pytest.raises(ValueError):
+            SLO("x", objective)
+
+
+class TestSources:
+    def test_latency_source_bad_fraction(self):
+        h = Harness()
+        h.tick(good=9, bad=1)
+        h.tick(good=9, bad=1)
+        source = LatencySource("request_latency_seconds", 0.1)
+        assert source.bad_fraction(h.store, 10.0, h.t) == pytest.approx(0.1)
+
+    def test_latency_source_no_traffic_is_unknown(self):
+        h = Harness()
+        h.tick()
+        h.tick()
+        source = LatencySource("request_latency_seconds", 0.1)
+        assert source.bad_fraction(h.store, 10.0, h.t) is None
+
+    def test_counter_ratio_source(self):
+        h = Harness()
+        h.tick(good=8, failures=2)
+        h.tick(good=8, failures=2)
+        source = CounterRatioSource(bad=("instruments.failures",), total="instruments.received")
+        assert source.bad_fraction(h.store, 10.0, h.t) == pytest.approx(0.2)
+
+    def test_counter_ratio_zero_total_is_unknown(self):
+        h = Harness()
+        h.tick()
+        h.tick()
+        source = CounterRatioSource(bad=("instruments.failures",), total="instruments.received")
+        assert source.bad_fraction(h.store, 10.0, h.t) is None
+
+
+class TestBurnRateRule:
+    def make_rule(self, for_seconds=0.0):
+        return BurnRateRule(
+            SLO("latency", 0.9),  # 10% error budget
+            LatencySource("request_latency_seconds", 0.1),
+            windows=[(10.0, 2.0, 2.0)],  # breach over 20% bad
+            for_seconds=for_seconds,
+        )
+
+    def test_healthy_traffic_does_not_breach(self):
+        h = Harness()
+        rule = self.make_rule()
+        for _ in range(5):
+            h.tick(good=10)
+        result = rule.evaluate(h.store, h.t)
+        assert not result.breached
+
+    def test_sustained_badness_breaches_both_windows(self):
+        h = Harness()
+        rule = self.make_rule()
+        for _ in range(5):
+            h.tick(good=2, bad=8)  # 80% bad = 8x burn > 2x
+        result = rule.evaluate(h.store, h.t)
+        assert result.breached
+        assert result.value == pytest.approx(8.0)
+        assert "burn" in result.detail
+
+    def test_short_window_recovery_clears_fast(self):
+        h = Harness()
+        rule = self.make_rule()
+        for _ in range(5):
+            h.tick(good=2, bad=8)
+        assert rule.evaluate(h.store, h.t).breached
+        # traffic turns healthy: short window clears before long one
+        for _ in range(3):
+            h.tick(good=10)
+        assert not rule.evaluate(h.store, h.t).breached
+
+    def test_no_traffic_never_breaches(self):
+        h = Harness()
+        rule = self.make_rule()
+        h.tick()
+        h.tick()
+        result = rule.evaluate(h.store, h.t)
+        assert not result.breached
+        assert result.value is None
+
+    def test_window_validation(self):
+        slo = SLO("x", 0.9)
+        source = LatencySource("request_latency_seconds", 0.1)
+        with pytest.raises(ValueError):
+            BurnRateRule(slo, source, windows=[])
+        with pytest.raises(ValueError):
+            BurnRateRule(slo, source, windows=[(5.0, 10.0, 2.0)])
+        with pytest.raises(ValueError):
+            BurnRateRule(slo, source, windows=[(10.0, 5.0, 0.0)])
+
+
+class TestThresholdRule:
+    def test_latest_comparison(self):
+        h = Harness()
+        h.tick(good=3)
+        rule = ThresholdRule("instruments.received", ">", 2.0)
+        result = rule.evaluate(h.store, h.t)
+        assert result.breached and result.value == 3.0
+
+    def test_windowed_mean(self):
+        h = Harness()
+        h.tick(good=1)
+        h.tick(good=1)
+        h.tick(good=1)  # values 1, 2, 3 -> mean 2
+        rule = ThresholdRule("instruments.received", ">", 2.5, window=10.0)
+        assert not rule.evaluate(h.store, h.t).breached
+        rule = ThresholdRule("instruments.received", ">", 1.5, window=10.0)
+        assert rule.evaluate(h.store, h.t).breached
+
+    def test_unknown_series_does_not_breach(self):
+        h = Harness()
+        h.tick()
+        result = ThresholdRule("nope", ">", 0.0).evaluate(h.store, h.t)
+        assert not result.breached and result.value is None
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdRule("x", "!=", 1.0)
+
+
+class TestDriftRule:
+    def make_harness_with_cost(self):
+        h = Harness()
+        h.cost = h.registry.counter("cost")
+        h.execs = h.registry.counter("execs")
+        return h
+
+    def drive(self, h, rounds, per_query):
+        for _ in range(rounds):
+            h.t += 1.0
+            h.execs.inc(10)
+            h.cost.inc(10 * per_query)
+            h.store.scrape(now=h.t)
+
+    def test_stable_cost_does_not_drift(self):
+        h = self.make_harness_with_cost()
+        rule = DriftRule(
+            "instruments.cost", "instruments.execs",
+            baseline_window=20.0, recent_window=3.0, max_ratio=1.5,
+        )
+        self.drive(h, rounds=10, per_query=100)
+        result = rule.evaluate(h.store, h.t)
+        assert not result.breached
+        assert result.value == pytest.approx(1.0)
+
+    def test_cost_regression_drifts(self):
+        h = self.make_harness_with_cost()
+        rule = DriftRule(
+            "instruments.cost", "instruments.execs",
+            baseline_window=20.0, recent_window=3.0, max_ratio=1.5,
+        )
+        self.drive(h, rounds=10, per_query=100)
+        self.drive(h, rounds=3, per_query=400)  # index degraded
+        result = rule.evaluate(h.store, h.t)
+        assert result.breached
+        assert result.value > 1.5
+        assert "instruments.cost per instruments.execs" in result.detail
+
+    def test_insufficient_events_is_unknown(self):
+        h = self.make_harness_with_cost()
+        rule = DriftRule(
+            "instruments.cost", "instruments.execs",
+            baseline_window=20.0, recent_window=3.0,
+        )
+        h.store.scrape(now=1.0)
+        h.store.scrape(now=2.0)
+        assert not rule.evaluate(h.store, 2.0).breached
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftRule("a", "b", baseline_window=5.0, recent_window=10.0)
+        with pytest.raises(ValueError):
+            DriftRule("a", "b", baseline_window=10.0, recent_window=5.0,
+                      max_ratio=1.0)
+
+
+class TestAlertLifecycle:
+    """The satellite-mandated test: synthetic latency drives a
+    burn-rate rule through pending → firing → resolved under an
+    injectable clock."""
+
+    def make(self, for_seconds=2.0):
+        h = Harness()
+        rule = BurnRateRule(
+            SLO("latency", 0.9),
+            LatencySource("request_latency_seconds", 0.1),
+            windows=[(10.0, 2.0, 2.0)],
+            for_seconds=for_seconds,
+        )
+        manager = AlertManager([rule])
+        return h, rule, manager
+
+    def test_full_lifecycle(self):
+        h, rule, manager = self.make(for_seconds=2.0)
+        # healthy warm-up: nothing active
+        for _ in range(4):
+            manager.evaluate(h.store, h.tick(good=10))
+        assert manager.active() == []
+
+        # breach: pending first (for_seconds not yet served)
+        t_breach = h.tick(good=1, bad=9)
+        manager.evaluate(h.store, t_breach)
+        [alert] = manager.active()
+        assert alert["state"] == "pending"
+        assert alert["since"] == t_breach
+        assert alert["fired_at"] is None
+
+        # one more breached second: still pending (1.0 < 2.0)
+        manager.evaluate(h.store, h.tick(good=1, bad=9))
+        assert manager.active()[0]["state"] == "pending"
+
+        # for_seconds served: firing, exactly one transition emitted
+        t_fire = h.tick(good=1, bad=9)
+        transitions = manager.evaluate(h.store, t_fire)
+        assert [a.state for a in transitions] == ["firing"]
+        [alert] = manager.active()
+        assert alert["state"] == "firing"
+        assert alert["fired_at"] == t_fire
+        assert manager.fired == 1
+
+        # continued breach: deduplicated — no second alert, no new fire
+        manager.evaluate(h.store, h.tick(good=1, bad=9))
+        assert manager.fired == 1
+        assert len(manager.active()) == 1
+
+        # recovery: the short window clears and the alert resolves
+        resolved = []
+        while not resolved:
+            t = h.tick(good=10)
+            resolved = manager.evaluate(h.store, t)
+        assert [a.state for a in resolved] == ["resolved"]
+        assert resolved[0].resolved_at == t
+        assert manager.active() == []
+        assert manager.resolved == 1
+
+    def test_pending_clears_without_firing(self):
+        h, rule, manager = self.make(for_seconds=5.0)
+        for _ in range(3):
+            manager.evaluate(h.store, h.tick(good=10))
+        manager.evaluate(h.store, h.tick(good=1, bad=9))
+        assert manager.active()[0]["state"] == "pending"
+        for _ in range(4):
+            manager.evaluate(h.store, h.tick(good=10))
+        assert manager.active() == []
+        assert manager.fired == 0  # a blip never fired
+
+    def test_zero_for_seconds_fires_immediately(self):
+        h, rule, manager = self.make(for_seconds=0.0)
+        for _ in range(2):
+            manager.evaluate(h.store, h.tick(good=10))
+        transitions = manager.evaluate(h.store, h.tick(bad=10))
+        assert [a.state for a in transitions] == ["firing"]
+
+    def test_broken_rule_is_contained(self):
+        class Exploding(ThresholdRule):
+            def evaluate(self, store, now):
+                raise RuntimeError("boom")
+
+        h = Harness()
+        manager = AlertManager([Exploding("x", ">", 0.0)])
+        assert manager.evaluate(h.store, h.tick(good=1)) == []
+        assert manager.active() == []
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ValueError):
+            AlertManager(
+                [ThresholdRule("a", ">", 0, name="dup"),
+                 ThresholdRule("b", ">", 0, name="dup")]
+            )
+
+    def test_snapshot_shape(self):
+        h, rule, manager = self.make()
+        manager.evaluate(h.store, h.tick(good=10))
+        snap = manager.snapshot()
+        assert snap["evaluations"] == 1
+        assert snap["active"] == []
+        [state] = snap["rules"]
+        assert state["name"] == rule.name
+        assert state["state"] == "inactive"
+        json.dumps(snap)  # plain types only
+
+
+class TestSinks:
+    def drive_to_firing(self, manager, h):
+        for _ in range(2):
+            manager.evaluate(h.store, h.tick(good=10))
+        manager.evaluate(h.store, h.tick(bad=10))
+
+    def make_rule(self):
+        return BurnRateRule(
+            SLO("latency", 0.9),
+            LatencySource("request_latency_seconds", 0.1),
+            windows=[(10.0, 2.0, 2.0)],
+        )
+
+    def test_callback_sink_sees_transitions(self):
+        h = Harness()
+        seen = []
+        manager = AlertManager([self.make_rule()], sinks=[seen.append])
+        self.drive_to_firing(manager, h)
+        assert [a.state for a in seen] == ["firing"]
+        for _ in range(5):
+            manager.evaluate(h.store, h.tick(good=10))
+        assert [a.state for a in seen] == ["firing", "resolved"]
+
+    def test_counter_sink_labels(self):
+        h = Harness()
+        manager = AlertManager(
+            [self.make_rule()], sinks=[counter_sink(h.registry)]
+        )
+        self.drive_to_firing(manager, h)
+        instruments = h.registry.collect()["instruments"]
+        key = 'monitor_alerts_total{severity="critical",state="firing"}'
+        assert instruments[key] == 1.0
+
+    def test_logging_sink_emits_records(self, caplog):
+        h = Harness()
+        manager = AlertManager(
+            [self.make_rule()], sinks=[logging_sink()]
+        )
+        with caplog.at_level(logging.INFO, logger="repro.obs.monitor"):
+            self.drive_to_firing(manager, h)
+        [record] = caplog.records
+        assert record.alert_state == "firing"
+        assert record.severity == "critical"
+
+    def test_raising_sink_is_dropped_not_fatal(self):
+        def bad_sink(alert):
+            raise RuntimeError("sink down")
+
+        h = Harness()
+        seen = []
+        manager = AlertManager(
+            [self.make_rule()], sinks=[bad_sink, seen.append]
+        )
+        self.drive_to_firing(manager, h)
+        assert len(seen) == 1  # the good sink still ran
+
+
+class TestConfigAndDefaults:
+    def test_default_rules_names(self):
+        names = [rule.name for rule in default_rules()]
+        assert "latency-burn-rate" in names
+        assert "error-burn-rate" in names
+        assert "index-degradation" in names
+
+    def test_default_rules_scale(self):
+        [latency] = [
+            r for r in default_rules(scale=0.1)
+            if r.name == "latency-burn-rate"
+        ]
+        assert latency.windows[0][0] == pytest.approx(6.0)
+
+    def test_load_slo_config_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "rules": [
+                {"type": "burn_rate", "name": "lat", "severity": "critical",
+                 "slo": {"name": "latency", "objective": 0.95},
+                 "source": {"kind": "latency",
+                            "histogram": "request_latency_seconds",
+                            "threshold_seconds": 0.1},
+                 "windows": [[10, 2, 2.0]], "for_seconds": 1},
+                {"type": "threshold", "path": "received", "op": ">",
+                 "value": 100},
+                {"type": "drift", "numerator": "cost",
+                 "denominator": "execs", "baseline_window": 60,
+                 "recent_window": 5, "max_ratio": 2.0},
+            ]
+        }))
+        rules = load_slo_config(str(path))
+        assert [type(r).__name__ for r in rules] == [
+            "BurnRateRule", "ThresholdRule", "DriftRule"
+        ]
+        assert rules[0].name == "lat"
+        assert rules[0].for_seconds == 1.0
+
+    def test_load_slo_config_errors_carry_index(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "rules": [{"type": "threshold", "path": "x", "op": ">",
+                       "value": 1},
+                      {"type": "wat"}]
+        }))
+        with pytest.raises(ValueError, match=r"rules\[1\]"):
+            load_slo_config(str(path))
+
+    def test_load_slo_config_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"rules": []}))
+        with pytest.raises(ValueError, match="no rules"):
+            load_slo_config(str(path))
+
+    def test_load_slo_config_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="rules"):
+            load_slo_config(str(path))
+
+    def test_load_slo_config_missing_file_is_value_error(self, tmp_path):
+        # repro-serve maps ValueError to a clean `error:` exit; a bare
+        # FileNotFoundError would surface as a traceback instead.
+        with pytest.raises(ValueError, match="nope.json"):
+            load_slo_config(str(tmp_path / "nope.json"))
+
+    def test_load_slo_config_invalid_json_is_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_slo_config(str(path))

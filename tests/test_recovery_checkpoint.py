@@ -199,3 +199,59 @@ class TestGuards:
         engine = open_engine(space)
         with pytest.raises(RuntimeError, match="durability"):
             engine.checkpoint()
+
+
+class TestDurabilityGauges:
+    """WAL size / checkpoint age / replay gauges (feeds the health report)."""
+
+    def test_wal_bytes_grow_and_snap_back_on_checkpoint(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        controller = engine.durability
+        baseline = controller.gauges()["wal_bytes"]
+        apply_ops(engine, ops=6)
+        grown = controller.gauges()["wal_bytes"]
+        assert grown > baseline
+        controller.checkpoint(engine)
+        truncated = controller.gauges()["wal_bytes"]
+        assert truncated < grown
+
+    def test_checkpoint_age_uses_injectable_clock(self, tmp_path):
+        from repro.recovery.controller import DurabilityController
+
+        clock = {"t": 100.0}
+        controller = DurabilityController(
+            str(tmp_path / "state2"), clock=lambda: clock["t"]
+        )
+        space = make_vector_space(n=20, dims=DIMS, seed=3)
+        engine = open_engine(space, seed=3)
+        controller.bind(engine)
+        controller.checkpoint(engine)
+        clock["t"] = 142.0
+        gauges = controller.gauges()
+        assert gauges["seconds_since_checkpoint"] == pytest.approx(42.0)
+        controller.close()
+
+    def test_replayed_commits_surface_after_recovery(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        apply_ops(engine, ops=5)
+        engine.durability.close()
+        recovered = open_engine(recover_from=str(tmp_path / "state"))
+        gauges = recovered.durability.gauges()
+        assert gauges["replayed_commits"] == (
+            recovered.last_recovery.replayed_commits
+        )
+        assert gauges["replayed_commits"] > 0
+        # inherited checkpoint: age falls back to the file's mtime
+        assert gauges["seconds_since_checkpoint"] is not None
+        recovered.durability.close()
+
+    def test_gauges_ride_in_snapshot(self, tmp_path):
+        engine = durable_engine(tmp_path)
+        snap = engine.durability.snapshot()
+        assert set(snap["gauges"]) == {
+            "wal_bytes",
+            "seconds_since_checkpoint",
+            "checkpoints",
+            "replayed_commits",
+        }
+        assert snap["wal"]["size_bytes"] >= 0

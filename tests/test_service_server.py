@@ -325,3 +325,98 @@ class TestReadWriteLock:
                 readers_inside += 1
             elif event == "r-out":
                 readers_inside -= 1
+
+
+class TestMonitoredService:
+    """config.monitor wires the self-monitoring pipeline end to end."""
+
+    @pytest.fixture
+    def monitored(self, small_engine):
+        config = ServiceConfig(
+            workers=2, monitor=True, monitor_interval=60.0
+        )
+        with QueryService(small_engine, config) as svc:
+            yield svc
+
+    def test_monitor_sections_in_snapshot(self, monitored):
+        run(monitored.query(QUERY, K))
+        monitored.monitor.tick()
+        snapshot = monitored.snapshot()
+        assert snapshot["monitor"]["ticks"] == 1
+        assert snapshot["monitor"]["alerts"]["evaluations"] > 0
+        assert snapshot["health"]["status"] in (
+            "ok", "degraded", "unhealthy"
+        )
+
+    def test_request_latency_histogram_fills(self, monitored):
+        run(monitored.query(QUERY, K))
+        run(monitored.query(QUERY, K))
+        hist = monitored.snapshot()["instruments"][
+            "request_latency_seconds"
+        ]
+        assert hist["count"] == 2
+
+    def test_health_method_answers(self, monitored):
+        health = monitored.health()
+        assert set(health["checks"]) == {
+            "alerts", "durability", "breakers", "subscriptions", "faults"
+        }
+
+    def test_custom_rules_and_forced_breach(self, small_engine):
+        from repro.obs.slo import ThresholdRule
+
+        config = ServiceConfig(
+            workers=1,
+            monitor=True,
+            monitor_interval=60.0,
+            monitor_rules=[
+                ThresholdRule(
+                    "requests.received", ">=", 1.0,
+                    name="any-traffic", severity="warn",
+                )
+            ],
+        )
+        with QueryService(small_engine, config) as svc:
+            run(svc.query(QUERY, K))
+            svc.monitor.tick()
+            [alert] = svc.monitor.alerts.active()
+            assert alert["rule"] == "any-traffic"
+            assert alert["state"] == "firing"
+            assert svc.health()["status"] == "degraded"
+            assert svc.monitor.alerts.fired == 1
+
+    def test_monitor_out_publishes_document(self, small_engine, tmp_path):
+        from repro.obs.monitor import load_monitor_document
+
+        out = tmp_path / "live.json"
+        config = ServiceConfig(
+            workers=1, monitor=True, monitor_interval=60.0,
+            monitor_out=str(out),
+        )
+        with QueryService(small_engine, config) as svc:
+            run(svc.query(QUERY, K))
+            svc.monitor.tick()
+            document = load_monitor_document(str(out))
+            assert document["health"]["status"] in (
+                "ok", "degraded", "unhealthy"
+            )
+            assert "requests.received" in document["series"]
+
+    def test_attach_coordinator_feeds_health_and_gauges(self, monitored):
+        import random as random_mod
+
+        from repro.distributed import DistributedTopK
+
+        system = DistributedTopK(
+            monitored.engine.space, num_sites=2,
+            rng=random_mod.Random(5),
+        )
+        monitored.attach_coordinator(system)
+        snapshot = monitored.snapshot()
+        assert len(snapshot["distributed"]["sites"]) == 2
+        instruments = snapshot["instruments"]
+        assert instruments['site_breaker_state{site="0"}'] == 0.0
+        system.clients[0].breaker.force_open()
+        system.clients[1].breaker.force_open()
+        health = monitored.health()
+        assert health["checks"]["breakers"]["status"] == "unhealthy"
