@@ -26,7 +26,7 @@ def test_ablation_split_policy_build(benchmark, policy):
     def build():
         engine = TopKDominatingEngine(
             space,
-            split_policy=policy,
+            index_options={"split_policy": policy},
             rng=random.Random(BENCH_SEED),
         )
         return engine.build_distance_computations
@@ -41,7 +41,7 @@ def test_ablation_split_policy_query(benchmark, policy):
     """Query-time distance computations under each policy's tree."""
     space = PAPER_DATASETS["UNI"](250, seed=BENCH_SEED)
     engine = TopKDominatingEngine(
-        space, split_policy=policy, rng=random.Random(BENCH_SEED)
+        space, index_options={"split_policy": policy}, rng=random.Random(BENCH_SEED)
     )
     stats = benchmark.pedantic(
         lambda: run_query(engine, "pba2"), rounds=1, iterations=1

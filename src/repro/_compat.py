@@ -56,6 +56,61 @@ def resolve_alias(
     return deprecated_value
 
 
+def canonical_index_name(value: Any, func: str) -> str:
+    """Normalize an ``index=`` selector to its canonical registry name.
+
+    Canonical is the lower-case unhyphenated spelling (``"pmtree"``);
+    legacy spellings such as ``"PM-Tree"`` or ``"vp-tree"`` keep
+    working for one release with a :class:`DeprecationWarning`.
+    Whether the *normalized* name is actually registered is the
+    registry's business (:func:`repro.index.get_backend` raises a
+    typed :class:`repro.index.UnknownIndexError` listing what is).
+    """
+    if not isinstance(value, str):
+        raise TypeError(
+            f"{func}(): index must be a backend name string, got "
+            f"{type(value).__name__}"
+        )
+    normalized = value.lower().replace("-", "").replace("_", "")
+    if normalized != value:
+        warn_deprecated(
+            f"{func}()",
+            f"the index spelling {value!r}",
+            f"the canonical name {normalized!r}",
+        )
+    return normalized
+
+
+def merge_index_options(
+    func: str, index_options: Any, **deprecated: Any
+) -> Dict[str, Any]:
+    """Fold deprecated per-backend build kwargs into ``index_options``.
+
+    The engine-construction keywords that were really backend build
+    knobs (``node_capacity``, ``split_policy``, ``bulk_load``) moved
+    into the ``index_options`` dict when backends became pluggable.
+    Each deprecated keyword uses :data:`MISSING` as its declared
+    default: passing it warns and merges; passing the same key both
+    ways is a ``TypeError``.
+    """
+    options = dict(index_options) if index_options else {}
+    for key, value in deprecated.items():
+        if value is MISSING:
+            continue
+        warn_deprecated(
+            f"{func}()",
+            f"the {key!r} keyword",
+            f"index_options={{{key!r}: ...}}",
+        )
+        if key in options:
+            raise TypeError(
+                f"{func}() got index_options[{key!r}] and its "
+                f"deprecated keyword alias {key!r}"
+            )
+        options[key] = value
+    return options
+
+
 def canonical_algorithm(
     value: Any, registry: Dict[str, Type], func: str
 ) -> str:

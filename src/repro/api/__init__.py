@@ -27,11 +27,24 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
-from repro._compat import MISSING, canonical_algorithm, warn_deprecated
+from repro._compat import (
+    MISSING,
+    canonical_algorithm,
+    canonical_index_name,
+    merge_index_options,
+    warn_deprecated,
+)
 from repro.core.brute_force import brute_force_scores
 from repro.core.engine import ALGORITHMS, TopKDominatingEngine
 from repro.core.progressive import ResultItem
 from repro.core.pruning import PruningConfig
+from repro.index import (
+    BackendSpec,
+    IndexBackend,
+    UnknownIndexError,
+    available_backends,
+    register_backend,
+)
 from repro.metric import (
     ChebyshevMetric,
     CountingMetric,
@@ -53,12 +66,14 @@ from repro.storage.stats import QueryStats
 
 __all__ = [
     "ALGORITHMS",
+    "BackendSpec",
     "BufferPool",
     "ChebyshevMetric",
     "CountingMetric",
     "EditDistanceMetric",
     "EuclideanMetric",
     "Graph",
+    "IndexBackend",
     "LpMetric",
     "ManhattanMetric",
     "Metric",
@@ -71,11 +86,14 @@ __all__ = [
     "ResultItem",
     "ShortestPathMetric",
     "TopKDominatingEngine",
+    "UnknownIndexError",
     "WeightedEuclideanMetric",
+    "available_backends",
     "brute_force_scores",
     "check_metric_axioms",
     "open_engine",
     "pairwise_distances",
+    "register_backend",
     "run",
 ]
 
@@ -84,10 +102,11 @@ def open_engine(
     space: Optional[MetricSpace] = None,
     *,
     seed: Optional[int] = 0,
-    node_capacity: Optional[int] = None,
-    split_policy: str = "sampling",
+    node_capacity=MISSING,
+    split_policy=MISSING,
     index: str = "mtree",
-    bulk_load: bool = False,
+    index_options: Optional[dict] = None,
+    bulk_load=MISSING,
     buffers: Optional[BufferPool] = None,
     durability: Optional[str] = None,
     recover_from: Optional[str] = None,
@@ -103,6 +122,16 @@ def open_engine(
     via ``top_k_dominating`` / ``stream`` — the one engine-construction
     recipe every entry point (examples, benchmarks, the service)
     shares.
+
+    ``index`` selects a registered backend by canonical name
+    (:func:`available_backends` — ``mtree``, ``pmtree``, ``vptree``
+    ship built in) and ``index_options`` carries that backend's build
+    knobs, e.g. ``open_engine(space, index="pmtree",
+    index_options={"pivots": 8})``.  The former top-level
+    ``node_capacity``/``split_policy``/``bulk_load`` keywords are
+    deprecated aliases for the same-named ``index_options`` keys, and
+    hyphenated/cased index spellings (``"PM-Tree"``) are deprecated
+    aliases for the canonical lower-case names.
 
     ``seed`` (an int, default 0) is the canonical randomness control
     for index construction; the former ``rng=`` keyword taking a
@@ -127,6 +156,14 @@ def open_engine(
         rng_obj = rng
     else:
         rng_obj = random.Random(seed)
+    options = merge_index_options(
+        "open_engine",
+        index_options,
+        node_capacity=node_capacity,
+        split_policy=split_policy,
+        bulk_load=bulk_load,
+    )
+    index = canonical_index_name(index, "open_engine")
     if recover_from is not None:
         if space is not None:
             raise ValueError(
@@ -150,12 +187,10 @@ def open_engine(
         )
     engine = TopKDominatingEngine(
         space,
-        node_capacity=node_capacity,
-        split_policy=split_policy,
         rng=rng_obj,
         buffers=buffers,
         index=index,
-        bulk_load=bulk_load,
+        index_options=options,
     )
     if durability is not None:
         from repro.recovery import enable_durability

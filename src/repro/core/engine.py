@@ -35,7 +35,13 @@ from typing import (
 
 from dataclasses import dataclass
 
-from repro._compat import MISSING, canonical_algorithm, resolve_alias
+from repro._compat import (
+    MISSING,
+    canonical_algorithm,
+    canonical_index_name,
+    merge_index_options,
+    resolve_alias,
+)
 from repro.faults.crashpoints import crashpoint
 from repro.core.aba import ABA
 from repro.core.approximate import ApproximateTopK
@@ -44,9 +50,9 @@ from repro.core.pba import PBA1, PBA2
 from repro.core.progressive import QueryContext, ResultItem, TopKAlgorithm
 from repro.core.pruning import PruningConfig
 from repro.core.sba import SBA
+from repro.index import get_backend
 from repro.metric.base import MetricSpace
 from repro.metric.counting import CountingMetric
-from repro.mtree.tree import MTree
 from repro.obs import explain as explain_mod
 from repro.obs import trace
 from repro.storage.buffer import BufferPool
@@ -95,21 +101,29 @@ class TopKDominatingEngine:
         :class:`~repro.metric.counting.CountingMetric` automatically
         (unless it already is one) so distance computations are always
         accounted.
-    node_capacity, split_policy, rng:
-        Forwarded to the M-tree build.
+    rng:
+        Randomness source for index construction.
     buffers:
         Optionally share a pre-built :class:`BufferPool`.
+    index, index_options:
+        A registered backend name (:func:`repro.index.
+        available_backends`) and its build options — e.g.
+        ``index="pmtree", index_options={"pivots": 8}``.  The former
+        top-level ``node_capacity``/``split_policy``/``bulk_load``
+        keywords are deprecated aliases for the same-named
+        ``index_options`` keys.
     """
 
     def __init__(
         self,
         space: MetricSpace,
-        node_capacity: Optional[int] = None,
-        split_policy: str = "sampling",
+        node_capacity=MISSING,
+        split_policy=MISSING,
         rng: Optional[random.Random] = None,
         buffers: Optional[BufferPool] = None,
         index: str = "mtree",
-        bulk_load: bool = False,
+        bulk_load=MISSING,
+        index_options: Optional[Dict[str, object]] = None,
     ) -> None:
         if not isinstance(space.metric, CountingMetric):
             space = MetricSpace(
@@ -119,42 +133,25 @@ class TopKDominatingEngine:
             )
         self.space = space
         self.buffers = buffers or BufferPool()
-        self.index_kind = index
-        if index == "mtree":
-            if bulk_load:
-                from repro.mtree.bulk import bulk_build
-
-                self.tree = bulk_build(
-                    space,
-                    self.buffers.index_buffer,
-                    node_capacity=node_capacity,
-                    split_policy=split_policy,
-                    rng=rng,
-                )
-            else:
-                self.tree = MTree.build(
-                    space,
-                    self.buffers.index_buffer,
-                    node_capacity=node_capacity,
-                    split_policy=split_policy,
-                    rng=rng,
-                )
-        elif index == "vptree":
-            # proves the paper's "orthogonal to the indexing scheme"
-            # claim: PBA1/PBA2 (and brute force) run unchanged on any
-            # index exposing an incremental-NN cursor.  SBA/ABA remain
-            # M-tree-only (they read M-tree node internals).
-            from repro.vptree import VPTree
-
-            self.tree = VPTree.build(
-                space,
-                self.buffers.index_buffer,
-                rng=rng,
-            )
-        else:
-            raise ValueError(
-                f"unknown index {index!r}; choose 'mtree' or 'vptree'"
-            )
+        options = merge_index_options(
+            "TopKDominatingEngine",
+            index_options,
+            node_capacity=node_capacity,
+            split_policy=split_policy,
+            bulk_load=bulk_load,
+        )
+        index = canonical_index_name(index, "TopKDominatingEngine")
+        # the registry replaces the former hard-coded if/elif over
+        # index names: any access method registered through
+        # repro.index.register_backend is constructible here, and an
+        # unknown name raises a typed error listing what is registered.
+        spec = get_backend(index)
+        self.backend = spec
+        self.index_kind = spec.name
+        self.index_options = dict(options)
+        self.tree = spec.build(
+            space, self.buffers.index_buffer, rng, options
+        )
         dataset_pages = max(
             1,
             math.ceil(
@@ -216,11 +213,20 @@ class TopKDominatingEngine:
                 f"unknown algorithm {algorithm!r}; choose from "
                 f"{sorted(ALGORITHMS)}"
             ) from None
-        if self.index_kind != "mtree" and algorithm in ("sba", "aba"):
+        if (
+            algorithm in ("sba", "aba")
+            and "skyline" not in self.backend.capabilities
+        ):
+            supported = sorted(
+                name
+                for name in ALGORITHMS
+                if name not in ("sba", "aba")
+            )
             raise ValueError(
-                f"{algorithm} requires the M-tree (it uses metric-skyline "
-                f"/ aggregate-NN node pruning); the {self.index_kind} "
-                "index supports brute, pba1, pba2 and apx"
+                f"{algorithm} requires an index backend with the "
+                f"'skyline' capability (metric-skyline / aggregate-NN "
+                f"node pruning); the {self.index_kind} backend supports "
+                + ", ".join(supported)
             )
         ctx = context or self.make_context()
         if issubclass(cls, (PBA1, PBA2)) and pruning is not None:
@@ -348,7 +354,18 @@ class TopKDominatingEngine:
         through ``open_engine(durability=...)`` /
         ``repro.recovery.enable_durability`` instead, which also write
         the base checkpoint.
+
+        Durability is an M-tree-backend feature: recovery re-adopts
+        checkpointed M-tree pages with *zero* distance computations,
+        a guarantee the other backends' side structures (VP-tree
+        layout, PM-tree pivot rings) cannot give yet.
         """
+        if self.index_kind != "mtree":
+            raise NotImplementedError(
+                "durability requires the mtree backend (recovery "
+                "restores M-tree pages without recomputing distances); "
+                f"the engine was built with index={self.index_kind!r}"
+            )
         controller.bind(self)
 
     def checkpoint(self, path: Optional[str] = None) -> str:
@@ -371,7 +388,7 @@ class TopKDominatingEngine:
     # ------------------------------------------------------------------
     def insert_object(self, payload) -> int:
         """Add a new object to the data set and index; returns its id."""
-        if not hasattr(self.tree, "insert"):
+        if "insert" not in self.backend.capabilities:
             raise NotImplementedError(
                 f"the {self.index_kind} index is static; rebuild the "
                 "engine to add objects"
@@ -576,6 +593,7 @@ class TopKDominatingEngine:
             collector=collector,
             spans=tracer.export(),
             root_id=root_id,
+            backend=self.index_kind,
         )
         return results, stats, plan
 

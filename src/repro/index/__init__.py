@@ -1,0 +1,47 @@
+"""repro.index — the pluggable index-backend seam.
+
+The engine resolves ``index="..."`` through this package's registry;
+the :class:`~repro.index.protocol.IndexBackend` protocol documents the
+contract every backend satisfies.  Built-ins: ``mtree`` (the paper's
+index and the benchmark-gate baseline), ``vptree`` (static, cursor
+only) and ``pmtree`` (hyper-ring filtering; see :mod:`repro.pmtree`).
+
+Third-party access methods register with::
+
+    from repro.index import BackendSpec, register_backend
+
+    register_backend(BackendSpec(
+        name="mytree",
+        description="...",
+        capabilities=frozenset({"insert", "delete"}),
+        builder=lambda space, buffer, rng, options: MyTree.build(...),
+        options=("fanout",),
+    ))
+    engine = open_engine(space, index="mytree")
+"""
+
+from repro.index.protocol import (
+    IndexBackend,
+    Query,
+    QueryFilter,
+    SkylineFilter,
+)
+from repro.index.registry import (
+    BackendSpec,
+    UnknownIndexError,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "BackendSpec",
+    "IndexBackend",
+    "Query",
+    "QueryFilter",
+    "SkylineFilter",
+    "UnknownIndexError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

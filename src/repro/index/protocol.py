@@ -1,0 +1,151 @@
+"""The formal index-backend contract the engine programs against.
+
+Every access method the engine can host — the M-tree, the VP-tree, the
+PM-tree — implements :class:`IndexBackend`.  The contract was carved
+out of what :mod:`repro.core` already consumed implicitly: the four
+paper algorithms never touch node internals, they only pull on the
+methods below (PBA's round-robin rides the incremental-NN cursor, ABA
+issues range queries, SBA walks the skyline through the pruning
+hooks).  Making the contract explicit is what lets
+``open_engine(index="pmtree")`` be a configuration choice instead of a
+rewrite — the paper's "orthogonal to the indexing scheme" claim as a
+:class:`typing.Protocol`.
+
+Two pieces of the contract deserve spelling out:
+
+**Incremental-NN cursor.**  ``incremental_cursor(query, skip=None)``
+returns an iterator of ``(object_id, distance)`` pairs in *exact*
+non-decreasing distance order; ids in ``skip`` (and ids added to the
+set afterwards — PBA mutates it between pulls) are silently dropped.
+Laziness is part of the contract: pulling few neighbors must compute
+few distances, because the paper's Figures 7-8 measure exactly that.
+
+**Pruning filters.**  ``query_filter`` / ``skyline_filter`` let a
+backend inject extra *lower bounds* into the shared traversal code
+(:mod:`repro.mtree.queries`, :mod:`repro.skyline.b2ms2`) without
+forking it.  Returning ``None`` — the M-tree's answer — keeps the
+traversals bit-identical to the pre-protocol code, which is what the
+zero-tolerance benchmark gate pins.  The PM-tree returns hyper-ring
+filters (see :mod:`repro.pmtree`), and any bound a filter reports must
+already be padded through
+:func:`repro.metric.safety.safe_lower_bound`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+#: a query is either an indexed object id or a free-standing payload.
+Query = Union[int, object]
+
+
+@runtime_checkable
+class QueryFilter(Protocol):
+    """Backend-supplied extra lower bounds for one scalar query.
+
+    Produced once per traversal by :meth:`IndexBackend.query_filter`;
+    the shared M-tree traversals consult it per entry.  Both methods
+    return a *conservative* lower bound on ``d(query, x)`` for every
+    object ``x`` in the entry's scope — ``0.0`` when the filter has
+    nothing to say.  Bounds must be `safe_lower_bound`-padded.
+    """
+
+    def object_bound(self, object_id: int) -> float:
+        """Lower bound on the distance from the query to one object."""
+        ...
+
+    def node_bound(self, page_id: int) -> float:
+        """Lower bound valid for *every* object under the node page."""
+        ...
+
+
+@runtime_checkable
+class SkylineFilter(Protocol):
+    """Backend-supplied coordinate-wise bounds for a query *set*.
+
+    Produced by :meth:`IndexBackend.skyline_filter` for the B²MS²
+    skyline traversal.  Each method returns per-query-object lower
+    bounds ``(lb_1, ..., lb_m)`` on the distance vector of any object
+    in scope, or ``None`` when no bound is available.  A skyline
+    vector dominating those bounds proves the whole scope dominated —
+    *before* any distance vector is computed, which is where the
+    PM-tree's distance savings on the skyline path come from.
+    """
+
+    def object_bounds(self, object_id: int) -> Optional[Tuple[float, ...]]:
+        """Per-coordinate lower bounds for one object's distance vector."""
+        ...
+
+    def node_bounds(self, page_id: int) -> Optional[Tuple[float, ...]]:
+        """Per-coordinate lower bounds for every object under a page."""
+        ...
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """What the engine requires of an access method.
+
+    Structural (``isinstance`` works via ``runtime_checkable``, but
+    registration through :func:`repro.index.register_backend` is the
+    supported path).  Optional capabilities — dynamic ``insert``,
+    physical ``delete``, skyline/aggregate node pruning — are declared
+    on the :class:`repro.index.BackendSpec`, not probed with
+    ``hasattr``.
+    """
+
+    # -- cardinality and membership -----------------------------------
+    def __len__(self) -> int: ...
+
+    def __contains__(self, object_id: int) -> bool: ...
+
+    def object_ids(self) -> Iterable[int]: ...
+
+    # -- distances (always through the counting metric) ---------------
+    def distance(self, a: int, b: int) -> float: ...
+
+    def query_distance(self, query: Query, object_id: int) -> float: ...
+
+    def query_distance_batch(
+        self, query: Query, object_ids: List[int]
+    ) -> List[float]:
+        """Batched distances: one kernel call, bit-identical to a loop."""
+        ...
+
+    # -- search --------------------------------------------------------
+    def incremental_cursor(
+        self, query: Query, skip: Optional[Set[int]] = None
+    ) -> Iterator[Tuple[int, float]]: ...
+
+    def range_query(
+        self, query: Query, radius: float
+    ) -> List[Tuple[int, float]]:
+        """All objects with ``d(query, x) <= radius``, nearest first."""
+        ...
+
+    def knn(self, query: Query, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` nearest objects, nearest first."""
+        ...
+
+    # -- pruning hooks -------------------------------------------------
+    def query_filter(self, query: Query) -> Optional[QueryFilter]: ...
+
+    def skyline_filter(
+        self, query_ids: Sequence[int], vectors
+    ) -> Optional[SkylineFilter]: ...
+
+    # -- page/buffer accounting ---------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Pages owned by the index (sizes the engine's LRU buffer)."""
+        ...

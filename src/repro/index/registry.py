@@ -1,0 +1,230 @@
+"""The index-backend registry behind ``open_engine(index=...)``.
+
+A backend is registered as a :class:`BackendSpec`: its canonical name,
+a one-line description, the *capabilities* the engine keys decisions
+on, and a builder closing over the concrete tree class.  The engine
+resolves ``index="pmtree"`` through :func:`get_backend` instead of an
+``if/elif`` chain, so third-party access methods plug in with one
+:func:`register_backend` call and immediately work everywhere a name
+is accepted — the facade, ``repro-serve --index``, the cross-backend
+benchmark suite.
+
+Capabilities (a frozenset of strings):
+
+* ``"insert"`` — dynamic insertion (``insert(object_id)``);
+* ``"delete"`` — object removal (physical or tombstone);
+* ``"skyline"`` — the backend's nodes support metric-skyline /
+  aggregate-NN region pruning, which SBA and ABA require.
+
+Builders receive ``(space, buffer, rng, options)`` where ``options``
+is the validated ``index_options`` dict; unknown option keys raise
+``TypeError`` naming the valid ones, so a typo fails fast instead of
+being silently ignored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Tuple
+
+__all__ = [
+    "BackendSpec",
+    "UnknownIndexError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+
+class UnknownIndexError(ValueError):
+    """An ``index=`` name that matches no registered backend.
+
+    Subclasses :class:`ValueError` so pre-registry callers catching
+    the engine's old bare ``ValueError`` keep working; the message now
+    enumerates what *is* registered instead of hard-coding two names.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.registered = available_backends()
+        super().__init__(
+            f"unknown index backend {name!r}; registered backends: "
+            + ", ".join(self.registered)
+        )
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered index backend."""
+
+    name: str
+    description: str
+    capabilities: FrozenSet[str]
+    builder: Callable[..., Any]
+    #: option keys the builder accepts (for the typo error message).
+    options: Tuple[str, ...] = ()
+
+    def build(
+        self,
+        space,
+        buffer,
+        rng: "random.Random | None",
+        options: Dict[str, Any],
+    ):
+        """Validate ``options`` and build the index."""
+        unknown = sorted(set(options) - set(self.options))
+        if unknown:
+            valid = ", ".join(sorted(self.options)) or "(none)"
+            raise TypeError(
+                f"index backend {self.name!r} got unknown option(s) "
+                f"{', '.join(repr(key) for key in unknown)}; valid "
+                f"options: {valid}"
+            )
+        return self.builder(space, buffer, rng, dict(options))
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec, *, replace: bool = False) -> None:
+    """Register (or with ``replace=True`` override) a backend spec."""
+    # canonical names only: the facade's spelling normalisation lowers
+    # and strips "-"/"_", so a name containing either would be
+    # unreachable through ``open_engine(index=...)``.
+    if not spec.name or not spec.name.isascii() or not (
+        spec.name.replace("-", "").replace("_", "").isalnum()
+        and spec.name == spec.name.lower()
+        and "-" not in spec.name
+        and "_" not in spec.name
+    ):
+        raise ValueError(
+            "backend name must be non-empty lower-case alphanumeric "
+            f"(no '-' or '_': the facade strips them), got {spec.name!r}"
+        )
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"index backend {spec.name!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _REGISTRY[spec.name] = spec
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Resolve a backend by canonical name; typed error otherwise."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownIndexError(name) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ----------------------------------------------------------------------
+# built-in backends
+# ----------------------------------------------------------------------
+def _build_mtree(space, buffer, rng, options):
+    bulk = options.pop("bulk_load", False)
+    if bulk:
+        from repro.mtree.bulk import bulk_build
+
+        return bulk_build(
+            space,
+            buffer,
+            node_capacity=options.get("node_capacity"),
+            split_policy=options.get("split_policy", "sampling"),
+            rng=rng,
+        )
+    from repro.mtree.tree import MTree
+
+    return MTree.build(
+        space,
+        buffer,
+        node_capacity=options.get("node_capacity"),
+        split_policy=options.get("split_policy", "sampling"),
+        rng=rng,
+    )
+
+
+def _build_vptree(space, buffer, rng, options):
+    from repro.vptree import VPTree
+
+    kwargs = {}
+    if options.get("leaf_capacity") is not None:
+        kwargs["leaf_capacity"] = options["leaf_capacity"]
+    return VPTree.build(space, buffer, rng=rng, **kwargs)
+
+
+def _build_pmtree(space, buffer, rng, options):
+    if options.get("bulk_load"):
+        raise TypeError(
+            "index backend 'pmtree' does not support bulk_load: pivot "
+            "hyper-rings are maintained through the incremental insert "
+            "path; drop bulk_load or use index='mtree'"
+        )
+    from repro.pmtree.tree import PMTree
+
+    return PMTree.build(
+        space,
+        buffer,
+        node_capacity=options.get("node_capacity"),
+        split_policy=options.get("split_policy", "sampling"),
+        rng=rng,
+        num_pivots=options.get("pivots", PMTree.DEFAULT_PIVOTS),
+        pivot_sample=options.get(
+            "pivot_sample", PMTree.DEFAULT_PIVOT_SAMPLE
+        ),
+    )
+
+
+def _register_builtins() -> None:
+    register_backend(
+        BackendSpec(
+            name="mtree",
+            description=(
+                "Ciaccia et al. M-tree: dynamic, covering-radius + "
+                "parent-distance pruning, skyline/aggregate node "
+                "pruning (the paper's index)"
+            ),
+            capabilities=frozenset({"insert", "delete", "skyline"}),
+            builder=_build_mtree,
+            options=("node_capacity", "split_policy", "bulk_load"),
+        )
+    )
+    register_backend(
+        BackendSpec(
+            name="vptree",
+            description=(
+                "Yianilos vantage-point tree: static build, tombstone "
+                "deletes, incremental-NN cursor for PBA/brute/apx"
+            ),
+            capabilities=frozenset({"delete"}),
+            builder=_build_vptree,
+            options=("leaf_capacity",),
+        )
+    )
+    register_backend(
+        BackendSpec(
+            name="pmtree",
+            description=(
+                "Skopal & Lokoc PM-tree: M-tree nodes augmented with "
+                "pivot hyper-ring min/max arrays (pivots via a greedy "
+                "dominating-set heuristic) for extra skyline/NN pruning"
+            ),
+            capabilities=frozenset({"insert", "delete", "skyline"}),
+            builder=_build_pmtree,
+            options=(
+                "node_capacity",
+                "split_policy",
+                "bulk_load",  # accepted for the typed rejection above
+                "pivots",
+                "pivot_sample",
+            ),
+        )
+    )
+
+
+_register_builtins()

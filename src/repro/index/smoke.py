@@ -1,0 +1,83 @@
+"""Backend smoke check: one grid cell + one explain plan per backend.
+
+``python -m repro.index.smoke`` builds a small engine per registered
+backend, runs one figure-grid cell (the paper's defaults, scaled
+down), cross-checks the scores against brute force, and
+schema-validates one explain plan per backend — asserting the plan's
+``index_profile.backend`` tag round-trips.  CI runs this as the
+backend-smoke step; it is the fastest end-to-end proof that every
+registered backend still builds, answers and explains.
+
+Exit status 0 on success; raises (non-zero exit) on the first failure.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import open_engine
+from repro.core.brute_force import brute_force_scores
+from repro.datasets import PAPER_DATASETS, select_query_objects
+from repro.index import available_backends, get_backend
+from repro.obs.explain import validate_plan
+
+N = 150
+M = 4
+K = 5
+SEED = 7
+
+
+def run_smoke(out=sys.stdout) -> int:
+    import random
+
+    failures = 0
+    for backend in available_backends():
+        space = PAPER_DATASETS["UNI"](N, seed=SEED)
+        engine = open_engine(space, seed=SEED, index=backend)
+        query_ids = select_query_objects(
+            engine.space, m=M, coverage=0.2, rng=random.Random(SEED)
+        )
+        truth = brute_force_scores(engine.space, query_ids)
+        expected = sorted(truth.values(), reverse=True)[:K]
+
+        results, stats, plan = engine.explain(query_ids, K)
+        document = plan.as_dict()
+        validate_plan(document)
+        scores = [item.score for item in results]
+        tag = document["index_profile"].get("backend")
+        ring_prunes = sum(
+            row.get("hyper_ring_prunes", 0)
+            for row in document["index_profile"]["levels"]
+        )
+        ok = scores == expected and tag == backend
+        failures += 0 if ok else 1
+        capabilities = ",".join(
+            sorted(get_backend(backend).capabilities)
+        ) or "-"
+        print(
+            f"{'ok ' if ok else 'FAIL'} {backend:>8}  "
+            f"distances={stats.distance_computations:>6}  "
+            f"hr-prunes={ring_prunes:>4}  plan=valid  "
+            f"capabilities={capabilities}",
+            file=out,
+        )
+        if not ok:
+            print(
+                f"     scores={scores} expected={expected} "
+                f"backend_tag={tag!r}",
+                file=out,
+            )
+    return failures
+
+
+def main() -> int:
+    failures = run_smoke()
+    if failures:
+        print(f"backend smoke: {failures} backend(s) FAILED")
+        return 1
+    print(f"backend smoke: {len(available_backends())} backends OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

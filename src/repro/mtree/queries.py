@@ -67,6 +67,10 @@ class IncrementalNNCursor:
         # resolved once per cursor; every explain hook below is guarded
         # with ``is not None`` so the unexplained path stays free.
         self._explain = explain_mod.active()
+        # backend pruning hook: None for the plain M-tree (keeping the
+        # exact pre-protocol code path); the PM-tree returns its
+        # hyper-ring filter, whose bounds tighten heap keys below.
+        self._filter = tree.query_filter(query)
         self._push_node_exact(tree.root_page_id, query_router_distance=None)
 
     # ------------------------------------------------------------------
@@ -100,11 +104,17 @@ class IncrementalNNCursor:
                 d = tree.query_distance(self.query, router_id)
                 if self._explain is not None:
                     self._explain.refinement(level)
-                self._push(
-                    safe_lower_bound(d - covering_radius),
-                    _KIND_NODE,
-                    (page_id, d, level),
-                )
+                node_key = safe_lower_bound(d - covering_radius)
+                flt = self._filter
+                if flt is not None:
+                    ring = flt.node_bound(page_id)
+                    if ring > node_key:
+                        node_key = ring
+                        if self._explain is not None:
+                            self._explain.hyper_ring_prune(
+                                "incremental_nn", level
+                            )
+                self._push(node_key, _KIND_NODE, (page_id, d, level))
                 continue
             # _KIND_NODE: expand the node.
             page_id, d_router, level = data
@@ -162,11 +172,19 @@ class IncrementalNNCursor:
                     batched_distances=len(node.entries),
                 )
             return
+        flt = self._filter
+        ring_tightened = 0
         for entry in node.entries:
             lower = safe_lower_bound(abs(d_router - entry.parent_distance))
             if isinstance(entry, RoutingEntry):
+                key = safe_lower_bound(lower - entry.covering_radius)
+                if flt is not None:
+                    ring = flt.node_bound(entry.child_page_id)
+                    if ring > key:
+                        key = ring
+                        ring_tightened += 1
                 self._push(
-                    safe_lower_bound(lower - entry.covering_radius),
+                    key,
                     _KIND_NODE_APPROX,
                     (entry.child_page_id, entry.object_id,
                      entry.covering_radius, level + 1),
@@ -174,8 +192,14 @@ class IncrementalNNCursor:
             else:
                 if entry.object_id in self.skip:
                     continue
+                key = lower
+                if flt is not None:
+                    ring = flt.object_bound(entry.object_id)
+                    if ring > key:
+                        key = ring
+                        ring_tightened += 1
                 self._push(
-                    lower, _KIND_OBJECT_APPROX, (entry.object_id, level)
+                    key, _KIND_OBJECT_APPROX, (entry.object_id, level)
                 )
         if ex is not None:
             deferred = sum(
@@ -188,6 +212,7 @@ class IncrementalNNCursor:
                 "incremental_nn",
                 level,
                 entries=len(node.entries),
+                hyper_ring_prunes=ring_tightened,
                 deferred_refinements=deferred,
             )
 
@@ -203,6 +228,10 @@ def range_query(
     """
     results: List[Tuple[int, float]] = []
     ex = explain_mod.active()
+    # backend pruning hook (None for the plain M-tree — exact
+    # pre-protocol behavior; the PM-tree's hyper-ring bounds prune
+    # entries here without any distance computation).
+    flt = tree.query_filter(query)
     # stack of (page_id, d(query, router) or None for the root, level).
     stack: List[Tuple[int, Optional[float], int]] = [
         (tree.root_page_id, None, 0)
@@ -220,6 +249,7 @@ def range_query(
         # Same pruning decisions, same entry order, same page-access
         # order — only the survivor distances move into one kernel call.
         survivors: List = []
+        ring_prunes = 0
         for entry in node.entries:
             if d_router is not None:
                 lower = safe_lower_bound(
@@ -232,6 +262,15 @@ def range_query(
                 )
                 if safe_lower_bound(lower - slack) > radius:
                     continue  # pruned without a distance computation
+            if flt is not None:
+                ring = (
+                    flt.node_bound(entry.child_page_id)
+                    if isinstance(entry, RoutingEntry)
+                    else flt.object_bound(entry.object_id)
+                )
+                if ring > radius:
+                    ring_prunes += 1
+                    continue  # also free of distance computations
             survivors.append(entry)
         if ex is not None:
             parent_prunes = covering_prunes = 0
@@ -256,6 +295,7 @@ def range_query(
                 entries=len(node.entries),
                 parent_distance_prunes=parent_prunes,
                 covering_radius_prunes=covering_prunes,
+                hyper_ring_prunes=ring_prunes,
                 batches=1 if survivors else 0,
                 batched_distances=len(survivors),
             )

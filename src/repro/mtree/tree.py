@@ -142,6 +142,42 @@ class MTree:
 
         return IncrementalNNCursor(self, query, skip=skip)
 
+    def range_query(self, query: Query, radius: float):
+        """All objects within ``radius``, sorted by distance
+        (:class:`repro.index.IndexBackend` contract)."""
+        from repro.mtree.queries import range_query
+
+        return range_query(self, query, radius)
+
+    def knn(self, query: Query, k: int):
+        """The ``k`` nearest objects
+        (:class:`repro.index.IndexBackend` contract)."""
+        from repro.mtree.queries import knn_query
+
+        return knn_query(self, query, k)
+
+    # ------------------------------------------------------------------
+    # backend pruning hooks (repro.index.IndexBackend)
+    # ------------------------------------------------------------------
+    def query_filter(self, query: Query):
+        """Extra per-entry lower bounds for one scalar query.
+
+        The plain M-tree has nothing beyond its covering-radius and
+        parent-distance bounds, so it returns ``None`` — which keeps
+        the shared traversals on the exact pre-protocol code path
+        (bit-identical counters, pinned by the benchmark gate).  The
+        PM-tree overrides this with its hyper-ring filter.
+        """
+        return None
+
+    def skyline_filter(self, query_ids, vectors):
+        """Coordinate-wise bounds for the skyline traversal.
+
+        ``None`` for the plain M-tree (see :meth:`query_filter`);
+        overridden by the PM-tree.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

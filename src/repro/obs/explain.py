@@ -17,11 +17,13 @@ JSON-serializable artifact with four sections:
   ``entering == survivors + sum(discards.values())`` (the validator
   enforces it, and a hypothesis property test pins it across all four
   algorithms).
-* **index_profile** — per-level M-tree visit counters: nodes visited,
-  entries seen, parent-distance prune hits (each one is exactly one
-  avoided distance computation), covering-radius prune hits, distance
-  batch sizes, and per-level I/O charged through the existing
-  thread-local buffer accounting.
+* **index_profile** — per-level index visit counters, tagged with the
+  backend that produced them (``"mtree"``, ``"pmtree"``, ...): nodes
+  visited, entries seen, parent-distance prune hits (each one is
+  exactly one avoided distance computation), covering-radius prune
+  hits, backend-filter (hyper-ring) prune hits, distance batch sizes,
+  and per-level I/O charged through the existing thread-local buffer
+  accounting.
 * **timeline** — heap/threshold evolution snapshots (bounded; drops
   are counted, never silent).
 
@@ -205,6 +207,7 @@ class ExplainCollector:
                 "entries_seen": 0,
                 "parent_distance_prunes": 0,
                 "covering_radius_prunes": 0,
+                "hyper_ring_prunes": 0,
                 "deferred_refinements": 0,
                 "refinements": 0,
                 "distance_batches": 0,
@@ -222,28 +225,38 @@ class ExplainCollector:
         entries: int = 0,
         parent_distance_prunes: int = 0,
         covering_radius_prunes: int = 0,
+        hyper_ring_prunes: int = 0,
         deferred_refinements: int = 0,
         batches: int = 0,
         batched_distances: int = 0,
     ) -> None:
-        """Record one expanded M-tree node at ``level`` under ``op``.
+        """Record one expanded index node at ``level`` under ``op``.
 
         ``parent_distance_prunes`` counts entries eliminated by the
         stored-parent-distance lower bound — each hit is exactly one
-        distance computation avoided.  ``deferred_refinements`` counts
-        entries enqueued on a lower bound instead of being measured
-        immediately (best-first laziness: the ones never refined are
-        avoided outright).
+        distance computation avoided.  ``hyper_ring_prunes`` counts
+        entries eliminated (or their heap keys tightened) by a
+        backend's extra filter bounds — the PM-tree's pivot
+        hyper-rings.  ``deferred_refinements`` counts entries enqueued
+        on a lower bound instead of being measured immediately
+        (best-first laziness: the ones never refined are avoided
+        outright).
         """
         row = self._level_row(level)
         row["nodes_visited"] += 1
         row["entries_seen"] += int(entries)
         row["parent_distance_prunes"] += int(parent_distance_prunes)
         row["covering_radius_prunes"] += int(covering_radius_prunes)
+        row["hyper_ring_prunes"] += int(hyper_ring_prunes)
         row["deferred_refinements"] += int(deferred_refinements)
         row["distance_batches"] += int(batches)
         row["batched_distances"] += int(batched_distances)
         self._ops[op] = self._ops.get(op, 0) + 1
+
+    def hyper_ring_prune(self, op: str, level: int, count: int = 1) -> None:
+        """Backend filter bounds pruned or tightened ``count`` entries."""
+        self._level_row(level)["hyper_ring_prunes"] += int(count)
+        self._ops.setdefault(op, 0)
 
     def refinement(self, level: int) -> None:
         """A deferred entry was refined after all (one paid distance)."""
@@ -484,12 +497,16 @@ def build_plan(
     collector: ExplainCollector,
     spans: Sequence[Dict[str, Any]],
     root_id: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> QueryPlan:
     """Assemble the plan from the collector and the execution's spans.
 
     ``spans`` are native span dicts; ``root_id`` selects the explain
     root's subtree (pass ``None`` when ``spans`` is already exactly
-    this execution's).  Phase rows are *self*-attributed via
+    this execution's).  ``backend`` tags the index visit profile with
+    the index backend that produced it (``"mtree"``, ``"pmtree"``,
+    ...), so plans from different backends are distinguishable at
+    rest.  Phase rows are *self*-attributed via
     :func:`repro.obs.summary.phase_summary`, so their per-phase
     distance deltas sum exactly to ``stats.distance_computations``.
     """
@@ -506,6 +523,9 @@ def build_plan(
         }
         for row in phase_summary(span_list)
     ]
+    index_profile = collector.index_profile()
+    if backend is not None:
+        index_profile["backend"] = backend
     return QueryPlan(
         algorithm=algorithm,
         query_ids=tuple(int(q) for q in query_ids),
@@ -514,7 +534,7 @@ def build_plan(
         counters=stats_counters(stats),
         phases=phases,
         funnel=collector.funnel,
-        index_profile=collector.index_profile(),
+        index_profile=index_profile,
         timeline=collector.timeline(),
         timeline_dropped=collector.timeline_dropped,
         discard_rules=collector.discard_rules(),
@@ -592,6 +612,7 @@ QUERY_PLAN_SCHEMA: Dict[str, Any] = {
             "type": "object",
             "required": ["levels", "ops"],
             "properties": {
+                "backend": {"type": "string", "minLength": 1},
                 "levels": {
                     "type": "array",
                     "items": {
@@ -691,6 +712,13 @@ def validate_plan(document: Any) -> None:
     ):
         raise ValueError(
             "plan index_profile must be {levels: [...], ops: {...}}"
+        )
+    backend = profile.get("backend")
+    if backend is not None and (
+        not isinstance(backend, str) or not backend
+    ):
+        raise ValueError(
+            "plan index_profile.backend must be a non-empty string"
         )
     for row in profile["levels"]:
         if not isinstance(row, dict) or "level" not in row:
@@ -793,10 +821,17 @@ def format_plan(document: Mapping[str, Any]) -> str:
     levels = profile.get("levels", [])
     if levels:
         lines.append("")
-        lines.append("index visit profile (per M-tree level):")
+        backend = profile.get("backend")
+        where = (
+            f"backend={backend}, per level"
+            if backend
+            else "per index level"
+        )
+        lines.append(f"index visit profile ({where}):")
         header = (
             f"  {'level':>5} {'nodes':>6} {'entries':>8} "
-            f"{'pd-prune':>9} {'cr-prune':>9} {'deferred':>9} "
+            f"{'pd-prune':>9} {'cr-prune':>9} {'hr-prune':>9} "
+            f"{'deferred':>9} "
             f"{'refined':>8} {'batched':>8} {'faults':>7} {'hits':>6}"
         )
         lines.append(header)
@@ -807,6 +842,7 @@ def format_plan(document: Mapping[str, Any]) -> str:
                 f"{row.get('entries_seen', 0):>8} "
                 f"{row.get('parent_distance_prunes', 0):>9} "
                 f"{row.get('covering_radius_prunes', 0):>9} "
+                f"{row.get('hyper_ring_prunes', 0):>9} "
                 f"{row.get('deferred_refinements', 0):>9} "
                 f"{row.get('refinements', 0):>8} "
                 f"{row.get('batched_distances', 0):>8} "

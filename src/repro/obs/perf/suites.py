@@ -25,6 +25,11 @@ suites ship:
   (:class:`repro.streaming.continuous.ContinuousTopK`) against
   recompute-per-update.  Single-threaded and fully seeded, so its
   distance/page counters are gate-exact like ``core``'s.
+* ``backends`` — the paper's m-sweep plus a B²MS² skyline cell per
+  registered index backend (``repro.index.available_backends``),
+  capability-filtered.  Gate-exact counters; the skyline cells also
+  pin each backend's hyper-ring prune count, the PM-tree's headline
+  saving.
 
 Case query sets are seeded through :func:`stable_seed` (CRC32, not
 ``hash``) because ``PYTHONHASHSEED`` randomises string hashing per
@@ -404,6 +409,181 @@ def _streaming_cases(
     ]
 
 
+# ----------------------------------------------------------------------
+# backends: the paper's grid per registered index backend
+# ----------------------------------------------------------------------
+def _backends_cases(
+    profile: BenchProfile, clock: Callable[[], float]
+) -> List[BenchCase]:
+    """One figure-grid slice per registered index backend.
+
+    Two case families:
+
+    * ``<backend>/<dataset>/<algorithm>/m=<v>`` — the paper's m-sweep
+      at the default ``k``/``c`` per backend, capability-filtered
+      (skyline-driven algorithms skip backends without the ``skyline``
+      capability).  Fully seeded with cold buffers, so the counters
+      are gate-exact like the ``core`` suite's.
+    * ``<backend>/<dataset>/skyline/m=<v>`` — one B²MS² metric-skyline
+      call per skyline-capable backend, recording distance
+      computations and the backend's hyper-ring prune count (read from
+      an attached explain collector, a strict observer) — the cell
+      family where the PM-tree's rings must beat the plain M-tree.
+    """
+    from repro.api import open_engine
+    from repro.bench.config import DEFAULT_C, DEFAULT_K
+    from repro.datasets import PAPER_DATASETS, select_query_objects
+    from repro.index import available_backends, get_backend
+
+    engines: Dict[Tuple[str, str], Any] = {}
+    radius: Dict[str, float] = {}
+
+    def engine_for(backend: str, dataset: str):
+        key = (backend, dataset)
+        engine = engines.get(key)
+        if engine is None:
+            space = PAPER_DATASETS[dataset](
+                profile.n, seed=profile.seed
+            )
+            engine = open_engine(
+                space, seed=profile.seed, index=backend
+            )
+            engines[key] = engine
+            if dataset not in radius:
+                radius[dataset] = engine.space.approximate_radius(
+                    rng=random.Random(profile.seed)
+                )
+        return engine
+
+    def query_ids_for(engine, dataset: str, m: int):
+        from repro.datasets import select_query_objects
+
+        rng = random.Random(
+            stable_seed("backends", profile.seed, dataset, m)
+        )
+        return select_query_objects(
+            engine.space,
+            m=m,
+            coverage=DEFAULT_C,
+            rng=rng,
+            dataset_radius=radius[dataset],
+        )
+
+    def make_topk_case(
+        backend: str, dataset: str, algorithm: str, m: int
+    ) -> BenchCase:
+        def run() -> CaseSample:
+            engine = engine_for(backend, dataset)
+            query_ids = query_ids_for(engine, dataset, m)
+            engine.buffers.clear()
+            engine.reset_cost_counters()
+            started = clock()
+            results, stats = engine.top_k_dominating(
+                query_ids, DEFAULT_K, algorithm=algorithm
+            )
+            wall = clock() - started
+            return CaseSample(
+                wall_seconds=wall,
+                counters={
+                    "distance_computations": stats.distance_computations,
+                    "page_faults": stats.io.page_faults,
+                    "buffer_hits": stats.io.buffer_hits,
+                    "exact_score_computations": (
+                        stats.exact_score_computations
+                    ),
+                },
+                metrics={
+                    "cpu_seconds": stats.cpu_seconds,
+                    "results": len(results),
+                },
+            )
+
+        return BenchCase(
+            id=f"{backend}/{dataset}/{algorithm}/m={m}",
+            run=run,
+            meta={
+                "backend": backend,
+                "dataset": dataset,
+                "algorithm": algorithm,
+                "m": m,
+                "k": DEFAULT_K,
+                "c": DEFAULT_C,
+                "n": profile.n,
+            },
+        )
+
+    def make_skyline_case(
+        backend: str, dataset: str, m: int
+    ) -> BenchCase:
+        def run() -> CaseSample:
+            from repro.obs import explain as explain_mod
+            from repro.skyline.b2ms2 import metric_skyline
+
+            engine = engine_for(backend, dataset)
+            query_ids = query_ids_for(engine, dataset, m)
+            engine.buffers.clear()
+            engine.reset_cost_counters()
+            metric = engine.counting_metric
+            distances_before = metric.count
+            io_before = engine.buffers.combined_io()
+            collector = explain_mod.ExplainCollector()
+            started = clock()
+            with explain_mod.attach(collector):
+                skyline = metric_skyline(engine.tree, query_ids)
+            wall = clock() - started
+            distances = metric.count - distances_before
+            io = engine.buffers.combined_io().delta_since(io_before)
+            ring_prunes = sum(
+                row.get("hyper_ring_prunes", 0)
+                for row in collector.index_profile()["levels"]
+            )
+            return CaseSample(
+                wall_seconds=wall,
+                counters={
+                    "distance_computations": distances,
+                    "page_faults": io.page_faults,
+                    "buffer_hits": io.buffer_hits,
+                    "hyper_ring_prunes": ring_prunes,
+                },
+                metrics={"skyline_size": len(skyline)},
+            )
+
+        return BenchCase(
+            id=f"{backend}/{dataset}/skyline/m={m}",
+            run=run,
+            meta={
+                "backend": backend,
+                "dataset": dataset,
+                "algorithm": "b2ms2",
+                "m": m,
+                "c": DEFAULT_C,
+                "n": profile.n,
+            },
+        )
+
+    cases: List[BenchCase] = []
+    for backend in available_backends():
+        capabilities = get_backend(backend).capabilities
+        for dataset in profile.datasets:
+            for m in profile.m_values:
+                if m > profile.n:
+                    continue
+                for algorithm in profile.algorithms:
+                    if (
+                        algorithm in ("sba", "aba")
+                        and "skyline" not in capabilities
+                    ):
+                        continue
+                    cases.append(
+                        make_topk_case(backend, dataset, algorithm, m)
+                    )
+                if "skyline" in capabilities:
+                    cases.append(
+                        make_skyline_case(backend, dataset, m)
+                    )
+    return cases
+
+
 #: suite name -> builder(profile, clock) -> cases
 SUITES: Dict[
     str, Callable[[BenchProfile, Callable[[], float]], List[BenchCase]]
@@ -412,6 +592,7 @@ SUITES: Dict[
     "serving": _serving_cases,
     "chaos": _chaos_cases,
     "streaming": _streaming_cases,
+    "backends": _backends_cases,
 }
 
 

@@ -1,0 +1,13 @@
+"""repro.pmtree — the PM-tree index backend.
+
+An M-tree whose entries are augmented with **pivot hyper-rings**
+(Skopal & Lokoč): min/max distance intervals to a small set of global
+pivots, giving every query an extra family of triangle-inequality
+lower bounds on top of the M-tree's covering-radius and
+parent-distance bounds.  Registered as ``index="pmtree"``; see
+:class:`repro.pmtree.tree.PMTree`.
+"""
+
+from repro.pmtree.tree import PMTree
+
+__all__ = ["PMTree"]

@@ -1,0 +1,319 @@
+"""The PM-tree: an M-tree with pivot hyper-ring filtering.
+
+Following Skopal & Lokoč (*On Metric Skyline Processing by PM-tree*),
+every indexed object stores its distances to ``P`` global pivots, and
+every subtree carries the coordinate-wise ``[min, max]`` interval of
+those distances over its objects — the *hyper-rings*.  For a query
+``q`` with precomputed pivot distances ``d(q, p_i)``, the triangle
+inequality gives for every object ``x`` of a subtree with rings
+``[rmin_i, rmax_i]``::
+
+    d(q, x) >= max_i max(rmin_i - d(q, p_i),  d(q, p_i) - rmax_i,  0)
+
+one extra lower-bound family on top of the M-tree's covering-radius
+and parent-distance bounds, at the fixed price of ``P`` query-to-pivot
+distances per traversal (amortised across rounds by the shared
+distance-vector cache on the skyline path).  The payoff the paper
+targets — and our cross-backend benchmark measures — is the B²MS²
+skyline traversal, where a hyper-ring-pruned entry saves the ``m``
+distance computations of its vector outright.
+
+Implementation notes:
+
+* the node structure **is** the M-tree's (``PMTree`` subclasses
+  :class:`~repro.mtree.tree.MTree`), so SBA/ABA's aggregate-NN and
+  every shared traversal work unchanged; the rings live in side
+  tables keyed by object id and page id, the same pattern as the
+  M-tree's object→leaf directory.
+* object rings are computed once per object at insert (``P`` batched
+  distances, charged to the build/writer); they depend only on the
+  object and the fixed pivot set, so they are kept across
+  delete/re-insert cycles (SBA restores reported objects) without
+  recomputation.
+* node rings are pure min/max aggregations of stored values: they are
+  rebuilt lazily — marked dirty by inserts, recomputed on the next
+  query via buffer-manager ``peek`` (no I/O charges, no distance
+  computations; the precedent is ``MTree._rebuild_directory``).
+  Deletes do *not* mark dirty: a stale interval is wider, hence a
+  weaker-but-valid bound, the same argument that lets M-tree covering
+  radii stay untouched on delete.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metric.base import MetricSpace
+from repro.metric.safety import safe_lower_bound
+from repro.mtree.node import MTreeNode
+from repro.mtree.tree import MTree, Query
+from repro.pmtree.pivots import choose_pivots
+from repro.storage.buffer import LRUBuffer
+
+#: (per-pivot minimum, per-pivot maximum) over a subtree's objects.
+NodeRings = Tuple[Tuple[float, ...], Tuple[float, ...]]
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class PMTree(MTree):
+    """An M-tree augmented with pivot hyper-rings (see module docs)."""
+
+    DEFAULT_PIVOTS = 8
+    DEFAULT_PIVOT_SAMPLE = 64
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        buffer: LRUBuffer,
+        node_capacity: Optional[int] = None,
+        split_policy: str = "sampling",
+        rng: Optional[random.Random] = None,
+        num_pivots: int = DEFAULT_PIVOTS,
+        pivot_sample: int = DEFAULT_PIVOT_SAMPLE,
+    ) -> None:
+        if num_pivots < 0:
+            raise ValueError("num_pivots must be >= 0")
+        if pivot_sample < 1:
+            raise ValueError("pivot_sample must be >= 1")
+        super().__init__(
+            space,
+            buffer,
+            node_capacity=node_capacity,
+            split_policy=split_policy,
+            rng=rng,
+        )
+        self.num_pivots = num_pivots
+        self.pivot_sample = pivot_sample
+        #: the global pivot object ids (fixed at build).
+        self.pivot_ids: List[int] = []
+        #: object id -> distances to each pivot.
+        self._object_rings: Dict[int, Tuple[float, ...]] = {}
+        #: page id -> (mins, maxs) over the page's whole subtree.
+        self._node_rings: Dict[int, NodeRings] = {}
+        self._rings_dirty = True
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        space: MetricSpace,
+        buffer: LRUBuffer,
+        object_ids: Optional[Iterable[int]] = None,
+        **kwargs,
+    ) -> "PMTree":
+        """Choose pivots over the id set, then insert every id."""
+        tree = cls(space, buffer, **kwargs)
+        ids = list(object_ids) if object_ids is not None else list(
+            space.object_ids
+        )
+        tree.pivot_ids = choose_pivots(
+            space, ids, tree.num_pivots, tree.pivot_sample, tree.rng
+        )
+        for object_id in ids:
+            tree.insert(object_id)
+        return tree
+
+    def insert(self, object_id: int) -> None:
+        super().insert(object_id)
+        if self.pivot_ids and object_id not in self._object_rings:
+            # P batched distances, charged to the writer — ring upkeep
+            # is honest write cost.  Rings depend only on (object,
+            # pivots), so a re-insert after SBA's temporary removal
+            # reuses the cached tuple for free.
+            self._object_rings[object_id] = tuple(
+                self.space.pairwise(object_id, self.pivot_ids).tolist()
+            )
+        self._rings_dirty = True
+
+    # (delete is inherited unchanged: node rings merely go stale-wide,
+    # which keeps every hyper-ring bound conservative — see module
+    # docs.)
+
+    # ------------------------------------------------------------------
+    # ring maintenance
+    # ------------------------------------------------------------------
+    def _refresh_rings(self) -> None:
+        """Rebuild the node-ring table if inserts dirtied it.
+
+        Pure min/max aggregation over the stored object rings — zero
+        distance computations.  Page reads go through ``manager.peek``
+        so no I/O is charged (rings are an in-memory side table, like
+        the object→leaf directory).
+        """
+        if not self._rings_dirty or not self.pivot_ids:
+            return
+        self._node_rings = {}
+        self._aggregate_rings(self._root_id)
+        self._rings_dirty = False
+
+    def _aggregate_rings(self, page_id: int) -> Optional[NodeRings]:
+        node: MTreeNode = self.buffer.manager.peek(page_id).payload
+        pivots = len(self.pivot_ids)
+        mins: Optional[List[float]] = None
+        maxs: Optional[List[float]] = None
+        for entry in node.entries:
+            if node.is_leaf:
+                rings = self._object_rings.get(entry.object_id)
+                if rings is None:
+                    # an object indexed without rings (only possible
+                    # through exotic direct-tree use): give it the
+                    # unbounded interval so every bound above it
+                    # degrades to 0 — conservative, never wrong.
+                    rings = None
+                    low: Sequence[float] = (_NEG_INF,) * pivots
+                    high: Sequence[float] = (_POS_INF,) * pivots
+                else:
+                    low = high = rings
+            else:
+                child = self._aggregate_rings(entry.child_page_id)
+                if child is None:
+                    # empty subtree (delete can empty a leaf): no
+                    # objects, nothing to cover — skip.
+                    continue
+                low, high = child
+            if mins is None:
+                mins, maxs = list(low), list(high)
+            else:
+                for i in range(pivots):
+                    if low[i] < mins[i]:
+                        mins[i] = low[i]
+                    if high[i] > maxs[i]:  # type: ignore[index]
+                        maxs[i] = high[i]  # type: ignore[index]
+        if mins is None or maxs is None:
+            return None
+        result: NodeRings = (tuple(mins), tuple(maxs))
+        self._node_rings[page_id] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # the backend pruning hooks (repro.index.IndexBackend)
+    # ------------------------------------------------------------------
+    def query_filter(self, query: Query):
+        """Hyper-ring lower bounds for one scalar query.
+
+        The filter computes its ``P`` query-to-pivot distances lazily
+        on first use, so a traversal that never consults it (an empty
+        tree, a root-only tree) pays nothing.
+        """
+        if not self.pivot_ids:
+            return None
+        self._refresh_rings()
+        return _HyperRingQueryFilter(self, query)
+
+    def skyline_filter(self, query_ids: Sequence[int], vectors):
+        """Coordinate-wise hyper-ring bounds for the skyline traversal.
+
+        ``vectors`` is the traversal's shared
+        :class:`~repro.core.dominance.DistanceVectorSource`; pivot
+        distance vectors go through its cache, so across SBA's rounds
+        each pivot's ``m`` distances are computed exactly once.
+        """
+        if not self.pivot_ids:
+            return None
+        self._refresh_rings()
+        return _HyperRingSkylineFilter(self, len(query_ids), vectors)
+
+
+class _HyperRingQueryFilter:
+    """``repro.index.QueryFilter`` over one PM-tree and one query."""
+
+    __slots__ = ("_tree", "_query", "_pivot_distances")
+
+    def __init__(self, tree: PMTree, query: Query) -> None:
+        self._tree = tree
+        self._query = query
+        self._pivot_distances: Optional[List[float]] = None
+
+    def _distances(self) -> List[float]:
+        d = self._pivot_distances
+        if d is None:
+            d = self._pivot_distances = self._tree.query_distance_batch(
+                self._query, self._tree.pivot_ids
+            )
+        return d
+
+    def _bound(
+        self, mins: Sequence[float], maxs: Sequence[float]
+    ) -> float:
+        best = 0.0
+        for dq, low, high in zip(self._distances(), mins, maxs):
+            if low > dq:
+                b = low - dq
+            elif dq > high:
+                b = dq - high
+            else:
+                continue
+            if b > best:
+                best = b
+        return safe_lower_bound(best)
+
+    def object_bound(self, object_id: int) -> float:
+        rings = self._tree._object_rings.get(object_id)
+        if rings is None:
+            return 0.0
+        return self._bound(rings, rings)
+
+    def node_bound(self, page_id: int) -> float:
+        rings = self._tree._node_rings.get(page_id)
+        if rings is None:
+            return 0.0
+        return self._bound(rings[0], rings[1])
+
+
+class _HyperRingSkylineFilter:
+    """``repro.index.SkylineFilter`` over one PM-tree and a query set."""
+
+    __slots__ = ("_tree", "_m", "_vectors", "_pivot_vectors")
+
+    def __init__(self, tree: PMTree, m: int, vectors) -> None:
+        self._tree = tree
+        self._m = m
+        self._vectors = vectors
+        self._pivot_vectors: Optional[List[Tuple[float, ...]]] = None
+
+    def _pvecs(self) -> List[Tuple[float, ...]]:
+        pvecs = self._pivot_vectors
+        if pvecs is None:
+            pvecs = self._pivot_vectors = [
+                self._vectors.vector(pivot_id)
+                for pivot_id in self._tree.pivot_ids
+            ]
+        return pvecs
+
+    def _bounds(
+        self, mins: Sequence[float], maxs: Sequence[float]
+    ) -> Tuple[float, ...]:
+        pvecs = self._pvecs()
+        out = []
+        for j in range(self._m):
+            best = 0.0
+            for i, pivot_vector in enumerate(pvecs):
+                dq = pivot_vector[j]
+                low, high = mins[i], maxs[i]
+                if low > dq:
+                    b = low - dq
+                elif dq > high:
+                    b = dq - high
+                else:
+                    continue
+                if b > best:
+                    best = b
+            out.append(safe_lower_bound(best))
+        return tuple(out)
+
+    def object_bounds(self, object_id: int) -> Optional[Tuple[float, ...]]:
+        rings = self._tree._object_rings.get(object_id)
+        if rings is None:
+            return None
+        return self._bounds(rings, rings)
+
+    def node_bounds(self, page_id: int) -> Optional[Tuple[float, ...]]:
+        rings = self._tree._node_rings.get(page_id)
+        if rings is None:
+            return None
+        return self._bounds(rings[0], rings[1])

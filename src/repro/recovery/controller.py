@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.faults.crashpoints import crashpoint
+from repro.index import registry as index_registry
 from repro.metric.base import MetricSpace
 from repro.metric.counting import CountingMetric
 from repro.obs import trace
@@ -136,6 +137,11 @@ class DurabilityController:
     # ------------------------------------------------------------------
     def bind(self, engine) -> None:
         """Attach to an engine: become its ``durability`` + WAL sink."""
+        if getattr(engine, "index_kind", "mtree") != "mtree":
+            raise NotImplementedError(
+                "durability requires the mtree backend (checkpoints are "
+                f"M-tree page images), not {engine.index_kind!r}"
+            )
         self.engine = engine
         engine.durability = self
         engine.buffers.index_manager.attach_wal(self)
@@ -604,6 +610,11 @@ def recover_engine(
         engine.space = space
         engine.buffers = pool
         engine.index_kind = "mtree"
+        engine.backend = index_registry.get_backend("mtree")
+        engine.index_options = {
+            "node_capacity": tree_meta["node_capacity"],
+            "split_policy": tree_meta["split_policy"],
+        }
         engine.tree = tree
         dataset_pages = max(
             1,

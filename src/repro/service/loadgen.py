@@ -387,6 +387,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="results per request (default 10)")
     parser.add_argument("--algorithm", default="pba2",
                         help="engine algorithm (default pba2)")
+    parser.add_argument("--index", default="mtree",
+                        help="index backend to serve from; one of the "
+                             "registered backends "
+                             "(repro.index.available_backends; "
+                             "default mtree).  Writes and durability "
+                             "require a backend with the matching "
+                             "capabilities")
     parser.add_argument("--deadline", type=float, default=None,
                         help="per-request queueing deadline in seconds")
     parser.add_argument("--max-queue", type=int, default=64)
@@ -555,6 +562,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--recover-from and --durability are mutually "
                      "exclusive (recovery re-enables durability in the "
                      "same directory)")
+    from repro.index import UnknownIndexError, get_backend
+
+    try:
+        backend = get_backend(args.index)
+    except UnknownIndexError as exc:
+        parser.error(str(exc))
+    if backend.name != "mtree":
+        if args.recover_from is not None or args.durability is not None:
+            parser.error("--durability/--recover-from require the mtree "
+                         f"backend, not {backend.name!r} (recovery "
+                         "checkpoints are M-tree page images)")
+        if load_config.write_fraction > 0 and (
+            "insert" not in backend.capabilities
+        ):
+            parser.error(f"the {backend.name!r} backend is static "
+                         "(no inserts); use --write-fraction 0 or an "
+                         "insert-capable backend")
     if args.recover_from is not None:
         try:
             engine = open_engine(
@@ -577,6 +601,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         engine = open_engine(
             space,
             seed=args.seed,
+            index=backend.name,
             durability=args.durability,
             fsync_policy=args.fsync_policy,
         )
@@ -590,7 +615,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"serving UNI n={args.n} dims={args.dims} with "
         f"{args.workers} workers, {args.clients} clients, "
         f"{args.requests} ops ({load_config.write_fraction:.0%} writes)"
-        f"{subscriber_note}, algorithm={args.algorithm}{chaos_note}"
+        f"{subscriber_note}, algorithm={args.algorithm}, "
+        f"index={engine.index_kind}{chaos_note}"
     )
     try:
         service = QueryService(engine, service_config)

@@ -84,7 +84,14 @@ def metric_skyline_cursor(
     hidden = skip if skip is not None else set()
     counter = itertools.count()
     ex = explain_mod.active()
+    # backend pruning hook: None for the plain M-tree (the exact
+    # pre-protocol path).  The PM-tree returns hyper-ring bounds that
+    # let an entry be discarded *before* its distance vector is
+    # computed — ``m`` distance computations saved per pruned entry,
+    # which is where the PM-tree's skyline-cell savings come from.
+    flt = tree.skyline_filter(query_ids, source)
     obj_popped = obj_kept = obj_dominated = regions_pruned = 0
+    ring_pruned = 0
     # Found-skyline vectors, tested set-at-a-time.  The node-pruning
     # test against a region's coordinate-wise *lower* bounds is the
     # same predicate as object dominance (<= everywhere, < somewhere),
@@ -100,10 +107,31 @@ def metric_skyline_cursor(
             ).payload
         else:
             node = tree.buffer.get(page_id).payload
+        nonlocal ring_pruned
+        node_ring_prunes = 0
         for entry in node.entries:
             if isinstance(entry, RoutingEntry):
+                ring = (
+                    flt.node_bounds(entry.child_page_id)
+                    if flt is not None
+                    else None
+                )
+                if ring is not None and skyline.dominates(ring):
+                    # pruned before computing the router's distance
+                    # vector (m distances saved) or visiting the
+                    # subtree.
+                    node_ring_prunes += 1
+                    continue
                 rvec = source.vector(entry.object_id)
                 bounds = _node_lower_bounds(rvec, entry.covering_radius)
+                if ring is not None:
+                    # coordinate-wise max of two valid lower bounds is
+                    # a valid (tighter) lower bound: better heap order
+                    # and more pop-time region prunes.
+                    bounds = tuple(
+                        rb if rb > cb else cb
+                        for rb, cb in zip(ring, bounds)
+                    )
                 heapq.heappush(
                     heap,
                     (sum(bounds), _KIND_NODE, next(counter),
@@ -112,14 +140,31 @@ def metric_skyline_cursor(
             else:
                 if entry.object_id in hidden:
                     continue
+                ring = (
+                    flt.object_bounds(entry.object_id)
+                    if flt is not None
+                    else None
+                )
+                if ring is not None and skyline.dominates(ring):
+                    # a found skyline vector dominates the object's
+                    # ring bounds, hence the object itself — dropped
+                    # without computing its distance vector.
+                    node_ring_prunes += 1
+                    continue
                 ovec = source.vector(entry.object_id)
                 heapq.heappush(
                     heap,
                     (sum(ovec), _KIND_OBJECT, next(counter),
                      entry.object_id, ovec, level),
                 )
+        ring_pruned += node_ring_prunes
         if ex is not None:
-            ex.node_visit("skyline", level, entries=len(node.entries))
+            ex.node_visit(
+                "skyline",
+                level,
+                entries=len(node.entries),
+                hyper_ring_prunes=node_ring_prunes,
+            )
 
     push_node(tree.root_page_id, 0)
     while heap:
@@ -154,7 +199,10 @@ def metric_skyline_cursor(
                     obj_dominated
                 )
             },
-            note=f"regions pruned={regions_pruned}",
+            note=(
+                f"regions pruned={regions_pruned}, "
+                f"hyper-ring pruned={ring_pruned}"
+            ),
         )
 
 

@@ -181,6 +181,14 @@ class VPTree:
             return self.space.distance(query, object_id)
         return self.space.distance_to_payload(object_id, query)
 
+    def query_distance_batch(
+        self, query: Query, object_ids: List[int]
+    ) -> List[float]:
+        """Batched :meth:`query_distance` over many indexed objects."""
+        if isinstance(query, int):
+            return self.space.pairwise(query, object_ids).tolist()
+        return self.space.pairwise_to_payload(query, object_ids).tolist()
+
     def delete(self, object_id: int) -> bool:
         """Tombstone deletion (cursors skip deleted objects)."""
         if object_id in self._deleted or not (
@@ -196,6 +204,38 @@ class VPTree:
     ) -> "VPTreeCursor":
         """The incremental-NN contract PBA requires."""
         return VPTreeCursor(self, query, skip=skip)
+
+    def range_query(
+        self, query: Query, radius: float
+    ) -> List[Tuple[int, float]]:
+        """All objects within ``radius``, sorted by (distance, id).
+
+        Pulls the incremental cursor while it stays within the radius —
+        valid because the cursor yields in exact non-decreasing order.
+        """
+        results: List[Tuple[int, float]] = []
+        for object_id, d in self.incremental_cursor(query):
+            if d > radius:
+                break
+            results.append((object_id, d))
+        results.sort(key=lambda pair: (pair[1], pair[0]))
+        return results
+
+    def knn(self, query: Query, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` nearest objects, via the incremental cursor."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        return list(
+            itertools.islice(self.incremental_cursor(query), k)
+        )
+
+    def query_filter(self, query: Query) -> None:
+        """No extra pruning bounds beyond the vantage-point ones."""
+        return None
+
+    def skyline_filter(self, query_ids, vectors) -> None:
+        """No coordinate-wise bounds; the VP-tree has no skyline path."""
+        return None
 
     @property
     def num_pages(self) -> int:

@@ -51,7 +51,9 @@ def make_engine(
 ) -> TopKDominatingEngine:
     space = make_vector_space(n, dims, seed, grid)
     return TopKDominatingEngine(
-        space, node_capacity=node_capacity, rng=random.Random(seed)
+        space,
+        index_options={"node_capacity": node_capacity},
+        rng=random.Random(seed),
     )
 
 

@@ -35,7 +35,7 @@ def bundle(request):
     name = request.param
     space = FACTORIES[name](120, seed=3)
     engine = TopKDominatingEngine(
-        space, node_capacity=10, rng=random.Random(3)
+        space, index_options={"node_capacity": 10}, rng=random.Random(3)
     )
     queries = select_query_objects(
         engine.space, m=4, coverage=0.3, rng=random.Random(9)

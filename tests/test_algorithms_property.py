@@ -41,7 +41,7 @@ def instances(draw):
 def test_all_algorithms_match_brute_force(instance):
     space, queries, k, seed = instance
     engine = TopKDominatingEngine(
-        space, node_capacity=8, rng=random.Random(seed)
+        space, index_options={"node_capacity": 8}, rng=random.Random(seed)
     )
     truth = brute_force_scores(engine.space, queries)
     expected = sorted(truth.values(), reverse=True)[:k]
@@ -61,7 +61,7 @@ def test_progressive_prefix_property(instance):
     results of the full run (score-wise)."""
     space, queries, k, seed = instance
     engine = TopKDominatingEngine(
-        space, node_capacity=8, rng=random.Random(seed)
+        space, index_options={"node_capacity": 8}, rng=random.Random(seed)
     )
     for algorithm in ("pba1", "pba2"):
         full, _ = engine.top_k_dominating(queries, k, algorithm=algorithm)

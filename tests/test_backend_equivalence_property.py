@@ -1,0 +1,163 @@
+"""Property test: every registered backend answers identically.
+
+The backend protocol's core promise — ``open_engine(index=...)`` is a
+performance knob, never a semantics knob.  Over random instances,
+every registered backend must agree with brute force (and hence each
+other) on ``top_k_dominating``, ``metric_skyline``, range queries and
+k-NN, including after capability-gated update interleavings.
+
+Score *sequences* are compared (plus each reported id's true score):
+equal-score ties may legitimately be broken differently per backend,
+the same contract the cross-algorithm integration tests pin.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.api import open_engine
+from repro.core.brute_force import brute_force_scores
+from repro.index import available_backends, get_backend
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric
+from repro.skyline.b2ms2 import metric_skyline
+from repro.skyline.naive import naive_metric_skyline
+
+_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+        st.floats(min_value=0, max_value=1, allow_nan=False),
+    ),
+    min_size=8,
+    max_size=40,
+)
+
+
+def _space(points) -> MetricSpace:
+    return MetricSpace(
+        [np.array(p) for p in points],
+        CountingMetric(EuclideanMetric()),
+    )
+
+
+def _engines(points, seed=0):
+    """One engine per registered backend over identical data."""
+    return {
+        backend: open_engine(
+            _space(points),
+            seed=seed,
+            index=backend,
+            index_options=(
+                {"pivots": 4, "pivot_sample": 16}
+                if backend == "pmtree"
+                else None
+            ),
+        )
+        for backend in available_backends()
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=_points,
+    k=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=1, max_value=3),
+)
+def test_top_k_matches_brute_force_on_every_backend(points, k, m):
+    query_ids = list(range(m))
+    truth = brute_force_scores(_space(points), query_ids)
+    expected_scores = sorted(truth.values(), reverse=True)[:k]
+    for backend, engine in _engines(points).items():
+        results, _ = engine.top_k_dominating(query_ids, k)
+        assert [r.score for r in results] == expected_scores, backend
+        for item in results:
+            assert truth[item.object_id] == item.score, backend
+
+
+@settings(max_examples=25, deadline=None)
+@given(points=_points, m=st.integers(min_value=2, max_value=3))
+def test_skyline_matches_naive_oracle_on_skyline_backends(points, m):
+    query_ids = list(range(m))
+    expected = sorted(naive_metric_skyline(_space(points), query_ids))
+    for backend, engine in _engines(points).items():
+        if "skyline" not in get_backend(backend).capabilities:
+            continue
+        got = sorted(metric_skyline(engine.tree, query_ids))
+        assert got == expected, backend
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    points=_points,
+    query=st.integers(min_value=0, max_value=7),
+    k=st.integers(min_value=1, max_value=8),
+    radius=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+)
+def test_range_and_knn_agree_with_linear_scan(points, query, k, radius):
+    space = _space(points)
+    linear = sorted(
+        (space.distance(query, i), i) for i in range(len(points))
+    )
+    expected_range_ids = sorted(i for d, i in linear if d <= radius)
+    expected_knn_distances = [d for d, _i in linear[:k]]
+    for backend, engine in _engines(points).items():
+        got_range = engine.tree.range_query(query, radius)
+        assert sorted(i for i, _d in got_range) == expected_range_ids, (
+            backend
+        )
+        got_knn = engine.tree.knn(query, k)
+        assert [d for _i, d in got_knn] == pytest.approx(
+            expected_knn_distances
+        ), backend
+
+
+@settings(max_examples=15, deadline=None)
+@given(points=_points, data=st.data())
+def test_update_interleavings_preserve_agreement(points, data):
+    """Deletes (all backends) and inserts (capable ones) keep parity."""
+    engines = _engines(points)
+    n = len(points)
+    victims = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            max_size=4,
+            unique=True,
+        )
+    )
+    extra = data.draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            max_size=3,
+        )
+    )
+    for backend, engine in engines.items():
+        for victim in victims:
+            engine.delete_object(victim)
+        if "insert" in get_backend(backend).capabilities:
+            for payload in extra:
+                engine.insert_object(np.array(payload))
+
+    query_ids = [i for i in range(min(2, n)) if i not in victims]
+    if not query_ids:
+        return
+    # per engine, the oracle over that engine's own post-update space
+    # (dynamic backends saw the inserts, static ones did not).
+    for backend, engine in engines.items():
+        universe = list(engine.tree.object_ids())
+        truth = brute_force_scores(
+            engine.space, query_ids, universe=universe
+        )
+        expected_scores = sorted(truth.values(), reverse=True)[:5]
+        results, _ = engine.top_k_dominating(query_ids, 5)
+        assert [r.score for r in results] == expected_scores, backend
+        for item in results:
+            assert truth[item.object_id] == item.score, backend

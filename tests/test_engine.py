@@ -45,7 +45,7 @@ class TestConstruction:
 
         space = make_vector_space(120, dims=3, seed=65)
         engine = TopKDominatingEngine(
-            space, rng=random.Random(65), bulk_load=True
+            space, rng=random.Random(65), index_options={"bulk_load": True}
         )
         engine.tree.check_invariants()
         truth = brute_force_scores(engine.space, [0, 60])

@@ -105,8 +105,10 @@ class TestRunSuite:
         with pytest.raises(ValueError, match="unknown suite"):
             run_suite("no-such-suite")
 
-    def test_registry_has_the_four_suites(self):
-        assert set(SUITES) == {"core", "serving", "chaos", "streaming"}
+    def test_registry_has_the_five_suites(self):
+        assert set(SUITES) == {
+            "core", "serving", "chaos", "streaming", "backends",
+        }
 
 
 class TestTrajectoryFile:

@@ -1,0 +1,281 @@
+"""PM-tree white-box tests: pivots, hyper-ring bounds, pruning wins.
+
+The PM-tree's whole contract is "same answers, fewer distance
+computations": every hyper-ring bound must actually lower-bound the
+true distance (else answers change), node rings must cover their
+subtrees (else pruning is unsound), and on the B²MS² skyline path the
+rings must demonstrably prune — the claim the cross-backend benchmark
+quantifies and these tests pin qualitatively.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.metric.base import MetricSpace
+from repro.metric.counting import CountingMetric
+from repro.metric.vector import EuclideanMetric
+from repro.mtree import MTree
+from repro.pmtree import PMTree
+from repro.pmtree.pivots import choose_pivots
+from repro.skyline.b2ms2 import metric_skyline
+from repro.storage.buffer import BufferPool, LRUBuffer
+from repro.storage.pages import PageManager
+
+from .conftest import make_vector_space
+
+
+def build_pmtree(space, seed=0, **kwargs) -> PMTree:
+    buf = LRUBuffer(PageManager(), capacity=256)
+    return PMTree.build(
+        space,
+        buf,
+        node_capacity=8,
+        rng=random.Random(seed),
+        **kwargs,
+    )
+
+
+class TestPivotSelection:
+    def test_deterministic_and_within_ids(self):
+        space = make_vector_space(100, dims=3, seed=11)
+        ids = list(range(100))
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        pivots_a = choose_pivots(space, ids, 8, 64, rng_a)
+        pivots_b = choose_pivots(space, ids, 8, 64, rng_b)
+        assert pivots_a == pivots_b
+        assert len(pivots_a) == 8
+        assert len(set(pivots_a)) == 8
+        assert set(pivots_a) <= set(ids)
+
+    def test_small_sets_return_everything(self):
+        space = make_vector_space(5, dims=2, seed=1)
+        pivots = choose_pivots(
+            space, list(range(5)), 8, 64, random.Random(0)
+        )
+        assert sorted(pivots) == list(range(5))
+
+    def test_empty_and_zero_pivots(self):
+        space = make_vector_space(10, dims=2, seed=1)
+        assert choose_pivots(space, [], 8, 64, random.Random(0)) == []
+        assert (
+            choose_pivots(space, list(range(10)), 0, 64, random.Random(0))
+            == []
+        )
+
+
+class TestHyperRingBounds:
+    """Soundness: every emitted bound lower-bounds the true distance."""
+
+    def _tree_and_space(self, n=120, seed=13):
+        space = make_vector_space(n, dims=3, seed=seed)
+        return build_pmtree(space, seed=seed), space
+
+    def test_object_bounds_never_exceed_true_distance(self):
+        tree, space = self._tree_and_space()
+        for query in (0, 17, 55):
+            flt = tree.query_filter(query)
+            assert flt is not None
+            for object_id in range(len(space)):
+                bound = flt.object_bound(object_id)
+                assert bound <= space.distance(query, object_id) + 1e-9
+
+    def test_node_bounds_never_exceed_subtree_minimum(self):
+        tree, space = self._tree_and_space()
+        query = 29
+        flt = tree.query_filter(query)
+        for page_id, (mins, maxs) in tree._node_rings.items():
+            bound = flt.node_bound(page_id)
+            # the subtree's objects are exactly those whose leaf chain
+            # passes through the page; recover them via the rings'
+            # aggregation by checking every object against the ring.
+            for object_id, rings in tree._object_rings.items():
+                if object_id not in tree:
+                    continue
+                inside = all(
+                    lo - 1e-9 <= r <= hi + 1e-9
+                    for r, lo, hi in zip(rings, mins, maxs)
+                )
+                if inside:
+                    assert (
+                        bound
+                        <= space.distance(query, object_id) + 1e-9
+                    )
+
+    def test_payload_queries_supported(self):
+        tree, space = self._tree_and_space()
+        payload = np.array([0.4, 0.6, 0.1])
+        flt = tree.query_filter(payload)
+        for object_id in range(0, len(space), 7):
+            d = space.distance_to_payload(object_id, payload)
+            assert flt.object_bound(object_id) <= d + 1e-9
+
+    def test_skyline_bounds_lower_bound_distance_vectors(self):
+        tree, space = self._tree_and_space()
+        from repro.core.dominance import DistanceVectorSource
+
+        query_ids = [3, 41, 77]
+        source = DistanceVectorSource(space, query_ids)
+        flt = tree.skyline_filter(query_ids, source)
+        assert flt is not None
+        for object_id in range(0, len(space), 5):
+            bounds = flt.object_bounds(object_id)
+            assert bounds is not None
+            true_vec = [
+                space.distance(object_id, q) for q in query_ids
+            ]
+            for b, t in zip(bounds, true_vec):
+                assert b <= t + 1e-9
+
+
+class TestRingMaintenance:
+    def test_rings_rebuild_lazily_after_insert(self):
+        space = make_vector_space(80, dims=3, seed=3)
+        tree = build_pmtree(space, seed=3)
+        tree.query_filter(0)  # forces the initial aggregation
+        assert not tree._rings_dirty
+        new_id = space.append(np.array([0.2, 0.9, 0.4]))
+        tree.insert(new_id)
+        assert tree._rings_dirty
+        assert new_id in tree._object_rings
+        flt = tree.query_filter(0)
+        assert not tree._rings_dirty
+        assert flt.object_bound(new_id) <= space.distance(0, new_id) + 1e-9
+
+    def test_delete_keeps_bounds_conservative(self):
+        space = make_vector_space(80, dims=3, seed=3)
+        tree = build_pmtree(space, seed=3)
+        tree.query_filter(0)
+        tree.delete(40)
+        # stale rings are only ever wider: still sound for survivors.
+        flt = tree.query_filter(0)
+        for object_id in tree.object_ids():
+            assert (
+                flt.object_bound(object_id)
+                <= space.distance(0, object_id) + 1e-9
+            )
+
+    def test_reinsert_reuses_cached_object_rings(self):
+        space = make_vector_space(80, dims=3, seed=3)
+        tree = build_pmtree(space, seed=3)
+        rings_before = tree._object_rings[25]
+        count_before = space.metric.count
+        tree.delete(25)
+        tree.insert(25)
+        # ring reuse: the only distances charged are the tree insert's.
+        assert tree._object_rings[25] is rings_before
+        insert_cost_with_rings = space.metric.count - count_before
+        assert insert_cost_with_rings > 0  # the insert itself charges
+
+    def test_invariants_hold_under_churn(self):
+        space = make_vector_space(90, dims=3, seed=6)
+        tree = build_pmtree(space, seed=6)
+        rng = random.Random(6)
+        for _ in range(20):
+            victim = rng.choice(list(tree.object_ids()))
+            tree.delete(victim)
+            tree.insert(victim)
+        tree.check_invariants()
+        # and the rings are still sound afterwards.
+        flt = tree.query_filter(1)
+        for object_id in tree.object_ids():
+            assert (
+                flt.object_bound(object_id)
+                <= space.distance(1, object_id) + 1e-9
+            )
+
+
+class TestAnswersAndSavings:
+    def _paired_spaces(self, n=150, seed=21):
+        rng = np.random.default_rng(seed)
+        points = list(rng.random((n, 3)))
+
+        def fresh():
+            return MetricSpace(
+                points, CountingMetric(EuclideanMetric())
+            )
+
+        return fresh(), fresh()
+
+    def test_cursor_stream_matches_mtree(self):
+        space_m, space_p = self._paired_spaces()
+        mtree = MTree.build(
+            space_m,
+            LRUBuffer(PageManager(), capacity=256),
+            node_capacity=8,
+            rng=random.Random(2),
+        )
+        pmtree = PMTree.build(
+            space_p,
+            LRUBuffer(PageManager(), capacity=256),
+            node_capacity=8,
+            rng=random.Random(2),
+        )
+        stream_m = list(mtree.incremental_cursor(5))
+        stream_p = list(pmtree.incremental_cursor(5))
+        assert [d for _i, d in stream_m] == pytest.approx(
+            [d for _i, d in stream_p]
+        )
+
+    def test_skyline_identical_with_fewer_distances(self):
+        space_m, space_p = self._paired_spaces()
+        mtree = MTree.build(
+            space_m,
+            LRUBuffer(PageManager(), capacity=256),
+            node_capacity=8,
+            rng=random.Random(2),
+        )
+        pmtree = PMTree.build(
+            space_p,
+            LRUBuffer(PageManager(), capacity=256),
+            node_capacity=8,
+            rng=random.Random(2),
+        )
+        query_ids = [2, 48, 101]
+        base_m = space_m.metric.count
+        sky_m = metric_skyline(mtree, query_ids)
+        cost_m = space_m.metric.count - base_m
+        base_p = space_p.metric.count
+        sky_p = metric_skyline(pmtree, query_ids)
+        cost_p = space_p.metric.count - base_p
+        assert sorted(sky_m) == sorted(sky_p)
+        # the headline claim: hyper-rings cut skyline distance
+        # computations (each pruned entry saves its whole vector).
+        assert cost_p < cost_m
+
+    def test_zero_pivots_degrades_to_plain_mtree(self):
+        space_m, space_p = self._paired_spaces()
+        mtree = MTree.build(
+            space_m,
+            LRUBuffer(PageManager(), capacity=256),
+            node_capacity=8,
+            rng=random.Random(2),
+        )
+        pmtree = PMTree.build(
+            space_p,
+            LRUBuffer(PageManager(), capacity=256),
+            node_capacity=8,
+            rng=random.Random(2),
+            num_pivots=0,
+        )
+        assert pmtree.query_filter(0) is None
+        assert pmtree.skyline_filter([0, 1], None) is None
+        base_m = space_m.metric.count
+        sky_m = metric_skyline(mtree, [2, 48])
+        cost_m = space_m.metric.count - base_m
+        base_p = space_p.metric.count
+        sky_p = metric_skyline(pmtree, [2, 48])
+        cost_p = space_p.metric.count - base_p
+        assert sorted(sky_m) == sorted(sky_p)
+        assert cost_p == cost_m  # no rings, bit-identical cost
+
+    def test_constructor_validation(self):
+        space = make_vector_space(30, dims=2, seed=0)
+        buf = LRUBuffer(PageManager(), capacity=64)
+        with pytest.raises(ValueError, match="num_pivots"):
+            PMTree(space, buf, num_pivots=-1)
+        with pytest.raises(ValueError, match="pivot_sample"):
+            PMTree(space, buf, pivot_sample=0)
